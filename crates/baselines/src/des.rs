@@ -1,0 +1,186 @@
+//! Dynamic ensemble selection (DES), in the FIRE-DES++ style (§II, §III-B).
+//!
+//! Training: cluster the historical feature space into regions; in each
+//! region estimate every model's **competence score** (its agreement rate
+//! with the ensemble's output on the region's samples). Inference: find the
+//! arriving query's region and select the models whose competence clears a
+//! threshold relative to the region's best model; if none clears it, fall
+//! back to the single most competent model.
+//!
+//! DES ignores queue state entirely — the selection is a pure function of
+//! the input features, which is exactly the property the paper's scheduler
+//! criticises ("they both select models only based on the current query
+//! features, regardless of the queue status").
+
+use crate::kmeans::KMeans;
+use rand::Rng;
+use schemble_core::pipeline::SelectionPolicy;
+use schemble_data::Query;
+use schemble_models::{Ensemble, ModelSet, Sample};
+
+/// The trained DES selector.
+#[derive(Debug, Clone)]
+pub struct DesSelector {
+    regions: KMeans,
+    /// `competence[region][model]` = agreement rate with the ensemble.
+    competence: Vec<Vec<f64>>,
+    /// Models within `threshold` of the region's best competence get picked.
+    pub threshold: f64,
+}
+
+impl DesSelector {
+    /// Default number of regions.
+    pub const DEFAULT_REGIONS: usize = 12;
+    /// Default competence slack.
+    pub const DEFAULT_THRESHOLD: f64 = 0.03;
+
+    /// Trains DES on historical samples.
+    pub fn fit(
+        ensemble: &Ensemble,
+        history: &[Sample],
+        k_regions: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!history.is_empty(), "cannot fit DES on empty history");
+        let features: Vec<Vec<f64>> = history.iter().map(|s| s.features.clone()).collect();
+        let regions = KMeans::fit(&features, k_regions, 25, rng);
+        let m = ensemble.m();
+        let mut hits = vec![vec![0usize; m]; regions.k()];
+        let mut counts = vec![0usize; regions.k()];
+        for s in history {
+            let r = regions.region_of(&s.features);
+            counts[r] += 1;
+            let reference = ensemble.ensemble_output(s);
+            let outputs = ensemble.infer_all(s);
+            for (k, o) in outputs.iter().enumerate() {
+                if o.agrees_with(&reference, &ensemble.spec) {
+                    hits[r][k] += 1;
+                }
+            }
+        }
+        let competence = (0..regions.k())
+            .map(|r| {
+                (0..m)
+                    .map(|k| {
+                        if counts[r] == 0 {
+                            0.5
+                        } else {
+                            hits[r][k] as f64 / counts[r] as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { regions, competence, threshold: Self::DEFAULT_THRESHOLD }
+    }
+
+    /// Competence vector of the region containing `features`.
+    pub fn competences(&self, features: &[f64]) -> &[f64] {
+        &self.competence[self.regions.region_of(features)]
+    }
+
+    /// The subset selected for a feature vector.
+    pub fn select_for(&self, features: &[f64]) -> ModelSet {
+        let comps = self.competences(features);
+        let best = comps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut set = ModelSet::EMPTY;
+        for (k, &c) in comps.iter().enumerate() {
+            if c >= best - self.threshold {
+                set = set.with(k);
+            }
+        }
+        if set.is_empty() {
+            // Degenerate region: fall back to the single best model.
+            let k = comps
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite competence"))
+                .map(|(k, _)| k)
+                .unwrap_or(0);
+            set = ModelSet::singleton(k);
+        }
+        set
+    }
+}
+
+impl SelectionPolicy for DesSelector {
+    fn select(&mut self, query: &Query, _ensemble: &Ensemble) -> ModelSet {
+        self.select_for(&query.sample.features)
+    }
+    fn name(&self) -> String {
+        "DES".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_data::TaskKind;
+    use schemble_sim::rng::stream_rng;
+
+    fn fixture() -> (Ensemble, Vec<Sample>, DesSelector) {
+        let task = TaskKind::TextMatching;
+        let ens = task.ensemble(1);
+        let gen = task.default_generator(1);
+        let history: Vec<Sample> = gen.batch(0, 1200);
+        let mut rng = stream_rng(5, "des");
+        let des = DesSelector::fit(&ens, &history, DesSelector::DEFAULT_REGIONS, &mut rng);
+        (ens, history, des)
+    }
+
+    #[test]
+    fn selection_is_never_empty() {
+        let (_, history, des) = fixture();
+        for s in history.iter().take(300) {
+            assert!(!des.select_for(&s.features).is_empty());
+        }
+    }
+
+    #[test]
+    fn competences_reflect_model_quality() {
+        // Averaged over regions, the strongest model (BERT) should out-score
+        // the weakest (BiLSTM).
+        let (ens, history, des) = fixture();
+        let m = ens.m();
+        let mut avg = vec![0.0f64; m];
+        for s in &history {
+            let comps = des.competences(&s.features);
+            for k in 0..m {
+                avg[k] += comps[k];
+            }
+        }
+        for a in &mut avg {
+            *a /= history.len() as f64;
+        }
+        assert!(
+            avg[2] > avg[0],
+            "BERT competence {:.3} should beat BiLSTM {:.3}",
+            avg[2],
+            avg[0]
+        );
+    }
+
+    #[test]
+    fn selection_ignores_queue_state_by_construction() {
+        // Same features ⇒ same selection, no matter when asked.
+        let (_, history, des) = fixture();
+        let s = &history[0];
+        let a = des.select_for(&s.features);
+        let b = des.select_for(&s.features);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tighter_threshold_selects_fewer_models() {
+        let (_, history, mut des) = fixture();
+        let wide: f64 = {
+            des.threshold = 0.5;
+            history.iter().take(200).map(|s| des.select_for(&s.features).len() as f64).sum()
+        };
+        let narrow: f64 = {
+            des.threshold = 0.0;
+            history.iter().take(200).map(|s| des.select_for(&s.features).len() as f64).sum()
+        };
+        assert!(narrow <= wide, "narrow {narrow} vs wide {wide}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Convenience runners wiring DES/Gating into the serving pipeline, so the
+//! experiment drivers can sweep all six baselines of Table I uniformly.
+
+use crate::des::DesSelector;
+use crate::gating::GatingSelector;
+use schemble_core::pipeline::{
+    run_immediate, AdmissionMode, Deployment, ResultAssembler, SelectionPolicy,
+};
+use schemble_data::Workload;
+use schemble_metrics::RunSummary;
+use schemble_models::{Ensemble, SampleGenerator};
+use schemble_sim::rng::stream_rng;
+
+/// The feature-based selection baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// FIRE-DES++-style dynamic ensemble selection.
+    Des,
+    /// Gating network with thresholded weights.
+    Gating,
+}
+
+impl BaselineKind {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaselineKind::Des => "DES",
+            BaselineKind::Gating => "Gating",
+        }
+    }
+}
+
+/// Historical ids start above every serving workload (shared convention with
+/// `SchembleArtifacts`).
+const HISTORY_OFFSET: u64 = 1 << 41;
+
+/// Trains a DES selector on `history_n` fresh historical samples.
+pub fn train_des(
+    ensemble: &Ensemble,
+    generator: &SampleGenerator,
+    history_n: usize,
+    seed: u64,
+) -> DesSelector {
+    let history = generator.batch(HISTORY_OFFSET, history_n);
+    let mut rng = stream_rng(seed, "des-train");
+    DesSelector::fit(ensemble, &history, DesSelector::DEFAULT_REGIONS, &mut rng)
+}
+
+/// Trains a gating selector on `history_n` fresh historical samples.
+pub fn train_gating(
+    ensemble: &Ensemble,
+    generator: &SampleGenerator,
+    history_n: usize,
+    seed: u64,
+) -> GatingSelector {
+    let history = generator.batch(HISTORY_OFFSET, history_n);
+    let mut rng = stream_rng(seed, "gating-train");
+    GatingSelector::fit(ensemble, &history, &mut rng)
+}
+
+/// Trains and runs one baseline over a workload on the identity deployment.
+pub fn run_baseline(
+    kind: BaselineKind,
+    ensemble: &Ensemble,
+    generator: &SampleGenerator,
+    workload: &Workload,
+    admission: AdmissionMode,
+    history_n: usize,
+    seed: u64,
+) -> RunSummary {
+    let mut policy: Box<dyn SelectionPolicy> = match kind {
+        BaselineKind::Des => Box::new(train_des(ensemble, generator, history_n, seed)),
+        BaselineKind::Gating => {
+            Box::new(train_gating(ensemble, generator, history_n, seed))
+        }
+    };
+    run_immediate(
+        ensemble,
+        &Deployment::identity(ensemble.m()),
+        policy.as_mut(),
+        &ResultAssembler::Direct,
+        workload,
+        admission,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_data::{DeadlinePolicy, PoissonTrace, TaskKind};
+
+    #[test]
+    fn both_baselines_run_end_to_end() {
+        let task = TaskKind::TextMatching;
+        let ens = task.ensemble(1);
+        let gen = task.default_generator(1);
+        let workload = Workload::generate(
+            &gen,
+            &PoissonTrace { rate_per_sec: 30.0, n: 200 },
+            &DeadlinePolicy::constant_millis(120.0),
+            7,
+        );
+        for kind in [BaselineKind::Des, BaselineKind::Gating] {
+            let summary =
+                run_baseline(kind, &ens, &gen, &workload, AdmissionMode::Reject, 400, 3);
+            assert_eq!(summary.len(), 200, "{} lost queries", kind.label());
+            assert!(summary.accuracy() > 0.2, "{} acc collapsed", kind.label());
+        }
+    }
+}

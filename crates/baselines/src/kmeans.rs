@@ -1,0 +1,130 @@
+//! Lloyd's k-means over feature vectors — the region-clustering step of DES.
+
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+use schemble_tensor::dist::euclidean_sq;
+
+/// A fitted k-means model.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+}
+
+impl KMeans {
+    /// Fits `k` clusters with Lloyd iterations (k-means++-free: random
+    /// distinct initial points, which is ample for the low-dimensional
+    /// feature spaces here).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `k == 0`.
+    pub fn fit(points: &[Vec<f64>], k: usize, iters: usize, rng: &mut impl Rng) -> Self {
+        assert!(!points.is_empty(), "cannot cluster zero points");
+        assert!(k > 0, "need at least one cluster");
+        let k = k.min(points.len());
+        let mut centroids: Vec<Vec<f64>> = index_sample(rng, points.len(), k)
+            .into_iter()
+            .map(|i| points[i].clone())
+            .collect();
+        let dim = points[0].len();
+        let mut assignment = vec![0usize; points.len()];
+        for _ in 0..iters {
+            // Assign.
+            let mut moved = false;
+            for (i, p) in points.iter().enumerate() {
+                let best = nearest(&centroids, p);
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    moved = true;
+                }
+            }
+            // Update.
+            let mut sums = vec![vec![0.0f64; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (i, p) in points.iter().enumerate() {
+                let c = assignment[i];
+                counts[c] += 1;
+                for (s, &x) in sums[c].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for (dst, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                        *dst = s / counts[c] as f64;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        Self { centroids }
+    }
+
+    /// Index of the region `point` belongs to.
+    pub fn region_of(&self, point: &[f64]) -> usize {
+        nearest(&self.centroids, point)
+    }
+
+    /// Number of regions.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = euclidean_sq(centroid, p);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_sim::rng::stream_rng;
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = stream_rng(1, "kmeans");
+        let mut points = Vec::new();
+        for i in 0..200 {
+            let base = if i % 2 == 0 { 0.0 } else { 10.0 };
+            points.push(vec![base + rng.random_range(-0.5..0.5), base]);
+        }
+        let km = KMeans::fit(&points, 2, 20, &mut rng);
+        let r0 = km.region_of(&[0.0, 0.0]);
+        let r1 = km.region_of(&[10.0, 10.0]);
+        assert_ne!(r0, r1, "blobs should land in different regions");
+        // All near-origin points agree with the origin's region.
+        for p in points.iter().filter(|p| p[1] == 0.0) {
+            assert_eq!(km.region_of(p), r0);
+        }
+    }
+
+    #[test]
+    fn k_clamps_to_point_count() {
+        let mut rng = stream_rng(2, "kmeans");
+        let points = vec![vec![1.0], vec![2.0]];
+        let km = KMeans::fit(&points, 10, 5, &mut rng);
+        assert_eq!(km.k(), 2);
+    }
+
+    #[test]
+    fn region_of_is_deterministic() {
+        let mut rng = stream_rng(3, "kmeans");
+        let points: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
+        let km = KMeans::fit(&points, 4, 15, &mut rng);
+        for p in &points {
+            assert_eq!(km.region_of(p), km.region_of(p));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the difficulty machinery: discrepancy
+//! scoring, predictor inference, profile lookups and KNN filling — the
+//! per-query costs Fig. 13 accounts for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schemble_core::artifacts::SchembleArtifacts;
+use schemble_core::filling::KnnFiller;
+use schemble_data::TaskKind;
+use schemble_models::ModelSet;
+use std::hint::black_box;
+
+fn bench_all(c: &mut Criterion) {
+    let task = TaskKind::TextMatching;
+    let ens = task.ensemble(42);
+    let gen = task.default_generator(42);
+    let art = SchembleArtifacts::build_small(&ens, &gen, 42);
+    let sample = gen.sample(1_000_000);
+
+    c.bench_function("discrepancy_oracle_score", |b| {
+        b.iter(|| black_box(art.scorer.score(&ens, black_box(&sample))))
+    });
+
+    c.bench_function("predictor_forward", |b| {
+        b.iter(|| black_box(art.predictor.predict_score(black_box(&sample.features))))
+    });
+
+    c.bench_function("profile_utility_vector", |b| {
+        b.iter(|| black_box(art.profile.utility_vector(black_box(0.37))))
+    });
+
+    c.bench_function("ensemble_full_inference", |b| {
+        b.iter(|| black_box(ens.infer_all(black_box(&sample))))
+    });
+
+    let history = gen.batch(0, 500);
+    let filler = KnnFiller::fit(&ens, &history, 10);
+    let outputs = ens.infer_all(&sample);
+    let present = vec![(0usize, &outputs[0])];
+    c.bench_function("knn_fill_one_missing_pair", |b| {
+        b.iter(|| black_box(filler.fill(black_box(&present), ModelSet::singleton(0))))
+    });
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

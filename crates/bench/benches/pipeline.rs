@@ -1,0 +1,33 @@
+//! Criterion benchmarks of whole serving runs: events/second of the
+//! discrete-event pipelines (throughput of the reproduction itself, not of
+//! the simulated system).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schemble_core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
+use schemble_data::TaskKind;
+use std::hint::black_box;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_run_500_queries");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("original", PipelineKind::Original),
+        ("schemble", PipelineKind::Schemble),
+        ("schemble_t", PipelineKind::SchembleT),
+    ] {
+        // Train artifacts once outside the measurement loop.
+        let mut config = ExperimentConfig::small(TaskKind::TextMatching, 42);
+        config.n_queries = 500;
+        config.traffic = Traffic::Poisson { rate_per_sec: 45.0 };
+        let mut ctx = ExperimentContext::new(config);
+        let workload = ctx.workload();
+        let _ = ctx.run(kind, &workload); // warm the lazy artifacts
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            b.iter(|| black_box(ctx.run(kind, &workload)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

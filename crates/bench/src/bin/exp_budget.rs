@@ -1,0 +1,116 @@
+//! **Exp-4 (appendix) / Fig. 16** — offline cumulative-runtime budgets.
+//!
+//! The setting of prior ensemble-selection work: no arrivals, no deadlines —
+//! select a model set per sample under a budget on *average cumulative
+//! runtime*. Compares Random, Static (subset points), `Schemble*`
+//! (predicted scores), `Schemble*(ea)` and `Schemble*(Oracle)`. Shape:
+//! methods converge at tight budgets (one model eats everything); as budget
+//! grows, `Schemble*` and the oracle pull ahead; the oracle upper-bounds the
+//! predictor.
+
+use schemble_bench::fmt::{pct, print_table};
+use schemble_bench::runner::sized;
+use schemble_core::artifacts::SchembleArtifacts;
+use schemble_core::discrepancy::DifficultyMetric;
+use schemble_core::offline::{
+    budgeted_selection, random_selection, set_costs_ms, utility_rows,
+};
+use schemble_data::TaskKind;
+use schemble_models::ModelSet;
+use schemble_sim::rng::stream_rng;
+
+fn main() {
+    for task in [TaskKind::TextMatching, TaskKind::VehicleCounting] {
+        let ens = task.ensemble(42);
+        let gen = task.default_generator(42);
+        let art = SchembleArtifacts::build_default(&ens, &gen, 42);
+        let ea = SchembleArtifacts::build(
+            &ens,
+            &gen,
+            2000,
+            10,
+            DifficultyMetric::EnsembleAgreement,
+            42,
+        );
+        let n = sized(3000);
+        let samples = gen.batch(0, n);
+        let costs = set_costs_ms(&ens);
+
+        // Score estimates per variant.
+        let oracle_scores = art.scorer.score_batch(&ens, &samples);
+        let predicted: Vec<f64> = samples
+            .iter()
+            .map(|s| art.predictor.predict_score(&s.features).clamp(0.0, 1.0))
+            .collect();
+        let ea_scores: Vec<f64> = samples
+            .iter()
+            .map(|s| ea.predictor.predict_score(&s.features).clamp(0.0, 1.0))
+            .collect();
+
+        let accuracy = |sets: &[ModelSet]| -> f64 {
+            samples
+                .iter()
+                .zip(sets)
+                .filter(|(s, set)| {
+                    let reference = ens.ensemble_output(s);
+                    ens.subset_output(s, **set).agrees_with(&reference, &ens.spec)
+                })
+                .count() as f64
+                / samples.len() as f64
+        };
+
+        let full_cost = ens
+            .set_cumulative_latency(ens.full_set())
+            .as_millis_f64();
+        let min_cost = ens
+            .planned_latencies()
+            .iter()
+            .map(|d| d.as_millis_f64())
+            .fold(f64::INFINITY, f64::min);
+        let budgets: Vec<f64> = (0..6)
+            .map(|i| min_cost + (full_cost - min_cost) * i as f64 / 5.0)
+            .collect();
+
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for &per_sample in &budgets {
+            let budget = per_sample * n as f64;
+            let mut rng = stream_rng(42, "budget-random");
+            let rand_sets = random_selection(ens.m(), n, &costs, budget, &mut rng);
+            let smart = budgeted_selection(&utility_rows(&art.profile, &predicted), &costs, budget);
+            let oracle =
+                budgeted_selection(&utility_rows(&art.profile, &oracle_scores), &costs, budget);
+            let ea_sel =
+                budgeted_selection(&utility_rows(&ea.profile, &ea_scores), &costs, budget);
+            rows.push(vec![
+                format!("{per_sample:.0}"),
+                pct(accuracy(&rand_sets)),
+                pct(accuracy(&ea_sel.sets)),
+                pct(accuracy(&smart.sets)),
+                pct(accuracy(&oracle.sets)),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Fig. 16 — accuracy under average runtime budgets ({}, budget in ms/sample)",
+                task.label()
+            ),
+            &["budget", "Random %", "Schemble*(ea) %", "Schemble* %", "Oracle %"],
+            &rows,
+        );
+
+        // Static points: one subset for all samples (no replicas offline).
+        let mut static_rows: Vec<Vec<String>> = Vec::new();
+        for set in ModelSet::all_nonempty(ens.m()) {
+            static_rows.push(vec![
+                format!("{set}"),
+                format!("{:.0}", ens.set_cumulative_latency(set).as_millis_f64()),
+                pct(accuracy(&vec![set; n])),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 16 — static subset points ({})", task.label()),
+            &["subset", "cost ms", "Acc %"],
+            &static_rows,
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! **Exp-4 / Fig. 12, 17, 18, 19** — scheduling-algorithm ablation.
+//!
+//! With the discrepancy module fixed, compares Greedy+EDF/FIFO/SJF against
+//! the DP scheduler at δ ∈ {0.1, 0.01, 0.001} across a deadline sweep for
+//! each task, plus a bursty-segment slice (Fig. 19). Shape: DP(0.01) is the
+//! best overall; greedy falls behind as deadlines loosen (more room for
+//! scheduling); DP(0.001) pays so much scheduling latency that it loses;
+//! gaps grow when traffic is heavy.
+
+use schemble_bench::fmt::{pct, print_table};
+use schemble_bench::runner::sized;
+use schemble_core::experiment::{
+    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
+};
+use schemble_core::scheduler::QueueOrder;
+use schemble_data::TaskKind;
+use schemble_metrics::SegmentSeries;
+
+fn variants() -> Vec<PipelineKind> {
+    vec![
+        PipelineKind::Greedy(QueueOrder::Edf),
+        PipelineKind::Greedy(QueueOrder::Fifo),
+        PipelineKind::Greedy(QueueOrder::Sjf),
+        PipelineKind::DpDelta(0.1),
+        PipelineKind::DpDelta(0.01),
+        PipelineKind::DpDelta(0.001),
+    ]
+}
+
+fn deadline_sweep(task: TaskKind) -> Vec<f64> {
+    match task {
+        TaskKind::TextMatching => vec![60.0, 80.0, 105.0, 130.0, 160.0],
+        TaskKind::VehicleCounting => vec![50.0, 70.0, 90.0, 120.0, 150.0],
+        TaskKind::ImageRetrieval => vec![110.0, 140.0, 180.0, 220.0, 260.0],
+    }
+}
+
+fn main() {
+    for task in TaskKind::ALL {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for &deadline_ms in &deadline_sweep(task) {
+            let mut config =
+                ExperimentConfig::paper_default(task, 42).with_deadline_millis(deadline_ms);
+            config.n_queries = sized(4000);
+            if let Traffic::Diurnal { .. } = config.traffic {
+                config.traffic =
+                    Traffic::Diurnal { day_secs: config.n_queries as f64 / 15.0 };
+            }
+            let mut ctx = ExperimentContext::new(config);
+            let workload = ctx.workload();
+            for kind in variants() {
+                let summary = ctx.run(kind, &workload);
+                rows.push(vec![
+                    format!("{deadline_ms:.0}"),
+                    kind.label(),
+                    pct(summary.accuracy()),
+                    pct(summary.deadline_miss_rate()),
+                ]);
+            }
+        }
+        let fig = match task {
+            TaskKind::TextMatching => "12",
+            TaskKind::VehicleCounting => "17",
+            TaskKind::ImageRetrieval => "18",
+        };
+        print_table(
+            &format!("Fig. {fig} — scheduling algorithms on {} (deadline sweep)", task.label()),
+            &["deadline ms", "scheduler", "Acc %", "DMR %"],
+            &rows,
+        );
+    }
+
+    // Fig. 19 — the bursty 14–19h slice of the text-matching day.
+    let mut config = ExperimentConfig::paper_default(TaskKind::TextMatching, 42)
+        .with_deadline_millis(105.0);
+    config.n_queries = sized(6000);
+    config.traffic = Traffic::Diurnal { day_secs: config.n_queries as f64 / 15.0 };
+    let mut ctx = ExperimentContext::new(config);
+    let workload = ctx.workload();
+    let trace = ctx.diurnal().expect("diurnal");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for kind in variants() {
+        let summary = ctx.run(kind, &workload);
+        let series =
+            SegmentSeries::compute(summary.records(), 24, |r| trace.hour_of(r.arrival));
+        let (mut acc, mut dmr, mut n) = (0.0, 0.0, 0usize);
+        for h in 14..19 {
+            acc += series.accuracy[h] * series.counts[h] as f64;
+            dmr += series.dmr[h] * series.counts[h] as f64;
+            n += series.counts[h];
+        }
+        rows.push(vec![
+            kind.label(),
+            n.to_string(),
+            pct(acc / n as f64),
+            pct(dmr / n as f64),
+        ]);
+    }
+    print_table(
+        "Fig. 19 — scheduling algorithms on the bursty 14–19h slice (text matching)",
+        &["scheduler", "n", "Acc %", "DMR %"],
+        &rows,
+    );
+}

@@ -1,0 +1,65 @@
+//! Column-aligned plain-text tables for experiment output.
+
+/// Prints a header + rows with columns padded to the widest cell.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "row width mismatch in table '{title}'");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", line.join("  "));
+    };
+    print_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    print_row(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Formats an `f64` with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an `f64` with 1 decimal as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pct(0.456), "45.6");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        print_table("bad", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared plumbing for the experiment drivers (`src/bin/exp_*.rs`).
+//!
+//! Every binary regenerates one of the paper's tables/figures as printed
+//! series. Set `QUICK=1` in the environment to shrink workloads for smoke
+//! runs; the defaults are sized so a full driver finishes in minutes on a
+//! laptop.
+
+pub mod fmt;
+pub mod runner;
+
+pub use runner::{quick, run_method, standard_methods, Method};

@@ -1,0 +1,412 @@
+//! Experiment plumbing: configurations, contexts and one-call pipeline runs.
+//!
+//! An [`ExperimentContext`] trains the Schemble artifacts once per
+//! `(task, seed)` and then runs any number of pipeline variants over any
+//! workload — the deadline sweeps of Exp-1/4 reuse the same trained state,
+//! exactly as a deployed system would.
+
+use crate::artifacts::SchembleArtifacts;
+use crate::discrepancy::DifficultyMetric;
+use crate::pipeline::immediate::{run_immediate, Deployment, FixedSubsetPolicy, FullEnsemblePolicy};
+use crate::pipeline::schemble::{run_schemble, SchembleConfig};
+use crate::pipeline::static_select::best_static_deployment;
+use crate::pipeline::{AdmissionMode, ResultAssembler};
+use crate::predictor::OnlineScorer;
+use crate::scheduler::{DpScheduler, GreedyScheduler, QueueOrder, Scheduler};
+use schemble_data::{
+    DeadlinePolicy, DiurnalTrace, PoissonTrace, TaskKind, Workload,
+};
+use schemble_metrics::RunSummary;
+use schemble_models::{DifficultyDist, Ensemble, SampleGenerator};
+
+/// Arrival process of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Traffic {
+    /// Homogeneous Poisson at the given rate.
+    Poisson {
+        /// Queries per second.
+        rate_per_sec: f64,
+    },
+    /// The compressed one-day diurnal trace (text matching).
+    Diurnal {
+        /// Compressed day length in seconds.
+        day_secs: f64,
+    },
+}
+
+/// A fully specified experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Which application.
+    pub task: TaskKind,
+    /// Root seed (models, workloads, training all derive from it).
+    pub seed: u64,
+    /// Number of queries.
+    pub n_queries: usize,
+    /// Arrival process.
+    pub traffic: Traffic,
+    /// Deadline policy.
+    pub deadline: DeadlinePolicy,
+    /// Latent difficulty distribution of the query payloads.
+    pub difficulty: DifficultyDist,
+    /// Admission mode.
+    pub admission: AdmissionMode,
+    /// Historical samples used for training artifacts.
+    pub history_n: usize,
+}
+
+impl ExperimentConfig {
+    /// A fast, small configuration for tests and the quickstart example.
+    pub fn small(task: TaskKind, seed: u64) -> Self {
+        Self {
+            task,
+            seed,
+            n_queries: 400,
+            traffic: Traffic::Poisson { rate_per_sec: default_rate(task) },
+            deadline: default_deadline(task),
+            difficulty: task.default_difficulty(),
+            admission: AdmissionMode::Reject,
+            history_n: 600,
+        }
+    }
+
+    /// The paper-scale defaults per task (§VIII): diurnal trace for text
+    /// matching, Poisson for the other two.
+    pub fn paper_default(task: TaskKind, seed: u64) -> Self {
+        // Diurnal day length keeps the mean rate at 15/s (peak ≈ 44/s, about
+        // 2× the Original pipeline's capacity — the Fig. 1a overload regime).
+        let traffic = match task {
+            TaskKind::TextMatching => Traffic::Diurnal { day_secs: 12_000.0 / 15.0 },
+            _ => Traffic::Poisson { rate_per_sec: default_rate(task) },
+        };
+        Self {
+            task,
+            seed,
+            n_queries: 12_000,
+            traffic,
+            deadline: default_deadline(task),
+            difficulty: task.default_difficulty(),
+            admission: AdmissionMode::Reject,
+            history_n: 2000,
+        }
+    }
+
+    /// Same configuration with a different constant deadline (sweeps).
+    pub fn with_deadline_millis(mut self, ms: f64) -> Self {
+        self.deadline = match self.task {
+            TaskKind::VehicleCounting => DeadlinePolicy::cameras_around_millis(ms),
+            _ => DeadlinePolicy::constant_millis(ms),
+        };
+        self
+    }
+}
+
+/// Per-task default query rate: comfortably above the Original pipeline's
+/// capacity (the paper's overload regime) but below the aggregate
+/// single-model capacity so difficulty-aware scheduling has room to win.
+pub fn default_rate(task: TaskKind) -> f64 {
+    match task {
+        TaskKind::TextMatching => 45.0,  // Original capacity ≈ 1/48ms ≈ 21/s
+        TaskKind::VehicleCounting => 48.0, // capacity ≈ 1/34ms ≈ 29/s
+        TaskKind::ImageRetrieval => 24.0, // capacity ≈ 1/85ms ≈ 12/s
+    }
+}
+
+/// Per-task default mean deadline, above the slowest model (§VIII).
+pub fn default_deadline(task: TaskKind) -> DeadlinePolicy {
+    match task {
+        TaskKind::TextMatching => DeadlinePolicy::constant_millis(105.0),
+        TaskKind::VehicleCounting => DeadlinePolicy::cameras_around_millis(90.0),
+        TaskKind::ImageRetrieval => DeadlinePolicy::constant_millis(180.0),
+    }
+}
+
+/// The pipeline variants runnable directly from core. (DES and Gating live
+/// in `schemble-baselines` and plug in through
+/// [`crate::pipeline::SelectionPolicy`].)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PipelineKind {
+    /// Original: all models for every query.
+    Original,
+    /// Static subset + replicas, greedy-searched on a pilot.
+    Static,
+    /// Full Schemble (DP δ=0.01, NN score predictor).
+    Schemble,
+    /// Schemble with the ensemble-agreement difficulty metric.
+    SchembleEa,
+    /// Schemble without difficulty prediction (constant score).
+    SchembleT,
+    /// Schemble with oracle (true) discrepancy scores.
+    SchembleOracle,
+    /// Schemble with a greedy scheduler in the given queue order (Exp-4).
+    Greedy(QueueOrder),
+    /// Schemble with a DP scheduler at a specific quantization step (Exp-4).
+    DpDelta(f64),
+}
+
+impl PipelineKind {
+    /// Label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            PipelineKind::Original => "Original".into(),
+            PipelineKind::Static => "Static".into(),
+            PipelineKind::Schemble => "Schemble".into(),
+            PipelineKind::SchembleEa => "Schemble(ea)".into(),
+            PipelineKind::SchembleT => "Schemble(t)".into(),
+            PipelineKind::SchembleOracle => "Schemble(oracle)".into(),
+            PipelineKind::Greedy(QueueOrder::Edf) => "Greedy+EDF".into(),
+            PipelineKind::Greedy(QueueOrder::Fifo) => "Greedy+FIFO".into(),
+            PipelineKind::Greedy(QueueOrder::Sjf) => "Greedy+SJF".into(),
+            PipelineKind::DpDelta(d) => format!("DP(δ={d})"),
+        }
+    }
+}
+
+/// Trained state reused across runs of one experiment.
+pub struct ExperimentContext {
+    /// The configuration.
+    pub config: ExperimentConfig,
+    /// The deployed ensemble.
+    pub ensemble: Ensemble,
+    /// The query generator.
+    pub generator: SampleGenerator,
+    artifacts: Option<SchembleArtifacts>,
+    ea_artifacts: Option<SchembleArtifacts>,
+}
+
+impl ExperimentContext {
+    /// Builds the context (no training yet — artifacts are lazy).
+    pub fn new(config: ExperimentConfig) -> Self {
+        let ensemble = config.task.ensemble(config.seed);
+        let generator = config.task.generator(config.difficulty, config.seed);
+        Self { config, ensemble, generator, artifacts: None, ea_artifacts: None }
+    }
+
+    /// The trained Schemble artifacts (trained on first use).
+    pub fn artifacts(&mut self) -> &SchembleArtifacts {
+        if self.artifacts.is_none() {
+            self.artifacts = Some(SchembleArtifacts::build(
+                &self.ensemble,
+                &self.generator,
+                self.config.history_n,
+                crate::profiling::AccuracyProfile::DEFAULT_BINS,
+                DifficultyMetric::Discrepancy,
+                self.config.seed,
+            ));
+        }
+        self.artifacts.as_ref().expect("just built")
+    }
+
+    /// The ensemble-agreement artifacts (Schemble(ea)).
+    pub fn ea_artifacts(&mut self) -> &SchembleArtifacts {
+        if self.ea_artifacts.is_none() {
+            self.ea_artifacts = Some(SchembleArtifacts::build(
+                &self.ensemble,
+                &self.generator,
+                self.config.history_n,
+                crate::profiling::AccuracyProfile::DEFAULT_BINS,
+                DifficultyMetric::EnsembleAgreement,
+                self.config.seed,
+            ));
+        }
+        self.ea_artifacts.as_ref().expect("just built")
+    }
+
+    /// Generates the workload described by the config.
+    pub fn workload(&self) -> Workload {
+        let deadline = self.config.deadline.clone();
+        match self.config.traffic {
+            Traffic::Poisson { rate_per_sec } => Workload::generate(
+                &self.generator,
+                &PoissonTrace { rate_per_sec, n: self.config.n_queries },
+                &deadline,
+                self.config.seed,
+            ),
+            Traffic::Diurnal { day_secs } => Workload::generate(
+                &self.generator,
+                &DiurnalTrace { n: self.config.n_queries, day_secs },
+                &deadline,
+                self.config.seed,
+            ),
+        }
+    }
+
+    /// The diurnal trace helper (segment mapping for Fig. 9/14); `None` for
+    /// Poisson traffic.
+    pub fn diurnal(&self) -> Option<DiurnalTrace> {
+        match self.config.traffic {
+            Traffic::Diurnal { day_secs } => {
+                Some(DiurnalTrace { n: self.config.n_queries, day_secs })
+            }
+            Traffic::Poisson { .. } => None,
+        }
+    }
+
+    /// Runs one pipeline variant on a workload.
+    pub fn run(&mut self, kind: PipelineKind, workload: &Workload) -> RunSummary {
+        let admission = self.config.admission;
+        let seed = self.config.seed;
+        match kind {
+            PipelineKind::Original => run_immediate(
+                &self.ensemble,
+                &Deployment::identity(self.ensemble.m()),
+                &mut FullEnsemblePolicy,
+                &ResultAssembler::Direct,
+                workload,
+                admission,
+                seed,
+            ),
+            PipelineKind::Static => {
+                let pilot = (workload.len() / 5).clamp(100, 2000);
+                let (set, deployment) =
+                    best_static_deployment(&self.ensemble, workload, pilot, seed);
+                run_immediate(
+                    &self.ensemble,
+                    &deployment,
+                    &mut FixedSubsetPolicy { set },
+                    &ResultAssembler::Direct,
+                    workload,
+                    admission,
+                    seed,
+                )
+            }
+            PipelineKind::Schemble => {
+                let scorer = OnlineScorer::Predictor(self.artifacts().predictor.clone());
+                self.run_schemble_variant(
+                    Box::new(DpScheduler::default()),
+                    scorer,
+                    false,
+                    workload,
+                )
+            }
+            PipelineKind::SchembleEa => {
+                let scorer = OnlineScorer::Predictor(self.ea_artifacts().predictor.clone());
+                self.run_schemble_variant(
+                    Box::new(DpScheduler::default()),
+                    scorer,
+                    true,
+                    workload,
+                )
+            }
+            PipelineKind::SchembleT => {
+                let c = self.artifacts().mean_score;
+                self.run_schemble_variant(
+                    Box::new(DpScheduler::default()),
+                    OnlineScorer::Constant(c),
+                    false,
+                    workload,
+                )
+            }
+            PipelineKind::SchembleOracle => {
+                let scorer = OnlineScorer::Oracle(self.artifacts().scorer.clone());
+                self.run_schemble_variant(
+                    Box::new(DpScheduler::default()),
+                    scorer,
+                    false,
+                    workload,
+                )
+            }
+            PipelineKind::Greedy(order) => {
+                let scorer = OnlineScorer::Predictor(self.artifacts().predictor.clone());
+                self.run_schemble_variant(
+                    Box::new(GreedyScheduler::new(order)),
+                    scorer,
+                    false,
+                    workload,
+                )
+            }
+            PipelineKind::DpDelta(delta) => {
+                let scorer = OnlineScorer::Predictor(self.artifacts().predictor.clone());
+                self.run_schemble_variant(
+                    Box::new(DpScheduler::with_delta(delta)),
+                    scorer,
+                    false,
+                    workload,
+                )
+            }
+        }
+    }
+
+    fn run_schemble_variant(
+        &mut self,
+        scheduler: Box<dyn Scheduler>,
+        scorer: OnlineScorer,
+        ea: bool,
+        workload: &Workload,
+    ) -> RunSummary {
+        let profile = if ea {
+            self.ea_artifacts().profile.clone()
+        } else {
+            self.artifacts().profile.clone()
+        };
+        let mut config = SchembleConfig::new(scheduler, scorer, profile);
+        config.admission = self.config.admission;
+        run_schemble(&self.ensemble, &config, workload, self.config.seed)
+    }
+}
+
+/// One-call convenience: build a context, generate the workload, run.
+pub fn run_pipeline(config: &ExperimentConfig, kind: PipelineKind) -> RunSummary {
+    let mut ctx = ExperimentContext::new(config.clone());
+    let workload = ctx.workload();
+    ctx.run(kind, &workload)
+}
+
+/// Re-export for doc examples.
+pub use crate::pipeline::AdmissionMode as Admission;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_config_runs_all_core_pipelines() {
+        let mut config = ExperimentConfig::small(TaskKind::TextMatching, 42);
+        config.n_queries = 150;
+        let mut ctx = ExperimentContext::new(config);
+        let workload = ctx.workload();
+        for kind in [
+            PipelineKind::Original,
+            PipelineKind::Static,
+            PipelineKind::Schemble,
+            PipelineKind::SchembleT,
+        ] {
+            let summary = ctx.run(kind, &workload);
+            assert_eq!(summary.len(), workload.len(), "{:?} lost queries", kind);
+        }
+    }
+
+    #[test]
+    fn schemble_beats_original_under_default_load() {
+        let mut config = ExperimentConfig::small(TaskKind::TextMatching, 7);
+        config.n_queries = 400;
+        let mut ctx = ExperimentContext::new(config);
+        let workload = ctx.workload();
+        let schemble = ctx.run(PipelineKind::Schemble, &workload);
+        let original = ctx.run(PipelineKind::Original, &workload);
+        assert!(
+            schemble.accuracy() > original.accuracy(),
+            "schemble {:.3} vs original {:.3}",
+            schemble.accuracy(),
+            original.accuracy()
+        );
+        assert!(schemble.deadline_miss_rate() < original.deadline_miss_rate());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PipelineKind::Schemble.label(), "Schemble");
+        assert_eq!(PipelineKind::Greedy(QueueOrder::Sjf).label(), "Greedy+SJF");
+        assert_eq!(PipelineKind::DpDelta(0.1).label(), "DP(δ=0.1)");
+    }
+
+    #[test]
+    fn deadline_override_respects_task() {
+        let cfg = ExperimentConfig::small(TaskKind::VehicleCounting, 1)
+            .with_deadline_millis(150.0);
+        assert!(matches!(cfg.deadline, DeadlinePolicy::PerCameraUniform { .. }));
+        let cfg = ExperimentConfig::small(TaskKind::TextMatching, 1)
+            .with_deadline_millis(150.0);
+        assert!(matches!(cfg.deadline, DeadlinePolicy::Constant(_)));
+    }
+}

@@ -1,0 +1,248 @@
+//! Missing-value filling (§VII).
+//!
+//! When a query runs only a subset of models, aggregation must cope with the
+//! absent outputs. Voting and weighted averaging handle this structurally
+//! (exclusion / renormalisation — implemented in `schemble-models`). The
+//! stacking meta-classifier has a fixed input arity, so missing outputs are
+//! **filled by KNN** over a bank of full historical output files: the `k`
+//! most similar complete rows (by distance on the *present* dimensions) are
+//! averaged with inverse-distance weights to impute the missing dimensions.
+
+use schemble_models::{Ensemble, ModelSet, Output, Sample};
+use schemble_tensor::dist::euclidean_sq;
+
+/// KNN imputation bank built from full historical inference results.
+#[derive(Debug, Clone)]
+pub struct KnnFiller {
+    /// Complete output files: one row per historical sample, dimensions =
+    /// concatenated per-model output vectors.
+    bank: Vec<Vec<f64>>,
+    /// Per-model output dimension offsets into a row.
+    offsets: Vec<usize>,
+    /// Total row width.
+    width: usize,
+    /// Neighbourhood size.
+    pub k: usize,
+}
+
+impl KnnFiller {
+    /// Builds the bank by running the full ensemble on `history`.
+    ///
+    /// # Panics
+    /// Panics on an empty history or `k == 0`.
+    pub fn fit(ensemble: &Ensemble, history: &[Sample], k: usize) -> Self {
+        assert!(!history.is_empty(), "cannot build KNN bank from empty history");
+        assert!(k > 0, "k must be positive");
+        let dim = ensemble.spec.output_dim();
+        let offsets: Vec<usize> = (0..ensemble.m()).map(|i| i * dim).collect();
+        let width = ensemble.m() * dim;
+        let bank = history
+            .iter()
+            .map(|s| {
+                ensemble
+                    .infer_all(s)
+                    .iter()
+                    .flat_map(Output::as_vec)
+                    .collect::<Vec<f64>>()
+            })
+            .collect();
+        Self { bank, offsets, width, k }
+    }
+
+    /// Bank size.
+    pub fn len(&self) -> usize {
+        self.bank.len()
+    }
+
+    /// True when the bank is empty (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.bank.is_empty()
+    }
+
+    /// Fills a partial observation: `present` maps model index → output.
+    /// Returns the full concatenated row with missing dimensions imputed
+    /// from the `k` nearest complete rows (inverse-distance weighting).
+    ///
+    /// # Panics
+    /// Panics if `present` is empty.
+    pub fn fill(&self, present: &[(usize, &Output)], executed: ModelSet) -> Vec<f64> {
+        assert!(!present.is_empty(), "cannot fill with zero observed outputs");
+        let dim = self.width / self.offsets.len();
+        // Observed coordinates.
+        let mut row = vec![0.0f64; self.width];
+        let mut observed_dims: Vec<usize> = Vec::new();
+        for (model, out) in present {
+            let v = out.as_vec();
+            let base = self.offsets[*model];
+            for (j, &x) in v.iter().enumerate() {
+                row[base + j] = x;
+                observed_dims.push(base + j);
+            }
+        }
+        // k nearest bank rows by distance on observed dims.
+        let mut scored: Vec<(f64, usize)> = self
+            .bank
+            .iter()
+            .enumerate()
+            .map(|(i, bank_row)| {
+                let obs: Vec<f64> = observed_dims.iter().map(|&d| row[d]).collect();
+                let bnk: Vec<f64> = observed_dims.iter().map(|&d| bank_row[d]).collect();
+                (euclidean_sq(&obs, &bnk), i)
+            })
+            .collect();
+        let k = self.k.min(scored.len());
+        scored.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).expect("NaN distance")
+        });
+        let neighbours = &scored[..k];
+        // Inverse-distance weights (paper: "using their distances to the
+        // target as the weights").
+        let weights: Vec<f64> =
+            neighbours.iter().map(|(d, _)| 1.0 / (d.sqrt() + 1e-6)).collect();
+        let wsum: f64 = weights.iter().sum();
+        // Impute missing model blocks.
+        for model in 0..self.offsets.len() {
+            if executed.contains(model) {
+                continue;
+            }
+            let base = self.offsets[model];
+            for j in 0..dim {
+                let mut acc = 0.0;
+                for ((_, idx), w) in neighbours.iter().zip(&weights) {
+                    acc += w * self.bank[*idx][base + j];
+                }
+                row[base + j] = acc / wsum;
+            }
+        }
+        row
+    }
+
+    /// Convenience: fill then split back into per-model [`Output`]s so the
+    /// stacking aggregator can consume them.
+    pub fn fill_outputs(
+        &self,
+        present: &[(usize, &Output)],
+        executed: ModelSet,
+        categorical: bool,
+    ) -> Vec<Output> {
+        let row = self.fill(present, executed);
+        let m = self.offsets.len();
+        let dim = self.width / m;
+        (0..m)
+            .map(|model| {
+                let base = self.offsets[model];
+                let slice = &row[base..base + dim];
+                if categorical {
+                    // Renormalise imputed probability vectors.
+                    let sum: f64 = slice.iter().sum();
+                    if sum > 0.0 {
+                        Output::Probs(slice.iter().map(|x| x / sum).collect())
+                    } else {
+                        Output::Probs(vec![1.0 / dim as f64; dim])
+                    }
+                } else {
+                    Output::Scalar(slice[0])
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_models::zoo;
+    use schemble_models::{DifficultyDist, SampleGenerator};
+
+    fn fixture() -> (Ensemble, Vec<Sample>, KnnFiller) {
+        let ens = zoo::text_matching(1);
+        let gen = SampleGenerator::new(ens.spec, DifficultyDist::Uniform, 5);
+        let history = gen.batch(0, 600);
+        let filler = KnnFiller::fit(&ens, &history, 10);
+        (ens, history, filler)
+    }
+
+    #[test]
+    fn filled_row_preserves_observed_values() {
+        let (ens, history, filler) = fixture();
+        let s = &history[3];
+        let outputs = ens.infer_all(s);
+        let present = vec![(0usize, &outputs[0])];
+        let row = filler.fill(&present, ModelSet::singleton(0));
+        assert_eq!(row.len(), 6); // 3 models × 2 classes
+        let want = outputs[0].as_vec();
+        assert_eq!(&row[0..2], want.as_slice());
+    }
+
+    #[test]
+    fn imputation_approximates_true_missing_outputs() {
+        // Because model errors correlate, observing one model's output should
+        // let KNN recover the others better than a blind prior would.
+        let (ens, _history, filler) = fixture();
+        let gen = SampleGenerator::new(ens.spec, DifficultyDist::Uniform, 99);
+        let fresh = gen.batch(10_000, 200);
+        let mut err_knn = 0.0;
+        let mut err_prior = 0.0;
+        for s in &fresh {
+            let outputs = ens.infer_all(s);
+            let present = vec![(0usize, &outputs[0])];
+            let row = filler.fill(&present, ModelSet::singleton(0));
+            let truth = outputs[2].as_vec();
+            err_knn += (row[4] - truth[0]).abs();
+            err_prior += (0.5 - truth[0]).abs();
+        }
+        assert!(
+            err_knn < err_prior,
+            "KNN imputation ({err_knn:.1}) should beat the uniform prior ({err_prior:.1})"
+        );
+    }
+
+    #[test]
+    fn fill_outputs_returns_valid_probability_vectors() {
+        let (ens, history, filler) = fixture();
+        let outputs = ens.infer_all(&history[0]);
+        let present = vec![(1usize, &outputs[1])];
+        let filled = filler.fill_outputs(&present, ModelSet::singleton(1), true);
+        assert_eq!(filled.len(), 3);
+        for out in &filled {
+            match out {
+                Output::Probs(p) => {
+                    assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                    assert!(p.iter().all(|&x| x >= 0.0));
+                }
+                Output::Scalar(_) => panic!("expected categorical"),
+            }
+        }
+    }
+
+    #[test]
+    fn robust_to_k_choice() {
+        // Fig. 20b: accuracy is stable across k ∈ [1, 100].
+        let ens = zoo::text_matching(1);
+        let gen = SampleGenerator::new(ens.spec, DifficultyDist::Uniform, 5);
+        let history = gen.batch(0, 600);
+        let fresh = gen.batch(10_000, 150);
+        let mut errs = Vec::new();
+        for k in [1usize, 10, 100] {
+            let filler = KnnFiller::fit(&ens, &history, k);
+            let mut err = 0.0;
+            for s in &fresh {
+                let outputs = ens.infer_all(s);
+                let present = vec![(0usize, &outputs[0])];
+                let row = filler.fill(&present, ModelSet::singleton(0));
+                err += (row[4] - outputs[2].as_vec()[0]).abs();
+            }
+            errs.push(err / fresh.len() as f64);
+        }
+        let spread = errs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - errs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 0.15, "k-sensitivity too high: {errs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero observed outputs")]
+    fn empty_present_panics() {
+        let (_, _, filler) = fixture();
+        filler.fill(&[], ModelSet::EMPTY);
+    }
+}

@@ -1,0 +1,45 @@
+//! Schemble core: the paper's contribution.
+//!
+//! The framework decomposes into the modules of Fig. 3:
+//!
+//! * [`calibration`] — per-model temperature scaling (Guo et al.), applied to
+//!   classifier outputs before any divergence is computed (§V-A).
+//! * [`discrepancy`] — the **discrepancy score** (Eq. 1): normalised average
+//!   distance between each base model's calibrated output and the ensemble's
+//!   output; plus the *ensemble agreement* baseline metric it improves on.
+//! * [`profiling`] — **model-combination accuracy profiling** (§V-D): bin
+//!   historical samples by score, measure every subset's agreement with the
+//!   ensemble per bin, and (for large ensembles) estimate big-set utilities
+//!   with the marginal-reward recursion of Eq. 3.
+//! * [`predictor`] — online score estimation: the two-headed network of §V-C
+//!   (implemented in `schemble-nn`) plus oracle/constant scorers used by the
+//!   `Schemble*(Oracle)` and `Schemble(t)` ablations.
+//! * [`scheduler`] — the **task scheduler** (§VI): the quantized
+//!   dynamic-programming algorithm (Alg. 1) with Pareto pruning and EDF
+//!   execution order, plus the Greedy+EDF/FIFO/SJF baselines of Exp-4.
+//! * [`filling`] — **missing-value filling** (§VII): vote exclusion, weight
+//!   renormalisation, and the KNN filler for stacking aggregators.
+//! * [`pipeline`] — the discrete-event serving pipelines: the original
+//!   run-everything pipeline, immediate-selection baselines (static
+//!   deployments with replicas, feature-based selectors) and the full
+//!   Schemble pipeline (query buffer, dispatch-on-idle, re-planning,
+//!   scheduling-cost accounting).
+//! * [`offline`] — the offline budgeted-selection variant `Schemble*`
+//!   (Fig. 16).
+//! * [`artifacts`] / [`experiment`] — everything wired together: train once
+//!   per task/seed, then run any pipeline under any workload.
+
+pub mod artifacts;
+pub mod calibration;
+pub mod discrepancy;
+pub mod experiment;
+pub mod filling;
+pub mod offline;
+pub mod pipeline;
+pub mod predictor;
+pub mod profiling;
+pub mod scheduler;
+
+pub use artifacts::SchembleArtifacts;
+pub use discrepancy::{DiscrepancyScorer, DifficultyMetric};
+pub use profiling::AccuracyProfile;

@@ -1,0 +1,361 @@
+//! Immediate-selection pipelines (Fig. 2a–d).
+//!
+//! A [`SelectionPolicy`] picks a model subset the moment a query arrives;
+//! tasks join per-instance FIFO queues immediately. This family covers the
+//! Original pipeline (select everything), Static selection over a replica
+//! [`Deployment`], and the DES/Gating baselines (feature-based selectors
+//! implemented in `schemble-baselines`).
+
+use super::eval::evaluate;
+use super::{AdmissionMode, ResultAssembler};
+use schemble_data::{Query, Workload};
+use schemble_metrics::{QueryOutcome, QueryRecord, RunSummary};
+use schemble_models::{Ensemble, ModelSet, Output};
+use schemble_sim::rng::stream_rng;
+use schemble_sim::{EventQueue, ServerBank, TaskId};
+use std::collections::HashMap;
+
+/// Chooses a model subset for each arriving query, immediately.
+pub trait SelectionPolicy {
+    /// The subset to execute for `query`.
+    fn select(&mut self, query: &Query, ensemble: &Ensemble) -> ModelSet;
+    /// Label for experiment output.
+    fn name(&self) -> String;
+}
+
+/// The Original pipeline: every model, every query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullEnsemblePolicy;
+
+impl SelectionPolicy for FullEnsemblePolicy {
+    fn select(&mut self, _query: &Query, ensemble: &Ensemble) -> ModelSet {
+        ensemble.full_set()
+    }
+    fn name(&self) -> String {
+        "Original".to_string()
+    }
+}
+
+/// Static selection: the same subset for every query.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedSubsetPolicy {
+    /// The fixed subset (over *distinct base models*).
+    pub set: ModelSet,
+}
+
+impl SelectionPolicy for FixedSubsetPolicy {
+    fn select(&mut self, _query: &Query, _ensemble: &Ensemble) -> ModelSet {
+        self.set
+    }
+    fn name(&self) -> String {
+        format!("Static{}", self.set)
+    }
+}
+
+/// A physical deployment: which base model each server instance hosts.
+/// Static selection frees memory by dropping unchosen models and spends it
+/// on replicas of chosen ones (Fig. 2b).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deployment {
+    /// `hosts[instance] = base model index`.
+    pub hosts: Vec<usize>,
+}
+
+impl Deployment {
+    /// One instance per base model, in order — the non-replicated layout
+    /// used by Original/DES/Gating/Schemble.
+    pub fn identity(m: usize) -> Self {
+        Self { hosts: (0..m).collect() }
+    }
+
+    /// Instances hosting base model `k`.
+    pub fn instances_of(&self, k: usize) -> impl Iterator<Item = usize> + '_ {
+        self.hosts
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &h)| (h == k).then_some(i))
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when no instances exist.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    set: ModelSet,
+    outputs: Vec<(usize, Output)>,
+    expected: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(usize),
+    TaskDone { instance: usize, query: u64 },
+}
+
+/// Runs an immediate-selection pipeline over a workload.
+///
+/// In [`AdmissionMode::Reject`] a query is rejected at arrival when its
+/// estimated completion (per-instance queue depth + nominal latency) exceeds
+/// its deadline. Rejected and never-completed queries are recorded as missed.
+pub fn run_immediate(
+    ensemble: &Ensemble,
+    deployment: &Deployment,
+    policy: &mut dyn SelectionPolicy,
+    assembler: &ResultAssembler,
+    workload: &Workload,
+    admission: AdmissionMode,
+    seed: u64,
+) -> RunSummary {
+    let mut events: EventQueue<Event> = EventQueue::new();
+    for (i, q) in workload.queries.iter().enumerate() {
+        events.push(q.arrival, Event::Arrival(i));
+    }
+    let mut servers = ServerBank::new(deployment.len());
+    // Per-instance duration of the *next started* task is sampled at start.
+    let mut lat_rng = stream_rng(seed, "immediate-latency");
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    let mut records: Vec<QueryRecord> = workload
+        .queries
+        .iter()
+        .map(|q| QueryRecord {
+            id: q.id,
+            arrival: q.arrival,
+            deadline: q.deadline,
+            completion: None,
+            outcome: QueryOutcome::Missed,
+            models_used: 0,
+        })
+        .collect();
+
+    // instance backlog durations are attached at enqueue time.
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::Arrival(i) => {
+                let query = &workload.queries[i];
+                let set = policy.select(query, ensemble);
+                assert!(!set.is_empty(), "policy must select at least one model");
+                // Choose the least-loaded instance per selected model.
+                let chosen: Vec<usize> = set
+                    .iter()
+                    .map(|k| {
+                        deployment
+                            .instances_of(k)
+                            .min_by_key(|&inst| servers.get(inst).available_at(now))
+                            .unwrap_or_else(|| {
+                                panic!("deployment hosts no instance of model {k}")
+                            })
+                    })
+                    .collect();
+                if admission == AdmissionMode::Reject {
+                    let est = chosen
+                        .iter()
+                        .map(|&inst| {
+                            servers.get(inst).available_at(now)
+                                + ensemble.latency(deployment.hosts[inst]).planned()
+                        })
+                        .max()
+                        .expect("non-empty set");
+                    if est > query.deadline {
+                        continue; // rejected; record stays Missed.
+                    }
+                }
+                records[i].models_used = set.len();
+                pending.insert(
+                    query.id,
+                    Pending { set, outputs: Vec::new(), expected: set.len() },
+                );
+                for &inst in &chosen {
+                    let model = deployment.hosts[inst];
+                    let dur = ensemble.latency(model).sample(&mut lat_rng);
+                    let server = servers.get_mut(inst);
+                    server.enqueue(TaskId(query.id), dur);
+                    if let Some(run) = server.start_next(now) {
+                        events.push(
+                            run.completes_at,
+                            Event::TaskDone { instance: inst, query: run.task.0 },
+                        );
+                    }
+                }
+            }
+            Event::TaskDone { instance, query } => {
+                servers.get_mut(instance).complete(TaskId(query), now);
+                let model = deployment.hosts[instance];
+                let q = &workload.queries[query as usize];
+                let entry = pending.get_mut(&query).expect("completion for unknown query");
+                // Replicated deployments may run the same model once; outputs
+                // are keyed by base model.
+                entry.outputs.push((model, ensemble.models[model].infer(&q.sample, &ensemble.spec)));
+                if entry.outputs.len() == entry.expected {
+                    let done = pending.remove(&query).expect("present");
+                    let mut outputs = done.outputs;
+                    outputs.sort_by_key(|(k, _)| *k);
+                    let result = assembler.assemble(ensemble, &outputs, done.set);
+                    let (correct, score) = evaluate(ensemble, &q.sample, &result);
+                    records[query as usize].completion = Some(now);
+                    records[query as usize].outcome =
+                        QueryOutcome::Completed { correct, score };
+                }
+                // Freed instance: start its next backlog task.
+                if let Some(run) = servers.get_mut(instance).start_next(now) {
+                    events.push(
+                        run.completes_at,
+                        Event::TaskDone { instance, query: run.task.0 },
+                    );
+                }
+            }
+        }
+    }
+    assert!(pending.is_empty(), "simulation drained with pending queries");
+    let usage = (0..ensemble.m())
+        .map(|k| {
+            let mut busy = 0.0;
+            let mut tasks = 0u64;
+            let mut instances = 0usize;
+            for inst in deployment.instances_of(k) {
+                busy += servers.get(inst).busy_time().as_secs_f64();
+                tasks += servers.get(inst).completed_tasks();
+                instances += 1;
+            }
+            schemble_metrics::ModelUsage {
+                name: ensemble.models[k].name.clone(),
+                busy_secs: busy,
+                tasks,
+                instances,
+            }
+        })
+        .collect();
+    RunSummary::new(records).with_usage(usage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_data::{DeadlinePolicy, PoissonTrace, TaskKind, Workload};
+
+    fn workload(rate: f64, n: usize, deadline_ms: f64) -> (Ensemble, Workload) {
+        let task = TaskKind::TextMatching;
+        let ens = task.ensemble(1);
+        let gen = task.default_generator(1);
+        let w = Workload::generate(
+            &gen,
+            &PoissonTrace { rate_per_sec: rate, n },
+            &DeadlinePolicy::constant_millis(deadline_ms),
+            7,
+        );
+        (ens, w)
+    }
+
+    #[test]
+    fn light_load_original_pipeline_is_perfect() {
+        let (ens, w) = workload(2.0, 200, 150.0);
+        let summary = run_immediate(
+            &ens,
+            &Deployment::identity(3),
+            &mut FullEnsemblePolicy,
+            &ResultAssembler::Direct,
+            &w,
+            AdmissionMode::Reject,
+            3,
+        );
+        assert!(summary.deadline_miss_rate() < 0.02, "dmr {}", summary.deadline_miss_rate());
+        assert!(summary.accuracy() > 0.97, "acc {}", summary.accuracy());
+        assert_eq!(summary.completion_rate(), 1.0 - summary.deadline_miss_rate());
+    }
+
+    #[test]
+    fn overload_blows_up_the_original_pipeline() {
+        // 60 qps into a 3-model ensemble whose slowest member takes 48 ms —
+        // the Fig. 1a situation: massive deadline misses.
+        let (ens, w) = workload(60.0, 600, 120.0);
+        let summary = run_immediate(
+            &ens,
+            &Deployment::identity(3),
+            &mut FullEnsemblePolicy,
+            &ResultAssembler::Direct,
+            &w,
+            AdmissionMode::Reject,
+            3,
+        );
+        assert!(
+            summary.deadline_miss_rate() > 0.3,
+            "expected heavy misses, dmr {}",
+            summary.deadline_miss_rate()
+        );
+    }
+
+    #[test]
+    fn static_with_replicas_survives_more_load() {
+        let (ens, w) = workload(60.0, 600, 120.0);
+        // BiLSTM + RoBERTa, replicating the bottleneck (RoBERTa, 42 ms).
+        let deployment = Deployment { hosts: vec![0, 1, 1] };
+        let mut policy = FixedSubsetPolicy { set: ModelSet::from_indices(&[0, 1]) };
+        let summary = run_immediate(
+            &ens,
+            &deployment,
+            &mut policy,
+            &ResultAssembler::Direct,
+            &w,
+            AdmissionMode::Reject,
+            3,
+        );
+        let full = run_immediate(
+            &ens,
+            &Deployment::identity(3),
+            &mut FullEnsemblePolicy,
+            &ResultAssembler::Direct,
+            &w,
+            AdmissionMode::Reject,
+            3,
+        );
+        assert!(
+            summary.deadline_miss_rate() < full.deadline_miss_rate() * 0.7,
+            "static {} vs original {}",
+            summary.deadline_miss_rate(),
+            full.deadline_miss_rate()
+        );
+    }
+
+    #[test]
+    fn force_all_completes_everything() {
+        let (ens, w) = workload(40.0, 300, 100.0);
+        let summary = run_immediate(
+            &ens,
+            &Deployment::identity(3),
+            &mut FullEnsemblePolicy,
+            &ResultAssembler::Direct,
+            &w,
+            AdmissionMode::ForceAll,
+            3,
+        );
+        assert_eq!(summary.completion_rate(), 1.0);
+        // Queue blocking should push latency way past the service time.
+        assert!(summary.latency_stats().max > 0.3);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let (ens, w) = workload(20.0, 150, 120.0);
+        let go = || {
+            run_immediate(
+                &ens,
+                &Deployment::identity(3),
+                &mut FullEnsemblePolicy,
+                &ResultAssembler::Direct,
+                &w,
+                AdmissionMode::Reject,
+                11,
+            )
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.records(), b.records());
+    }
+}

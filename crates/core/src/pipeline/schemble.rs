@@ -1,0 +1,566 @@
+//! The Schemble serving pipeline (Fig. 3).
+//!
+//! Arrivals enter a **query buffer**. The discrepancy-score predictor tags
+//! each query (its prediction latency delays the query's earliest dispatch,
+//! mirroring the GPU-side predictor of §VIII). On every arrival and task
+//! completion the **task scheduler** re-plans the buffer against current
+//! model availability; plans take effect only after the scheduler's own
+//! (simulated) execution time — the mechanism by which a too-fine `δ` hurts
+//! end-to-end performance (Exp-4, Fig. 21). Tasks are dispatched when models
+//! idle; once any task of a query starts, its model set is frozen
+//! (non-preemptive execution).
+
+use super::eval::evaluate;
+use super::{AdmissionMode, ResultAssembler};
+use crate::predictor::OnlineScorer;
+use crate::profiling::AccuracyProfile;
+use crate::scheduler::{BufferedQuery, ScheduleInput, Scheduler};
+use schemble_data::Workload;
+use schemble_metrics::{QueryOutcome, QueryRecord, RunSummary};
+use schemble_models::{Ensemble, ModelSet, Output};
+use schemble_sim::rng::stream_rng;
+use schemble_sim::{EventQueue, ServerBank, SimDuration, SimTime, TaskId};
+use std::collections::HashMap;
+
+/// Configuration of a Schemble pipeline run.
+pub struct SchembleConfig {
+    /// The buffer scheduler (DP or a greedy ablation).
+    pub scheduler: Box<dyn Scheduler>,
+    /// Online difficulty scorer.
+    pub scorer: OnlineScorer,
+    /// The profiled reward function.
+    pub profile: AccuracyProfile,
+    /// Result assembly (direct aggregation or KNN-filled stacking).
+    pub assembler: ResultAssembler,
+    /// Admission mode.
+    pub admission: AdmissionMode,
+    /// Latency of one discrepancy-score prediction (delays dispatch
+    /// eligibility of the query; ~6.5% of ensemble runtime in Fig. 13).
+    pub predictor_latency: SimDuration,
+    /// Simulated cost per scheduler work unit (nanoseconds).
+    pub sched_ns_per_unit: f64,
+    /// Fixed per-invocation scheduler overhead.
+    pub sched_base_overhead: SimDuration,
+    /// §VIII's final optimisation: when the buffer is empty and a model
+    /// idles, an arriving query bypasses the predictor and scheduler
+    /// entirely and runs the fastest idle model immediately, eliminating the
+    /// prediction/scheduling wait on an unloaded system. The skipped query
+    /// never consults the profile, so at very light load this trades a
+    /// little accuracy for latency (the `exp_ablation` driver measures it).
+    pub fast_path: bool,
+}
+
+impl SchembleConfig {
+    /// Paper-default knobs for a given scheduler/scorer/profile.
+    pub fn new(
+        scheduler: Box<dyn Scheduler>,
+        scorer: OnlineScorer,
+        profile: AccuracyProfile,
+    ) -> Self {
+        Self {
+            scheduler,
+            scorer,
+            profile,
+            assembler: ResultAssembler::Direct,
+            admission: AdmissionMode::Reject,
+            predictor_latency: SimDuration::from_millis(3),
+            sched_ns_per_unit: 25.0,
+            sched_base_overhead: SimDuration::from_micros(50),
+            fast_path: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QState {
+    deadline: SimTime,
+    arrival: SimTime,
+    /// Earliest dispatch (arrival + predictor latency).
+    ready_at: SimTime,
+    score: f64,
+    utilities: Vec<f64>,
+    set: ModelSet,
+    started: ModelSet,
+    outputs: Vec<(usize, Output)>,
+    closed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(usize),
+    TaskDone { model: usize, query: u64 },
+    Wake,
+}
+
+/// Runs the Schemble pipeline over a workload.
+pub fn run_schemble(
+    ensemble: &Ensemble,
+    config: &SchembleConfig,
+    workload: &Workload,
+    seed: u64,
+) -> RunSummary {
+    let m = ensemble.m();
+    let mut events: EventQueue<Event> = EventQueue::new();
+    for (i, q) in workload.queries.iter().enumerate() {
+        events.push(q.arrival, Event::Arrival(i));
+    }
+    let mut servers = ServerBank::new(m);
+    let mut lat_rng = stream_rng(seed, "schemble-latency");
+    let mut open: HashMap<u64, QState> = HashMap::new();
+    let mut plan_ready_at = SimTime::ZERO;
+    let mut records: Vec<QueryRecord> = workload
+        .queries
+        .iter()
+        .map(|q| QueryRecord {
+            id: q.id,
+            arrival: q.arrival,
+            deadline: q.deadline,
+            completion: None,
+            outcome: QueryOutcome::Missed,
+            models_used: 0,
+        })
+        .collect();
+
+
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::Arrival(i) => {
+                let q = &workload.queries[i];
+                // Fast path (§VIII): empty buffer + an idle model ⇒ skip
+                // prediction and scheduling, run the fastest idle model now.
+                if config.fast_path && open.is_empty() && servers.any_idle() {
+                    let k = servers
+                        .idle_indices()
+                        .into_iter()
+                        .min_by_key(|&k| ensemble.latency(k).planned())
+                        .expect("an idle server exists");
+                    let dur = ensemble.latency(k).sample(&mut lat_rng);
+                    let run = servers.get_mut(k).start_immediately(TaskId(q.id), now, dur);
+                    events.push(run.completes_at, Event::TaskDone { model: k, query: q.id });
+                    open.insert(
+                        q.id,
+                        QState {
+                            deadline: q.deadline,
+                            arrival: q.arrival,
+                            ready_at: q.arrival,
+                            score: 0.0,
+                            utilities: config.profile.utility_vector(0.0),
+                            set: ModelSet::singleton(k),
+                            started: ModelSet::singleton(k),
+                            outputs: Vec::new(),
+                            closed: false,
+                        },
+                    );
+                    continue;
+                }
+                let score =
+                    config.scorer.score(&q.sample, ensemble).clamp(0.0, 1.0);
+                let utilities = config.profile.utility_vector(score);
+                open.insert(
+                    q.id,
+                    QState {
+                        deadline: q.deadline,
+                        arrival: q.arrival,
+                        ready_at: q.arrival + config.predictor_latency,
+                        score,
+                        utilities,
+                        set: ModelSet::EMPTY,
+                        started: ModelSet::EMPTY,
+                        outputs: Vec::new(),
+                        closed: false,
+                    },
+                );
+                // The query only becomes dispatchable once its score
+                // prediction lands; make sure something fires then.
+                let ready_at = q.arrival + config.predictor_latency;
+                events.push(ready_at.max(now), Event::Wake);
+                expire(ensemble, config, workload, &mut open, &mut records, now);
+                plan_ready_at = replan(
+                    ensemble,
+                    config,
+                    &mut open,
+                    &servers,
+                    now,
+                    plan_ready_at,
+                );
+                schedule_dispatch(&mut events, now, plan_ready_at);
+            }
+            Event::TaskDone { model, query } => {
+                servers.get_mut(model).complete(TaskId(query), now);
+                {
+                    let q = &workload.queries[query as usize];
+                    let state =
+                        open.get_mut(&query).expect("completion for unknown query");
+                    state.outputs.push((
+                        model,
+                        ensemble.models[model].infer(&q.sample, &ensemble.spec),
+                    ));
+                }
+                finish_if_complete(ensemble, config, workload, &mut open, &mut records, query, now);
+                expire(ensemble, config, workload, &mut open, &mut records, now);
+                plan_ready_at = replan(
+                    ensemble,
+                    config,
+                    &mut open,
+                    &servers,
+                    now,
+                    plan_ready_at,
+                );
+                schedule_dispatch(&mut events, now, plan_ready_at);
+            }
+            Event::Wake => {
+                expire(ensemble, config, workload, &mut open, &mut records, now);
+            }
+        }
+        // Dispatch whenever the latest plan is effective.
+        if now >= plan_ready_at {
+            dispatch(
+                ensemble,
+                &mut servers,
+                &mut open,
+                &mut events,
+                &mut lat_rng,
+                now,
+            );
+        }
+    }
+
+    // Anything still open at drain never completed (possible only in Reject
+    // mode where unscheduled queries expired silently before last event).
+    for (id, state) in &open {
+        debug_assert!(
+            state.started.is_empty(),
+            "query {id} drained with running tasks"
+        );
+    }
+    let usage = (0..m)
+        .map(|k| schemble_metrics::ModelUsage {
+            name: ensemble.models[k].name.clone(),
+            busy_secs: servers.get(k).busy_time().as_secs_f64(),
+            tasks: servers.get(k).completed_tasks(),
+            instances: 1,
+        })
+        .collect();
+    RunSummary::new(records).with_usage(usage)
+}
+
+/// Re-plans the unstarted buffer; returns when the new plan takes effect.
+fn replan(
+    ensemble: &Ensemble,
+    config: &SchembleConfig,
+    open: &mut HashMap<u64, QState>,
+    servers: &ServerBank,
+    now: SimTime,
+    prev_ready: SimTime,
+) -> SimTime {
+    let mut ids: Vec<u64> = open
+        .iter()
+        .filter(|(_, s)| s.started.is_empty() && !s.closed)
+        .map(|(&id, _)| id)
+        .collect();
+    if ids.is_empty() {
+        return prev_ready.max(now);
+    }
+    ids.sort_unstable();
+    // Availability must account for *committed* work: tasks of frozen
+    // (already-started) queries that have not begun executing yet will
+    // occupy their models before anything planned now — without this, the
+    // planner overcommits and every plan completes late.
+    let mut availability = servers.availability(now);
+    for state in open.values() {
+        if state.closed || state.started.is_empty() {
+            continue;
+        }
+        for k in state.set.iter() {
+            if !state.started.contains(k) {
+                availability[k] += ensemble.latency(k).planned();
+            }
+        }
+    }
+    let queries: Vec<BufferedQuery> = ids
+        .iter()
+        .map(|id| {
+            let s = &open[id];
+            BufferedQuery {
+                id: *id,
+                arrival: s.arrival,
+                deadline: s.deadline,
+                utilities: s.utilities.clone(),
+                score: s.score,
+            }
+        })
+        .collect();
+    let input = ScheduleInput {
+        now,
+        availability,
+        latencies: ensemble.planned_latencies(),
+        queries,
+    };
+    let plan = config.scheduler.plan(&input);
+    for (pos, id) in ids.iter().enumerate() {
+        open.get_mut(id).expect("present").set = plan.assignments[pos];
+    }
+    // Forced mode: queries the plan abandoned but that must run get the
+    // least-loaded single model.
+    if config.admission == AdmissionMode::ForceAll {
+        let availability = servers.availability(now);
+        for id in &ids {
+            let s = open.get_mut(id).expect("present");
+            if s.set.is_empty() {
+                let best = (0..ensemble.m())
+                    .min_by_key(|&k| availability[k] + ensemble.latency(k).planned())
+                    .expect("non-empty ensemble");
+                s.set = ModelSet::singleton(best);
+            }
+        }
+    }
+    let cost = SimDuration::from_micros(
+        (config.sched_ns_per_unit * plan.work as f64 / 1000.0).round() as u64,
+    ) + config.sched_base_overhead;
+    now + cost
+}
+
+/// Starts tasks on idle servers per the current plan, in EDF order.
+fn dispatch(
+    ensemble: &Ensemble,
+    servers: &mut ServerBank,
+    open: &mut HashMap<u64, QState>,
+    events: &mut EventQueue<Event>,
+    lat_rng: &mut impl rand::Rng,
+    now: SimTime,
+) {
+    // EDF order over open queries.
+    let mut ids: Vec<u64> = open.keys().copied().collect();
+    ids.sort_by_key(|id| (open[id].deadline, *id));
+    for k in servers.idle_indices() {
+        for id in &ids {
+            let state = open.get_mut(id).expect("present");
+            if state.closed
+                || !state.set.contains(k)
+                || state.started.contains(k)
+                || state.ready_at > now
+            {
+                continue;
+            }
+            let dur = ensemble.latency(k).sample(lat_rng);
+            let run = servers.get_mut(k).start_immediately(TaskId(*id), now, dur);
+            events.push(run.completes_at, Event::TaskDone { model: k, query: *id });
+            state.started = state.started.with(k);
+            break;
+        }
+    }
+}
+
+/// Completes a query once outputs for its whole (possibly shrunk) set have
+/// arrived: assembles the result, evaluates it and records the completion.
+fn finish_if_complete(
+    ensemble: &Ensemble,
+    config: &SchembleConfig,
+    workload: &Workload,
+    open: &mut HashMap<u64, QState>,
+    records: &mut [QueryRecord],
+    query: u64,
+    now: SimTime,
+) {
+    let Some(state) = open.get_mut(&query) else { return };
+    if state.set.is_empty() || state.outputs.len() != state.set.len() {
+        return;
+    }
+    let q = &workload.queries[query as usize];
+    let mut outputs = std::mem::take(&mut state.outputs);
+    outputs.sort_by_key(|(k, _)| *k);
+    let result = config.assembler.assemble(ensemble, &outputs, state.set);
+    let (correct, score) = evaluate(ensemble, &q.sample, &result);
+    records[query as usize].completion = Some(now);
+    records[query as usize].outcome = QueryOutcome::Completed { correct, score };
+    records[query as usize].models_used = state.set.len();
+    state.closed = true;
+    open.remove(&query);
+}
+
+/// Deadline housekeeping (Reject mode only; ForceAll keeps everything):
+/// unstarted expired queries are dropped, and already-started expired
+/// queries stop scheduling *further* tasks (their set shrinks to what has
+/// started — a late result is a miss either way, so the remaining capacity
+/// goes to queries that can still make it).
+fn expire(
+    ensemble: &Ensemble,
+    config: &SchembleConfig,
+    workload: &Workload,
+    open: &mut HashMap<u64, QState>,
+    records: &mut [QueryRecord],
+    now: SimTime,
+) {
+    if config.admission == AdmissionMode::ForceAll {
+        return;
+    }
+    let expired: Vec<u64> = open
+        .iter()
+        .filter(|(_, s)| s.started.is_empty() && s.deadline < now)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in expired {
+        open.remove(&id);
+        // Record already defaults to Missed.
+        records[id as usize].models_used = 0;
+    }
+    let late_started: Vec<u64> = open
+        .iter()
+        .filter(|(_, s)| !s.started.is_empty() && s.deadline < now && s.set != s.started)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in late_started {
+        let state = open.get_mut(&id).expect("present");
+        state.set = state.started;
+        finish_if_complete(ensemble, config, workload, open, records, id, now);
+    }
+}
+
+/// Ensures a wake-up fires when a pending plan becomes effective.
+fn schedule_dispatch(events: &mut EventQueue<Event>, now: SimTime, plan_ready_at: SimTime) {
+    if plan_ready_at > now {
+        events.push(plan_ready_at, Event::Wake);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::SchembleArtifacts;
+    use crate::pipeline::immediate::{run_immediate, Deployment, FullEnsemblePolicy};
+    use crate::scheduler::DpScheduler;
+    use schemble_data::{DeadlinePolicy, PoissonTrace, TaskKind, Workload};
+
+    fn setup(rate: f64, n: usize, deadline_ms: f64) -> (Ensemble, Workload, SchembleConfig) {
+        let task = TaskKind::TextMatching;
+        let ens = task.ensemble(1);
+        let art = SchembleArtifacts::build_small(&ens, &task.default_generator(1), 1);
+        let gen = task.default_generator(1);
+        let w = Workload::generate(
+            &gen,
+            &PoissonTrace { rate_per_sec: rate, n },
+            &DeadlinePolicy::constant_millis(deadline_ms),
+            7,
+        );
+        let config = SchembleConfig::new(
+            Box::new(DpScheduler::default()),
+            OnlineScorer::Predictor(art.predictor.clone()),
+            art.profile.clone(),
+        );
+        (ens, w, config)
+    }
+
+    #[test]
+    fn light_load_uses_full_sets_and_hits_deadlines() {
+        let (ens, w, config) = setup(2.0, 150, 200.0);
+        let summary = run_schemble(&ens, &config, &w, 3);
+        assert!(summary.deadline_miss_rate() < 0.05, "dmr {}", summary.deadline_miss_rate());
+        assert!(summary.accuracy() > 0.9, "acc {}", summary.accuracy());
+        assert!(
+            summary.mean_models_used() > 2.0,
+            "light traffic should run (nearly) the whole ensemble, got {}",
+            summary.mean_models_used()
+        );
+    }
+
+    #[test]
+    fn heavy_load_schemble_beats_original() {
+        let (ens, w, config) = setup(55.0, 800, 120.0);
+        let schemble = run_schemble(&ens, &config, &w, 3);
+        let original = run_immediate(
+            &ens,
+            &Deployment::identity(3),
+            &mut FullEnsemblePolicy,
+            &ResultAssembler::Direct,
+            &w,
+            AdmissionMode::Reject,
+            3,
+        );
+        assert!(
+            schemble.deadline_miss_rate() < original.deadline_miss_rate() * 0.5,
+            "schemble dmr {} vs original {}",
+            schemble.deadline_miss_rate(),
+            original.deadline_miss_rate()
+        );
+        assert!(
+            schemble.accuracy() > original.accuracy() + 0.1,
+            "schemble acc {} vs original {}",
+            schemble.accuracy(),
+            original.accuracy()
+        );
+        // Under load, Schemble sheds models per query.
+        assert!(schemble.mean_models_used() < 2.5);
+    }
+
+    #[test]
+    fn forced_mode_serves_every_query() {
+        let (ens, w, mut config) = setup(40.0, 400, 100.0);
+        config.admission = AdmissionMode::ForceAll;
+        let summary = run_schemble(&ens, &config, &w, 3);
+        assert_eq!(summary.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (ens, w, config) = setup(25.0, 200, 120.0);
+        let a = run_schemble(&ens, &config, &w, 5);
+        let b = run_schemble(&ens, &config, &w, 5);
+        assert_eq!(a.records(), b.records());
+    }
+}
+
+#[cfg(test)]
+mod fast_path_tests {
+    use super::*;
+    use crate::artifacts::SchembleArtifacts;
+    use crate::scheduler::DpScheduler;
+    use schemble_data::{DeadlinePolicy, PoissonTrace, TaskKind, Workload};
+
+    fn config_with_fast_path(fast: bool) -> (Ensemble, Workload, SchembleConfig) {
+        let task = TaskKind::TextMatching;
+        let ens = task.ensemble(1);
+        let gen = task.default_generator(1);
+        let art = SchembleArtifacts::build_small(&ens, &gen, 1);
+        let w = Workload::generate(
+            &gen,
+            &PoissonTrace { rate_per_sec: 3.0, n: 150 },
+            &DeadlinePolicy::constant_millis(150.0),
+            7,
+        );
+        let mut config = SchembleConfig::new(
+            Box::new(DpScheduler::default()),
+            OnlineScorer::Predictor(art.predictor.clone()),
+            art.profile.clone(),
+        );
+        config.fast_path = fast;
+        (ens, w, config)
+    }
+
+    #[test]
+    fn fast_path_cuts_light_load_latency() {
+        let (ens, w, slow) = config_with_fast_path(false);
+        let (_, _, fast) = config_with_fast_path(true);
+        let base = run_schemble(&ens, &slow, &w, 3);
+        let quick = run_schemble(&ens, &fast, &w, 3);
+        // At 3 qps almost every arrival hits the fast path: latency drops by
+        // at least the 3 ms predictor wait.
+        assert!(
+            quick.latency_stats().mean + 0.002 < base.latency_stats().mean,
+            "fast {:.4}s vs base {:.4}s",
+            quick.latency_stats().mean,
+            base.latency_stats().mean
+        );
+        assert!(quick.deadline_miss_rate() <= base.deadline_miss_rate() + 0.02);
+        // The price: single-model answers on an unloaded system.
+        assert!(quick.mean_models_used() < base.mean_models_used());
+    }
+
+    #[test]
+    fn fast_path_queries_are_recorded_normally() {
+        let (ens, w, fast) = config_with_fast_path(true);
+        let summary = run_schemble(&ens, &fast, &w, 3);
+        assert_eq!(summary.len(), w.len());
+        assert_eq!(summary.completion_rate() + summary.deadline_miss_rate(), 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Greedy search for the best static deployment (Fig. 2b).
+//!
+//! Static selection drops unchosen models and spends the freed memory on
+//! replicas of chosen ones. "Thanks to the small ensemble size of the deep
+//! ensemble, we are able to find an optimal deployment plan by greedy
+//! search" — here, every non-empty subset is tried with a bottleneck-first
+//! replica fill, evaluated by a pilot simulation on a workload prefix, and
+//! the accuracy-maximising deployment wins.
+
+use super::immediate::{run_immediate, Deployment, FixedSubsetPolicy};
+use super::{AdmissionMode, ResultAssembler};
+use schemble_data::Workload;
+use schemble_models::{Ensemble, ModelSet};
+
+/// Builds a deployment for subset `set`: one instance per member, then
+/// replicas of the current bottleneck (highest latency per instance) until
+/// all `m` memory slots are used.
+pub fn deployment_for(ensemble: &Ensemble, set: ModelSet) -> Deployment {
+    assert!(!set.is_empty(), "static deployment needs at least one model");
+    let m = ensemble.m();
+    let mut hosts: Vec<usize> = set.iter().collect();
+    while hosts.len() < m {
+        // Bottleneck model: max (latency / replica count).
+        let bottleneck = set
+            .iter()
+            .max_by(|&a, &b| {
+                let load = |k: usize| {
+                    let replicas = hosts.iter().filter(|&&h| h == k).count() as f64;
+                    ensemble.latency(k).planned().as_micros() as f64 / replicas
+                };
+                load(a).partial_cmp(&load(b)).expect("finite load")
+            })
+            .expect("non-empty set");
+        hosts.push(bottleneck);
+    }
+    hosts.sort_unstable();
+    Deployment { hosts }
+}
+
+/// Greedy static selection: evaluates every subset's deployment on a pilot
+/// prefix of the workload (at most `pilot_n` queries) and returns the
+/// accuracy-best `(subset, deployment)`.
+pub fn best_static_deployment(
+    ensemble: &Ensemble,
+    workload: &Workload,
+    pilot_n: usize,
+    seed: u64,
+) -> (ModelSet, Deployment) {
+    let pilot = Workload {
+        queries: workload.queries.iter().take(pilot_n).cloned().collect(),
+        duration: workload.duration,
+    };
+    let mut best: Option<(f64, ModelSet, Deployment)> = None;
+    for set in ModelSet::all_nonempty(ensemble.m()) {
+        let deployment = deployment_for(ensemble, set);
+        let mut policy = FixedSubsetPolicy { set };
+        let summary = run_immediate(
+            ensemble,
+            &deployment,
+            &mut policy,
+            &ResultAssembler::Direct,
+            &pilot,
+            AdmissionMode::Reject,
+            seed,
+        );
+        let acc = summary.accuracy();
+        let better = match &best {
+            None => true,
+            Some((b, _, _)) => acc > *b,
+        };
+        if better {
+            best = Some((acc, set, deployment));
+        }
+    }
+    let (_, set, deployment) = best.expect("at least one subset evaluated");
+    (set, deployment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_data::{DeadlinePolicy, PoissonTrace, TaskKind, Workload};
+
+    #[test]
+    fn replica_fill_targets_the_bottleneck() {
+        let ens = TaskKind::TextMatching.ensemble(1);
+        // Subset {0}: all three slots host model 0.
+        let d = deployment_for(&ens, ModelSet::singleton(0));
+        assert_eq!(d.hosts, vec![0, 0, 0]);
+        // Subset {0, 2}: model 2 (48 ms) is the bottleneck vs model 0 (18 ms),
+        // so the free slot replicates model 2.
+        let d = deployment_for(&ens, ModelSet::from_indices(&[0, 2]));
+        assert_eq!(d.hosts, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn greedy_search_picks_a_capable_subset_under_load() {
+        let task = TaskKind::TextMatching;
+        let ens = task.ensemble(1);
+        let gen = task.default_generator(1);
+        let w = Workload::generate(
+            &gen,
+            &PoissonTrace { rate_per_sec: 55.0, n: 400 },
+            &DeadlinePolicy::constant_millis(120.0),
+            7,
+        );
+        let (set, deployment) = best_static_deployment(&ens, &w, 300, 3);
+        assert!(!set.is_empty());
+        assert_eq!(deployment.len(), ens.m());
+        // Under this load the full-ensemble subset cannot win: it has no
+        // replicas and misses most deadlines.
+        assert!(set != ModelSet::full(3), "full set should lose the pilot under load");
+    }
+}

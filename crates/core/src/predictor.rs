@@ -1,0 +1,238 @@
+//! Online difficulty estimation.
+//!
+//! At serving time the base models have not run yet, so the discrepancy
+//! score must be *predicted* from the query's features (§V-C). Three scorers
+//! cover the paper's variants:
+//!
+//! * [`OnlineScorer::Predictor`] — the trained two-headed network (Schemble);
+//! * [`OnlineScorer::Oracle`] — the true score, computed by secretly running
+//!   the base models (the `Schemble*(Oracle)` upper bound of Fig. 16);
+//! * [`OnlineScorer::Constant`] — every query gets the same score
+//!   (`Schemble(t)`, the no-difficulty ablation of Exp-3).
+
+use crate::discrepancy::DiscrepancyScorer;
+use rand::Rng;
+use schemble_models::{Ensemble, Output, Sample, TaskSpec};
+use schemble_nn::predictor::{PredictorConfig, TaskLoss};
+use schemble_nn::seq_predictor::SeqPredictorConfig;
+use schemble_nn::{DiscrepancyPredictor, SequencePredictor};
+use schemble_tensor::Matrix;
+
+/// A difficulty scorer usable at serving time.
+///
+/// The variants intentionally differ in size — scorers are constructed once
+/// per run, never in hot loops.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum OnlineScorer {
+    /// Trained MLP over query features.
+    Predictor(DiscrepancyPredictor),
+    /// Trained MV-LSTM-style sequence network (the paper's text-modality
+    /// architecture).
+    SeqPredictor(SequencePredictor),
+    /// The offline scorer run on demand (oracle ablation).
+    Oracle(DiscrepancyScorer),
+    /// Fixed score for every query.
+    Constant(f64),
+}
+
+impl OnlineScorer {
+    /// Scores one query.
+    pub fn score(&self, sample: &Sample, ensemble: &Ensemble) -> f64 {
+        match self {
+            OnlineScorer::Predictor(nn) => nn.predict_score(&sample.features),
+            OnlineScorer::SeqPredictor(nn) => nn.predict_score(&sample.features),
+            OnlineScorer::Oracle(scorer) => scorer.score(ensemble, sample),
+            OnlineScorer::Constant(c) => *c,
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OnlineScorer::Predictor(_) => "predictor",
+            OnlineScorer::SeqPredictor(_) => "seq-predictor",
+            OnlineScorer::Oracle(_) => "oracle",
+            OnlineScorer::Constant(_) => "constant",
+        }
+    }
+}
+
+/// Trains the two-headed predictor on historical samples labelled with their
+/// true discrepancy scores (Eq. 2's training setup: task label = ensemble
+/// output, `dis` = ground-truth score).
+pub fn train_score_predictor(
+    ensemble: &Ensemble,
+    history: &[Sample],
+    scores: &[f64],
+    rng: &mut impl Rng,
+) -> DiscrepancyPredictor {
+    train_score_predictor_with_lambda(ensemble, history, scores, 0.2, rng)
+}
+
+/// Trains the MV-LSTM-style sequence predictor on the same data layout as
+/// [`train_score_predictor`].
+pub fn train_seq_score_predictor(
+    ensemble: &Ensemble,
+    history: &[Sample],
+    scores: &[f64],
+    rng: &mut impl Rng,
+) -> SequencePredictor {
+    assert_eq!(history.len(), scores.len(), "history/scores length mismatch");
+    assert!(!history.is_empty(), "cannot train predictor on empty history");
+    let feat_dim = history[0].features.len();
+    let features =
+        Matrix::from_fn(history.len(), feat_dim, |r, c| history[r].features[c]);
+    let (task_loss, task_labels) = task_labels_for(ensemble, history);
+    let config = SeqPredictorConfig::default_for(feat_dim, task_loss);
+    let mut predictor = SequencePredictor::new(config, rng);
+    predictor.fit(&features, &task_labels, scores, rng);
+    predictor
+}
+
+/// Like [`train_score_predictor`] with an explicit Eq. 2 weight λ — the
+/// `exp_ablation` driver sweeps it (the paper fixes λ = 0.2).
+pub fn train_score_predictor_with_lambda(
+    ensemble: &Ensemble,
+    history: &[Sample],
+    scores: &[f64],
+    lambda: f64,
+    rng: &mut impl Rng,
+) -> DiscrepancyPredictor {
+    assert_eq!(history.len(), scores.len(), "history/scores length mismatch");
+    assert!(!history.is_empty(), "cannot train predictor on empty history");
+    let feat_dim = history[0].features.len();
+    let features =
+        Matrix::from_fn(history.len(), feat_dim, |r, c| history[r].features[c]);
+    let (task_loss, task_labels) = task_labels_for(ensemble, history);
+    let config =
+        PredictorConfig { lambda, ..PredictorConfig::default_for(feat_dim, task_loss) };
+    let mut predictor = DiscrepancyPredictor::new(config, rng);
+    predictor.fit(&features, &task_labels, scores, rng);
+    predictor
+}
+
+/// Task-head labels per Eq. 2: the ensemble's output stands in for the
+/// ground truth. Binary classification keeps the positive-class probability;
+/// other categorical tasks use the ensemble's top-1 confidence; regression
+/// rescales the scalar into a trainable range.
+fn task_labels_for(ensemble: &Ensemble, history: &[Sample]) -> (TaskLoss, Vec<f64>) {
+    match ensemble.spec {
+        TaskSpec::Classification { num_classes: 2 } => {
+            let labels = history
+                .iter()
+                .map(|s| match ensemble.ensemble_output(s) {
+                    Output::Probs(p) => p[1],
+                    Output::Scalar(_) => unreachable!("categorical spec"),
+                })
+                .collect();
+            (TaskLoss::Binary, labels)
+        }
+        TaskSpec::Classification { .. } | TaskSpec::Retrieval { .. } => {
+            let labels = history
+                .iter()
+                .map(|s| match ensemble.ensemble_output(s) {
+                    Output::Probs(p) => p.iter().cloned().fold(0.0, f64::max),
+                    Output::Scalar(_) => unreachable!("categorical spec"),
+                })
+                .collect();
+            (TaskLoss::Regression, labels)
+        }
+        TaskSpec::Regression { .. } => {
+            // Counts live in roughly [0, 25]; scale into [0, 1] for training.
+            let labels = history
+                .iter()
+                .map(|s| ensemble.ensemble_output(s).value() / 25.0)
+                .collect();
+            (TaskLoss::Regression, labels)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrepancy::DifficultyMetric;
+    use schemble_models::zoo;
+    use schemble_models::{DifficultyDist, SampleGenerator};
+    use schemble_sim::rng::stream_rng;
+    use schemble_tensor::stats::pearson;
+
+    #[test]
+    fn trained_predictor_ranks_like_the_oracle() {
+        let ens = zoo::text_matching(1);
+        let gen = SampleGenerator::new(ens.spec, DifficultyDist::Uniform, 5);
+        let history = gen.batch(0, 1200);
+        let oracle = DiscrepancyScorer::fit(&ens, &history, DifficultyMetric::Discrepancy);
+        let scores = oracle.score_batch(&ens, &history);
+        let mut rng = stream_rng(7, "predictor");
+        let nn = train_score_predictor(&ens, &history, &scores, &mut rng);
+
+        // Evaluate on *fresh* samples.
+        let test = gen.batch(5000, 500);
+        let truth = oracle.score_batch(&ens, &test);
+        let predicted: Vec<f64> =
+            test.iter().map(|s| nn.predict_score(&s.features)).collect();
+        let corr = pearson(&predicted, &truth);
+        assert!(corr > 0.25, "predictor/oracle correlation too weak: {corr:.3}");
+    }
+
+    #[test]
+    fn online_scorer_variants() {
+        let ens = zoo::text_matching(1);
+        let gen = SampleGenerator::new(ens.spec, DifficultyDist::Uniform, 5);
+        let history = gen.batch(0, 400);
+        let oracle = DiscrepancyScorer::fit(&ens, &history, DifficultyMetric::Discrepancy);
+        let s = gen.sample(999);
+
+        let constant = OnlineScorer::Constant(0.42);
+        assert_eq!(constant.score(&s, &ens), 0.42);
+        assert_eq!(constant.name(), "constant");
+
+        let oracle_scorer = OnlineScorer::Oracle(oracle.clone());
+        let direct = oracle.score(&ens, &s);
+        assert_eq!(oracle_scorer.score(&s, &ens), direct);
+        assert_eq!(oracle_scorer.name(), "oracle");
+    }
+
+    #[test]
+    fn regression_task_labels_are_bounded() {
+        let ens = zoo::vehicle_counting(1);
+        let gen = SampleGenerator::new(ens.spec, DifficultyDist::Uniform, 5);
+        let history = gen.batch(0, 200);
+        let (loss, labels) = task_labels_for(&ens, &history);
+        assert_eq!(loss, TaskLoss::Regression);
+        assert!(labels.iter().all(|&l| (-0.5..=1.5).contains(&l)));
+    }
+}
+
+#[cfg(test)]
+mod seq_tests {
+    use super::*;
+    use crate::discrepancy::{DifficultyMetric, DiscrepancyScorer};
+    use schemble_models::zoo;
+    use schemble_models::{DifficultyDist, SampleGenerator};
+    use schemble_sim::rng::stream_rng;
+    use schemble_tensor::stats::pearson;
+
+    #[test]
+    fn seq_predictor_trains_and_scores() {
+        let ens = zoo::text_matching(1);
+        let gen = SampleGenerator::new(ens.spec, DifficultyDist::Uniform, 5);
+        let history = gen.batch(0, 500);
+        let oracle = DiscrepancyScorer::fit(&ens, &history, DifficultyMetric::Discrepancy);
+        let scores = oracle.score_batch(&ens, &history);
+        let mut rng = stream_rng(3, "seq-predictor");
+        let nn = train_seq_score_predictor(&ens, &history, &scores, &mut rng);
+        let test = gen.batch(5000, 300);
+        let truth = oracle.score_batch(&ens, &test);
+        let predicted: Vec<f64> =
+            test.iter().map(|s| nn.predict_score(&s.features)).collect();
+        let corr = pearson(&predicted, &truth);
+        assert!(corr > 0.2, "seq predictor correlation too weak: {corr:.3}");
+        let scorer = OnlineScorer::SeqPredictor(nn);
+        assert_eq!(scorer.name(), "seq-predictor");
+        let s = gen.sample(42);
+        assert!((0.0..=1.0).contains(&scorer.score(&s, &ens)));
+    }
+}

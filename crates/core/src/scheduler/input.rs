@@ -1,0 +1,199 @@
+//! Scheduling problem instances and plans.
+
+use schemble_models::ModelSet;
+use schemble_sim::{SimDuration, SimTime};
+
+/// One query waiting in the buffer.
+#[derive(Debug, Clone)]
+pub struct BufferedQuery {
+    /// Query id (for dispatching).
+    pub id: u64,
+    /// Arrival instant (FIFO ordering input).
+    pub arrival: SimTime,
+    /// Absolute deadline.
+    pub deadline: SimTime,
+    /// Reward per subset, indexed by `ModelSet.0` (`utilities[0]` = ∅ = 0).
+    pub utilities: Vec<f64>,
+    /// Predicted discrepancy score (SJF ordering input).
+    pub score: f64,
+}
+
+/// A local scheduling subproblem: the buffer at one instant.
+#[derive(Debug, Clone)]
+pub struct ScheduleInput {
+    /// Current time.
+    pub now: SimTime,
+    /// Earliest instant each base model can start a new task
+    /// ("base models' remained execution time" in Alg. 1).
+    pub availability: Vec<SimTime>,
+    /// Planned execution time of each base model (`{T_k}` in Alg. 1).
+    pub latencies: Vec<SimDuration>,
+    /// The buffered queries.
+    pub queries: Vec<BufferedQuery>,
+}
+
+impl ScheduleInput {
+    /// Ensemble size.
+    pub fn m(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Query indices sorted by deadline (EDF), ties by arrival then id.
+    pub fn edf_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.queries.len()).collect();
+        idx.sort_by_key(|&i| {
+            (self.queries[i].deadline, self.queries[i].arrival, self.queries[i].id)
+        });
+        idx
+    }
+
+    /// Simulates a plan under consistent EDF order and returns per-query
+    /// completion times (`None` for unscheduled queries).
+    pub fn completions(&self, plan: &SchedulePlan) -> Vec<Option<SimTime>> {
+        let mut avail = self.availability.clone();
+        let mut out = vec![None; self.queries.len()];
+        for &qi in &plan.order {
+            let set = plan.assignments[qi];
+            if set.is_empty() {
+                continue;
+            }
+            let mut completion = SimTime::ZERO;
+            for k in set.iter() {
+                let finish = avail[k].max(self.now) + self.latencies[k];
+                avail[k] = finish;
+                completion = completion.max(finish);
+            }
+            out[qi] = Some(completion);
+        }
+        out
+    }
+
+    /// True if every scheduled query completes by its deadline.
+    pub fn plan_is_feasible(&self, plan: &SchedulePlan) -> bool {
+        self.completions(plan)
+            .iter()
+            .zip(&self.queries)
+            .all(|(c, q)| c.is_none_or(|t| t <= q.deadline))
+    }
+
+    /// Total (unquantized) utility a plan collects.
+    pub fn plan_utility(&self, plan: &SchedulePlan) -> f64 {
+        plan.assignments
+            .iter()
+            .zip(&self.queries)
+            .map(|(set, q)| q.utilities[set.0 as usize])
+            .sum()
+    }
+}
+
+/// A scheduler's output.
+#[derive(Debug, Clone)]
+pub struct SchedulePlan {
+    /// Model set per query (parallel to `ScheduleInput::queries`;
+    /// `ModelSet::EMPTY` = left unscheduled this round).
+    pub assignments: Vec<ModelSet>,
+    /// Execution order over query indices (EDF for all built-in schedulers).
+    /// Unscheduled queries may appear and are skipped at dispatch.
+    pub order: Vec<usize>,
+    /// Abstract work units the scheduler consumed — converted into
+    /// scheduling latency by the pipeline's cost model (Exp-4/Fig. 21).
+    pub work: u64,
+}
+
+impl SchedulePlan {
+    /// A plan scheduling nothing.
+    pub fn empty(n: usize) -> Self {
+        Self { assignments: vec![ModelSet::EMPTY; n], order: Vec::new(), work: 0 }
+    }
+
+    /// Number of queries that received at least one model.
+    pub fn scheduled_count(&self) -> usize {
+        self.assignments.iter().filter(|s| !s.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+    fn at(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn two_query_input() -> ScheduleInput {
+        ScheduleInput {
+            now: at(0),
+            availability: vec![at(0), at(5)],
+            latencies: vec![ms(10), ms(20)],
+            queries: vec![
+                BufferedQuery {
+                    id: 0,
+                    arrival: at(0),
+                    deadline: at(100),
+                    utilities: vec![0.0, 0.5, 0.6, 1.0],
+                    score: 0.1,
+                },
+                BufferedQuery {
+                    id: 1,
+                    arrival: at(1),
+                    deadline: at(50),
+                    utilities: vec![0.0, 0.5, 0.6, 1.0],
+                    score: 0.9,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn edf_order_sorts_by_deadline() {
+        let input = two_query_input();
+        assert_eq!(input.edf_order(), vec![1, 0]);
+    }
+
+    #[test]
+    fn completions_respect_availability_and_serial_queues() {
+        let input = two_query_input();
+        let plan = SchedulePlan {
+            assignments: vec![ModelSet::from_indices(&[0, 1]), ModelSet::singleton(0)],
+            order: vec![1, 0],
+            work: 0,
+        };
+        let completions = input.completions(&plan);
+        // Query 1 runs first on model 0: 0 + 10 = 10.
+        assert_eq!(completions[1], Some(at(10)));
+        // Query 0: model 0 free at 10 → 20; model 1 free at 5 → 25. Max 25.
+        assert_eq!(completions[0], Some(at(25)));
+    }
+
+    #[test]
+    fn feasibility_and_utility() {
+        let input = two_query_input();
+        let feasible = SchedulePlan {
+            assignments: vec![ModelSet::singleton(0), ModelSet::singleton(0)],
+            order: vec![1, 0],
+            work: 0,
+        };
+        assert!(input.plan_is_feasible(&feasible));
+        assert!((input.plan_utility(&feasible) - 1.0).abs() < 1e-12);
+
+        let too_late = SchedulePlan {
+            assignments: vec![ModelSet::EMPTY, ModelSet::singleton(1)],
+            order: vec![1],
+            work: 0,
+        };
+        // Model 1: avail 5 + 20 = 25 ≤ 50 — feasible.
+        assert!(input.plan_is_feasible(&too_late));
+    }
+
+    #[test]
+    fn empty_plan_is_feasible_and_worthless() {
+        let input = two_query_input();
+        let plan = SchedulePlan::empty(2);
+        assert!(input.plan_is_feasible(&plan));
+        assert_eq!(input.plan_utility(&plan), 0.0);
+        assert_eq!(plan.scheduled_count(), 0);
+    }
+}

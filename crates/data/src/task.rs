@@ -1,0 +1,103 @@
+//! The three evaluation applications.
+
+use schemble_models::zoo;
+use schemble_models::{DifficultyDist, Ensemble, SampleGenerator};
+
+/// The paper's three applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Intelligent Q&A text matching (BiLSTM + RoBERTa + BERT).
+    TextMatching,
+    /// UA-DETRAC-style vehicle counting (three detectors, regression).
+    VehicleCounting,
+    /// R1M-style image retrieval (two DELG variants).
+    ImageRetrieval,
+}
+
+impl TaskKind {
+    /// All three tasks, in the paper's order.
+    pub const ALL: [TaskKind; 3] =
+        [TaskKind::TextMatching, TaskKind::VehicleCounting, TaskKind::ImageRetrieval];
+
+    /// Short label used in experiment output ("TM"/"VC"/"IR").
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskKind::TextMatching => "TM",
+            TaskKind::VehicleCounting => "VC",
+            TaskKind::ImageRetrieval => "IR",
+        }
+    }
+
+    /// Builds the task's ensemble.
+    pub fn ensemble(self, seed: u64) -> Ensemble {
+        match self {
+            TaskKind::TextMatching => zoo::text_matching(seed),
+            TaskKind::VehicleCounting => zoo::vehicle_counting(seed),
+            TaskKind::ImageRetrieval => zoo::image_retrieval(seed),
+        }
+    }
+
+    /// The default (real-data-like, easy-heavy) difficulty distribution:
+    /// Fig. 4a shows "a great proportion of samples possess a low discrepancy
+    /// score around zero".
+    pub fn default_difficulty(self) -> DifficultyDist {
+        DifficultyDist::EasySkewed { exponent: 2.5 }
+    }
+
+    /// A sample generator for this task with the given difficulty law.
+    pub fn generator(self, difficulty: DifficultyDist, seed: u64) -> SampleGenerator {
+        let spec = self.ensemble(seed).spec;
+        SampleGenerator::new(spec, difficulty, seed.wrapping_add(0x5a5a))
+    }
+
+    /// Like [`TaskKind::generator`] with the default difficulty law.
+    pub fn default_generator(self, seed: u64) -> SampleGenerator {
+        self.generator(self.default_difficulty(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_models::TaskSpec;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(TaskKind::TextMatching.label(), "TM");
+        assert_eq!(TaskKind::VehicleCounting.label(), "VC");
+        assert_eq!(TaskKind::ImageRetrieval.label(), "IR");
+    }
+
+    #[test]
+    fn ensembles_have_expected_specs() {
+        assert!(matches!(
+            TaskKind::TextMatching.ensemble(1).spec,
+            TaskSpec::Classification { num_classes: 2 }
+        ));
+        assert!(matches!(
+            TaskKind::VehicleCounting.ensemble(1).spec,
+            TaskSpec::Regression { .. }
+        ));
+        assert!(matches!(
+            TaskKind::ImageRetrieval.ensemble(1).spec,
+            TaskSpec::Retrieval { .. }
+        ));
+    }
+
+    #[test]
+    fn generator_spec_matches_ensemble_spec() {
+        for task in TaskKind::ALL {
+            let ens = task.ensemble(7);
+            let g = task.default_generator(7);
+            assert_eq!(g.spec, ens.spec, "{:?} generator/ensemble spec mismatch", task);
+        }
+    }
+
+    #[test]
+    fn default_difficulty_is_easy_heavy() {
+        let g = TaskKind::TextMatching.default_generator(3);
+        let mean: f64 =
+            g.batch(0, 4000).iter().map(|s| s.difficulty).sum::<f64>() / 4000.0;
+        assert!(mean < 0.4, "default difficulty should skew easy, mean {mean}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Arrival traces.
+
+use rand::Rng;
+use schemble_sim::rng::stream_rng;
+use schemble_sim::SimTime;
+
+/// Something that can produce a sorted list of arrival instants.
+pub trait ArrivalTrace {
+    /// Generates the arrival instants (sorted ascending).
+    fn arrivals(&self, seed: u64) -> Vec<SimTime>;
+    /// Total span covered by the trace.
+    fn duration(&self) -> SimTime;
+}
+
+/// Homogeneous Poisson arrivals at `rate_per_sec`, `n` queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonTrace {
+    /// Arrival rate (queries per second).
+    pub rate_per_sec: f64,
+    /// Number of queries.
+    pub n: usize,
+}
+
+impl ArrivalTrace for PoissonTrace {
+    fn arrivals(&self, seed: u64) -> Vec<SimTime> {
+        assert!(self.rate_per_sec > 0.0, "rate must be positive");
+        let mut rng = stream_rng(seed, "poisson-trace");
+        let mut t = 0.0f64;
+        (0..self.n)
+            .map(|_| {
+                t += exponential(&mut rng, self.rate_per_sec);
+                SimTime::from_secs_f64(t)
+            })
+            .collect()
+    }
+
+    fn duration(&self) -> SimTime {
+        SimTime::from_secs_f64(self.n as f64 / self.rate_per_sec)
+    }
+}
+
+/// A compressed "one-day" trace with the burst profile of the paper's
+/// Fig. 1a: light traffic overnight (hours 0–8), a morning ramp, a sustained
+/// daytime burst (hours 10–18, ~30× the overnight rate) and an evening
+/// decline.
+///
+/// The day is compressed to `day_secs` of simulated time (relative hour
+/// structure preserved — 1 "hour" = `day_secs`/24). `n` queries are
+/// distributed across hours proportionally to [`DiurnalTrace::HOUR_WEIGHTS`],
+/// with Poisson arrivals within each hour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalTrace {
+    /// Total number of queries in the day.
+    pub n: usize,
+    /// Length of the compressed day in simulated seconds.
+    pub day_secs: f64,
+}
+
+impl DiurnalTrace {
+    /// Relative traffic weight of each hour (Fig. 1a shape: quiet nights,
+    /// ~30× burst mid-day).
+    pub const HOUR_WEIGHTS: [f64; 24] = [
+        1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, // 0-7: overnight
+        4.0, 8.0, // 8-9: ramp
+        20.0, 25.0, 30.0, 28.0, 30.0, 26.0, 22.0, 18.0, // 10-17: burst
+        10.0, 6.0, 4.0, 3.0, 2.0, 1.5, // 18-23: decline
+    ];
+
+    /// The hour (0–23) an instant belongs to; instants past the day clamp
+    /// to 23. Used to aggregate the per-time-segment plots (Fig. 9/14).
+    pub fn hour_of(&self, t: SimTime) -> usize {
+        let hour_len = self.day_secs / 24.0;
+        ((t.as_secs_f64() / hour_len) as usize).min(23)
+    }
+
+    /// Mean arrival rate during hour `h` (queries/second).
+    pub fn hour_rate(&self, h: usize) -> f64 {
+        let total: f64 = Self::HOUR_WEIGHTS.iter().sum();
+        let hour_len = self.day_secs / 24.0;
+        self.n as f64 * Self::HOUR_WEIGHTS[h] / total / hour_len
+    }
+}
+
+impl ArrivalTrace for DiurnalTrace {
+    fn arrivals(&self, seed: u64) -> Vec<SimTime> {
+        let mut rng = stream_rng(seed, "diurnal-trace");
+        let hour_len = self.day_secs / 24.0;
+        let mut out = Vec::with_capacity(self.n);
+        for h in 0..24 {
+            let rate = self.hour_rate(h);
+            let start = h as f64 * hour_len;
+            let end = start + hour_len;
+            let mut t = start;
+            loop {
+                t += exponential(&mut rng, rate);
+                if t >= end {
+                    break;
+                }
+                out.push(SimTime::from_secs_f64(t));
+            }
+        }
+        out
+    }
+
+    fn duration(&self) -> SimTime {
+        SimTime::from_secs_f64(self.day_secs)
+    }
+}
+
+/// Exponential inter-arrival sample with the given rate.
+fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_arrivals_are_sorted_with_right_mean_rate() {
+        let trace = PoissonTrace { rate_per_sec: 50.0, n: 10_000 };
+        let arrivals = trace.arrivals(1);
+        assert_eq!(arrivals.len(), 10_000);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let span = arrivals.last().unwrap().as_secs_f64();
+        let rate = 10_000.0 / span;
+        assert!((rate - 50.0).abs() < 2.5, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let trace = PoissonTrace { rate_per_sec: 10.0, n: 100 };
+        assert_eq!(trace.arrivals(7), trace.arrivals(7));
+        assert_ne!(trace.arrivals(7), trace.arrivals(8));
+    }
+
+    #[test]
+    fn diurnal_burst_is_much_denser_than_night() {
+        let trace = DiurnalTrace { n: 20_000, day_secs: 1200.0 };
+        let arrivals = trace.arrivals(3);
+        let mut per_hour = [0usize; 24];
+        for &t in &arrivals {
+            per_hour[trace.hour_of(t)] += 1;
+        }
+        let night: usize = per_hour[0..8].iter().sum();
+        let burst: usize = per_hour[10..18].iter().sum();
+        let night_rate = night as f64 / 8.0;
+        let burst_rate = burst as f64 / 8.0;
+        assert!(
+            burst_rate > 15.0 * night_rate,
+            "burst {burst_rate:.0}/h vs night {night_rate:.0}/h — want ≳20×"
+        );
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+    }
+
+    #[test]
+    fn diurnal_totals_approximately_n() {
+        let trace = DiurnalTrace { n: 5000, day_secs: 600.0 };
+        let arrivals = trace.arrivals(5);
+        let n = arrivals.len() as f64;
+        assert!((n - 5000.0).abs() < 300.0, "generated {n} arrivals for n=5000");
+    }
+
+    #[test]
+    fn hour_of_maps_boundaries() {
+        let trace = DiurnalTrace { n: 10, day_secs: 2400.0 }; // 100 s/hour
+        assert_eq!(trace.hour_of(SimTime::from_secs_f64(0.0)), 0);
+        assert_eq!(trace.hour_of(SimTime::from_secs_f64(150.0)), 1);
+        assert_eq!(trace.hour_of(SimTime::from_secs_f64(2399.0)), 23);
+        assert_eq!(trace.hour_of(SimTime::from_secs_f64(99999.0)), 23);
+    }
+
+    #[test]
+    fn hour_rate_peaks_midday() {
+        let trace = DiurnalTrace { n: 10_000, day_secs: 1200.0 };
+        assert!(trace.hour_rate(12) > 25.0 * trace.hour_rate(2));
+    }
+}

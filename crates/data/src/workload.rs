@@ -1,0 +1,119 @@
+//! Queries and complete workloads.
+
+use crate::deadline::DeadlinePolicy;
+use crate::trace::ArrivalTrace;
+use schemble_models::{Sample, SampleGenerator};
+use schemble_sim::SimTime;
+
+/// One query: a sample payload, its arrival instant and absolute deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Query index within the workload (== sample id).
+    pub id: u64,
+    /// The payload.
+    pub sample: Sample,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Absolute deadline ("the time by which the query must be processed").
+    pub deadline: SimTime,
+}
+
+/// A fully materialised query stream.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Queries in arrival order.
+    pub queries: Vec<Query>,
+    /// Span of the generating trace.
+    pub duration: SimTime,
+}
+
+impl Workload {
+    /// Generates a workload: arrivals from `trace`, payloads from
+    /// `generator` (sample id = position in the trace), deadlines from
+    /// `policy`. Fully deterministic in `(trace, generator, policy, seed)`.
+    pub fn generate(
+        generator: &SampleGenerator,
+        trace: &dyn ArrivalTrace,
+        policy: &DeadlinePolicy,
+        seed: u64,
+    ) -> Self {
+        let arrivals = trace.arrivals(seed);
+        let deadlines = policy.assign(&arrivals, seed);
+        let queries = arrivals
+            .into_iter()
+            .zip(deadlines)
+            .enumerate()
+            .map(|(i, (arrival, deadline))| Query {
+                id: i as u64,
+                sample: generator.sample(i as u64),
+                arrival,
+                deadline,
+            })
+            .collect();
+        Self { queries, duration: trace.duration() }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// An *offline dataset* view: just the samples, for historical profiling
+    /// and predictor training (queries the system served yesterday).
+    pub fn samples(&self) -> Vec<&Sample> {
+        self.queries.iter().map(|q| &q.sample).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::PoissonTrace;
+    use schemble_models::{DifficultyDist, SampleGenerator, TaskSpec};
+
+    fn workload(n: usize) -> Workload {
+        let g = SampleGenerator::new(
+            TaskSpec::Classification { num_classes: 2 },
+            DifficultyDist::Uniform,
+            5,
+        );
+        Workload::generate(
+            &g,
+            &PoissonTrace { rate_per_sec: 100.0, n },
+            &DeadlinePolicy::constant_millis(100.0),
+            42,
+        )
+    }
+
+    #[test]
+    fn queries_are_in_arrival_order_with_ids() {
+        let w = workload(200);
+        assert_eq!(w.len(), 200);
+        for (i, q) in w.queries.iter().enumerate() {
+            assert_eq!(q.id, i as u64);
+            assert_eq!(q.sample.id, i as u64);
+            assert!(q.deadline > q.arrival);
+        }
+        assert!(w.queries.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = workload(50);
+        let b = workload(50);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn samples_view_matches_queries() {
+        let w = workload(10);
+        let samples = w.samples();
+        assert_eq!(samples.len(), 10);
+        assert_eq!(samples[3].id, w.queries[3].sample.id);
+    }
+}

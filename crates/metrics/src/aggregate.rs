@@ -1,0 +1,83 @@
+//! Multi-seed aggregation: mean ± deviation summaries for repeated runs.
+
+use schemble_tensor::stats::{mean, std_dev};
+
+/// Mean ± spread of one metric across repeated (re-seeded) runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedStats {
+    /// Mean across seeds.
+    pub mean: f64,
+    /// Population standard deviation across seeds.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl SeedStats {
+    /// Aggregates metric values from repeated runs.
+    ///
+    /// # Panics
+    /// Panics on an empty slice — aggregating zero runs is a driver bug.
+    pub fn from_runs(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "no runs to aggregate");
+        Self {
+            mean: mean(values),
+            std: std_dev(values),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            runs: values.len(),
+        }
+    }
+
+    /// `"mean ± std"` with percent scaling, for result tables.
+    pub fn pct(&self) -> String {
+        format!("{:.1} ± {:.1}", 100.0 * self.mean, 100.0 * self.std)
+    }
+
+    /// True when another run set is clearly better (its worst run beats this
+    /// one's best run) — the strongest seed-robust ordering claim.
+    pub fn clearly_below(&self, other: &SeedStats) -> bool {
+        self.max < other.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_basics() {
+        let s = SeedStats::from_runs(&[0.9, 0.92, 0.94]);
+        assert!((s.mean - 0.92).abs() < 1e-12);
+        assert_eq!(s.min, 0.9);
+        assert_eq!(s.max, 0.94);
+        assert_eq!(s.runs, 3);
+        assert!(s.std > 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        let s = SeedStats::from_runs(&[0.5, 0.5]);
+        assert_eq!(s.pct(), "50.0 ± 0.0");
+    }
+
+    #[test]
+    fn clear_ordering() {
+        let low = SeedStats::from_runs(&[0.5, 0.6]);
+        let high = SeedStats::from_runs(&[0.7, 0.8]);
+        assert!(low.clearly_below(&high));
+        assert!(!high.clearly_below(&low));
+        let overlap = SeedStats::from_runs(&[0.55, 0.75]);
+        assert!(!low.clearly_below(&overlap));
+    }
+
+    #[test]
+    #[should_panic(expected = "no runs")]
+    fn empty_runs_panic() {
+        SeedStats::from_runs(&[]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Plain-CSV export of per-query records, for offline analysis/plotting.
+//!
+//! Hand-rolled (the schema is fixed and purely numeric) to keep the
+//! dependency set at the approved offline crates.
+
+use crate::outcome::{QueryOutcome, QueryRecord};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// CSV header matching [`record_row`].
+pub const CSV_HEADER: &str =
+    "id,arrival_s,deadline_s,completion_s,outcome,correct,score,latency_s,models_used";
+
+/// One record as a CSV row (no trailing newline).
+pub fn record_row(r: &QueryRecord) -> String {
+    let (outcome, correct, score) = match r.outcome {
+        QueryOutcome::Completed { correct, score } => {
+            ("completed", u8::from(correct).to_string(), format!("{score:.6}"))
+        }
+        QueryOutcome::Missed => ("missed", "0".to_string(), "0".to_string()),
+    };
+    format!(
+        "{},{:.6},{:.6},{},{},{},{},{},{}",
+        r.id,
+        r.arrival.as_secs_f64(),
+        r.deadline.as_secs_f64(),
+        r.completion.map_or(String::new(), |c| format!("{:.6}", c.as_secs_f64())),
+        outcome,
+        correct,
+        score,
+        r.latency_secs().map_or(String::new(), |l| format!("{l:.6}")),
+        r.models_used,
+    )
+}
+
+/// Serialises records to CSV (header + one row per record).
+pub fn to_csv(records: &[QueryRecord]) -> String {
+    let mut out = String::with_capacity(64 * (records.len() + 1));
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&record_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes records to a CSV file (buffered).
+pub fn write_csv(path: &Path, records: &[QueryRecord]) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(file);
+    w.write_all(to_csv(records).as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_sim::SimTime;
+
+    fn record(completed: bool) -> QueryRecord {
+        QueryRecord {
+            id: 7,
+            arrival: SimTime::from_millis(1500),
+            deadline: SimTime::from_millis(1600),
+            completion: completed.then_some(SimTime::from_millis(1550)),
+            outcome: if completed {
+                QueryOutcome::Completed { correct: true, score: 1.0 }
+            } else {
+                QueryOutcome::Missed
+            },
+            models_used: 2,
+        }
+    }
+
+    #[test]
+    fn rows_have_header_arity() {
+        let cols = CSV_HEADER.split(',').count();
+        for r in [record(true), record(false)] {
+            assert_eq!(record_row(&r).split(',').count(), cols, "row arity mismatch");
+        }
+    }
+
+    #[test]
+    fn completed_row_contents() {
+        let row = record_row(&record(true));
+        assert!(row.starts_with("7,1.500000,1.600000,1.550000,completed,1,1.000000"));
+        assert!(row.ends_with(",0.050000,2"));
+    }
+
+    #[test]
+    fn missed_row_has_empty_completion_and_latency() {
+        let row = record_row(&record(false));
+        assert!(row.contains(",,missed,0,0,,2"), "row was: {row}");
+    }
+
+    #[test]
+    fn to_csv_has_one_line_per_record_plus_header() {
+        let csv = to_csv(&[record(true), record(false)]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with(CSV_HEADER));
+    }
+
+    #[test]
+    fn write_csv_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join("schemble-export-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("records.csv");
+        write_csv(&path, &[record(true)]).expect("write");
+        let read = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(read, to_csv(&[record(true)]));
+        let _ = std::fs::remove_file(&path);
+    }
+}

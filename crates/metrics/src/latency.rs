@@ -1,0 +1,64 @@
+//! Latency statistics (Table II columns).
+
+use schemble_tensor::stats::percentile;
+
+/// Mean / P95 / max latency in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Mean latency.
+    pub mean: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Number of samples the stats were computed over.
+    pub count: usize,
+}
+
+impl LatencyStats {
+    /// Computes the statistics; all-zero for an empty sample.
+    pub fn from_samples(latencies_secs: &[f64]) -> Self {
+        if latencies_secs.is_empty() {
+            return Self::default();
+        }
+        let mean = latencies_secs.iter().sum::<f64>() / latencies_secs.len() as f64;
+        let p95 = percentile(latencies_secs, 95.0);
+        let max = latencies_secs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self { mean, p95, max, count: latencies_secs.len() }
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mean={:.3}s p95={:.3}s max={:.3}s", self.mean, self.p95, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_ordering_holds() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let s = LatencyStats::from_samples(&xs);
+        assert!(s.mean <= s.p95 && s.p95 <= s.max);
+        assert_eq!(s.max, 1.0);
+        assert!((s.mean - 0.505).abs() < 1e-12);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn empty_sample_is_zero() {
+        let s = LatencyStats::from_samples(&[]);
+        assert_eq!(s, LatencyStats::default());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = LatencyStats::from_samples(&[0.42]);
+        assert_eq!(s.mean, 0.42);
+        assert_eq!(s.p95, 0.42);
+        assert_eq!(s.max, 0.42);
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-time-segment aggregation (Fig. 1a, 9, 14).
+
+use crate::outcome::{QueryOutcome, QueryRecord};
+
+/// Hourly (or arbitrary-segment) aggregates of a run.
+#[derive(Debug, Clone)]
+pub struct SegmentSeries {
+    /// Queries per segment.
+    pub counts: Vec<usize>,
+    /// Accuracy per segment (missed = 0).
+    pub accuracy: Vec<f64>,
+    /// Deadline miss rate per segment.
+    pub dmr: Vec<f64>,
+    /// Mean latency (seconds, completed queries) per segment.
+    pub mean_latency: Vec<f64>,
+}
+
+impl SegmentSeries {
+    /// Buckets `records` into `num_segments` groups using `segment_of`
+    /// (typically `DiurnalTrace::hour_of` on the arrival time).
+    pub fn compute(
+        records: &[QueryRecord],
+        num_segments: usize,
+        mut segment_of: impl FnMut(&QueryRecord) -> usize,
+    ) -> Self {
+        let mut counts = vec![0usize; num_segments];
+        let mut score_sum = vec![0.0f64; num_segments];
+        let mut missed = vec![0usize; num_segments];
+        let mut lat_sum = vec![0.0f64; num_segments];
+        let mut lat_n = vec![0usize; num_segments];
+        for r in records {
+            let s = segment_of(r);
+            assert!(s < num_segments, "segment {s} out of range");
+            counts[s] += 1;
+            match r.outcome {
+                QueryOutcome::Completed { score, .. } => score_sum[s] += score,
+                QueryOutcome::Missed => {}
+            }
+            if !r.met_deadline() {
+                missed[s] += 1;
+            }
+            if let Some(l) = r.latency_secs() {
+                lat_sum[s] += l;
+                lat_n[s] += 1;
+            }
+        }
+        let div = |num: f64, den: usize| if den == 0 { 0.0 } else { num / den as f64 };
+        SegmentSeries {
+            accuracy: (0..num_segments).map(|s| div(score_sum[s], counts[s])).collect(),
+            dmr: (0..num_segments).map(|s| div(missed[s] as f64, counts[s])).collect(),
+            mean_latency: (0..num_segments).map(|s| div(lat_sum[s], lat_n[s])).collect(),
+            counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_sim::SimTime;
+
+    fn rec(id: u64, hour: u64, hit: bool) -> QueryRecord {
+        let arrival = SimTime::from_millis(hour * 3_600_000);
+        QueryRecord {
+            id,
+            arrival,
+            deadline: arrival + schemble_sim::SimDuration::from_millis(100),
+            completion: hit.then_some(arrival + schemble_sim::SimDuration::from_millis(40)),
+            outcome: if hit {
+                QueryOutcome::Completed { correct: true, score: 1.0 }
+            } else {
+                QueryOutcome::Missed
+            },
+            models_used: 1,
+        }
+    }
+
+    #[test]
+    fn segments_bucket_correctly() {
+        let records = vec![rec(0, 0, true), rec(1, 0, false), rec(2, 1, true)];
+        let series = SegmentSeries::compute(&records, 2, |r| {
+            (r.arrival.as_secs_f64() / 3600.0) as usize
+        });
+        assert_eq!(series.counts, vec![2, 1]);
+        assert!((series.accuracy[0] - 0.5).abs() < 1e-12);
+        assert!((series.dmr[0] - 0.5).abs() < 1e-12);
+        assert_eq!(series.accuracy[1], 1.0);
+        assert_eq!(series.dmr[1], 0.0);
+        assert!((series.mean_latency[1] - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_segments_are_zero() {
+        let series = SegmentSeries::compute(&[], 4, |_| 0);
+        assert_eq!(series.counts, vec![0; 4]);
+        assert_eq!(series.accuracy, vec![0.0; 4]);
+    }
+}

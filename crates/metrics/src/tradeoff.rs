@@ -1,0 +1,86 @@
+//! The latency/accuracy trade-off objective of Fig. 11/15.
+//!
+//! `c = 100·Acc − λ·Latency`, with accuracy in `[0, 1]` and latency in
+//! seconds. A larger `c` is a better trade-off; the weight λ expresses how
+//! much one second of mean latency is worth in accuracy points.
+
+/// Computes `c = 100·accuracy − lambda·latency_secs`.
+pub fn tradeoff_objective(accuracy: f64, latency_secs: f64, lambda: f64) -> f64 {
+    100.0 * accuracy - lambda * latency_secs
+}
+
+/// For a set of candidate `(name, accuracy, latency)` points, the name of the
+/// objective-maximising one at weight `lambda`. Ties break toward the earlier
+/// entry.
+pub fn best_at_lambda<'a>(points: &'a [(&'a str, f64, f64)], lambda: f64) -> &'a str {
+    assert!(!points.is_empty(), "no candidate points");
+    points
+        .iter()
+        .max_by(|a, b| {
+            tradeoff_objective(a.1, a.2, lambda)
+                .partial_cmp(&tradeoff_objective(b.1, b.2, lambda))
+                .expect("NaN objective")
+        })
+        .expect("non-empty")
+        .0
+}
+
+/// The λ interval (within `[lo, hi]`, scanned at `steps` points) on which
+/// `candidate` is the objective-maximiser — the "extensive range of weights"
+/// statement of Exp-2. Returns `None` if it never wins.
+pub fn winning_lambda_range(
+    points: &[(&str, f64, f64)],
+    candidate: &str,
+    lo: f64,
+    hi: f64,
+    steps: usize,
+) -> Option<(f64, f64)> {
+    assert!(steps >= 2 && hi > lo);
+    let mut min_win = None;
+    let mut max_win = None;
+    for i in 0..steps {
+        // Geometric scan: the paper's ranges span several orders of magnitude.
+        let lambda = lo * (hi / lo).powf(i as f64 / (steps - 1) as f64);
+        if best_at_lambda(points, lambda) == candidate {
+            min_win.get_or_insert(lambda);
+            max_win = Some(lambda);
+        }
+    }
+    min_win.zip(max_win)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_formula() {
+        assert!((tradeoff_objective(0.9, 0.5, 10.0) - 85.0).abs() < 1e-12);
+        assert!((tradeoff_objective(1.0, 0.0, 100.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_flips_with_lambda() {
+        // "accurate but slow" vs "fast but sloppy".
+        let points = [("accurate", 0.95, 2.0), ("fast", 0.80, 0.05)];
+        assert_eq!(best_at_lambda(&points, 0.1), "accurate");
+        assert_eq!(best_at_lambda(&points, 100.0), "fast");
+    }
+
+    #[test]
+    fn balanced_candidate_wins_a_middle_range() {
+        let points =
+            [("accurate", 0.97, 5.0), ("balanced", 0.95, 0.10), ("fast", 0.80, 0.05)];
+        let range = winning_lambda_range(&points, "balanced", 0.01, 1000.0, 200).unwrap();
+        assert!(range.0 < 1.0 && range.1 > 10.0, "balanced should win a wide band: {range:?}");
+        // The extremes belong to the specialists.
+        assert_eq!(best_at_lambda(&points, 0.01), "accurate");
+        assert_eq!(best_at_lambda(&points, 1000.0), "fast");
+    }
+
+    #[test]
+    fn never_winning_returns_none() {
+        let points = [("a", 0.9, 0.1), ("dominated", 0.5, 1.0)];
+        assert!(winning_lambda_range(&points, "dominated", 0.01, 100.0, 50).is_none());
+    }
+}

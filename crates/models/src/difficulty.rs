@@ -1,0 +1,242 @@
+//! Latent-difficulty distributions (paper Exp-3).
+//!
+//! Exp-3 resamples query difficulty from Normal and Gamma distributions with
+//! varying means (σ = 0.03, scale = 1 in the paper) to study how the score
+//! distribution affects each baseline. Difficulty is a latent `z ∈ [0, 1]`;
+//! samples outside the interval clamp.
+
+use rand::Rng;
+
+/// A distribution over latent difficulty `z ∈ [0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DifficultyDist {
+    /// Uniform on `[0, 1]` — the default workload.
+    Uniform,
+    /// Beta-like skew toward easy samples: `z = u^k` with `k > 1`. Real
+    /// datasets are easy-heavy (Fig. 4a mass near zero); `k ≈ 2–3` matches.
+    EasySkewed {
+        /// Exponent applied to the uniform draw; larger = easier.
+        exponent: f64,
+    },
+    /// Normal with the paper's σ = 0.03 default, clamped to `[0, 1]`.
+    Normal {
+        /// Mean difficulty.
+        mean: f64,
+        /// Standard deviation.
+        std: f64,
+    },
+    /// Gamma with scale 1 rescaled by `1/10` into `[0,1]` (the paper sweeps
+    /// the mean with the scale fixed at 1; dividing by 10 maps the bulk of
+    /// the mass into the unit interval), clamped.
+    Gamma {
+        /// Target mean of the clamped variable (pre-rescale shape = 10·mean).
+        mean: f64,
+    },
+    /// Every sample gets the same difficulty.
+    Fixed(f64),
+}
+
+impl DifficultyDist {
+    /// Draws one difficulty value.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match *self {
+            DifficultyDist::Uniform => rng.random_range(0.0..1.0),
+            DifficultyDist::EasySkewed { exponent } => {
+                rng.random_range(0.0f64..1.0).powf(exponent)
+            }
+            DifficultyDist::Normal { mean, std } => {
+                (mean + std * standard_normal(rng)).clamp(0.0, 1.0)
+            }
+            DifficultyDist::Gamma { mean } => {
+                let shape = (mean * 10.0).max(0.05);
+                (gamma_shape_scale1(rng, shape) / 10.0).clamp(0.0, 1.0)
+            }
+            DifficultyDist::Fixed(z) => z.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (one draw per call; the discarded second
+/// variate keeps the generator stateless).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Gamma(shape, scale = 1) via Marsaglia–Tsang, with the Johnk boost for
+/// shape < 1.
+pub fn gamma_shape_scale1(rng: &mut impl Rng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: G(a) = G(a+1) * U^(1/a).
+        let g = gamma_shape_scale1(rng, shape + 1.0);
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        return g * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (max error ≈ 1.5e-7 — ample for copula draws).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_sim::rng::stream_rng;
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = stream_rng(1, "d");
+        let d = DifficultyDist::Uniform;
+        let mean: f64 = (0..20_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "uniform mean {mean}");
+    }
+
+    #[test]
+    fn normal_tracks_mean_and_clamps() {
+        let mut rng = stream_rng(2, "d");
+        let d = DifficultyDist::Normal { mean: 0.4, std: 0.03 };
+        let xs: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.4).abs() < 0.01, "normal mean {mean}");
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn gamma_mean_roughly_matches() {
+        let mut rng = stream_rng(3, "d");
+        let d = DifficultyDist::Gamma { mean: 0.3 };
+        let mean: f64 = (0..20_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((mean - 0.3).abs() < 0.03, "gamma mean {mean}");
+    }
+
+    #[test]
+    fn easy_skewed_is_easier_than_uniform() {
+        let mut rng = stream_rng(4, "d");
+        let d = DifficultyDist::EasySkewed { exponent: 2.5 };
+        let mean: f64 = (0..20_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!(mean < 0.35, "easy-skewed mean {mean} should sit well below 0.5");
+    }
+
+    #[test]
+    fn fixed_is_constant_and_clamped() {
+        let mut rng = stream_rng(5, "d");
+        assert_eq!(DifficultyDist::Fixed(0.7).sample(&mut rng), 0.7);
+        assert_eq!(DifficultyDist::Fixed(3.0).sample(&mut rng), 1.0);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = stream_rng(6, "d");
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "normal var {var}");
+    }
+
+    #[test]
+    fn gamma_small_shape_is_positive() {
+        let mut rng = stream_rng(7, "d");
+        for _ in 0..1000 {
+            assert!(gamma_shape_scale1(&mut rng, 0.3) > 0.0);
+        }
+    }
+}
+
+/// Standard normal quantile (probit) via the Beasley–Springer–Moro
+/// algorithm; |error| < 3e-9 on (1e-10, 1−1e-10). Used to derive per-model
+/// logit-noise parameters from target accuracies.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile domain is (0,1), got {p}");
+    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
+    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    const C: [f64; 9] = [
+        0.3374754822726147,
+        0.9761690190917186,
+        0.1607979714918209,
+        0.0276438810333863,
+        0.0038405729373609,
+        0.0003951896511919,
+        0.0000321767881768,
+        0.0000002888167364,
+        0.0000003960315187,
+    ];
+    let y = p - 0.5;
+    if y.abs() < 0.42 {
+        let r = y * y;
+        y * (((A[3] * r + A[2]) * r + A[1]) * r + A[0])
+            / ((((B[3] * r + B[2]) * r + B[1]) * r + B[0]) * r + 1.0)
+    } else {
+        let r = if y > 0.0 { 1.0 - p } else { p };
+        let r = (-r.ln()).ln();
+        let mut x = C[0];
+        let mut rp = 1.0;
+        for c in C.iter().skip(1) {
+            rp *= r;
+            x += c * rp;
+        }
+        if y < 0.0 {
+            -x
+        } else {
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod quantile_tests {
+    use super::*;
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-4, "p={p}: cdf(q(p))={}", normal_cdf(x));
+        }
+    }
+
+    #[test]
+    fn quantile_signs() {
+        assert!(normal_quantile(0.5).abs() < 1e-9);
+        assert!(normal_quantile(0.975) > 1.9 && normal_quantile(0.975) < 2.0);
+        assert!(normal_quantile(0.025) < -1.9);
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic deep base models, ensembles and aggregation modules.
+//!
+//! The paper evaluates Schemble with real deep ensembles (BERT/RoBERTa/BiLSTM
+//! for text matching, EfficientDet/YOLOv5/YOLOX for vehicle counting, two
+//! DELG variants for image retrieval). This crate substitutes those with a
+//! **generative model of ensemble behaviour** — every downstream component
+//! (discrepancy score, accuracy profiling, DES/gating baselines, schedulers)
+//! consumes only base-model *outputs*, so a generator controlling the joint
+//! output distribution preserves the phenomena the paper measures:
+//!
+//! * each [`base::BaseModel`] has a *skill curve* `p(correct | difficulty z)`
+//!   that degrades with the sample's latent difficulty;
+//! * model errors are **correlated** through a Gaussian copula over a shared
+//!   per-sample noise term, reproducing the redundancy structure of §I
+//!   (most samples solvable by any one model, few needing all);
+//! * each model also has **idiosyncratic, seed-dependent noise**, making
+//!   per-model "preferences" unstable across seeds while the discrepancy
+//!   score stays stable (Fig. 5);
+//! * classification outputs are deliberately **miscalibrated** (sharpened by
+//!   a per-model temperature) so temperature scaling has real work to do;
+//! * each model carries a latency profile matching the paper's relative
+//!   speeds (e.g. BiLSTM ≪ RoBERTa ≲ BERT).
+//!
+//! [`zoo`] builds the three task ensembles plus the CIFAR100-like six-model
+//! zoo used by the Fig. 5 / Fig. 20a experiments.
+
+pub mod aggregate;
+pub mod base;
+pub mod difficulty;
+pub mod ensemble;
+pub mod modelset;
+pub mod output;
+pub mod sample;
+pub mod zoo;
+
+pub use aggregate::Aggregator;
+pub use base::BaseModel;
+pub use difficulty::DifficultyDist;
+pub use ensemble::Ensemble;
+pub use modelset::ModelSet;
+pub use output::{Output, TaskSpec};
+pub use sample::{Label, Sample, SampleGenerator};

@@ -1,0 +1,222 @@
+//! Model outputs, task specifications and output-space distances.
+
+use schemble_tensor::dist::{euclidean, js_divergence, symmetric_kl};
+use schemble_tensor::prob::{argmax, rescale_probs};
+
+/// What a task's models emit and how correctness is judged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskSpec {
+    /// Classification over `num_classes` classes; correctness = argmax match.
+    Classification {
+        /// Number of classes.
+        num_classes: usize,
+    },
+    /// Regression; a prediction within `tolerance` of the reference counts
+    /// as correct (vehicle counts compare after rounding, so 0.5 is exact).
+    Regression {
+        /// Absolute tolerance for correctness.
+        tolerance: f64,
+    },
+    /// Retrieval scored over a candidate set: models emit a relevance
+    /// distribution over `num_candidates`; correctness = top-1 match, and
+    /// the mAP metric uses the rank of the reference item.
+    Retrieval {
+        /// Size of the candidate set.
+        num_candidates: usize,
+    },
+}
+
+impl TaskSpec {
+    /// Output vector dimension under this spec.
+    pub fn output_dim(&self) -> usize {
+        match *self {
+            TaskSpec::Classification { num_classes } => num_classes,
+            TaskSpec::Regression { .. } => 1,
+            TaskSpec::Retrieval { num_candidates } => num_candidates,
+        }
+    }
+
+    /// Number of classes, if categorical.
+    pub fn num_classes(&self) -> Option<usize> {
+        match *self {
+            TaskSpec::Classification { num_classes } => Some(num_classes),
+            TaskSpec::Retrieval { num_candidates } => Some(num_candidates),
+            TaskSpec::Regression { .. } => None,
+        }
+    }
+
+    /// True for categorical (probability-vector) outputs.
+    pub fn is_categorical(&self) -> bool {
+        !matches!(self, TaskSpec::Regression { .. })
+    }
+}
+
+/// One model's (or the ensemble's) output on one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Output {
+    /// Probability vector over classes/candidates.
+    Probs(Vec<f64>),
+    /// Scalar regression value.
+    Scalar(f64),
+}
+
+impl Output {
+    /// Flattens to a plain vector — the stacking meta-classifier and KNN
+    /// filler both consume raw vectors.
+    pub fn as_vec(&self) -> Vec<f64> {
+        match self {
+            Output::Probs(p) => p.clone(),
+            Output::Scalar(v) => vec![*v],
+        }
+    }
+
+    /// Predicted class for categorical outputs.
+    ///
+    /// # Panics
+    /// Panics on scalar outputs.
+    pub fn predicted_class(&self) -> usize {
+        match self {
+            Output::Probs(p) => argmax(p),
+            Output::Scalar(_) => panic!("predicted_class on scalar output"),
+        }
+    }
+
+    /// Scalar value.
+    ///
+    /// # Panics
+    /// Panics on categorical outputs.
+    pub fn value(&self) -> f64 {
+        match self {
+            Output::Scalar(v) => *v,
+            Output::Probs(_) => panic!("value on categorical output"),
+        }
+    }
+
+    /// Applies temperature scaling (categorical outputs only; scalars pass
+    /// through unchanged — regression calibration is not needed by Eq. 1).
+    pub fn calibrated(&self, temperature: f64) -> Output {
+        match self {
+            Output::Probs(p) => Output::Probs(rescale_probs(p, temperature)),
+            Output::Scalar(v) => Output::Scalar(*v),
+        }
+    }
+
+    /// Distance of Eq. 1: JS divergence for categorical outputs, Euclidean
+    /// for scalars.
+    ///
+    /// # Panics
+    /// Panics if the two outputs have different kinds.
+    pub fn distance(&self, other: &Output) -> f64 {
+        match (self, other) {
+            (Output::Probs(p), Output::Probs(q)) => js_divergence(p, q),
+            (Output::Scalar(a), Output::Scalar(b)) => euclidean(&[*a], &[*b]),
+            _ => panic!("distance between mismatched output kinds"),
+        }
+    }
+
+    /// Symmetric-KL distance used by the ensemble-agreement baseline
+    /// (Euclidean for scalars, as agreement has no categorical structure
+    /// there).
+    pub fn agreement_distance(&self, other: &Output) -> f64 {
+        match (self, other) {
+            (Output::Probs(p), Output::Probs(q)) => symmetric_kl(p, q),
+            (Output::Scalar(a), Output::Scalar(b)) => euclidean(&[*a], &[*b]),
+            _ => panic!("distance between mismatched output kinds"),
+        }
+    }
+
+    /// Whether this output "agrees with" a reference output under `spec` —
+    /// the correctness notion used throughout the evaluation (the reference
+    /// is usually the full ensemble's output, per §VIII: "we refer to results
+    /// from the original deep ensemble as the ground truth").
+    pub fn agrees_with(&self, reference: &Output, spec: &TaskSpec) -> bool {
+        match (spec, self, reference) {
+            (TaskSpec::Regression { tolerance }, Output::Scalar(a), Output::Scalar(b)) => {
+                (a - b).abs() <= *tolerance
+            }
+            (_, Output::Probs(_), Output::Probs(_)) => {
+                self.predicted_class() == reference.predicted_class()
+            }
+            _ => panic!("output kind does not match task spec"),
+        }
+    }
+
+    /// Rank (1-based) of `class` in this categorical output; used by the
+    /// retrieval mAP metric (AP of a single relevant item = 1/rank).
+    ///
+    /// # Panics
+    /// Panics on scalar outputs or out-of-range class.
+    pub fn rank_of(&self, class: usize) -> usize {
+        match self {
+            Output::Probs(p) => {
+                assert!(class < p.len(), "class out of range");
+                1 + p.iter().filter(|&&x| x > p[class]).count()
+            }
+            Output::Scalar(_) => panic!("rank_of on scalar output"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_kinds() {
+        let a = Output::Probs(vec![0.9, 0.1]);
+        let b = Output::Probs(vec![0.1, 0.9]);
+        assert!(a.distance(&b) > 0.0);
+        assert_eq!(a.distance(&a), 0.0);
+        let s = Output::Scalar(3.0);
+        let t = Output::Scalar(5.5);
+        assert!((s.distance(&t) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agreement_under_specs() {
+        let spec = TaskSpec::Classification { num_classes: 2 };
+        let a = Output::Probs(vec![0.6, 0.4]);
+        let b = Output::Probs(vec![0.9, 0.1]);
+        let c = Output::Probs(vec![0.2, 0.8]);
+        assert!(a.agrees_with(&b, &spec));
+        assert!(!a.agrees_with(&c, &spec));
+
+        let reg = TaskSpec::Regression { tolerance: 0.5 };
+        assert!(Output::Scalar(3.2).agrees_with(&Output::Scalar(3.0), &reg));
+        assert!(!Output::Scalar(4.0).agrees_with(&Output::Scalar(3.0), &reg));
+    }
+
+    #[test]
+    fn rank_of_orders_by_probability() {
+        let o = Output::Probs(vec![0.1, 0.5, 0.4]);
+        assert_eq!(o.rank_of(1), 1);
+        assert_eq!(o.rank_of(2), 2);
+        assert_eq!(o.rank_of(0), 3);
+    }
+
+    #[test]
+    fn calibration_softens_categorical() {
+        let o = Output::Probs(vec![0.95, 0.05]);
+        if let Output::Probs(p) = o.calibrated(3.0) {
+            assert!(p[0] < 0.95 && p[0] > 0.5);
+        } else {
+            panic!("calibrated changed kind");
+        }
+        assert_eq!(Output::Scalar(2.0).calibrated(3.0), Output::Scalar(2.0));
+    }
+
+    #[test]
+    fn spec_dims() {
+        assert_eq!(TaskSpec::Classification { num_classes: 5 }.output_dim(), 5);
+        assert_eq!(TaskSpec::Regression { tolerance: 0.5 }.output_dim(), 1);
+        assert_eq!(TaskSpec::Retrieval { num_candidates: 20 }.output_dim(), 20);
+        assert!(TaskSpec::Retrieval { num_candidates: 20 }.is_categorical());
+        assert!(!TaskSpec::Regression { tolerance: 1.0 }.is_categorical());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched output kinds")]
+    fn mixed_distance_panics() {
+        let _ = Output::Probs(vec![1.0]).distance(&Output::Scalar(1.0));
+    }
+}

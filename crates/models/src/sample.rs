@@ -1,0 +1,228 @@
+//! Samples (queries' payloads) and their generator.
+//!
+//! A [`Sample`] carries everything the generative base models need to produce
+//! outputs deterministically, plus the feature vector the difficulty
+//! predictor / DES / gating baselines observe:
+//!
+//! * `difficulty` — the latent hardness `z ∈ [0, 1]` (never visible to any
+//!   online component; only the generator and oracle baselines see it);
+//! * `shared_noise` — a standard-normal draw shared by all base models on
+//!   this sample, inducing *correlated* errors through a Gaussian copula;
+//! * `features` — a noisy view of the difficulty plus nuisance dimensions.
+//!   Difficulty is (noisily) recoverable from features; per-model
+//!   idiosyncratic errors are not, which is exactly the structure the paper
+//!   argues makes discrepancy prediction learnable while model-preference
+//!   learning is not (§V-C, Fig. 5).
+
+use crate::difficulty::{standard_normal, DifficultyDist};
+use crate::output::TaskSpec;
+use rand::Rng;
+use schemble_sim::rng::stream_rng_u64;
+
+/// Ground-truth label of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Label {
+    /// Class index (classification / retrieval reference item).
+    Class(usize),
+    /// Regression target.
+    Value(f64),
+}
+
+impl Label {
+    /// Class index; panics for regression labels.
+    pub fn class(&self) -> usize {
+        match self {
+            Label::Class(c) => *c,
+            Label::Value(_) => panic!("class() on regression label"),
+        }
+    }
+
+    /// Regression value; panics for class labels.
+    pub fn value(&self) -> f64 {
+        match self {
+            Label::Value(v) => *v,
+            Label::Class(_) => panic!("value() on class label"),
+        }
+    }
+}
+
+/// One query payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Unique id — also the per-sample RNG stream for model noise.
+    pub id: u64,
+    /// Latent difficulty `z ∈ [0, 1]`.
+    pub difficulty: f64,
+    /// Shared standard-normal noise (error-correlation copula input).
+    pub shared_noise: f64,
+    /// Ground-truth label.
+    pub label: Label,
+    /// Observable feature vector.
+    pub features: Vec<f64>,
+}
+
+/// Number of informative feature dimensions (they encode difficulty).
+const INFORMATIVE_DIMS: usize = 4;
+
+/// Deterministic sample generator for a task.
+#[derive(Debug, Clone)]
+pub struct SampleGenerator {
+    /// Task specification (drives label/feature shapes).
+    pub spec: TaskSpec,
+    /// Difficulty distribution.
+    pub difficulty: DifficultyDist,
+    /// Total feature dimension (informative + nuisance).
+    pub feature_dim: usize,
+    seed: u64,
+}
+
+impl SampleGenerator {
+    /// Feature dimension used by all built-in zoos.
+    pub const DEFAULT_FEATURE_DIM: usize = 12;
+
+    /// A generator with the default feature layout.
+    pub fn new(spec: TaskSpec, difficulty: DifficultyDist, seed: u64) -> Self {
+        Self { spec, difficulty, feature_dim: Self::DEFAULT_FEATURE_DIM, seed }
+    }
+
+    /// Generates the sample with id `id`. Pure function of `(self, id)` —
+    /// repeated calls return identical samples.
+    pub fn sample(&self, id: u64) -> Sample {
+        let mut rng = stream_rng_u64(self.seed, id);
+        self.sample_with_rng(id, &mut rng)
+    }
+
+    /// Generates `n` consecutive samples starting from id `start`.
+    pub fn batch(&self, start: u64, n: usize) -> Vec<Sample> {
+        (0..n as u64).map(|i| self.sample(start + i)).collect()
+    }
+
+    fn sample_with_rng(&self, id: u64, rng: &mut impl Rng) -> Sample {
+        let z = self.difficulty.sample(rng);
+        let shared_noise = standard_normal(rng);
+        let label = match self.spec {
+            TaskSpec::Classification { num_classes } => {
+                Label::Class(rng.random_range(0..num_classes))
+            }
+            TaskSpec::Retrieval { num_candidates } => {
+                Label::Class(rng.random_range(0..num_candidates))
+            }
+            // Vehicle counts: non-negative, heavier scenes are harder, so the
+            // mean count grows with difficulty.
+            TaskSpec::Regression { .. } => {
+                let mean = 2.0 + 18.0 * z;
+                Label::Value((mean + 2.0 * standard_normal(rng)).max(0.0).round())
+            }
+        };
+        let mut features = Vec::with_capacity(self.feature_dim);
+        // Informative dims: noisy monotone views of difficulty. The noise
+        // bounds how well *any* predictor can rank queries, mirroring the
+        // imperfect-but-useful predictor of Fig. 16.
+        for k in 0..INFORMATIVE_DIMS.min(self.feature_dim) {
+            let noise = 0.08 * standard_normal(rng);
+            let view = match k {
+                0 => z,
+                1 => 1.0 - z,
+                2 => (z * std::f64::consts::PI).sin(),
+                _ => z * z,
+            };
+            features.push(view + noise);
+        }
+        for _ in INFORMATIVE_DIMS..self.feature_dim {
+            features.push(rng.random_range(-1.0..1.0));
+        }
+        Sample { id, difficulty: z, shared_noise, label, features }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_tensor::stats::pearson;
+
+    fn generator() -> SampleGenerator {
+        SampleGenerator::new(
+            TaskSpec::Classification { num_classes: 2 },
+            DifficultyDist::Uniform,
+            99,
+        )
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let g = generator();
+        assert_eq!(g.sample(5), g.sample(5));
+        assert_ne!(g.sample(5), g.sample(6));
+    }
+
+    #[test]
+    fn batch_ids_are_consecutive() {
+        let g = generator();
+        let batch = g.batch(10, 5);
+        let ids: Vec<u64> = batch.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn features_carry_difficulty_signal() {
+        let g = generator();
+        let samples = g.batch(0, 2000);
+        let zs: Vec<f64> = samples.iter().map(|s| s.difficulty).collect();
+        let f0: Vec<f64> = samples.iter().map(|s| s.features[0]).collect();
+        let f1: Vec<f64> = samples.iter().map(|s| s.features[1]).collect();
+        assert!(pearson(&f0, &zs) > 0.9, "feature 0 should track difficulty");
+        assert!(pearson(&f1, &zs) < -0.9, "feature 1 should anti-track difficulty");
+    }
+
+    #[test]
+    fn nuisance_features_are_uninformative() {
+        let g = generator();
+        let samples = g.batch(0, 2000);
+        let zs: Vec<f64> = samples.iter().map(|s| s.difficulty).collect();
+        let f_noise: Vec<f64> = samples.iter().map(|s| s.features[8]).collect();
+        assert!(pearson(&f_noise, &zs).abs() < 0.1);
+    }
+
+    #[test]
+    fn regression_labels_grow_with_difficulty() {
+        let g = SampleGenerator::new(
+            TaskSpec::Regression { tolerance: 0.5 },
+            DifficultyDist::Uniform,
+            7,
+        );
+        let samples = g.batch(0, 2000);
+        let zs: Vec<f64> = samples.iter().map(|s| s.difficulty).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.label.value()).collect();
+        assert!(pearson(&ys, &zs) > 0.8, "counts should grow with difficulty");
+        assert!(ys.iter().all(|&y| y >= 0.0));
+    }
+
+    #[test]
+    fn class_labels_cover_range() {
+        let g = SampleGenerator::new(
+            TaskSpec::Classification { num_classes: 4 },
+            DifficultyDist::Uniform,
+            3,
+        );
+        let mut seen = [false; 4];
+        for s in g.batch(0, 200) {
+            seen[s.label.class()] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all classes should appear");
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let g1 = SampleGenerator::new(
+            TaskSpec::Classification { num_classes: 2 },
+            DifficultyDist::Uniform,
+            1,
+        );
+        let g2 = SampleGenerator::new(
+            TaskSpec::Classification { num_classes: 2 },
+            DifficultyDist::Uniform,
+            2,
+        );
+        assert_ne!(g1.sample(0).difficulty, g2.sample(0).difficulty);
+    }
+}

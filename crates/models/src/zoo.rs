@@ -1,0 +1,155 @@
+//! Pre-configured ensembles matching the paper's three applications plus the
+//! CIFAR100-like zoo of the Fig. 5 / Fig. 20a analyses.
+//!
+//! Skill and latency parameters are chosen to match the *relative* shape
+//! reported in the paper (Fig. 1b and §VIII): BiLSTM is much faster and
+//! noticeably weaker than RoBERTa/BERT; the detectors are mid-latency
+//! regressors; the two DELG variants are slow and close in accuracy; the
+//! CIFAR architectures span VGG16 (weakest) to ResNeXt50 (strongest).
+
+use crate::base::BaseModel;
+use crate::ensemble::Ensemble;
+use crate::output::TaskSpec;
+use schemble_sim::rng::mix;
+
+/// Text matching (intelligent Q&A): BiLSTM + RoBERTa + BERT, binary output.
+///
+/// `seed` re-rolls every model's training seed (used by the Fig. 5-style
+/// stability analysis).
+pub fn text_matching(seed: u64) -> Ensemble {
+    let spec = TaskSpec::Classification { num_classes: 2 };
+    Ensemble::weighted_average(
+        vec![
+            BaseModel::classifier("BiLSTM", 0.905, 0.520, 18.0, 3.4, mix(seed, 0)),
+            BaseModel::classifier("RoBERTa", 0.975, 0.700, 42.0, 2.0, mix(seed, 1)),
+            BaseModel::classifier("BERT", 0.980, 0.730, 48.0, 1.4, mix(seed, 2)),
+        ],
+        spec,
+    )
+}
+
+/// Vehicle counting on video frames: EfficientDet-0 + YOLOv5l6 + YOLOX,
+/// regression with exact-count tolerance 1.0.
+pub fn vehicle_counting(seed: u64) -> Ensemble {
+    let spec = TaskSpec::Regression { tolerance: 1.0 };
+    Ensemble::weighted_average(
+        vec![
+            BaseModel::regressor("EfficientDet-0", 2.8, 0.5, 30.0, mix(seed, 10)),
+            BaseModel::regressor("YOLOv5l6", 2.3, -0.4, 24.0, mix(seed, 11)),
+            BaseModel::regressor("YOLOX", 2.0, 0.1, 34.0, mix(seed, 12)),
+        ],
+        spec,
+    )
+}
+
+/// Image retrieval over a 20-candidate pool: two DELG variants
+/// (ResNet-50 and ResNet-101 backbones).
+pub fn image_retrieval(seed: u64) -> Ensemble {
+    let spec = TaskSpec::Retrieval { num_candidates: 20 };
+    Ensemble::weighted_average(
+        vec![
+            BaseModel::classifier("DELG-R50", 0.955, 0.640, 55.0, 2.8, mix(seed, 20)),
+            BaseModel::classifier("DELG-R101", 0.975, 0.710, 85.0, 1.4, mix(seed, 21)),
+        ],
+        spec,
+    )
+}
+
+/// The six CIFAR100-like architectures of Fig. 5, in the paper's order:
+/// VGG16, ResNet18, ResNet101, DenseNet121, InceptionV3, ResNeXt50.
+pub const CIFAR_ARCHS: [&str; 6] =
+    ["VGG16", "ResNet18", "ResNet101", "DenseNet121", "InceptionV3", "ResNeXt50"];
+
+/// One CIFAR100-like model: architecture `arch` (0..6) trained with `seed`.
+/// The architecture fixes the skill curve; the seed fixes the idiosyncratic
+/// per-sample noise — re-seeding reproduces the paper's "same architecture,
+/// different random seed" setting.
+pub fn cifar_model(arch: usize, seed: u64) -> BaseModel {
+    assert!(arch < CIFAR_ARCHS.len(), "unknown CIFAR architecture {arch}");
+    // (acc_easy, acc_hard, latency_ms, miscal_temp) per architecture.
+    let params = [
+        (0.920, 0.300, 6.0, 2.8),  // VGG16
+        (0.945, 0.360, 5.0, 2.2),  // ResNet18
+        (0.965, 0.430, 14.0, 2.0), // ResNet101
+        (0.960, 0.420, 11.0, 1.9), // DenseNet121
+        (0.955, 0.400, 12.0, 2.4), // InceptionV3
+        (0.970, 0.450, 10.0, 2.1), // ResNeXt50
+    ];
+    let (easy, hard, lat, temp) = params[arch];
+    BaseModel::classifier(CIFAR_ARCHS[arch], easy, hard, lat, temp, mix(seed, 30 + arch as u64))
+}
+
+/// A CIFAR100-like ensemble of the first `size` architectures (Fig. 20a
+/// sweeps the ensemble size).
+pub fn cifar_zoo(size: usize, seed: u64) -> Ensemble {
+    assert!(
+        (1..=CIFAR_ARCHS.len()).contains(&size),
+        "cifar zoo size must be 1..=6"
+    );
+    let spec = TaskSpec::Classification { num_classes: 100 };
+    Ensemble::weighted_average((0..size).map(|a| cifar_model(a, seed)).collect(), spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_sim::SimDuration;
+
+    #[test]
+    fn text_matching_shape() {
+        let ens = text_matching(1);
+        assert_eq!(ens.m(), 3);
+        assert_eq!(ens.models[0].name, "BiLSTM");
+        // BiLSTM must be much faster than BERT (Fig. 1b).
+        assert!(
+            ens.models[0].latency.planned().as_micros() * 2
+                < ens.models[2].latency.planned().as_micros()
+        );
+        assert_eq!(ens.slowest_planned_latency(), SimDuration::from_millis(48));
+    }
+
+    #[test]
+    fn vehicle_counting_is_regression() {
+        let ens = vehicle_counting(1);
+        assert_eq!(ens.m(), 3);
+        assert!(matches!(ens.spec, TaskSpec::Regression { .. }));
+    }
+
+    #[test]
+    fn image_retrieval_has_two_models() {
+        let ens = image_retrieval(1);
+        assert_eq!(ens.m(), 2);
+        assert!(matches!(ens.spec, TaskSpec::Retrieval { num_candidates: 20 }));
+    }
+
+    #[test]
+    fn cifar_zoo_sizes() {
+        for size in 1..=6 {
+            let ens = cifar_zoo(size, 9);
+            assert_eq!(ens.m(), size);
+        }
+    }
+
+    #[test]
+    fn cifar_reseeding_changes_idiosyncrasy_only() {
+        let a = cifar_model(0, 1);
+        let b = cifar_model(0, 2);
+        assert_eq!(a.acc_easy, b.acc_easy);
+        assert_eq!(a.name, b.name);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn zoo_seeds_are_distinct_across_models() {
+        let ens = text_matching(5);
+        let seeds: Vec<u64> = ens.models.iter().map(|m| m.seed).collect();
+        assert_ne!(seeds[0], seeds[1]);
+        assert_ne!(seeds[1], seeds[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown CIFAR architecture")]
+    fn cifar_arch_bounds_checked() {
+        let _ = cifar_model(6, 1);
+    }
+}

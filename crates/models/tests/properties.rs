@@ -1,0 +1,117 @@
+//! Property-based tests of the generative model substrate.
+
+use proptest::prelude::*;
+use schemble_models::{
+    zoo, BaseModel, DifficultyDist, ModelSet, Output, SampleGenerator, TaskSpec,
+};
+
+proptest! {
+    /// Categorical outputs are valid probability vectors for any skill
+    /// configuration and sample.
+    #[test]
+    fn categorical_outputs_are_distributions(
+        acc_easy in 0.55f64..0.99,
+        spread in 0.0f64..0.4,
+        temp in 1.0f64..4.0,
+        seed in 0u64..1000,
+        sample_id in 0u64..1000,
+        classes in 2usize..20,
+    ) {
+        let acc_hard = (acc_easy - spread).max(0.05);
+        let model = BaseModel::classifier("p", acc_easy, acc_hard, 20.0, temp, seed);
+        let spec = TaskSpec::Classification { num_classes: classes };
+        let gen = SampleGenerator::new(spec, DifficultyDist::Uniform, seed ^ 0xabc);
+        let s = gen.sample(sample_id);
+        match model.infer(&s, &spec) {
+            Output::Probs(p) => {
+                prop_assert_eq!(p.len(), classes);
+                prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+                prop_assert!(p.iter().all(|&x| x >= 0.0));
+            }
+            Output::Scalar(_) => prop_assert!(false, "wrong output kind"),
+        }
+    }
+
+    /// Inference is a pure function of (model seed, sample).
+    #[test]
+    fn inference_is_pure(seed in 0u64..500, sample_id in 0u64..500) {
+        let model = BaseModel::classifier("p", 0.9, 0.6, 20.0, 2.0, seed);
+        let spec = TaskSpec::Classification { num_classes: 3 };
+        let gen = SampleGenerator::new(spec, DifficultyDist::Uniform, 7);
+        let s = gen.sample(sample_id);
+        prop_assert_eq!(model.infer(&s, &spec), model.infer(&s, &spec));
+    }
+
+    /// Subset aggregation of a singleton equals that model's own output
+    /// class (weighted average of one vector is itself).
+    #[test]
+    fn singleton_aggregation_is_identity(sample_id in 0u64..300) {
+        let ens = zoo::text_matching(1);
+        let gen = SampleGenerator::new(ens.spec, DifficultyDist::Uniform, 5);
+        let s = gen.sample(sample_id);
+        for k in 0..ens.m() {
+            let direct = ens.models[k].infer(&s, &ens.spec);
+            let via_subset = ens.subset_output(&s, ModelSet::singleton(k));
+            prop_assert_eq!(direct.predicted_class(), via_subset.predicted_class());
+        }
+    }
+
+    /// Adding a model to a subset can only move the aggregate toward the
+    /// full ensemble or keep it: the full set always reproduces the
+    /// ensemble's output exactly.
+    #[test]
+    fn full_subset_equals_ensemble(sample_id in 0u64..300) {
+        let ens = zoo::vehicle_counting(1);
+        let gen = SampleGenerator::new(ens.spec, DifficultyDist::Uniform, 5);
+        let s = gen.sample(sample_id);
+        let full = ens.subset_output(&s, ens.full_set());
+        let reference = ens.ensemble_output(&s);
+        prop_assert!((full.value() - reference.value()).abs() < 1e-12);
+    }
+
+    /// Difficulty distributions stay inside the unit interval.
+    #[test]
+    fn difficulty_is_always_in_unit_interval(
+        mean in 0.0f64..1.0,
+        seed in 0u64..300,
+        n in 1usize..50,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for dist in [
+            DifficultyDist::Uniform,
+            DifficultyDist::Normal { mean, std: 0.03 },
+            DifficultyDist::Gamma { mean: mean.max(0.01) },
+            DifficultyDist::EasySkewed { exponent: 2.5 },
+        ] {
+            for _ in 0..n {
+                let z = dist.sample(&mut rng);
+                prop_assert!((0.0..=1.0).contains(&z), "{:?} emitted {}", dist, z);
+            }
+        }
+    }
+
+    /// ModelSet operations agree with the reference u32-bit semantics.
+    #[test]
+    fn modelset_bit_semantics(mask in 0u32..256, k in 0usize..8) {
+        let set = ModelSet(mask);
+        prop_assert_eq!(set.contains(k), (mask >> k) & 1 == 1);
+        prop_assert_eq!(set.with(k).0, mask | (1 << k));
+        prop_assert_eq!(set.without(k).0, mask & !(1 << k));
+        prop_assert_eq!(set.len(), mask.count_ones() as usize);
+        prop_assert_eq!(set.iter().count(), set.len());
+    }
+
+    /// Retrieval outputs rank the reference item coherently: rank 1 iff
+    /// argmax agreement.
+    #[test]
+    fn rank_one_iff_top1(sample_id in 0u64..200) {
+        let ens = zoo::image_retrieval(1);
+        let gen = SampleGenerator::new(ens.spec, DifficultyDist::Uniform, 5);
+        let s = gen.sample(sample_id);
+        let reference = ens.ensemble_output(&s);
+        let single = ens.subset_output(&s, ModelSet::singleton(0));
+        let agrees = single.predicted_class() == reference.predicted_class();
+        prop_assert_eq!(single.rank_of(reference.predicted_class()) == 1, agrees);
+    }
+}

@@ -1,0 +1,33 @@
+//! From-scratch neural networks for the Schemble reproduction.
+//!
+//! The paper trains *lightweight* networks in three places:
+//!
+//! 1. the **discrepancy-score predictor** (§V-C) — a two-headed network whose
+//!    first head predicts the original task output and whose second head
+//!    regresses the discrepancy score, trained with the weighted loss of
+//!    Eq. 2: `l(label, out₁) + λ·MSE(dis, out₂)`;
+//! 2. the **gating network** baseline (§II/§V-C) — same architecture, but
+//!    outputs one weight per base model;
+//! 3. the **stacking meta-classifier** (§VII) — aggregates base-model outputs.
+//!
+//! All three are multi-layer perceptrons over modest feature vectors, so this
+//! crate implements exactly that: dense layers with pluggable activations,
+//! logit-space losses (numerically stable binary/softmax cross-entropy),
+//! mean-squared error, SGD and Adam optimisers, and a mini-batch training
+//! loop. No autograd graph — backprop is hand-derived per layer, which keeps
+//! the implementation small, fast and easy to audit.
+
+pub mod dense;
+pub mod loss;
+pub mod lstm;
+pub mod mlp;
+pub mod optim;
+pub mod predictor;
+pub mod seq_predictor;
+
+pub use dense::{Activation, Dense};
+pub use lstm::Lstm;
+pub use mlp::Mlp;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use predictor::{DiscrepancyPredictor, PredictorConfig};
+pub use seq_predictor::{SeqPredictorConfig, SequencePredictor};

@@ -1,0 +1,108 @@
+//! Per-model execution-time models.
+//!
+//! The paper notes deep-network execution time is "approximately constant"
+//! per model; in practice there is small jitter (kernel launch, memory
+//! traffic). [`LatencyModel`] captures both: a nominal duration the scheduler
+//! *plans with*, and a bounded jitter the simulator *charges*. Planning with
+//! the nominal value while charging jittered values reproduces the mild
+//! estimation error a real system would see.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// Execution-time model for one base model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Nominal execution time, used by schedulers to plan completions.
+    pub nominal: SimDuration,
+    /// Half-width of the uniform jitter applied around the nominal value,
+    /// as a fraction of it (e.g. `0.05` = ±5%).
+    pub jitter_frac: f64,
+}
+
+impl LatencyModel {
+    /// A model with the given nominal milliseconds and no jitter.
+    pub fn constant_millis(ms: f64) -> Self {
+        Self { nominal: SimDuration::from_millis_f64(ms), jitter_frac: 0.0 }
+    }
+
+    /// A model with nominal milliseconds and ±`jitter_frac` uniform jitter.
+    ///
+    /// # Panics
+    /// Panics if `jitter_frac` is not in `[0, 1)`.
+    pub fn jittered_millis(ms: f64, jitter_frac: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter_frac), "jitter_frac must be in [0,1)");
+        Self { nominal: SimDuration::from_millis_f64(ms), jitter_frac }
+    }
+
+    /// Samples an actual execution time.
+    pub fn sample(&self, rng: &mut impl Rng) -> SimDuration {
+        // A zero nominal has nothing to jitter around (and an empty
+        // `lo..hi` range would panic), so both branches short-circuit.
+        if self.jitter_frac == 0.0 || self.nominal == SimDuration::ZERO {
+            return self.nominal;
+        }
+        let n = self.nominal.as_micros() as f64;
+        let lo = n * (1.0 - self.jitter_frac);
+        let hi = n * (1.0 + self.jitter_frac);
+        SimDuration::from_micros(rng.random_range(lo..hi).round() as u64)
+    }
+
+    /// The nominal duration used for planning.
+    pub fn planned(&self) -> SimDuration {
+        self.nominal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+
+    #[test]
+    fn constant_model_has_no_jitter() {
+        let m = LatencyModel::constant_millis(25.0);
+        let mut rng = stream_rng(1, "lat");
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let m = LatencyModel::jittered_millis(100.0, 0.1);
+        let mut rng = stream_rng(2, "lat");
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng).as_micros() as f64;
+            assert!((90_000.0..=110_000.0).contains(&d), "sample {d} out of ±10% band");
+        }
+    }
+
+    #[test]
+    fn jitter_mean_is_close_to_nominal() {
+        let m = LatencyModel::jittered_millis(50.0, 0.2);
+        let mut rng = stream_rng(3, "lat");
+        let mean: f64 =
+            (0..5000).map(|_| m.sample(&mut rng).as_micros() as f64).sum::<f64>() / 5000.0;
+        assert!((mean - 50_000.0).abs() < 1_000.0, "mean {mean} too far from nominal");
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter_frac")]
+    fn invalid_jitter_rejected() {
+        let _ = LatencyModel::jittered_millis(10.0, 1.5);
+    }
+}
+
+#[cfg(test)]
+mod zero_nominal_tests {
+    use super::*;
+    use crate::rng::stream_rng;
+
+    #[test]
+    fn zero_nominal_with_jitter_does_not_panic() {
+        let m = LatencyModel::jittered_millis(0.0, 0.1);
+        let mut rng = stream_rng(1, "zero");
+        assert_eq!(m.sample(&mut rng), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! The paper evaluates Schemble on a GPU server executing base-model
+//! inference tasks non-preemptively. This crate substitutes that testbed with
+//! a discrete-event simulator exposing exactly the observables the scheduler
+//! consumes: a virtual clock, per-model servers with FIFO task queues and
+//! known (approximately constant) execution times, and a totally ordered
+//! event stream.
+//!
+//! Design points:
+//!
+//! * **Integer time.** [`SimTime`]/[`SimDuration`] are microsecond counters
+//!   (`u64`). Floating-point time makes event ordering platform-dependent;
+//!   integer microseconds keep every run bit-reproducible.
+//! * **Total event order.** The event heap breaks time ties with a
+//!   monotonically increasing sequence number, so two events at the same
+//!   instant always pop in insertion order.
+//! * **Servers are passive.** A [`Server`] models one deployed base model:
+//!   it tracks the task currently executing and a FIFO backlog. Scheduling
+//!   *policy* lives upstream (in `schemble-core`); the server only answers
+//!   "when would a task enqueued now finish?".
+//! * **Deterministic randomness.** [`rng::derive_seed`] splits a root seed
+//!   into independent named streams so workload generation, latency jitter
+//!   and model noise never share state.
+
+pub mod event;
+pub mod latency;
+pub mod rng;
+pub mod server;
+pub mod time;
+
+pub use event::EventQueue;
+pub use latency::LatencyModel;
+pub use server::{Server, ServerBank, TaskId};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,302 @@
+//! Model servers: non-preemptive single-task executors with FIFO backlogs.
+//!
+//! One [`Server`] models one deployed base model. It executes at most one
+//! inference task at a time (deep-network execution is non-preemptive) and
+//! keeps a FIFO backlog of tasks that have been *committed* to it. Policies
+//! that want to delay commitment (Schemble's query buffer) simply keep tasks
+//! out of the backlog until a server idles.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Identifier of an inference task. In the serving pipelines a task is
+/// "query *q* on the model this server hosts", so the id carries the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// A pending task in a server backlog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    task: TaskId,
+    duration: SimDuration,
+}
+
+/// A running task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Running {
+    /// The executing task.
+    pub task: TaskId,
+    /// When it started.
+    pub started_at: SimTime,
+    /// When it will complete.
+    pub completes_at: SimTime,
+}
+
+/// One deployed base model: a non-preemptive executor plus FIFO backlog.
+#[derive(Debug, Default)]
+pub struct Server {
+    running: Option<Running>,
+    backlog: VecDeque<Pending>,
+    /// Cumulative busy time, for utilisation reporting.
+    busy: SimDuration,
+    /// Number of tasks completed, for reporting.
+    completed: u64,
+}
+
+impl Server {
+    /// A fresh idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no task is executing (the backlog may still be non-empty;
+    /// callers drive `start_next` explicitly so completion events stay in
+    /// the event queue's control).
+    pub fn is_idle(&self) -> bool {
+        self.running.is_none()
+    }
+
+    /// The currently running task, if any.
+    pub fn running(&self) -> Option<Running> {
+        self.running
+    }
+
+    /// Number of tasks waiting in the backlog.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Appends a committed task to the backlog.
+    pub fn enqueue(&mut self, task: TaskId, duration: SimDuration) {
+        self.backlog.push_back(Pending { task, duration });
+    }
+
+    /// Pushes a committed task to the *front* of the backlog (EDF re-ordering
+    /// by policies that re-plan on arrival).
+    pub fn enqueue_front(&mut self, task: TaskId, duration: SimDuration) {
+        self.backlog.push_front(Pending { task, duration });
+    }
+
+    /// Drops every backlog entry (used when a policy re-plans from scratch);
+    /// the running task, being non-preemptive, is unaffected. Returns the
+    /// dropped tasks.
+    pub fn drain_backlog(&mut self) -> Vec<TaskId> {
+        self.backlog.drain(..).map(|p| p.task).collect()
+    }
+
+    /// Starts the next backlog task if the server is idle. Returns its
+    /// completion time so the caller can schedule the completion event.
+    pub fn start_next(&mut self, now: SimTime) -> Option<Running> {
+        if self.running.is_some() {
+            return None;
+        }
+        let pending = self.backlog.pop_front()?;
+        let run = Running {
+            task: pending.task,
+            started_at: now,
+            completes_at: now + pending.duration,
+        };
+        self.running = Some(run);
+        Some(run)
+    }
+
+    /// Starts `task` immediately, bypassing the backlog.
+    ///
+    /// # Panics
+    /// Panics if the server is busy — dispatching onto a busy server is a
+    /// policy bug, not a runtime condition.
+    pub fn start_immediately(&mut self, task: TaskId, now: SimTime, duration: SimDuration) -> Running {
+        assert!(self.running.is_none(), "dispatch onto busy server");
+        let run = Running { task, started_at: now, completes_at: now + duration };
+        self.running = Some(run);
+        run
+    }
+
+    /// Marks the running task complete.
+    ///
+    /// # Panics
+    /// Panics if `task` is not the running task — a completion event for the
+    /// wrong task means the event plumbing is corrupt.
+    pub fn complete(&mut self, task: TaskId, now: SimTime) {
+        let run = self.running.take().expect("completion on idle server");
+        assert_eq!(run.task, task, "completion for wrong task");
+        debug_assert_eq!(run.completes_at, now, "completion at wrong time");
+        self.busy = self.busy.saturating_add(now.saturating_since(run.started_at));
+        self.completed += 1;
+    }
+
+    /// Earliest time a *newly appended* task could start: now if idle with an
+    /// empty backlog, otherwise after the running task and every backlog entry.
+    pub fn available_at(&self, now: SimTime) -> SimTime {
+        let mut t = match self.running {
+            Some(run) => run.completes_at,
+            None => now,
+        };
+        for p in &self.backlog {
+            t += p.duration;
+        }
+        t
+    }
+
+    /// Cumulative busy time (completed tasks only).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of completed tasks.
+    pub fn completed_tasks(&self) -> u64 {
+        self.completed
+    }
+}
+
+/// A bank of `m` model servers, one per base model in the ensemble.
+#[derive(Debug, Default)]
+pub struct ServerBank {
+    servers: Vec<Server>,
+}
+
+impl ServerBank {
+    /// `m` fresh idle servers.
+    pub fn new(m: usize) -> Self {
+        Self { servers: (0..m).map(|_| Server::new()).collect() }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the bank has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Borrow of server `k`.
+    pub fn get(&self, k: usize) -> &Server {
+        &self.servers[k]
+    }
+
+    /// Mutable borrow of server `k`.
+    pub fn get_mut(&mut self, k: usize) -> &mut Server {
+        &mut self.servers[k]
+    }
+
+    /// Indices of servers currently idle.
+    pub fn idle_indices(&self) -> Vec<usize> {
+        self.servers
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| s.is_idle().then_some(k))
+            .collect()
+    }
+
+    /// True if any server is idle.
+    pub fn any_idle(&self) -> bool {
+        self.servers.iter().any(Server::is_idle)
+    }
+
+    /// Per-server `available_at` vector — the scheduler's "base models'
+    /// remained execution time" input from Alg. 1.
+    pub fn availability(&self, now: SimTime) -> Vec<SimTime> {
+        self.servers.iter().map(|s| s.available_at(now)).collect()
+    }
+
+    /// Iterate over servers.
+    pub fn iter(&self) -> impl Iterator<Item = &Server> {
+        self.servers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+    fn at(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn fifo_backlog_executes_in_order() {
+        let mut s = Server::new();
+        s.enqueue(TaskId(1), ms(10));
+        s.enqueue(TaskId(2), ms(20));
+        let r1 = s.start_next(at(0)).unwrap();
+        assert_eq!(r1.task, TaskId(1));
+        assert_eq!(r1.completes_at, at(10));
+        assert!(s.start_next(at(0)).is_none(), "busy server must refuse");
+        s.complete(TaskId(1), at(10));
+        let r2 = s.start_next(at(10)).unwrap();
+        assert_eq!(r2.task, TaskId(2));
+        assert_eq!(r2.completes_at, at(30));
+    }
+
+    #[test]
+    fn available_at_accounts_for_running_and_backlog() {
+        let mut s = Server::new();
+        assert_eq!(s.available_at(at(5)), at(5));
+        s.enqueue(TaskId(1), ms(10));
+        s.start_next(at(0));
+        s.enqueue(TaskId(2), ms(20));
+        assert_eq!(s.available_at(at(3)), at(30));
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut s = Server::new();
+        s.start_immediately(TaskId(9), at(0), ms(15));
+        s.complete(TaskId(9), at(15));
+        assert_eq!(s.busy_time(), ms(15));
+        assert_eq!(s.completed_tasks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy server")]
+    fn double_dispatch_panics() {
+        let mut s = Server::new();
+        s.start_immediately(TaskId(1), at(0), ms(5));
+        s.start_immediately(TaskId(2), at(1), ms(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong task")]
+    fn mismatched_completion_panics() {
+        let mut s = Server::new();
+        s.start_immediately(TaskId(1), at(0), ms(5));
+        s.complete(TaskId(2), at(5));
+    }
+
+    #[test]
+    fn drain_backlog_clears_pending_only() {
+        let mut s = Server::new();
+        s.enqueue(TaskId(1), ms(1));
+        s.start_next(at(0));
+        s.enqueue(TaskId(2), ms(1));
+        s.enqueue(TaskId(3), ms(1));
+        let dropped = s.drain_backlog();
+        assert_eq!(dropped, vec![TaskId(2), TaskId(3)]);
+        assert!(s.running().is_some());
+        assert_eq!(s.backlog_len(), 0);
+    }
+
+    #[test]
+    fn bank_tracks_idleness() {
+        let mut bank = ServerBank::new(3);
+        assert_eq!(bank.idle_indices(), vec![0, 1, 2]);
+        bank.get_mut(1).start_immediately(TaskId(7), at(0), ms(10));
+        assert_eq!(bank.idle_indices(), vec![0, 2]);
+        assert!(bank.any_idle());
+        let avail = bank.availability(at(2));
+        assert_eq!(avail, vec![at(2), at(10), at(2)]);
+    }
+
+    #[test]
+    fn enqueue_front_reorders() {
+        let mut s = Server::new();
+        s.enqueue(TaskId(1), ms(1));
+        s.enqueue_front(TaskId(2), ms(1));
+        assert_eq!(s.start_next(at(0)).unwrap().task, TaskId(2));
+    }
+}

@@ -1,0 +1,150 @@
+//! Distances between model outputs.
+//!
+//! The discrepancy score (paper Eq. 1) measures the distance between each
+//! base model's output and the ensemble's output — Jensen–Shannon divergence
+//! for classification tasks, Euclidean distance for regression. The
+//! ensemble-agreement baseline uses symmetric KL between base-model pairs.
+//!
+//! All divergence functions accept *probability vectors* (non-negative,
+//! roughly summing to one). A tiny epsilon guards the logarithms so that
+//! hard one-hot outputs from overconfident (badly calibrated) models do not
+//! produce infinities.
+
+/// Floor applied inside logarithms to keep divergences finite for
+/// zero-probability entries.
+pub const EPS: f64 = 1e-12;
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats.
+///
+/// # Panics
+/// Panics if `p` and `q` have different lengths.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    p.iter()
+        .zip(q)
+        .map(|(&pi, &qi)| {
+            if pi <= 0.0 {
+                0.0
+            } else {
+                pi * ((pi.max(EPS)) / (qi.max(EPS))).ln()
+            }
+        })
+        .sum()
+}
+
+/// Symmetric KL divergence `KL(p‖q) + KL(q‖p)` — the agreement distance used
+/// by the ensemble-agreement metric of Carlini et al. that the paper compares
+/// against.
+pub fn symmetric_kl(p: &[f64], q: &[f64]) -> f64 {
+    kl_divergence(p, q) + kl_divergence(q, p)
+}
+
+/// Jensen–Shannon divergence in nats.
+///
+/// `JS(p, q) = ½ KL(p ‖ m) + ½ KL(q ‖ m)` with `m = ½(p + q)`.
+/// It is symmetric and bounded by `ln 2`, which keeps per-model distances on a
+/// comparable scale before normalisation (part of why the paper prefers it to
+/// raw KL for the discrepancy score).
+pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Euclidean (L2) distance between two vectors; the regression-task distance
+/// in Eq. 1 (vehicle counting outputs scalar counts).
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Squared Euclidean distance (avoids the sqrt when only ordering matters,
+/// e.g. inside the KNN missing-value filler).
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>()
+}
+
+/// Total variation distance `½ Σ |p_i − q_i|`; used in tests as an independent
+/// cross-check on the divergences above.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LN2: f64 = std::f64::consts::LN_2;
+
+    #[test]
+    fn kl_of_identical_distributions_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different_distributions() {
+        let p = [0.9, 0.1];
+        let q = [0.1, 0.9];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        let p = [0.8, 0.2];
+        let q = [0.3, 0.7];
+        let d1 = kl_divergence(&p, &q);
+        let d2 = kl_divergence(&q, &p);
+        assert!((d1 - d2).abs() > 1e-6);
+    }
+
+    #[test]
+    fn symmetric_kl_is_symmetric() {
+        let p = [0.8, 0.2];
+        let q = [0.3, 0.7];
+        assert!((symmetric_kl(&p, &q) - symmetric_kl(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_is_symmetric_and_bounded_by_ln2() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let d = js_divergence(&p, &q);
+        assert!((d - LN2).abs() < 1e-9, "disjoint supports should reach ln 2, got {d}");
+        assert!((js_divergence(&p, &q) - js_divergence(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_of_identical_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(js_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_handles_hard_onehots_without_nan() {
+        let p = [1.0, 0.0, 0.0];
+        let q = [1.0, 0.0, 0.0];
+        assert!(js_divergence(&p, &q).is_finite());
+        assert!(js_divergence(&p, &q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn euclidean_matches_pythagoras() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((euclidean_sq(&[0.0, 0.0], &[3.0, 4.0]) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_bounds_js_pinsker_style() {
+        // JS >= 0.5 * tv^2 ... loose sanity relation: JS small => TV small.
+        let p = [0.5, 0.5];
+        let q = [0.51, 0.49];
+        assert!(js_divergence(&p, &q) < 0.01);
+        assert!(total_variation(&p, &q) < 0.02);
+    }
+}

@@ -1,0 +1,197 @@
+//! Probability utilities: softmax, logits, entropy and temperature scaling.
+//!
+//! Temperature scaling (Guo et al., ICML'17) is the post-hoc calibration the
+//! paper applies to classifier outputs before computing discrepancy scores:
+//! badly calibrated deep models emit near-one-hot distributions whose raw
+//! divergences swamp the score, so each model's logits are divided by a
+//! scalar temperature fitted on held-out data.
+
+/// Numerically stable softmax.
+///
+/// # Examples
+///
+/// ```
+/// let p = schemble_tensor::prob::softmax(&[0.0, 0.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// ```
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax with temperature `t` (`t > 1` softens, `t < 1` sharpens).
+///
+/// # Panics
+/// Panics if `t <= 0`.
+pub fn softmax_with_temperature(logits: &[f64], t: f64) -> Vec<f64> {
+    assert!(t > 0.0, "temperature must be positive, got {t}");
+    let scaled: Vec<f64> = logits.iter().map(|&x| x / t).collect();
+    softmax(&scaled)
+}
+
+/// Recovers logits (up to an additive constant) from a probability vector, so
+/// an already-softmaxed output can be re-calibrated with a new temperature.
+pub fn logits_from_probs(probs: &[f64]) -> Vec<f64> {
+    probs.iter().map(|&p| p.max(crate::dist::EPS).ln()).collect()
+}
+
+/// Applies temperature scaling directly to a probability vector.
+pub fn rescale_probs(probs: &[f64], t: f64) -> Vec<f64> {
+    softmax_with_temperature(&logits_from_probs(probs), t)
+}
+
+/// Shannon entropy in nats.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter()
+        .map(|&pi| if pi <= 0.0 { 0.0 } else { -pi * pi.max(crate::dist::EPS).ln() })
+        .sum()
+}
+
+/// Index of the maximum element (prediction argmax). Ties break toward the
+/// lower index, matching the deterministic tie-break used throughout.
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Negative log-likelihood of `label` under distribution `p`; the objective
+/// minimised when fitting a calibration temperature.
+pub fn nll(p: &[f64], label: usize) -> f64 {
+    -p[label].max(crate::dist::EPS).ln()
+}
+
+/// Fits a calibration temperature by golden-section search on held-out
+/// `(probability vector, label)` pairs, minimising average NLL.
+///
+/// This is the one-parameter optimisation from Guo et al.; the search
+/// interval `[0.05, 20]` comfortably covers the miscalibration range of the
+/// synthetic models.
+pub fn fit_temperature(outputs: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(outputs.len(), labels.len(), "outputs/labels length mismatch");
+    assert!(!outputs.is_empty(), "cannot fit temperature on empty data");
+    let loss = |t: f64| -> f64 {
+        outputs
+            .iter()
+            .zip(labels)
+            .map(|(p, &y)| nll(&rescale_probs(p, t), y))
+            .sum::<f64>()
+            / outputs.len() as f64
+    };
+    golden_section_min(loss, 0.05, 20.0, 1e-4)
+}
+
+/// Golden-section minimisation of a unimodal function on `[a, b]`.
+fn golden_section_min(f: impl Fn(f64) -> f64, mut a: f64, mut b: f64, tol: f64) -> f64 {
+    let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    0.5 * (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_prob_vector(p: &[f64]) {
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_by_logit() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert_prob_vector(&p);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let p1 = softmax(&[1.0, 2.0, 3.0]);
+        let p2 = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (a, b) in p1.iter().zip(&p2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn high_temperature_flattens() {
+        let sharp = softmax_with_temperature(&[0.0, 4.0], 1.0);
+        let flat = softmax_with_temperature(&[0.0, 4.0], 10.0);
+        assert!(flat[1] < sharp[1]);
+        assert!(flat[1] > 0.5, "order must be preserved");
+    }
+
+    #[test]
+    fn rescale_probs_roundtrips_at_t1() {
+        let p = softmax(&[0.3, -1.2, 2.0]);
+        let q = rescale_probs(&p, 1.0);
+        for (a, b) in p.iter().zip(&q) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn entropy_max_for_uniform() {
+        let u = [0.25; 4];
+        let skew = [0.97, 0.01, 0.01, 0.01];
+        assert!(entropy(&u) > entropy(&skew));
+        assert!((entropy(&u) - (4f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[1.0, 1.0, 0.5]), 0);
+        assert_eq!(argmax(&[0.1, 0.9, 0.9]), 1);
+    }
+
+    #[test]
+    fn fit_temperature_softens_overconfident_model() {
+        // Model says 0.99 for class 0 but is right only ~70% of the time:
+        // the fitted temperature must be > 1 (softening).
+        let mut outputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            outputs.push(vec![0.99, 0.01]);
+            labels.push(if i % 10 < 7 { 0 } else { 1 });
+        }
+        let t = fit_temperature(&outputs, &labels);
+        assert!(t > 1.5, "expected strong softening, got t = {t}");
+    }
+
+    #[test]
+    fn fit_temperature_keeps_calibrated_model_near_one() {
+        // Model says 0.7/0.3 and is right exactly 70% of the time.
+        let mut outputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            outputs.push(vec![0.7, 0.3]);
+            labels.push(if i % 10 < 7 { 0 } else { 1 });
+        }
+        let t = fit_temperature(&outputs, &labels);
+        assert!((t - 1.0).abs() < 0.25, "calibrated model should keep t ≈ 1, got {t}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Scalar statistics shared by profiling, normalisation and evaluation code.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Z-score normalisation parameters fitted on a reference sample.
+///
+/// The discrepancy score normalises each base model's distance distribution
+/// before averaging, "to diminish the contribution of inaccurate models and
+/// keep all distances at the same scale" (paper §V-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZScore {
+    /// Fitted mean.
+    pub mean: f64,
+    /// Fitted standard deviation (floored to avoid division by ~0).
+    pub std: f64,
+}
+
+impl ZScore {
+    /// Fits normalisation parameters on `xs`.
+    pub fn fit(xs: &[f64]) -> Self {
+        Self { mean: mean(xs), std: std_dev(xs).max(1e-9) }
+    }
+
+    /// Applies the transform.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        (x - self.mean) / self.std
+    }
+}
+
+/// Min-max rescaling to `[0, 1]` fitted on a reference sample; values outside
+/// the fitted range clamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinMax {
+    /// Fitted minimum.
+    pub min: f64,
+    /// Fitted maximum.
+    pub max: f64,
+}
+
+impl MinMax {
+    /// Fits the range on `xs`. An empty or constant sample maps everything
+    /// to 0.
+    pub fn fit(xs: &[f64]) -> Self {
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !min.is_finite() || !max.is_finite() {
+            return Self { min: 0.0, max: 1.0 };
+        }
+        Self { min, max }
+    }
+
+    /// Applies the transform, clamping to `[0, 1]`.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        let span = self.max - self.min;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        ((x - self.min) / span).clamp(0.0, 1.0)
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `0.0` when either sample is constant (the convention used by the
+/// Fig. 5 correlation-matrix experiment, where a degenerate preference vector
+/// carries no signal).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Percentile via linear interpolation on the sorted sample (the same
+/// definition numpy uses for `interpolation='linear'`). `q` is in `[0, 100]`.
+///
+/// Returns `0.0` for an empty slice.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (q / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Histogram of `xs` over `bins` equal-width bins spanning `[lo, hi]`;
+/// values outside the range clamp into the edge bins. Used to print the
+/// Fig. 4a score-distribution series.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(hi > lo, "empty histogram range");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let idx = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(percentile(&[], 95.0), 0.0);
+    }
+
+    #[test]
+    fn zscore_standardises() {
+        let xs = [2.0, 4.0, 6.0, 8.0];
+        let z = ZScore::fit(&xs);
+        let transformed: Vec<f64> = xs.iter().map(|&x| z.apply(x)).collect();
+        assert!(mean(&transformed).abs() < 1e-12);
+        assert!((std_dev(&transformed) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval_and_clamps() {
+        let mm = MinMax::fit(&[10.0, 20.0]);
+        assert_eq!(mm.apply(10.0), 0.0);
+        assert_eq!(mm.apply(20.0), 1.0);
+        assert_eq!(mm.apply(15.0), 0.5);
+        assert_eq!(mm.apply(-5.0), 0.0);
+        assert_eq!(mm.apply(50.0), 1.0);
+    }
+
+    #[test]
+    fn minmax_constant_sample_maps_to_zero() {
+        let mm = MinMax::fit(&[3.0, 3.0, 3.0]);
+        assert_eq!(mm.apply(3.0), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let xs = [0.05, 0.15, 0.15, 0.95, 1.5, -0.5];
+        let h = histogram(&xs, 0.0, 1.0, 10);
+        assert_eq!(h.iter().sum::<usize>(), xs.len());
+        assert_eq!(h[0], 2); // 0.05 and clamped -0.5
+        assert_eq!(h[1], 2);
+        assert_eq!(h[9], 2); // 0.95 and clamped 1.5
+    }
+}

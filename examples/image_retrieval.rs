@@ -1,0 +1,54 @@
+//! Image retrieval with a two-model DELG ensemble (the paper's third
+//! application): the smallest possible ensemble, where the scheduling
+//! decision reduces to "one backbone or both?" and mAP (reciprocal rank of
+//! the relevant image) replaces plain accuracy.
+//!
+//! ```sh
+//! cargo run --release --example image_retrieval
+//! ```
+
+use schemble::core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind};
+use schemble::data::TaskKind;
+use schemble::models::ModelSet;
+
+fn main() {
+    let task = TaskKind::ImageRetrieval;
+    let mut config = ExperimentConfig::paper_default(task, 5);
+    config.n_queries = 2000;
+    let mut ctx = ExperimentContext::new(config);
+
+    // How much does the second backbone buy, per difficulty level? (This is
+    // the information the profile gives the scheduler.)
+    let art = ctx.artifacts();
+    println!("profiled agreement with the 2-model ensemble per score bin:");
+    for score in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        println!(
+            "  score {score:.1}: R50 alone {:.2}  R101 alone {:.2}  both 1.00",
+            art.profile.utility(score, ModelSet::singleton(0)),
+            art.profile.utility(score, ModelSet::singleton(1)),
+        );
+    }
+
+    let workload = ctx.workload();
+    println!("\nserving {} retrieval queries (180 ms deadline):", workload.len());
+    println!("  {:<14} {:>7} {:>7} {:>12}", "method", "mAP %", "DMR %", "models/query");
+    for kind in [
+        PipelineKind::Original,
+        PipelineKind::Static,
+        PipelineKind::Schemble,
+    ] {
+        let summary = ctx.run(kind, &workload);
+        println!(
+            "  {:<14} {:>7.1} {:>7.1} {:>12.2}",
+            kind.label(),
+            100.0 * summary.accuracy(),
+            100.0 * summary.deadline_miss_rate(),
+            summary.mean_models_used()
+        );
+    }
+    println!(
+        "\nWith only two models, Static's single-backbone deployment achieves the\n\
+         lowest possible miss rate but caps its mAP at the single-model agreement;\n\
+         Schemble runs both backbones exactly on the queries that need them."
+    );
+}

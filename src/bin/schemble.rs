@@ -1,0 +1,273 @@
+//! `schemble` — command-line front end for the reproduction.
+//!
+//! ```text
+//! schemble run     --task tm --method schemble [--queries N] [--rate R]
+//!                  [--deadline-ms D] [--diurnal] [--force-all] [--seed S]
+//!                  [--fast-path]
+//! schemble compare --task tm [...]            # all six Table-I methods
+//! schemble trace   --task tm [--queries N]    # dump the workload as CSV
+//! schemble score   --task tm [--queries N]    # discrepancy scores as CSV
+//! ```
+//!
+//! Argument parsing is hand-rolled to keep the dependency set at the
+//! approved offline crates.
+
+use schemble::baselines::{run_baseline, BaselineKind};
+use schemble::core::artifacts::SchembleArtifacts;
+use schemble::core::experiment::{
+    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
+};
+use schemble::core::pipeline::schemble::{run_schemble, SchembleConfig};
+use schemble::core::pipeline::AdmissionMode;
+use schemble::core::predictor::OnlineScorer;
+use schemble::core::scheduler::{DpScheduler, QueueOrder};
+use schemble::data::TaskKind;
+use schemble::metrics::RunSummary;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  schemble run     --task <tm|vc|ir> --method <METHOD> [options]
+  schemble compare --task <tm|vc|ir> [options]
+  schemble trace   --task <tm|vc|ir> [options]
+  schemble score   --task <tm|vc|ir> [options]
+
+methods:
+  original | static | des | gating | schemble | schemble-ea | schemble-t |
+  schemble-oracle | greedy-edf | greedy-fifo | greedy-sjf
+
+options:
+  --queries <N>       number of queries          (default 3000)
+  --rate <R>          Poisson arrival rate /s    (default per task)
+  --diurnal           use the one-day bursty trace instead of Poisson
+  --deadline-ms <D>   relative deadline          (default per task)
+  --seed <S>          root seed                  (default 42)
+  --force-all         disable rejection (Table II mode)
+  --fast-path         enable the §VIII fast-path dispatch optimisation
+  --csv <PATH>        (run) write per-query records to a CSV file";
+
+struct Cli {
+    task: TaskKind,
+    method: Option<String>,
+    queries: usize,
+    rate: Option<f64>,
+    diurnal: bool,
+    deadline_ms: Option<f64>,
+    seed: u64,
+    force_all: bool,
+    fast_path: bool,
+    csv: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        task: TaskKind::TextMatching,
+        method: None,
+        queries: 3000,
+        rate: None,
+        diurnal: false,
+        deadline_ms: None,
+        seed: 42,
+        force_all: false,
+        fast_path: false,
+        csv: None,
+    };
+    let mut i = 0;
+    let mut task_seen = false;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            args.get(*i).ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--task" => {
+                cli.task = match take(&mut i)?.as_str() {
+                    "tm" => TaskKind::TextMatching,
+                    "vc" => TaskKind::VehicleCounting,
+                    "ir" => TaskKind::ImageRetrieval,
+                    other => return Err(format!("unknown task '{other}'")),
+                };
+                task_seen = true;
+            }
+            "--method" => cli.method = Some(take(&mut i)?.clone()),
+            "--queries" => {
+                cli.queries =
+                    take(&mut i)?.parse().map_err(|_| "bad --queries".to_string())?
+            }
+            "--rate" => {
+                cli.rate =
+                    Some(take(&mut i)?.parse().map_err(|_| "bad --rate".to_string())?)
+            }
+            "--deadline-ms" => {
+                cli.deadline_ms = Some(
+                    take(&mut i)?.parse().map_err(|_| "bad --deadline-ms".to_string())?,
+                )
+            }
+            "--seed" => {
+                cli.seed = take(&mut i)?.parse().map_err(|_| "bad --seed".to_string())?
+            }
+            "--csv" => cli.csv = Some(take(&mut i)?.clone()),
+            "--diurnal" => cli.diurnal = true,
+            "--force-all" => cli.force_all = true,
+            "--fast-path" => cli.fast_path = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    if !task_seen {
+        return Err("--task is required".to_string());
+    }
+    Ok(cli)
+}
+
+fn context_for(cli: &Cli) -> ExperimentContext {
+    let mut config = ExperimentConfig::paper_default(cli.task, cli.seed);
+    config.n_queries = cli.queries;
+    config.traffic = if cli.diurnal {
+        Traffic::Diurnal { day_secs: cli.queries as f64 / 15.0 }
+    } else {
+        Traffic::Poisson {
+            rate_per_sec: cli
+                .rate
+                .unwrap_or_else(|| schemble::core::experiment::default_rate(cli.task)),
+        }
+    };
+    if let Some(d) = cli.deadline_ms {
+        config = config.with_deadline_millis(d);
+    }
+    if cli.force_all {
+        config.admission = AdmissionMode::ForceAll;
+    }
+    ExperimentContext::new(config)
+}
+
+fn print_summary(label: &str, s: &RunSummary) {
+    println!(
+        "{label:<16} acc {:>5.1}%  dmr {:>5.1}%  mean-lat {:>7.3}s  p95 {:>7.3}s  models/query {:.2}",
+        100.0 * s.accuracy(),
+        100.0 * s.deadline_miss_rate(),
+        s.latency_stats().mean,
+        s.latency_stats().p95,
+        s.mean_models_used()
+    );
+}
+
+fn run_one(ctx: &mut ExperimentContext, method: &str, fast_path: bool) -> Result<RunSummary, String> {
+    let workload = ctx.workload();
+    let kind = match method {
+        "original" => Some(PipelineKind::Original),
+        "static" => Some(PipelineKind::Static),
+        "schemble-ea" => Some(PipelineKind::SchembleEa),
+        "schemble-t" => Some(PipelineKind::SchembleT),
+        "schemble-oracle" => Some(PipelineKind::SchembleOracle),
+        "greedy-edf" => Some(PipelineKind::Greedy(QueueOrder::Edf)),
+        "greedy-fifo" => Some(PipelineKind::Greedy(QueueOrder::Fifo)),
+        "greedy-sjf" => Some(PipelineKind::Greedy(QueueOrder::Sjf)),
+        _ => None,
+    };
+    if let Some(kind) = kind {
+        return Ok(ctx.run(kind, &workload));
+    }
+    match method {
+        "schemble" if fast_path => {
+            // Assemble manually so the fast-path flag can be set.
+            let art = ctx.artifacts().clone();
+            let mut config = SchembleConfig::new(
+                Box::new(DpScheduler::default()),
+                OnlineScorer::Predictor(art.predictor),
+                art.profile,
+            );
+            config.admission = ctx.config.admission;
+            config.fast_path = true;
+            Ok(run_schemble(&ctx.ensemble, &config, &workload, ctx.config.seed))
+        }
+        "schemble" => Ok(ctx.run(PipelineKind::Schemble, &workload)),
+        "des" | "gating" => {
+            let kind =
+                if method == "des" { BaselineKind::Des } else { BaselineKind::Gating };
+            Ok(run_baseline(
+                kind,
+                &ctx.ensemble,
+                &ctx.generator,
+                &workload,
+                ctx.config.admission,
+                ctx.config.history_n,
+                ctx.config.seed,
+            ))
+        }
+        other => Err(format!("unknown method '{other}'")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".to_string());
+    };
+    let cli = parse(&args[1..])?;
+    let mut ctx = context_for(&cli);
+    match command.as_str() {
+        "run" => {
+            let method =
+                cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
+            let summary = run_one(&mut ctx, &method, cli.fast_path)?;
+            print_summary(&method, &summary);
+            if let Some(path) = &cli.csv {
+                schemble::metrics::write_csv(std::path::Path::new(path), summary.records())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote {} records to {path}", summary.len());
+            }
+            Ok(())
+        }
+        "compare" => {
+            for method in
+                ["original", "static", "des", "gating", "schemble-ea", "schemble"]
+            {
+                let summary = run_one(&mut ctx, method, cli.fast_path)?;
+                print_summary(method, &summary);
+            }
+            Ok(())
+        }
+        "trace" => {
+            let workload = ctx.workload();
+            println!("id,arrival_s,deadline_s,difficulty");
+            for q in &workload.queries {
+                println!(
+                    "{},{:.6},{:.6},{:.4}",
+                    q.id,
+                    q.arrival.as_secs_f64(),
+                    q.deadline.as_secs_f64(),
+                    q.sample.difficulty
+                );
+            }
+            Ok(())
+        }
+        "score" => {
+            let workload = ctx.workload();
+            let art: SchembleArtifacts = ctx.artifacts().clone();
+            println!("id,difficulty,true_score,predicted_score");
+            for q in &workload.queries {
+                println!(
+                    "{},{:.4},{:.4},{:.4}",
+                    q.id,
+                    q.sample.difficulty,
+                    art.scorer.score(&ctx.ensemble, &q.sample),
+                    art.predictor.predict_score(&q.sample.features)
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end integration tests across all crates: full serving runs per
+//! task, ordering claims from the paper's evaluation, and conservation
+//! invariants of the simulation.
+
+use schemble::baselines::{run_baseline, BaselineKind};
+use schemble::core::experiment::{
+    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
+};
+use schemble::core::pipeline::AdmissionMode;
+use schemble::data::TaskKind;
+use schemble::metrics::QueryOutcome;
+
+fn small_ctx(task: TaskKind, n: usize) -> ExperimentContext {
+    let mut config = ExperimentConfig::paper_default(task, 42);
+    config.n_queries = n;
+    if let Traffic::Diurnal { .. } = config.traffic {
+        config.traffic = Traffic::Diurnal { day_secs: n as f64 / 15.0 };
+    }
+    ExperimentContext::new(config)
+}
+
+#[test]
+fn schemble_beats_original_on_every_task() {
+    for task in TaskKind::ALL {
+        let mut ctx = small_ctx(task, 700);
+        let workload = ctx.workload();
+        let original = ctx.run(PipelineKind::Original, &workload);
+        let schemble = ctx.run(PipelineKind::Schemble, &workload);
+        assert!(
+            schemble.accuracy() > original.accuracy() + 0.05,
+            "{:?}: schemble {:.3} vs original {:.3}",
+            task,
+            schemble.accuracy(),
+            original.accuracy()
+        );
+        assert!(
+            schemble.deadline_miss_rate() < original.deadline_miss_rate(),
+            "{:?}: schemble dmr {:.3} vs original {:.3}",
+            task,
+            schemble.deadline_miss_rate(),
+            original.deadline_miss_rate()
+        );
+    }
+}
+
+#[test]
+fn every_query_is_accounted_for_exactly_once() {
+    // Conservation: each query ends Completed or Missed; completed queries
+    // have a completion time and ≥1 model; missed have no completion unless
+    // they finished late.
+    let mut ctx = small_ctx(TaskKind::TextMatching, 600);
+    let workload = ctx.workload();
+    for kind in [PipelineKind::Original, PipelineKind::Schemble, PipelineKind::Static] {
+        let summary = ctx.run(kind, &workload);
+        assert_eq!(summary.len(), workload.len());
+        for r in summary.records() {
+            match r.outcome {
+                QueryOutcome::Completed { .. } => {
+                    assert!(r.completion.is_some());
+                    assert!(r.models_used >= 1, "completed with zero models");
+                }
+                QueryOutcome::Missed => {
+                    assert!(
+                        r.completion.is_none(),
+                        "missed outcome must not carry a completion"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn runs_are_fully_deterministic() {
+    let mut ctx_a = small_ctx(TaskKind::VehicleCounting, 400);
+    let mut ctx_b = small_ctx(TaskKind::VehicleCounting, 400);
+    let wa = ctx_a.workload();
+    let wb = ctx_b.workload();
+    assert_eq!(wa.queries.len(), wb.queries.len());
+    let a = ctx_a.run(PipelineKind::Schemble, &wa);
+    let b = ctx_b.run(PipelineKind::Schemble, &wb);
+    assert_eq!(a.records(), b.records());
+}
+
+#[test]
+fn schemble_sheds_models_under_load_but_not_at_leisure() {
+    let mut ctx = small_ctx(TaskKind::TextMatching, 800);
+    let workload = ctx.workload();
+    let loaded = ctx.run(PipelineKind::Schemble, &workload);
+
+    let mut light = ExperimentConfig::paper_default(TaskKind::TextMatching, 42);
+    light.n_queries = 200;
+    light.traffic = Traffic::Poisson { rate_per_sec: 2.0 };
+    let mut light_ctx = ExperimentContext::new(light);
+    let light_workload = light_ctx.workload();
+    let idle = light_ctx.run(PipelineKind::Schemble, &light_workload);
+
+    assert!(
+        idle.mean_models_used() > loaded.mean_models_used() + 0.3,
+        "light traffic should use more models: idle {:.2} vs loaded {:.2}",
+        idle.mean_models_used(),
+        loaded.mean_models_used()
+    );
+    assert!(idle.mean_models_used() > 2.5, "at leisure, run (nearly) everything");
+}
+
+#[test]
+fn des_and_gating_sit_between_original_and_schemble() {
+    let mut ctx = small_ctx(TaskKind::TextMatching, 700);
+    let workload = ctx.workload();
+    let original = ctx.run(PipelineKind::Original, &workload);
+    let schemble = ctx.run(PipelineKind::Schemble, &workload);
+    for kind in [BaselineKind::Des, BaselineKind::Gating] {
+        let summary = run_baseline(
+            kind,
+            &ctx.ensemble,
+            &ctx.generator,
+            &workload,
+            AdmissionMode::Reject,
+            600,
+            42,
+        );
+        assert!(
+            summary.accuracy() < schemble.accuracy(),
+            "{}: should trail Schemble",
+            kind.label()
+        );
+        // Feature-based selection must at least not be catastrophically
+        // worse than running everything.
+        assert!(
+            summary.accuracy() > original.accuracy() - 0.15,
+            "{}: collapsed below Original by too much",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn forced_mode_has_zero_loss_of_queries_and_sane_latency_ordering() {
+    let mut ctx = small_ctx(TaskKind::TextMatching, 600);
+    ctx.config.admission = AdmissionMode::ForceAll;
+    let workload = ctx.workload();
+    let original = ctx.run(PipelineKind::Original, &workload);
+    let schemble = ctx.run(PipelineKind::Schemble, &workload);
+    assert_eq!(original.completion_rate(), 1.0);
+    assert_eq!(schemble.completion_rate(), 1.0);
+    assert!(
+        schemble.latency_stats().mean * 5.0 < original.latency_stats().mean,
+        "forced-mode Schemble should be far faster: {:.3}s vs {:.3}s",
+        schemble.latency_stats().mean,
+        original.latency_stats().mean
+    );
+    assert!(
+        schemble.processed_accuracy() > 0.9,
+        "forced-mode accuracy loss too large: {:.3}",
+        schemble.processed_accuracy()
+    );
+}
+
+#[test]
+fn oracle_scorer_upper_bounds_the_predictor_roughly() {
+    let mut ctx = small_ctx(TaskKind::TextMatching, 700);
+    let workload = ctx.workload();
+    let predictor = ctx.run(PipelineKind::Schemble, &workload);
+    let oracle = ctx.run(PipelineKind::SchembleOracle, &workload);
+    // The oracle sees true scores; allow a small tolerance for queueing
+    // noise but it must not be clearly worse.
+    assert!(
+        oracle.accuracy() > predictor.accuracy() - 0.03,
+        "oracle {:.3} vs predictor {:.3}",
+        oracle.accuracy(),
+        predictor.accuracy()
+    );
+}
+
+#[test]
+fn usage_accounting_matches_the_serving_story() {
+    let mut ctx = small_ctx(TaskKind::TextMatching, 800);
+    let workload = ctx.workload();
+    let span = workload.duration.as_secs_f64();
+
+    // Original: every admitted query runs every model, so task counts are
+    // identical across models and the slowest model is the most utilised.
+    let original = ctx.run(PipelineKind::Original, &workload);
+    let usage = original.usage();
+    assert_eq!(usage.len(), 3);
+    assert_eq!(usage[0].tasks, usage[1].tasks);
+    assert_eq!(usage[1].tasks, usage[2].tasks);
+    assert!(
+        usage[2].utilisation(span) > usage[0].utilisation(span),
+        "BERT (48ms) must be busier than BiLSTM (18ms) under Original"
+    );
+
+    // Schemble under burst shifts load toward the fast model: BiLSTM serves
+    // more tasks than BERT.
+    let schemble = ctx.run(PipelineKind::Schemble, &workload);
+    let usage = schemble.usage();
+    assert!(
+        usage[0].tasks > usage[2].tasks,
+        "Schemble should route more tasks to the fast model: BiLSTM {} vs BERT {}",
+        usage[0].tasks,
+        usage[2].tasks
+    );
+    for u in usage {
+        let util = u.utilisation(span);
+        assert!((0.0..=1.05).contains(&util), "{}: utilisation {util} out of range", u.name);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the serving pipelines and difficulty machinery.
+
+use proptest::prelude::*;
+use schemble::core::artifacts::SchembleArtifacts;
+use schemble::core::discrepancy::{DifficultyMetric, DiscrepancyScorer};
+use schemble::core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
+use schemble::data::TaskKind;
+use schemble::models::{DifficultyDist, ModelSet, SampleGenerator};
+
+proptest! {
+    // Pipeline runs are expensive; keep the case counts small but varied.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever the seed, rate and deadline, the Schemble pipeline conserves
+    /// queries and keeps its metrics in range.
+    #[test]
+    fn pipeline_invariants_hold_for_any_seed(
+        seed in 0u64..1000,
+        rate in 10.0f64..60.0,
+        deadline_ms in 60.0f64..200.0,
+    ) {
+        let mut config = ExperimentConfig::small(TaskKind::TextMatching, seed);
+        config.n_queries = 120;
+        config.traffic = Traffic::Poisson { rate_per_sec: rate };
+        let config = config.with_deadline_millis(deadline_ms);
+        let mut ctx = ExperimentContext::new(config);
+        let workload = ctx.workload();
+        let summary = ctx.run(PipelineKind::Schemble, &workload);
+        prop_assert_eq!(summary.len(), workload.len());
+        prop_assert!((0.0..=1.0).contains(&summary.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&summary.deadline_miss_rate()));
+        prop_assert!(summary.mean_models_used() <= 3.0 + 1e-9);
+        // Accuracy can never exceed the deadline-hit share.
+        prop_assert!(summary.accuracy() <= 1.0 - summary.deadline_miss_rate() + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Discrepancy scores are in [0,1] for arbitrary ensemble seeds and
+    /// difficulty laws.
+    #[test]
+    fn discrepancy_scores_stay_in_unit_interval(
+        ens_seed in 0u64..500,
+        gen_seed in 0u64..500,
+        easy in proptest::bool::ANY,
+    ) {
+        let ens = TaskKind::TextMatching.ensemble(ens_seed);
+        let dist = if easy {
+            DifficultyDist::EasySkewed { exponent: 2.5 }
+        } else {
+            DifficultyDist::Uniform
+        };
+        let gen = SampleGenerator::new(ens.spec, dist, gen_seed);
+        let history = gen.batch(0, 150);
+        let scorer = DiscrepancyScorer::fit(&ens, &history, DifficultyMetric::Discrepancy);
+        for s in gen.batch(10_000, 50) {
+            let v = scorer.score(&ens, &s);
+            prop_assert!((0.0..=1.0).contains(&v), "score {} out of range", v);
+        }
+    }
+
+    /// The profiled utility table is monotone in set inclusion for any seed.
+    #[test]
+    fn profile_monotonicity_for_any_seed(seed in 0u64..300) {
+        let ens = TaskKind::TextMatching.ensemble(seed);
+        let gen = TaskKind::TextMatching.default_generator(seed);
+        let art = SchembleArtifacts::build(
+            &ens, &gen, 300, 6, DifficultyMetric::Discrepancy, seed,
+        );
+        for b in 0..6 {
+            let score = (b as f64 + 0.5) / 6.0;
+            for set in ModelSet::all_nonempty(ens.m()) {
+                for k in 0..ens.m() {
+                    if !set.contains(k) {
+                        prop_assert!(
+                            art.profile.utility(score, set.with(k))
+                                >= art.profile.utility(score, set) - 1e-12
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Full serving run with a *stacking* aggregation module and KNN
+//! missing-value filling — the §VII pipeline variant, end to end.
+
+use schemble::core::discrepancy::{DifficultyMetric, DiscrepancyScorer};
+use schemble::core::filling::KnnFiller;
+use schemble::core::profiling::AccuracyProfile;
+use schemble::core::pipeline::schemble::{run_schemble, SchembleConfig};
+use schemble::core::pipeline::{ResultAssembler};
+use schemble::core::predictor::OnlineScorer;
+use schemble::core::scheduler::DpScheduler;
+use schemble::data::{DeadlinePolicy, PoissonTrace, TaskKind, Workload};
+use schemble::models::aggregate::train_stacking_meta;
+use schemble::models::{Aggregator, Label};
+use schemble::sim::rng::stream_rng;
+
+#[test]
+fn stacking_with_knn_filling_serves_under_load() {
+    let task = TaskKind::TextMatching;
+    let base = task.ensemble(1);
+    let gen = task.default_generator(1);
+
+    // Train the meta-classifier on full historical output files.
+    let history = gen.batch(1 << 44, 800);
+    let mut rng = stream_rng(1, "stacking-pipeline");
+    let rows: Vec<Vec<f64>> = history
+        .iter()
+        .map(|s| base.infer_all(s).iter().flat_map(|o| o.as_vec()).collect())
+        .collect();
+    let labels: Vec<Label> = history.iter().map(|s| s.label).collect();
+    let meta = train_stacking_meta(&rows, &labels, &base.spec, &mut rng);
+    let mut ensemble = base.clone();
+    ensemble.aggregator = Aggregator::Stacking { meta };
+
+    // Artifacts trained against the stacking ensemble (its outputs are the
+    // ground truth the profile measures against). Profiling subsets of a
+    // stacking ensemble needs the KNN filler, so the profile is fitted with
+    // an explicit assembler.
+    let filler = KnnFiller::fit(&ensemble, &history, 10);
+    let assembler_for_profile = ResultAssembler::KnnFill(filler.clone());
+    let scorer = DiscrepancyScorer::fit(&ensemble, &history, DifficultyMetric::Discrepancy);
+    let scores = scorer.score_batch(&ensemble, &history);
+    let profile = AccuracyProfile::fit_with_assembler(
+        &ensemble,
+        &history,
+        &scores,
+        8,
+        ensemble.m(),
+        &assembler_for_profile,
+    );
+    let predictor = schemble::core::predictor::train_score_predictor(
+        &ensemble, &history, &scores, &mut rng,
+    );
+
+    let workload = Workload::generate(
+        &gen,
+        &PoissonTrace { rate_per_sec: 45.0, n: 600 },
+        &DeadlinePolicy::constant_millis(120.0),
+        7,
+    );
+    let mut config = SchembleConfig::new(
+        Box::new(DpScheduler::default()),
+        OnlineScorer::Predictor(predictor),
+        profile,
+    );
+    config.assembler = ResultAssembler::KnnFill(filler);
+    let summary = run_schemble(&ensemble, &config, &workload, 3);
+
+    assert_eq!(summary.len(), 600);
+    assert!(
+        summary.accuracy() > 0.75,
+        "stacking+KNN pipeline accuracy collapsed: {:.3}",
+        summary.accuracy()
+    );
+    assert!(
+        summary.deadline_miss_rate() < 0.2,
+        "stacking+KNN pipeline missing too many deadlines: {:.3}",
+        summary.deadline_miss_rate()
+    );
+    // Partial sets actually occurred (the filler was exercised).
+    assert!(
+        summary.mean_models_used() < 2.9,
+        "under 45 qps some queries must run subsets, got {:.2}",
+        summary.mean_models_used()
+    );
+}
