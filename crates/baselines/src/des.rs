@@ -58,19 +58,20 @@ impl DesSelector {
                 }
             }
         }
-        let competence = (0..regions.k())
-            .map(|r| {
-                (0..m)
-                    .map(|k| {
-                        if counts[r] == 0 {
-                            0.5
-                        } else {
-                            hits[r][k] as f64 / counts[r] as f64
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        let competence =
+            (0..regions.k())
+                .map(|r| {
+                    (0..m)
+                        .map(|k| {
+                            if counts[r] == 0 {
+                                0.5
+                            } else {
+                                hits[r][k] as f64 / counts[r] as f64
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
         Self { regions, competence, threshold: Self::DEFAULT_THRESHOLD }
     }
 
@@ -152,12 +153,7 @@ mod tests {
         for a in &mut avg {
             *a /= history.len() as f64;
         }
-        assert!(
-            avg[2] > avg[0],
-            "BERT competence {:.3} should beat BiLSTM {:.3}",
-            avg[2],
-            avg[0]
-        );
+        assert!(avg[2] > avg[0], "BERT competence {:.3} should beat BiLSTM {:.3}", avg[2], avg[0]);
     }
 
     #[test]

@@ -70,9 +70,7 @@ pub fn run_baseline(
 ) -> RunSummary {
     let mut policy: Box<dyn SelectionPolicy> = match kind {
         BaselineKind::Des => Box::new(train_des(ensemble, generator, history_n, seed)),
-        BaselineKind::Gating => {
-            Box::new(train_gating(ensemble, generator, history_n, seed))
-        }
+        BaselineKind::Gating => Box::new(train_gating(ensemble, generator, history_n, seed)),
     };
     run_immediate(
         ensemble,
@@ -102,8 +100,7 @@ mod tests {
             7,
         );
         for kind in [BaselineKind::Des, BaselineKind::Gating] {
-            let summary =
-                run_baseline(kind, &ens, &gen, &workload, AdmissionMode::Reject, 400, 3);
+            let summary = run_baseline(kind, &ens, &gen, &workload, AdmissionMode::Reject, 400, 3);
             assert_eq!(summary.len(), 200, "{} lost queries", kind.label());
             assert!(summary.accuracy() > 0.2, "{} acc collapsed", kind.label());
         }

@@ -49,15 +49,10 @@ impl GatingSelector {
                     .collect()
             })
             .collect();
-        let features =
-            Matrix::from_fn(history.len(), feat_dim, |r, c| history[r].features[c]);
+        let features = Matrix::from_fn(history.len(), feat_dim, |r, c| history[r].features[c]);
         // Same architecture family as the discrepancy predictor (§VIII).
-        let mut gate = Mlp::new(
-            &[feat_dim, 32, 16, m],
-            Activation::Relu,
-            Activation::Identity,
-            rng,
-        );
+        let mut gate =
+            Mlp::new(&[feat_dim, 32, 16, m], Activation::Relu, Activation::Identity, rng);
         let mut opt = Adam::new(0.01);
         gate.fit(&features, 60, 32, &mut opt, rng, |pred, idx| {
             let t = Matrix::from_fn(idx.len(), m, |r, c| targets[idx[r]][c]);
@@ -68,11 +63,7 @@ impl GatingSelector {
 
     /// Gate weights (σ of the logits) for a feature vector.
     pub fn weights(&self, features: &[f64]) -> Vec<f64> {
-        self.gate
-            .infer_one(features)
-            .into_iter()
-            .map(|z| 1.0 / (1.0 + (-z).exp()))
-            .collect()
+        self.gate.infer_one(features).into_iter().map(|z| 1.0 / (1.0 + (-z).exp())).collect()
     }
 
     /// The subset selected for a feature vector.
@@ -139,12 +130,7 @@ mod tests {
         for a in &mut avg {
             *a /= history.len() as f64;
         }
-        assert!(
-            avg[2] > avg[0],
-            "BERT weight {:.3} should beat BiLSTM {:.3}",
-            avg[2],
-            avg[0]
-        );
+        assert!(avg[2] > avg[0], "BERT weight {:.3} should beat BiLSTM {:.3}", avg[2], avg[0]);
     }
 
     #[test]
@@ -153,8 +139,7 @@ mod tests {
         // the gate's weights vary little across queries relative to their
         // mean level.
         let (_, history, gate) = fixture();
-        let w0: Vec<f64> =
-            history.iter().take(400).map(|s| gate.weights(&s.features)[2]).collect();
+        let w0: Vec<f64> = history.iter().take(400).map(|s| gate.weights(&s.features)[2]).collect();
         let spread = std_dev(&w0);
         let level = mean(&w0);
         assert!(

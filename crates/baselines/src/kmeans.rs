@@ -22,10 +22,8 @@ impl KMeans {
         assert!(!points.is_empty(), "cannot cluster zero points");
         assert!(k > 0, "need at least one cluster");
         let k = k.min(points.len());
-        let mut centroids: Vec<Vec<f64>> = index_sample(rng, points.len(), k)
-            .into_iter()
-            .map(|i| points[i].clone())
-            .collect();
+        let mut centroids: Vec<Vec<f64>> =
+            index_sample(rng, points.len(), k).into_iter().map(|i| points[i].clone()).collect();
         let dim = points[0].len();
         let mut assignment = vec![0usize; points.len()];
         for _ in 0..iters {
@@ -120,8 +118,7 @@ mod tests {
     #[test]
     fn region_of_is_deterministic() {
         let mut rng = stream_rng(3, "kmeans");
-        let points: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
+        let points: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
         let km = KMeans::fit(&points, 4, 15, &mut rng);
         for p in &points {
             assert_eq!(km.region_of(p), km.region_of(p));

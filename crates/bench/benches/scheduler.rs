@@ -63,14 +63,10 @@ fn bench_delta(c: &mut Criterion) {
     let mut group = c.benchmark_group("dp_plan_vs_delta");
     let input = build_instance(16, 3, 11);
     for delta in [0.1, 0.01, 0.001] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(delta),
-            &input,
-            |b, input| {
-                let dp = DpScheduler::with_delta(delta);
-                b.iter(|| black_box(dp.plan(black_box(input))));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &input, |b, input| {
+            let dp = DpScheduler::with_delta(delta);
+            b.iter(|| black_box(dp.plan(black_box(input))));
+        });
     }
     group.finish();
 }

@@ -8,18 +8,32 @@ fn main() {
         let gen = SampleGenerator::new(ens.spec, DifficultyDist::EasySkewed { exponent: 2.5 }, 5);
         let h = gen.batch(0, 3000);
         for set in ModelSet::all_nonempty(ens.m()) {
-            if set.len() == ens.m() { continue; }
-            let agree = h.iter().filter(|s| {
-                let r = ens.ensemble_output(s);
-                ens.subset_output(s, set).agrees_with(&r, &ens.spec)
-            }).count() as f64 / h.len() as f64;
-            let map: f64 = h.iter().map(|s| {
-                let r = ens.ensemble_output(s);
-                let out = ens.subset_output(s, set);
-                if ens.spec.is_categorical() && matches!(ens.spec, schemble_models::TaskSpec::Retrieval{..}) {
-                    1.0 / out.rank_of(r.predicted_class()) as f64
-                } else { agree }
-            }).sum::<f64>() / h.len() as f64;
+            if set.len() == ens.m() {
+                continue;
+            }
+            let agree = h
+                .iter()
+                .filter(|s| {
+                    let r = ens.ensemble_output(s);
+                    ens.subset_output(s, set).agrees_with(&r, &ens.spec)
+                })
+                .count() as f64
+                / h.len() as f64;
+            let map: f64 = h
+                .iter()
+                .map(|s| {
+                    let r = ens.ensemble_output(s);
+                    let out = ens.subset_output(s, set);
+                    if ens.spec.is_categorical()
+                        && matches!(ens.spec, schemble_models::TaskSpec::Retrieval { .. })
+                    {
+                        1.0 / out.rank_of(r.predicted_class()) as f64
+                    } else {
+                        agree
+                    }
+                })
+                .sum::<f64>()
+                / h.len() as f64;
             println!("{name} subset {set}: agreement {agree:.3} mAP-ish {map:.3}");
         }
     }
@@ -30,7 +44,11 @@ fn main() {
     let ea = DiscrepancyScorer::fit(&ens, &h, DifficultyMetric::EnsembleAgreement);
     let zs: Vec<f64> = h.iter().map(|s| s.difficulty).collect();
     let ds = dis.score_batch(&ens, &h);
-    println!("corr(dis,z)={:.3} corr(ea,z)={:.3}", pearson(&ds, &zs), pearson(&ea.score_batch(&ens, &h), &zs));
+    println!(
+        "corr(dis,z)={:.3} corr(ea,z)={:.3}",
+        pearson(&ds, &zs),
+        pearson(&ea.score_batch(&ens, &h), &zs)
+    );
     let ens2 = zoo::text_matching(777);
     let dis2 = DiscrepancyScorer::fit(&ens2, &h, DifficultyMetric::Discrepancy);
     println!("reseed corr = {:.3}", pearson(&ds, &dis2.score_batch(&ens2, &h)));

@@ -54,11 +54,7 @@ fn main() {
             pct(summary.deadline_miss_rate()),
         ]);
     }
-    print_table(
-        "Ablation 1 — profile bin count (TM, diurnal)",
-        &["bins", "Acc %", "DMR %"],
-        &rows,
-    );
+    print_table("Ablation 1 — profile bin count (TM, diurnal)", &["bins", "Acc %", "DMR %"], &rows);
 
     // ---- 2. Eq. 2 λ -------------------------------------------------------
     let ens = task.ensemble(42);
@@ -72,8 +68,7 @@ fn main() {
     for lambda in [0.0, 0.05, 0.2, 1.0, 5.0] {
         let mut rng = stream_rng(42, "ablation-lambda");
         let nn = train_score_predictor_with_lambda(&ens, &history, &scores, lambda, &mut rng);
-        let predicted: Vec<f64> =
-            test.iter().map(|s| nn.predict_score(&s.features)).collect();
+        let predicted: Vec<f64> = test.iter().map(|s| nn.predict_score(&s.features)).collect();
         rows.push(vec![format!("{lambda}"), f3(pearson(&predicted, &truth))]);
     }
     print_table(
@@ -91,7 +86,8 @@ fn main() {
     let mut rows = Vec::new();
     {
         let mut rng = stream_rng(42, "ablation-arch");
-        let mlp = schemble_core::predictor::train_score_predictor(&ens, &history, &scores, &mut rng);
+        let mlp =
+            schemble_core::predictor::train_score_predictor(&ens, &history, &scores, &mut rng);
         let mlp_pred: Vec<f64> = test.iter().map(|s| mlp.predict_score(&s.features)).collect();
         rows.push(vec![
             "MLP".to_string(),
@@ -99,7 +95,8 @@ fn main() {
             f3(pearson(&mlp_pred, &truth)),
         ]);
         let mut rng = stream_rng(42, "ablation-arch-seq");
-        let seq = schemble_core::predictor::train_seq_score_predictor(&ens, &history, &scores, &mut rng);
+        let seq =
+            schemble_core::predictor::train_seq_score_predictor(&ens, &history, &scores, &mut rng);
         let seq_pred: Vec<f64> = test.iter().map(|s| seq.predict_score(&s.features)).collect();
         rows.push(vec![
             "MV-LSTM".to_string(),

@@ -12,9 +12,7 @@ use schemble_bench::fmt::{pct, print_table};
 use schemble_bench::runner::sized;
 use schemble_core::artifacts::SchembleArtifacts;
 use schemble_core::discrepancy::DifficultyMetric;
-use schemble_core::offline::{
-    budgeted_selection, random_selection, set_costs_ms, utility_rows,
-};
+use schemble_core::offline::{budgeted_selection, random_selection, set_costs_ms, utility_rows};
 use schemble_data::TaskKind;
 use schemble_models::ModelSet;
 use schemble_sim::rng::stream_rng;
@@ -24,14 +22,8 @@ fn main() {
         let ens = task.ensemble(42);
         let gen = task.default_generator(42);
         let art = SchembleArtifacts::build_default(&ens, &gen, 42);
-        let ea = SchembleArtifacts::build(
-            &ens,
-            &gen,
-            2000,
-            10,
-            DifficultyMetric::EnsembleAgreement,
-            42,
-        );
+        let ea =
+            SchembleArtifacts::build(&ens, &gen, 2000, 10, DifficultyMetric::EnsembleAgreement, 42);
         let n = sized(3000);
         let samples = gen.batch(0, n);
         let costs = set_costs_ms(&ens);
@@ -59,17 +51,11 @@ fn main() {
                 / samples.len() as f64
         };
 
-        let full_cost = ens
-            .set_cumulative_latency(ens.full_set())
-            .as_millis_f64();
-        let min_cost = ens
-            .planned_latencies()
-            .iter()
-            .map(|d| d.as_millis_f64())
-            .fold(f64::INFINITY, f64::min);
-        let budgets: Vec<f64> = (0..6)
-            .map(|i| min_cost + (full_cost - min_cost) * i as f64 / 5.0)
-            .collect();
+        let full_cost = ens.set_cumulative_latency(ens.full_set()).as_millis_f64();
+        let min_cost =
+            ens.planned_latencies().iter().map(|d| d.as_millis_f64()).fold(f64::INFINITY, f64::min);
+        let budgets: Vec<f64> =
+            (0..6).map(|i| min_cost + (full_cost - min_cost) * i as f64 / 5.0).collect();
 
         let mut rows: Vec<Vec<String>> = Vec::new();
         for &per_sample in &budgets {
@@ -79,8 +65,7 @@ fn main() {
             let smart = budgeted_selection(&utility_rows(&art.profile, &predicted), &costs, budget);
             let oracle =
                 budgeted_selection(&utility_rows(&art.profile, &oracle_scores), &costs, budget);
-            let ea_sel =
-                budgeted_selection(&utility_rows(&ea.profile, &ea_scores), &costs, budget);
+            let ea_sel = budgeted_selection(&utility_rows(&ea.profile, &ea_scores), &costs, budget);
             rows.push(vec![
                 format!("{per_sample:.0}"),
                 pct(accuracy(&rand_sets)),

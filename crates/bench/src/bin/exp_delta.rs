@@ -9,9 +9,7 @@
 
 use schemble_bench::fmt::{pct, print_table};
 use schemble_bench::runner::sized;
-use schemble_core::experiment::{
-    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
-};
+use schemble_core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
 use schemble_core::scheduler::{DpScheduler, Scheduler};
 use schemble_data::TaskKind;
 
@@ -40,8 +38,7 @@ fn main() {
             let mut config = ExperimentConfig::paper_default(task, 42);
             config.n_queries = sized(4000);
             if let Traffic::Diurnal { .. } = config.traffic {
-                config.traffic =
-                    Traffic::Diurnal { day_secs: config.n_queries as f64 / 15.0 };
+                config.traffic = Traffic::Diurnal { day_secs: config.n_queries as f64 / 15.0 };
             }
             let mut ctx = ExperimentContext::new(config);
             let workload = ctx.workload();
@@ -65,8 +62,11 @@ fn heavy_instance() -> schemble_core::scheduler::ScheduleInput {
     use schemble_core::scheduler::{BufferedQuery, ScheduleInput};
     use schemble_sim::{SimDuration, SimTime};
     let m = 3;
-    let latencies =
-        vec![SimDuration::from_millis(18), SimDuration::from_millis(42), SimDuration::from_millis(48)];
+    let latencies = vec![
+        SimDuration::from_millis(18),
+        SimDuration::from_millis(42),
+        SimDuration::from_millis(48),
+    ];
     let queries = (0..16u64)
         .map(|id| {
             // Monotone utility vector resembling a mid-difficulty bin.
@@ -80,10 +80,5 @@ fn heavy_instance() -> schemble_core::scheduler::ScheduleInput {
             }
         })
         .collect();
-    ScheduleInput {
-        now: SimTime::ZERO,
-        availability: vec![SimTime::ZERO; m],
-        latencies,
-        queries,
-    }
+    ScheduleInput { now: SimTime::ZERO, availability: vec![SimTime::ZERO; m], latencies, queries }
 }

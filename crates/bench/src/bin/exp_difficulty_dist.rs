@@ -10,9 +10,7 @@
 
 use schemble_bench::fmt::{pct, print_table};
 use schemble_bench::runner::{run_method, sized, standard_methods, Method};
-use schemble_core::experiment::{
-    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
-};
+use schemble_core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
 use schemble_data::TaskKind;
 use schemble_models::DifficultyDist;
 
@@ -24,8 +22,7 @@ fn main() {
     for (dist_name, make) in [
         (
             "Normal (σ=0.03)",
-            (|mean: f64| DifficultyDist::Normal { mean, std: 0.03 })
-                as fn(f64) -> DifficultyDist,
+            (|mean: f64| DifficultyDist::Normal { mean, std: 0.03 }) as fn(f64) -> DifficultyDist,
         ),
         ("Gamma (scale=1)", |mean: f64| DifficultyDist::Gamma { mean }),
     ] {

@@ -27,13 +27,7 @@ fn main() {
     let summary = ctx.run(PipelineKind::Original, &workload);
     let series = SegmentSeries::compute(summary.records(), 24, |r| trace.hour_of(r.arrival));
     let rows: Vec<Vec<String>> = (0..24)
-        .map(|h| {
-            vec![
-                h.to_string(),
-                series.counts[h].to_string(),
-                pct(series.dmr[h]),
-            ]
-        })
+        .map(|h| vec![h.to_string(), series.counts[h].to_string(), pct(series.dmr[h])])
         .collect();
     print_table(
         "Fig. 1a — one-day traffic and Original-pipeline deadline miss rate",
@@ -76,10 +70,7 @@ fn main() {
     rows.push(vec![
         "Ensemble".to_string(),
         f3(ens_acc),
-        format!(
-            "{:.0} ms (max base + aggregation)",
-            ens.slowest_planned_latency().as_millis_f64()
-        ),
+        format!("{:.0} ms (max base + aggregation)", ens.slowest_planned_latency().as_millis_f64()),
     ]);
     print_table(
         "Fig. 1b — ensemble vs base models (accuracy on true labels, nominal latency)",

@@ -31,9 +31,7 @@ fn main() {
     }
     print_table(
         "Fig. 4a — distribution of discrepancy scores (% of samples per decile bin)",
-        &[
-            "task", "0.0", "0.1", "0.2", "0.3", "0.4", "0.5", "0.6", "0.7", "0.8", "0.9",
-        ],
+        &["task", "0.0", "0.1", "0.2", "0.3", "0.4", "0.5", "0.6", "0.7", "0.8", "0.9"],
         &rows,
     );
 
@@ -47,8 +45,7 @@ fn main() {
     let profile = AccuracyProfile::fit(&ens, &history, &scores, 10);
     let combos: Vec<(String, ModelSet)> = ModelSet::all_nonempty(ens.m())
         .map(|set| {
-            let names: Vec<&str> =
-                set.iter().map(|k| ens.models[k].name.as_str()).collect();
+            let names: Vec<&str> = set.iter().map(|k| ens.models[k].name.as_str()).collect();
             (names.join("+"), set)
         })
         .collect();

@@ -45,9 +45,8 @@ fn main() {
     };
     let pref_a = preferences(&zoo_a);
     let pref_b = preferences(&zoo_b);
-    let column = |prefs: &[Vec<f64>], k: usize| -> Vec<f64> {
-        prefs.iter().map(|row| row[k]).collect()
-    };
+    let column =
+        |prefs: &[Vec<f64>], k: usize| -> Vec<f64> { prefs.iter().map(|row| row[k]).collect() };
 
     // Cross-architecture correlations (within seed A) + same-arch diagonal
     // across seeds, + the discrepancy column.
@@ -57,8 +56,8 @@ fn main() {
         .score_batch(&zoo_b, &samples);
 
     let mut rows: Vec<Vec<String>> = Vec::new();
-    for i in 0..6 {
-        let mut row = vec![CIFAR_ARCHS[i].to_string()];
+    for (i, arch) in CIFAR_ARCHS.iter().enumerate() {
+        let mut row = vec![arch.to_string()];
         for j in 0..6 {
             let c = if i == j {
                 // Diagonal: same architecture, different training seed.
@@ -86,18 +85,13 @@ fn main() {
     );
 
     // The paper's claim, quantified.
-    let mean_pref_diag: f64 = (0..6)
-        .map(|i| pearson(&column(&pref_a, i), &column(&pref_b, i)))
-        .sum::<f64>()
-        / 6.0;
+    let mean_pref_diag: f64 =
+        (0..6).map(|i| pearson(&column(&pref_a, i), &column(&pref_b, i))).sum::<f64>() / 6.0;
     println!(
         "\n  mean same-arch cross-seed preference correlation: {mean_pref_diag:.3}\n  \
          discrepancy cross-seed correlation:               {dis_diag:.3}\n  \
          (paper: preferences are poorly consistent; the discrepancy score is much stronger)"
     );
-    assert!(
-        dis_diag > mean_pref_diag,
-        "discrepancy must be more seed-stable than preferences"
-    );
+    assert!(dis_diag > mean_pref_diag, "discrepancy must be more seed-stable than preferences");
     let _ = TaskKind::ALL; // keep the import pattern consistent across drivers
 }

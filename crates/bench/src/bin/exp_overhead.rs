@@ -55,8 +55,7 @@ fn main() {
         // our FLOP proxy scales its cost against a base model of ~1 GFLOP.
         let flops = predictor.flops_per_sample();
         let runtime_frac = 100.0 * (per_pred_us / 1000.0) / ens_latency_ms;
-        let memory_frac =
-            100.0 * predictor.param_count() as f64 / total_ref_params as f64;
+        let memory_frac = 100.0 * predictor.param_count() as f64 / total_ref_params as f64;
         rows.push(vec![
             task.label().to_string(),
             predictor.param_count().to_string(),

@@ -30,10 +30,7 @@ fn main() {
         let scores = scorer.score_batch(&ens, &history);
         let exact = AccuracyProfile::fit(&ens, &history, &scores, 8);
         let estimated = AccuracyProfile::fit_with_cutoff(&ens, &history, &scores, 8, 3);
-        rows.push(vec![
-            size.to_string(),
-            format!("{:.2e}", estimated.mse_against(&exact)),
-        ]);
+        rows.push(vec![size.to_string(), format!("{:.2e}", estimated.mse_against(&exact))]);
     }
     print_table(
         "Fig. 20a — MSE of Eq. 3 profile estimation vs exact profiling (CIFAR zoo)",

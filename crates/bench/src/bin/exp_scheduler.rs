@@ -9,9 +9,7 @@
 
 use schemble_bench::fmt::{pct, print_table};
 use schemble_bench::runner::sized;
-use schemble_core::experiment::{
-    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
-};
+use schemble_core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
 use schemble_core::scheduler::QueueOrder;
 use schemble_data::TaskKind;
 use schemble_metrics::SegmentSeries;
@@ -43,8 +41,7 @@ fn main() {
                 ExperimentConfig::paper_default(task, 42).with_deadline_millis(deadline_ms);
             config.n_queries = sized(4000);
             if let Traffic::Diurnal { .. } = config.traffic {
-                config.traffic =
-                    Traffic::Diurnal { day_secs: config.n_queries as f64 / 15.0 };
+                config.traffic = Traffic::Diurnal { day_secs: config.n_queries as f64 / 15.0 };
             }
             let mut ctx = ExperimentContext::new(config);
             let workload = ctx.workload();
@@ -71,8 +68,8 @@ fn main() {
     }
 
     // Fig. 19 — the bursty 14–19h slice of the text-matching day.
-    let mut config = ExperimentConfig::paper_default(TaskKind::TextMatching, 42)
-        .with_deadline_millis(105.0);
+    let mut config =
+        ExperimentConfig::paper_default(TaskKind::TextMatching, 42).with_deadline_millis(105.0);
     config.n_queries = sized(6000);
     config.traffic = Traffic::Diurnal { day_secs: config.n_queries as f64 / 15.0 };
     let mut ctx = ExperimentContext::new(config);
@@ -81,20 +78,14 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for kind in variants() {
         let summary = ctx.run(kind, &workload);
-        let series =
-            SegmentSeries::compute(summary.records(), 24, |r| trace.hour_of(r.arrival));
+        let series = SegmentSeries::compute(summary.records(), 24, |r| trace.hour_of(r.arrival));
         let (mut acc, mut dmr, mut n) = (0.0, 0.0, 0usize);
         for h in 14..19 {
             acc += series.accuracy[h] * series.counts[h] as f64;
             dmr += series.dmr[h] * series.counts[h] as f64;
             n += series.counts[h];
         }
-        rows.push(vec![
-            kind.label(),
-            n.to_string(),
-            pct(acc / n as f64),
-            pct(dmr / n as f64),
-        ]);
+        rows.push(vec![kind.label(), n.to_string(), pct(acc / n as f64), pct(dmr / n as f64)]);
     }
     print_table(
         "Fig. 19 — scheduling algorithms on the bursty 14–19h slice (text matching)",

@@ -8,9 +8,7 @@
 
 use schemble_bench::fmt::{pct, print_table};
 use schemble_bench::runner::{run_method, sized, standard_methods};
-use schemble_core::experiment::{
-    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
-};
+use schemble_core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
 use schemble_data::TaskKind;
 use schemble_metrics::SegmentSeries;
 
@@ -27,9 +25,8 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for method in standard_methods() {
         let summary = run_method(&mut ctx, method, &workload);
-        let series = SegmentSeries::compute(summary.records(), 6, |r| {
-            seg_of(trace.hour_of(r.arrival))
-        });
+        let series =
+            SegmentSeries::compute(summary.records(), 6, |r| seg_of(trace.hour_of(r.arrival)));
         for seg in 0..6 {
             rows.push(vec![
                 format!("{:02}-{:02}h", seg * 4, seg * 4 + 4),
@@ -56,10 +53,8 @@ fn main() {
         seg_models[seg].0 += r.models_used as f64;
         seg_models[seg].1 += 1;
     }
-    let adapt: Vec<String> = seg_models
-        .iter()
-        .map(|(sum, n)| format!("{:.2}", sum / (*n).max(1) as f64))
-        .collect();
+    let adapt: Vec<String> =
+        seg_models.iter().map(|(sum, n)| format!("{:.2}", sum / (*n).max(1) as f64)).collect();
     println!(
         "\n  Schemble mean models/query per segment: {}  \
          (drops during the 08–16h burst — the paper's adaptive shedding)",

@@ -24,8 +24,7 @@ fn main() {
         let mut ctx = ExperimentContext::new(config);
         let workload = ctx.workload();
 
-        let labels: Vec<String> =
-            standard_methods().iter().map(|m| m.label()).collect();
+        let labels: Vec<String> = standard_methods().iter().map(|m| m.label()).collect();
         let mut points: Vec<(String, f64, f64)> = Vec::new();
         for (method, label) in standard_methods().into_iter().zip(&labels) {
             let summary = run_method(&mut ctx, method, &workload);
@@ -67,8 +66,7 @@ fn main() {
                 "  Schemble is the best trade-off for λ ∈ [{lo:.3}, {hi:.1}] \
                  (paper TM: [0.056, 210])"
             ),
-            None => match winning_lambda_range(&borrowed, "Schemble(ea)", 0.01, 1000.0, 400)
-            {
+            None => match winning_lambda_range(&borrowed, "Schemble(ea)", 0.01, 1000.0, 400) {
                 // The two Schemble variants are statistical near-ties; when
                 // the (ea) sibling edges ahead the framework still wins.
                 Some((lo, hi)) => println!(

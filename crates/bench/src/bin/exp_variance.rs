@@ -46,12 +46,8 @@ fn main() {
         &rows,
     );
 
-    let idx = |label: &str| {
-        methods
-            .iter()
-            .position(|m| m.label() == label)
-            .expect("method present")
-    };
+    let idx =
+        |label: &str| methods.iter().position(|m| m.label() == label).expect("method present");
     let schemble = SeedStats::from_runs(&acc[idx("Schemble")]);
     let original = SeedStats::from_runs(&acc[idx("Original")]);
     assert!(

@@ -12,17 +12,12 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let print_row = |cells: &[String]| {
-        let line: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}", w = w))
-            .collect();
+        let line: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
         println!("  {}", line.join("  "));
     };
     print_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    print_row(
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
-    );
+    print_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         print_row(row);
     }

@@ -37,11 +37,7 @@ pub fn standard_methods() -> Vec<Method> {
 }
 
 /// Runs one method over a workload reusing the context's trained artifacts.
-pub fn run_method(
-    ctx: &mut ExperimentContext,
-    method: Method,
-    workload: &Workload,
-) -> RunSummary {
+pub fn run_method(ctx: &mut ExperimentContext, method: Method, workload: &Workload) -> RunSummary {
     match method {
         Method::Core(kind) => ctx.run(kind, workload),
         Method::Baseline(kind) => run_baseline(
@@ -78,10 +74,7 @@ mod tests {
     fn six_standard_methods_with_paper_labels() {
         let methods = standard_methods();
         let labels: Vec<String> = methods.iter().map(Method::label).collect();
-        assert_eq!(
-            labels,
-            vec!["Original", "Static", "DES", "Gating", "Schemble(ea)", "Schemble"]
-        );
+        assert_eq!(labels, vec!["Original", "Static", "DES", "Gating", "Schemble(ea)", "Schemble"]);
     }
 
     #[test]

@@ -69,14 +69,7 @@ impl SchembleArtifacts {
 
     /// Small/fast variant for tests.
     pub fn build_small(ensemble: &Ensemble, generator: &SampleGenerator, seed: u64) -> Self {
-        Self::build(
-            ensemble,
-            generator,
-            600,
-            8,
-            DifficultyMetric::Discrepancy,
-            seed,
-        )
+        Self::build(ensemble, generator, 600, 8, DifficultyMetric::Discrepancy, seed)
     }
 }
 
@@ -106,14 +99,8 @@ mod tests {
         let task = TaskKind::TextMatching;
         let ens = task.ensemble(1);
         let gen = task.default_generator(1);
-        let art = SchembleArtifacts::build(
-            &ens,
-            &gen,
-            400,
-            8,
-            DifficultyMetric::EnsembleAgreement,
-            9,
-        );
+        let art =
+            SchembleArtifacts::build(&ens, &gen, 400, 8, DifficultyMetric::EnsembleAgreement, 9);
         assert_eq!(art.metric, DifficultyMetric::EnsembleAgreement);
     }
 }

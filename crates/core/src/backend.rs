@@ -1,0 +1,252 @@
+//! Execution backends: where tasks actually run.
+//!
+//! The pipelines in [`crate::pipeline`] decide *what* to run (admission,
+//! model-set selection, dispatch order); an [`ExecutionBackend`] decides
+//! *how* running happens — inside the discrete-event simulator
+//! ([`SimBackend`]) or on real worker threads (`schemble-serve`'s threaded
+//! backend). Keeping the decision logic in [`crate::engine`] and the
+//! execution substrate behind this trait is what lets the same pipeline run
+//! unchanged in simulation and in the wall-clock serving runtime, and is
+//! also what makes the serve runtime's virtual-clock parity mode possible:
+//! the runtime drives the *identical* engine code over a [`SimBackend`], so
+//! its admission decisions match the DES pipeline's by construction.
+//!
+//! Executors are indexed `0..executors()`. For the Schemble pipeline the
+//! executor index *is* the base-model index (identity deployment); the
+//! immediate-selection family maps instances to base models through its
+//! `Deployment`.
+
+use rand::rngs::StdRng;
+use schemble_sim::rng::stream_rng;
+use schemble_sim::{EventQueue, LatencyModel, ServerBank, SimTime, TaskId};
+
+/// An event surfaced by a backend to the engine driving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendEvent {
+    /// Query `workload.queries[i]` has arrived.
+    Arrival(usize),
+    /// `executor` finished its running task for `query`.
+    TaskDone {
+        /// Executor (server instance) index.
+        executor: usize,
+        /// Query id the finished task belonged to.
+        query: u64,
+    },
+    /// A requested wake-up fired (plan effective, predictor done, deadline).
+    Wake,
+}
+
+/// Per-executor lifetime counters, for usage reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorUsage {
+    /// Total busy time in seconds.
+    pub busy_secs: f64,
+    /// Tasks completed.
+    pub tasks: u64,
+}
+
+/// An execution substrate for pipeline engines.
+///
+/// Contract shared by all implementations:
+///
+/// * **Non-preemptive.** A started task runs to completion; `start_task`
+///   panics (or asserts) if the executor is busy.
+/// * **Sampling at submission.** The task's (synthetic) execution time is
+///   drawn from the executor's latency model when the task is submitted
+///   (`start_task`/`enqueue_task`), in call order — this keeps runs
+///   deterministic for a fixed seed regardless of substrate.
+/// * **Completion surfaces as an event.** The backend delivers
+///   [`BackendEvent::TaskDone`] through its own event channel; engines
+///   never poll.
+pub trait ExecutionBackend {
+    /// Number of executors (server instances).
+    fn executors(&self) -> usize;
+
+    /// True when `executor` has no running task.
+    fn is_idle(&self, executor: usize) -> bool;
+
+    /// Indices of currently idle executors, ascending.
+    fn idle_executors(&self) -> Vec<usize>;
+
+    /// True when any executor is idle.
+    fn any_idle(&self) -> bool {
+        !self.idle_executors().is_empty()
+    }
+
+    /// Earliest time `executor` could start a new task, counting its
+    /// backlog at planned (nominal) durations.
+    fn available_at(&self, executor: usize, now: SimTime) -> SimTime;
+
+    /// [`Self::available_at`] for every executor.
+    fn availability(&self, now: SimTime) -> Vec<SimTime> {
+        (0..self.executors()).map(|k| self.available_at(k, now)).collect()
+    }
+
+    /// Starts `query` on an idle `executor` immediately (dispatch-on-idle
+    /// pipelines). Panics if the executor is busy.
+    fn start_task(&mut self, executor: usize, query: u64, now: SimTime);
+
+    /// Appends `query` to `executor`'s FIFO backlog (immediate-selection
+    /// pipelines); the executor starts it as soon as it idles.
+    fn enqueue_task(&mut self, executor: usize, query: u64, now: SimTime);
+
+    /// Asks the backend to surface [`BackendEvent::Wake`] at `at`.
+    fn request_wake(&mut self, at: SimTime);
+
+    /// Lifetime busy-time/task counters per executor.
+    fn usage(&self) -> Vec<ExecutorUsage>;
+}
+
+/// The discrete-event-simulation backend: a [`ServerBank`] plus an
+/// [`EventQueue`], with synthetic latencies drawn from a named RNG stream.
+///
+/// [`SimBackend::pop_event`] is the simulation loop's clock: it advances
+/// virtual time to the next event and performs the executor-side mechanics
+/// of completions (retiring the finished task and starting the next backlog
+/// task) before handing the event to the engine.
+pub struct SimBackend {
+    servers: ServerBank,
+    events: EventQueue<BackendEvent>,
+    latencies: Vec<LatencyModel>,
+    rng: StdRng,
+}
+
+impl SimBackend {
+    /// A backend with one executor per entry of `latencies`, drawing
+    /// execution times from the `(seed, stream)` RNG stream.
+    pub fn new(latencies: Vec<LatencyModel>, seed: u64, stream: &str) -> Self {
+        Self {
+            servers: ServerBank::new(latencies.len()),
+            events: EventQueue::new(),
+            latencies,
+            rng: stream_rng(seed, stream),
+        }
+    }
+
+    /// Schedules `Arrival(index)` at `at`.
+    pub fn push_arrival(&mut self, at: SimTime, index: usize) {
+        self.events.push(at, BackendEvent::Arrival(index));
+    }
+
+    /// Advances to and returns the next event, or `None` once drained.
+    ///
+    /// Completions are applied to the server bank here (including starting
+    /// the executor's next backlog task), so by the time the engine sees
+    /// [`BackendEvent::TaskDone`] the executor is already idle or re-busy.
+    pub fn pop_event(&mut self) -> Option<(SimTime, BackendEvent)> {
+        let (now, event) = self.events.pop()?;
+        if let BackendEvent::TaskDone { executor, query } = event {
+            self.servers.get_mut(executor).complete(TaskId(query), now);
+            if let Some(run) = self.servers.get_mut(executor).start_next(now) {
+                self.events
+                    .push(run.completes_at, BackendEvent::TaskDone { executor, query: run.task.0 });
+            }
+        }
+        Some((now, event))
+    }
+}
+
+impl ExecutionBackend for SimBackend {
+    fn executors(&self) -> usize {
+        self.latencies.len()
+    }
+
+    fn is_idle(&self, executor: usize) -> bool {
+        self.servers.get(executor).is_idle()
+    }
+
+    fn idle_executors(&self) -> Vec<usize> {
+        self.servers.idle_indices()
+    }
+
+    fn any_idle(&self) -> bool {
+        self.servers.any_idle()
+    }
+
+    fn available_at(&self, executor: usize, now: SimTime) -> SimTime {
+        self.servers.get(executor).available_at(now)
+    }
+
+    fn availability(&self, now: SimTime) -> Vec<SimTime> {
+        self.servers.availability(now)
+    }
+
+    fn start_task(&mut self, executor: usize, query: u64, now: SimTime) {
+        let dur = self.latencies[executor].sample(&mut self.rng);
+        let run = self.servers.get_mut(executor).start_immediately(TaskId(query), now, dur);
+        self.events.push(run.completes_at, BackendEvent::TaskDone { executor, query });
+    }
+
+    fn enqueue_task(&mut self, executor: usize, query: u64, now: SimTime) {
+        let dur = self.latencies[executor].sample(&mut self.rng);
+        let server = self.servers.get_mut(executor);
+        server.enqueue(TaskId(query), dur);
+        if let Some(run) = server.start_next(now) {
+            self.events
+                .push(run.completes_at, BackendEvent::TaskDone { executor, query: run.task.0 });
+        }
+    }
+
+    fn request_wake(&mut self, at: SimTime) {
+        self.events.push(at, BackendEvent::Wake);
+    }
+
+    fn usage(&self) -> Vec<ExecutorUsage> {
+        (0..self.latencies.len())
+            .map(|k| ExecutorUsage {
+                busy_secs: self.servers.get(k).busy_time().as_secs_f64(),
+                tasks: self.servers.get(k).completed_tasks(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_sim::SimDuration;
+
+    fn lat(ms: f64) -> LatencyModel {
+        LatencyModel::constant_millis(ms)
+    }
+
+    #[test]
+    fn start_task_surfaces_completion() {
+        let mut b = SimBackend::new(vec![lat(10.0), lat(20.0)], 1, "test");
+        assert_eq!(b.executors(), 2);
+        assert!(b.any_idle());
+        b.start_task(0, 7, SimTime::ZERO);
+        assert!(!b.is_idle(0));
+        assert!(b.is_idle(1));
+        let (t, ev) = b.pop_event().expect("completion queued");
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_millis(10));
+        assert_eq!(ev, BackendEvent::TaskDone { executor: 0, query: 7 });
+        assert!(b.is_idle(0));
+        assert_eq!(b.usage()[0].tasks, 1);
+    }
+
+    #[test]
+    fn enqueue_chains_backlog_tasks() {
+        let mut b = SimBackend::new(vec![lat(10.0)], 1, "test");
+        b.enqueue_task(0, 1, SimTime::ZERO);
+        b.enqueue_task(0, 2, SimTime::ZERO);
+        assert_eq!(b.available_at(0, SimTime::ZERO), SimTime::ZERO + SimDuration::from_millis(20));
+        let (t1, e1) = b.pop_event().expect("first completion");
+        assert_eq!(e1, BackendEvent::TaskDone { executor: 0, query: 1 });
+        assert_eq!(t1, SimTime::ZERO + SimDuration::from_millis(10));
+        // Backlog task auto-started at the completion instant.
+        let (t2, e2) = b.pop_event().expect("second completion");
+        assert_eq!(e2, BackendEvent::TaskDone { executor: 0, query: 2 });
+        assert_eq!(t2, SimTime::ZERO + SimDuration::from_millis(20));
+        assert!(b.pop_event().is_none());
+    }
+
+    #[test]
+    fn wakes_and_arrivals_interleave_in_time_order() {
+        let mut b = SimBackend::new(vec![lat(1.0)], 1, "test");
+        b.push_arrival(SimTime::ZERO + SimDuration::from_millis(5), 0);
+        b.request_wake(SimTime::ZERO + SimDuration::from_millis(2));
+        assert_eq!(b.pop_event().unwrap().1, BackendEvent::Wake);
+        assert_eq!(b.pop_event().unwrap().1, BackendEvent::Arrival(0));
+    }
+}

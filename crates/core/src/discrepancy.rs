@@ -69,20 +69,16 @@ impl DiscrepancyScorer {
             }
         }
         let norms: Vec<ZScore> = match metric {
-            DifficultyMetric::Discrepancy => {
-                per_model.iter().map(|xs| ZScore::fit(xs)).collect()
-            }
+            DifficultyMetric::Discrepancy => per_model.iter().map(|xs| ZScore::fit(xs)).collect(),
             // Agreement has no per-model normalisation.
             DifficultyMetric::EnsembleAgreement => {
                 per_model.iter().map(|_| ZScore { mean: 0.0, std: 1.0 }).collect()
             }
         };
         // Second pass: averaged normalised scores, then fit the [0,1] map.
-        let mut combined = Vec::with_capacity(history.len());
-        for i in 0..history.len() {
-            let avg = (0..m).map(|k| norms[k].apply(per_model[k][i])).sum::<f64>() / m as f64;
-            combined.push(avg);
-        }
+        let combined: Vec<f64> = (0..history.len())
+            .map(|i| (0..m).map(|k| norms[k].apply(per_model[k][i])).sum::<f64>() / m as f64)
+            .collect();
         let rescale = MinMax::fit(&combined);
         Self { metric, calibration, norms, rescale }
     }
@@ -100,11 +96,7 @@ impl DiscrepancyScorer {
     /// Scores one sample in `[0, 1]` (runs all base models — offline only).
     pub fn score(&self, ensemble: &Ensemble, sample: &Sample) -> f64 {
         let d = raw_distances(ensemble, &self.calibration, sample, self.metric);
-        let avg = d
-            .into_iter()
-            .enumerate()
-            .map(|(k, v)| self.norms[k].apply(v))
-            .sum::<f64>()
+        let avg = d.into_iter().enumerate().map(|(k, v)| self.norms[k].apply(v)).sum::<f64>()
             / ensemble.m() as f64;
         self.rescale.apply(avg)
     }
@@ -206,10 +198,7 @@ mod tests {
         let zs: Vec<f64> = h.iter().map(|s| s.difficulty).collect();
         let c_dis = pearson(&dis.score_batch(&ens, &h), &zs);
         let c_ea = pearson(&ea.score_batch(&ens, &h), &zs);
-        assert!(
-            c_dis > c_ea,
-            "discrepancy ({c_dis:.3}) should beat agreement ({c_ea:.3})"
-        );
+        assert!(c_dis > c_ea, "discrepancy ({c_dis:.3}) should beat agreement ({c_ea:.3})");
     }
 
     #[test]
@@ -218,16 +207,10 @@ mod tests {
         let scorer = DiscrepancyScorer::fit(&ens, &h, DifficultyMetric::Discrepancy);
         let easy_gen = SampleGenerator::new(ens.spec, DifficultyDist::Fixed(0.02), 7);
         let hard_gen = SampleGenerator::new(ens.spec, DifficultyDist::Fixed(0.98), 7);
-        let easy: f64 = scorer
-            .score_batch(&ens, &easy_gen.batch(0, 300))
-            .iter()
-            .sum::<f64>()
-            / 300.0;
-        let hard: f64 = scorer
-            .score_batch(&ens, &hard_gen.batch(0, 300))
-            .iter()
-            .sum::<f64>()
-            / 300.0;
+        let easy: f64 =
+            scorer.score_batch(&ens, &easy_gen.batch(0, 300)).iter().sum::<f64>() / 300.0;
+        let hard: f64 =
+            scorer.score_batch(&ens, &hard_gen.batch(0, 300)).iter().sum::<f64>() / 300.0;
         assert!(easy + 0.1 < hard, "easy mean {easy:.3} should sit below hard mean {hard:.3}");
     }
 

@@ -1,0 +1,623 @@
+//! Backend-agnostic pipeline engines.
+//!
+//! An engine is the pure *decision* half of a serving pipeline — admission,
+//! scoring, planning, dispatch order, result assembly — expressed as a state
+//! machine over [`BackendEvent`]s. The *execution* half (where tasks run,
+//! how time passes) lives behind [`ExecutionBackend`]. The DES drivers in
+//! [`crate::pipeline`] and the wall-clock runtime in `schemble-serve` both
+//! drive these same engines, which is what makes their admission decisions
+//! comparable: same events in, same decisions out, regardless of substrate.
+//!
+//! Two engines cover the paper's pipeline families:
+//!
+//! * [`SchembleEngine`] — the buffered, re-planning pipeline of Fig. 3
+//!   (query buffer, discrepancy predictor, DP scheduler, EDF
+//!   dispatch-on-idle, deadline expiry).
+//! * [`ImmediateEngine`] — the immediate-selection family of Fig. 2a–d
+//!   (Original / Static / DES / Gating): a [`SelectionPolicy`] picks a
+//!   subset at arrival and tasks join per-instance FIFO queues at once.
+
+use crate::backend::{BackendEvent, ExecutionBackend, ExecutorUsage};
+use crate::pipeline::eval::evaluate;
+use crate::pipeline::immediate::{Deployment, SelectionPolicy};
+use crate::pipeline::schemble::SchembleConfig;
+use crate::pipeline::{AdmissionMode, ResultAssembler};
+use crate::scheduler::{BufferedQuery, ScheduleInput};
+use schemble_data::Workload;
+use schemble_metrics::{ModelUsage, QueryOutcome, QueryRecord, RunSummary};
+use schemble_models::{Ensemble, ModelSet, Output};
+use schemble_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Live query-outcome counters, maintained incrementally by every engine.
+///
+/// Conservation invariant (the serve runtime's property tests check it):
+/// `submitted == completed + rejected + expired + open`, with `open`
+/// reaching zero after [`PipelineEngine::drain`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Arrival events handled.
+    pub submitted: u64,
+    /// Queries completed with an assembled result.
+    pub completed: u64,
+    /// Queries refused at arrival by admission control.
+    pub rejected: u64,
+    /// Queries dropped after admission (deadline or end-of-trace).
+    pub expired: u64,
+}
+
+impl EngineStats {
+    /// Queries submitted but not yet decided.
+    pub fn open(&self) -> u64 {
+        self.submitted - (self.completed + self.rejected + self.expired)
+    }
+}
+
+/// A pipeline's decision logic as a state machine over backend events.
+///
+/// The driver (DES loop or serving runtime) owns the backend, feeds every
+/// event through [`PipelineEngine::handle`], and finally collects records.
+pub trait PipelineEngine {
+    /// Processes one event and issues any resulting backend actions.
+    fn handle(&mut self, event: BackendEvent, now: SimTime, backend: &mut dyn ExecutionBackend);
+
+    /// Queries admitted but not yet completed or expired.
+    fn open_count(&self) -> usize;
+
+    /// The next instant at which the engine needs a [`BackendEvent::Wake`]
+    /// even if nothing completes or arrives (pending plan, predictor
+    /// completion, earliest deadline). `None` when no timer is needed.
+    fn next_wake_hint(&self, now: SimTime) -> Option<SimTime>;
+
+    /// Closes out queries that can no longer make progress (end of trace,
+    /// no running tasks). Their records keep the default `Missed` outcome.
+    fn drain(&mut self, now: SimTime);
+
+    /// Takes the per-query records accumulated so far.
+    fn take_records(&mut self) -> Vec<QueryRecord>;
+
+    /// Current outcome counters.
+    fn stats(&self) -> EngineStats;
+
+    /// Drains `(query id, latency secs)` pairs of queries completed since
+    /// the last call — the runtime feeds these into its latency histogram.
+    fn take_completions(&mut self) -> Vec<(u64, f64)>;
+}
+
+fn blank_records(workload: &Workload) -> Vec<QueryRecord> {
+    workload
+        .queries
+        .iter()
+        .map(|q| QueryRecord {
+            id: q.id,
+            arrival: q.arrival,
+            deadline: q.deadline,
+            completion: None,
+            outcome: QueryOutcome::Missed,
+            models_used: 0,
+        })
+        .collect()
+}
+
+#[derive(Debug)]
+struct QState {
+    deadline: SimTime,
+    arrival: SimTime,
+    /// Earliest dispatch (arrival + predictor latency).
+    ready_at: SimTime,
+    score: f64,
+    utilities: Vec<f64>,
+    set: ModelSet,
+    started: ModelSet,
+    outputs: Vec<(usize, Output)>,
+    closed: bool,
+}
+
+/// The Schemble pipeline (Fig. 3) as a backend-agnostic engine.
+///
+/// Executor indices must equal base-model indices (identity deployment) —
+/// the layout Schemble runs on in the paper.
+pub struct SchembleEngine<'a> {
+    ensemble: &'a Ensemble,
+    config: &'a SchembleConfig,
+    workload: &'a Workload,
+    open: HashMap<u64, QState>,
+    plan_ready_at: SimTime,
+    records: Vec<QueryRecord>,
+    stats: EngineStats,
+    completions: Vec<(u64, f64)>,
+}
+
+impl<'a> SchembleEngine<'a> {
+    /// An engine over `workload`, with no queries admitted yet.
+    pub fn new(ensemble: &'a Ensemble, config: &'a SchembleConfig, workload: &'a Workload) -> Self {
+        Self {
+            ensemble,
+            config,
+            workload,
+            open: HashMap::new(),
+            plan_ready_at: SimTime::ZERO,
+            records: blank_records(workload),
+            stats: EngineStats::default(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// Consumes the engine, aggregating backend usage into a [`RunSummary`].
+    pub fn into_summary(self, usage: Vec<ExecutorUsage>) -> RunSummary {
+        for (id, state) in &self.open {
+            debug_assert!(state.started.is_empty(), "query {id} drained with running tasks");
+        }
+        let models = (0..self.ensemble.m())
+            .map(|k| ModelUsage {
+                name: self.ensemble.models[k].name.clone(),
+                busy_secs: usage[k].busy_secs,
+                tasks: usage[k].tasks,
+                instances: 1,
+            })
+            .collect();
+        RunSummary::new(self.records).with_usage(models)
+    }
+
+    fn on_arrival(&mut self, i: usize, now: SimTime, backend: &mut dyn ExecutionBackend) {
+        let q = &self.workload.queries[i];
+        self.stats.submitted += 1;
+        // Fast path (§VIII): empty buffer + an idle model ⇒ skip
+        // prediction and scheduling, run the fastest idle model now.
+        if self.config.fast_path && self.open.is_empty() && backend.any_idle() {
+            let k = backend
+                .idle_executors()
+                .into_iter()
+                .min_by_key(|&k| self.ensemble.latency(k).planned())
+                .expect("an idle server exists");
+            backend.start_task(k, q.id, now);
+            self.open.insert(
+                q.id,
+                QState {
+                    deadline: q.deadline,
+                    arrival: q.arrival,
+                    ready_at: q.arrival,
+                    score: 0.0,
+                    utilities: self.config.profile.utility_vector(0.0),
+                    set: ModelSet::singleton(k),
+                    started: ModelSet::singleton(k),
+                    outputs: Vec::new(),
+                    closed: false,
+                },
+            );
+            return;
+        }
+        let score = self.config.scorer.score(&q.sample, self.ensemble).clamp(0.0, 1.0);
+        let utilities = self.config.profile.utility_vector(score);
+        self.open.insert(
+            q.id,
+            QState {
+                deadline: q.deadline,
+                arrival: q.arrival,
+                ready_at: q.arrival + self.config.predictor_latency,
+                score,
+                utilities,
+                set: ModelSet::EMPTY,
+                started: ModelSet::EMPTY,
+                outputs: Vec::new(),
+                closed: false,
+            },
+        );
+        // The query only becomes dispatchable once its score
+        // prediction lands; make sure something fires then.
+        let ready_at = q.arrival + self.config.predictor_latency;
+        backend.request_wake(ready_at.max(now));
+        self.expire(now);
+        self.replan(now, backend);
+        self.schedule_dispatch(now, backend);
+    }
+
+    fn on_task_done(
+        &mut self,
+        executor: usize,
+        query: u64,
+        now: SimTime,
+        backend: &mut dyn ExecutionBackend,
+    ) {
+        {
+            let q = &self.workload.queries[query as usize];
+            let state = self.open.get_mut(&query).expect("completion for unknown query");
+            state.outputs.push((
+                executor,
+                self.ensemble.models[executor].infer(&q.sample, &self.ensemble.spec),
+            ));
+        }
+        self.finish_if_complete(query, now);
+        self.expire(now);
+        self.replan(now, backend);
+        self.schedule_dispatch(now, backend);
+    }
+
+    /// Re-plans the unstarted buffer; updates when the new plan takes effect.
+    fn replan(&mut self, now: SimTime, backend: &mut dyn ExecutionBackend) {
+        let mut ids: Vec<u64> = self
+            .open
+            .iter()
+            .filter(|(_, s)| s.started.is_empty() && !s.closed)
+            .map(|(&id, _)| id)
+            .collect();
+        if ids.is_empty() {
+            self.plan_ready_at = self.plan_ready_at.max(now);
+            return;
+        }
+        ids.sort_unstable();
+        // Availability must account for *committed* work: tasks of frozen
+        // (already-started) queries that have not begun executing yet will
+        // occupy their models before anything planned now — without this, the
+        // planner overcommits and every plan completes late.
+        let mut availability = backend.availability(now);
+        for state in self.open.values() {
+            if state.closed || state.started.is_empty() {
+                continue;
+            }
+            for k in state.set.iter() {
+                if !state.started.contains(k) {
+                    availability[k] += self.ensemble.latency(k).planned();
+                }
+            }
+        }
+        let queries: Vec<BufferedQuery> = ids
+            .iter()
+            .map(|id| {
+                let s = &self.open[id];
+                BufferedQuery {
+                    id: *id,
+                    arrival: s.arrival,
+                    deadline: s.deadline,
+                    utilities: s.utilities.clone(),
+                    score: s.score,
+                }
+            })
+            .collect();
+        let input = ScheduleInput {
+            now,
+            availability,
+            latencies: self.ensemble.planned_latencies(),
+            queries,
+        };
+        let plan = self.config.scheduler.plan(&input);
+        for (pos, id) in ids.iter().enumerate() {
+            self.open.get_mut(id).expect("present").set = plan.assignments[pos];
+        }
+        // Forced mode: queries the plan abandoned but that must run get the
+        // least-loaded single model.
+        if self.config.admission == AdmissionMode::ForceAll {
+            let availability = backend.availability(now);
+            for id in &ids {
+                let s = self.open.get_mut(id).expect("present");
+                if s.set.is_empty() {
+                    let best = (0..self.ensemble.m())
+                        .min_by_key(|&k| availability[k] + self.ensemble.latency(k).planned())
+                        .expect("non-empty ensemble");
+                    s.set = ModelSet::singleton(best);
+                }
+            }
+        }
+        let cost = SimDuration::from_micros(
+            (self.config.sched_ns_per_unit * plan.work as f64 / 1000.0).round() as u64,
+        ) + self.config.sched_base_overhead;
+        self.plan_ready_at = now + cost;
+    }
+
+    /// Starts tasks on idle executors per the current plan, in EDF order.
+    fn dispatch(&mut self, now: SimTime, backend: &mut dyn ExecutionBackend) {
+        // EDF order over open queries.
+        let mut ids: Vec<u64> = self.open.keys().copied().collect();
+        ids.sort_by_key(|id| (self.open[id].deadline, *id));
+        for k in backend.idle_executors() {
+            for id in &ids {
+                let state = self.open.get_mut(id).expect("present");
+                if state.closed
+                    || !state.set.contains(k)
+                    || state.started.contains(k)
+                    || state.ready_at > now
+                {
+                    continue;
+                }
+                backend.start_task(k, *id, now);
+                state.started = state.started.with(k);
+                break;
+            }
+        }
+    }
+
+    /// Completes a query once outputs for its whole (possibly shrunk) set
+    /// have arrived: assembles the result, evaluates it and records it.
+    fn finish_if_complete(&mut self, query: u64, now: SimTime) {
+        let Some(state) = self.open.get_mut(&query) else { return };
+        if state.set.is_empty() || state.outputs.len() != state.set.len() {
+            return;
+        }
+        let q = &self.workload.queries[query as usize];
+        let mut outputs = std::mem::take(&mut state.outputs);
+        outputs.sort_by_key(|(k, _)| *k);
+        let result = self.config.assembler.assemble(self.ensemble, &outputs, state.set);
+        let (correct, score) = evaluate(self.ensemble, &q.sample, &result);
+        self.records[query as usize].completion = Some(now);
+        self.records[query as usize].outcome = QueryOutcome::Completed { correct, score };
+        self.records[query as usize].models_used = state.set.len();
+        state.closed = true;
+        self.open.remove(&query);
+        self.stats.completed += 1;
+        self.completions.push((query, (now - q.arrival).as_secs_f64()));
+    }
+
+    /// Deadline housekeeping (Reject mode only; ForceAll keeps everything):
+    /// unstarted expired queries are dropped, and already-started expired
+    /// queries stop scheduling *further* tasks (their set shrinks to what
+    /// has started — a late result is a miss either way, so the remaining
+    /// capacity goes to queries that can still make it).
+    fn expire(&mut self, now: SimTime) {
+        if self.config.admission == AdmissionMode::ForceAll {
+            return;
+        }
+        let expired: Vec<u64> = self
+            .open
+            .iter()
+            .filter(|(_, s)| s.started.is_empty() && s.deadline < now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.open.remove(&id);
+            // Record already defaults to Missed.
+            self.records[id as usize].models_used = 0;
+            self.stats.expired += 1;
+        }
+        let late_started: Vec<u64> = self
+            .open
+            .iter()
+            .filter(|(_, s)| !s.started.is_empty() && s.deadline < now && s.set != s.started)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in late_started {
+            let state = self.open.get_mut(&id).expect("present");
+            state.set = state.started;
+            self.finish_if_complete(id, now);
+        }
+    }
+
+    /// Ensures a wake-up fires when a pending plan becomes effective.
+    fn schedule_dispatch(&mut self, now: SimTime, backend: &mut dyn ExecutionBackend) {
+        if self.plan_ready_at > now {
+            backend.request_wake(self.plan_ready_at);
+        }
+    }
+}
+
+impl PipelineEngine for SchembleEngine<'_> {
+    fn handle(&mut self, event: BackendEvent, now: SimTime, backend: &mut dyn ExecutionBackend) {
+        match event {
+            BackendEvent::Arrival(i) => self.on_arrival(i, now, backend),
+            BackendEvent::TaskDone { executor, query } => {
+                self.on_task_done(executor, query, now, backend)
+            }
+            BackendEvent::Wake => self.expire(now),
+        }
+        // Dispatch whenever the latest plan is effective.
+        if now >= self.plan_ready_at {
+            self.dispatch(now, backend);
+        }
+    }
+
+    fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    fn next_wake_hint(&self, now: SimTime) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            if t > now {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        };
+        if self.plan_ready_at > now {
+            consider(self.plan_ready_at);
+        }
+        for state in self.open.values() {
+            if state.started.is_empty() {
+                consider(state.ready_at);
+            }
+            if self.config.admission == AdmissionMode::Reject && !state.closed {
+                consider(state.deadline);
+            }
+        }
+        next
+    }
+
+    fn drain(&mut self, now: SimTime) {
+        // End of trace: whatever never started can no longer complete.
+        let stuck: Vec<u64> =
+            self.open.iter().filter(|(_, s)| s.started.is_empty()).map(|(&id, _)| id).collect();
+        for id in stuck {
+            self.open.remove(&id);
+            self.records[id as usize].models_used = 0;
+            self.stats.expired += 1;
+        }
+        let _ = now;
+    }
+
+    fn take_records(&mut self) -> Vec<QueryRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn take_completions(&mut self) -> Vec<(u64, f64)> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    set: ModelSet,
+    outputs: Vec<(usize, Output)>,
+    expected: usize,
+}
+
+/// The immediate-selection family (Fig. 2a–d) as a backend-agnostic engine.
+///
+/// Executor indices are deployment *instances*; `deployment.hosts` maps
+/// each instance to the base model it serves.
+pub struct ImmediateEngine<'a> {
+    ensemble: &'a Ensemble,
+    deployment: &'a Deployment,
+    policy: &'a mut dyn SelectionPolicy,
+    assembler: &'a ResultAssembler,
+    admission: AdmissionMode,
+    workload: &'a Workload,
+    pending: HashMap<u64, Pending>,
+    records: Vec<QueryRecord>,
+    stats: EngineStats,
+    completions: Vec<(u64, f64)>,
+}
+
+impl<'a> ImmediateEngine<'a> {
+    /// An engine over `workload` with nothing pending yet.
+    pub fn new(
+        ensemble: &'a Ensemble,
+        deployment: &'a Deployment,
+        policy: &'a mut dyn SelectionPolicy,
+        assembler: &'a ResultAssembler,
+        admission: AdmissionMode,
+        workload: &'a Workload,
+    ) -> Self {
+        Self {
+            ensemble,
+            deployment,
+            policy,
+            assembler,
+            admission,
+            workload,
+            pending: HashMap::new(),
+            records: blank_records(workload),
+            stats: EngineStats::default(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// Consumes the engine, aggregating per-instance usage into per-model
+    /// [`ModelUsage`] through the deployment map.
+    pub fn into_summary(self, usage: Vec<ExecutorUsage>) -> RunSummary {
+        assert!(self.pending.is_empty(), "drained with pending queries");
+        let models = (0..self.ensemble.m())
+            .map(|k| {
+                let mut busy = 0.0;
+                let mut tasks = 0u64;
+                let mut instances = 0usize;
+                for inst in self.deployment.instances_of(k) {
+                    busy += usage[inst].busy_secs;
+                    tasks += usage[inst].tasks;
+                    instances += 1;
+                }
+                ModelUsage {
+                    name: self.ensemble.models[k].name.clone(),
+                    busy_secs: busy,
+                    tasks,
+                    instances,
+                }
+            })
+            .collect();
+        RunSummary::new(self.records).with_usage(models)
+    }
+
+    fn on_arrival(&mut self, i: usize, now: SimTime, backend: &mut dyn ExecutionBackend) {
+        let query = &self.workload.queries[i];
+        self.stats.submitted += 1;
+        let set = self.policy.select(query, self.ensemble);
+        assert!(!set.is_empty(), "policy must select at least one model");
+        // Choose the least-loaded instance per selected model.
+        let chosen: Vec<usize> = set
+            .iter()
+            .map(|k| {
+                self.deployment
+                    .instances_of(k)
+                    .min_by_key(|&inst| backend.available_at(inst, now))
+                    .unwrap_or_else(|| panic!("deployment hosts no instance of model {k}"))
+            })
+            .collect();
+        if self.admission == AdmissionMode::Reject {
+            let est = chosen
+                .iter()
+                .map(|&inst| {
+                    backend.available_at(inst, now)
+                        + self.ensemble.latency(self.deployment.hosts[inst]).planned()
+                })
+                .max()
+                .expect("non-empty set");
+            if est > query.deadline {
+                self.stats.rejected += 1;
+                return; // rejected; record stays Missed.
+            }
+        }
+        self.records[i].models_used = set.len();
+        self.pending.insert(query.id, Pending { set, outputs: Vec::new(), expected: set.len() });
+        for &inst in &chosen {
+            backend.enqueue_task(inst, query.id, now);
+        }
+    }
+
+    fn on_task_done(&mut self, executor: usize, query: u64, now: SimTime) {
+        let model = self.deployment.hosts[executor];
+        let q = &self.workload.queries[query as usize];
+        let entry = self.pending.get_mut(&query).expect("completion for unknown query");
+        // Replicated deployments may run the same model once; outputs
+        // are keyed by base model.
+        entry
+            .outputs
+            .push((model, self.ensemble.models[model].infer(&q.sample, &self.ensemble.spec)));
+        if entry.outputs.len() == entry.expected {
+            let done = self.pending.remove(&query).expect("present");
+            let mut outputs = done.outputs;
+            outputs.sort_by_key(|(k, _)| *k);
+            let result = self.assembler.assemble(self.ensemble, &outputs, done.set);
+            let (correct, score) = evaluate(self.ensemble, &q.sample, &result);
+            self.records[query as usize].completion = Some(now);
+            self.records[query as usize].outcome = QueryOutcome::Completed { correct, score };
+            self.stats.completed += 1;
+            self.completions.push((query, (now - q.arrival).as_secs_f64()));
+        }
+    }
+}
+
+impl PipelineEngine for ImmediateEngine<'_> {
+    fn handle(&mut self, event: BackendEvent, now: SimTime, backend: &mut dyn ExecutionBackend) {
+        match event {
+            BackendEvent::Arrival(i) => self.on_arrival(i, now, backend),
+            BackendEvent::TaskDone { executor, query } => self.on_task_done(executor, query, now),
+            BackendEvent::Wake => {}
+        }
+    }
+
+    fn open_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn next_wake_hint(&self, _now: SimTime) -> Option<SimTime> {
+        // Immediate pipelines admit or reject at arrival and never expire
+        // in-flight work; no timers needed.
+        None
+    }
+
+    fn drain(&mut self, _now: SimTime) {
+        // Submitted tasks always run to completion; nothing can be stuck.
+    }
+
+    fn take_records(&mut self) -> Vec<QueryRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn take_completions(&mut self) -> Vec<(u64, f64)> {
+        std::mem::take(&mut self.completions)
+    }
+}

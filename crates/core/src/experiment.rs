@@ -7,15 +7,15 @@
 
 use crate::artifacts::SchembleArtifacts;
 use crate::discrepancy::DifficultyMetric;
-use crate::pipeline::immediate::{run_immediate, Deployment, FixedSubsetPolicy, FullEnsemblePolicy};
+use crate::pipeline::immediate::{
+    run_immediate, Deployment, FixedSubsetPolicy, FullEnsemblePolicy,
+};
 use crate::pipeline::schemble::{run_schemble, SchembleConfig};
 use crate::pipeline::static_select::best_static_deployment;
 use crate::pipeline::{AdmissionMode, ResultAssembler};
 use crate::predictor::OnlineScorer;
 use crate::scheduler::{DpScheduler, GreedyScheduler, QueueOrder, Scheduler};
-use schemble_data::{
-    DeadlinePolicy, DiurnalTrace, PoissonTrace, TaskKind, Workload,
-};
+use schemble_data::{DeadlinePolicy, DiurnalTrace, PoissonTrace, TaskKind, Workload};
 use schemble_metrics::RunSummary;
 use schemble_models::{DifficultyDist, Ensemble, SampleGenerator};
 
@@ -106,7 +106,7 @@ impl ExperimentConfig {
 /// single-model capacity so difficulty-aware scheduling has room to win.
 pub fn default_rate(task: TaskKind) -> f64 {
     match task {
-        TaskKind::TextMatching => 45.0,  // Original capacity ≈ 1/48ms ≈ 21/s
+        TaskKind::TextMatching => 45.0, // Original capacity ≈ 1/48ms ≈ 21/s
         TaskKind::VehicleCounting => 48.0, // capacity ≈ 1/34ms ≈ 29/s
         TaskKind::ImageRetrieval => 24.0, // capacity ≈ 1/85ms ≈ 12/s
     }
@@ -272,21 +272,11 @@ impl ExperimentContext {
             }
             PipelineKind::Schemble => {
                 let scorer = OnlineScorer::Predictor(self.artifacts().predictor.clone());
-                self.run_schemble_variant(
-                    Box::new(DpScheduler::default()),
-                    scorer,
-                    false,
-                    workload,
-                )
+                self.run_schemble_variant(Box::new(DpScheduler::default()), scorer, false, workload)
             }
             PipelineKind::SchembleEa => {
                 let scorer = OnlineScorer::Predictor(self.ea_artifacts().predictor.clone());
-                self.run_schemble_variant(
-                    Box::new(DpScheduler::default()),
-                    scorer,
-                    true,
-                    workload,
-                )
+                self.run_schemble_variant(Box::new(DpScheduler::default()), scorer, true, workload)
             }
             PipelineKind::SchembleT => {
                 let c = self.artifacts().mean_score;
@@ -299,12 +289,7 @@ impl ExperimentContext {
             }
             PipelineKind::SchembleOracle => {
                 let scorer = OnlineScorer::Oracle(self.artifacts().scorer.clone());
-                self.run_schemble_variant(
-                    Box::new(DpScheduler::default()),
-                    scorer,
-                    false,
-                    workload,
-                )
+                self.run_schemble_variant(Box::new(DpScheduler::default()), scorer, false, workload)
             }
             PipelineKind::Greedy(order) => {
                 let scorer = OnlineScorer::Predictor(self.artifacts().predictor.clone());
@@ -334,11 +319,8 @@ impl ExperimentContext {
         ea: bool,
         workload: &Workload,
     ) -> RunSummary {
-        let profile = if ea {
-            self.ea_artifacts().profile.clone()
-        } else {
-            self.artifacts().profile.clone()
-        };
+        let profile =
+            if ea { self.ea_artifacts().profile.clone() } else { self.artifacts().profile.clone() };
         let mut config = SchembleConfig::new(scheduler, scorer, profile);
         config.admission = self.config.admission;
         run_schemble(&self.ensemble, &config, workload, self.config.seed)
@@ -402,11 +384,9 @@ mod tests {
 
     #[test]
     fn deadline_override_respects_task() {
-        let cfg = ExperimentConfig::small(TaskKind::VehicleCounting, 1)
-            .with_deadline_millis(150.0);
+        let cfg = ExperimentConfig::small(TaskKind::VehicleCounting, 1).with_deadline_millis(150.0);
         assert!(matches!(cfg.deadline, DeadlinePolicy::PerCameraUniform { .. }));
-        let cfg = ExperimentConfig::small(TaskKind::TextMatching, 1)
-            .with_deadline_millis(150.0);
+        let cfg = ExperimentConfig::small(TaskKind::TextMatching, 1).with_deadline_millis(150.0);
         assert!(matches!(cfg.deadline, DeadlinePolicy::Constant(_)));
     }
 }

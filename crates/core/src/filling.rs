@@ -38,13 +38,7 @@ impl KnnFiller {
         let width = ensemble.m() * dim;
         let bank = history
             .iter()
-            .map(|s| {
-                ensemble
-                    .infer_all(s)
-                    .iter()
-                    .flat_map(Output::as_vec)
-                    .collect::<Vec<f64>>()
-            })
+            .map(|s| ensemble.infer_all(s).iter().flat_map(Output::as_vec).collect::<Vec<f64>>())
             .collect();
         Self { bank, offsets, width, k }
     }
@@ -91,14 +85,11 @@ impl KnnFiller {
             })
             .collect();
         let k = self.k.min(scored.len());
-        scored.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("NaN distance")
-        });
+        scored.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
         let neighbours = &scored[..k];
         // Inverse-distance weights (paper: "using their distances to the
         // target as the weights").
-        let weights: Vec<f64> =
-            neighbours.iter().map(|(d, _)| 1.0 / (d.sqrt() + 1e-6)).collect();
+        let weights: Vec<f64> = neighbours.iter().map(|(d, _)| 1.0 / (d.sqrt() + 1e-6)).collect();
         let wsum: f64 = weights.iter().sum();
         // Impute missing model blocks.
         for model in 0..self.offsets.len() {

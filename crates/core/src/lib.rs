@@ -30,8 +30,10 @@
 //!   per task/seed, then run any pipeline under any workload.
 
 pub mod artifacts;
+pub mod backend;
 pub mod calibration;
 pub mod discrepancy;
+pub mod engine;
 pub mod experiment;
 pub mod filling;
 pub mod offline;
@@ -41,5 +43,5 @@ pub mod profiling;
 pub mod scheduler;
 
 pub use artifacts::SchembleArtifacts;
-pub use discrepancy::{DiscrepancyScorer, DifficultyMetric};
+pub use discrepancy::{DifficultyMetric, DiscrepancyScorer};
 pub use profiling::AccuracyProfile;

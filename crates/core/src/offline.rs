@@ -110,9 +110,7 @@ pub fn budgeted_selection(
         let fresh = best_upgrade(sets[i], &utilities[i]);
         let Some(mut fresh) = fresh else { continue };
         fresh.sample = i;
-        if (fresh.target, fresh.density.to_bits())
-            != (up.target, up.density.to_bits())
-        {
+        if (fresh.target, fresh.density.to_bits()) != (up.target, up.density.to_bits()) {
             heap.push(fresh);
             continue;
         }
@@ -128,8 +126,7 @@ pub fn budgeted_selection(
         }
     }
 
-    let expected_utility =
-        sets.iter().zip(utilities).map(|(s, u)| u[s.0 as usize]).sum();
+    let expected_utility = sets.iter().zip(utilities).map(|(s, u)| u[s.0 as usize]).sum();
     OfflineSelection { sets, total_cost_ms: total_cost, expected_utility }
 }
 
@@ -153,13 +150,10 @@ pub fn random_selection(
         .iter()
         .filter(|s| s.len() == 1)
         .min_by(|a, b| {
-            set_costs[a.0 as usize]
-                .partial_cmp(&set_costs[b.0 as usize])
-                .expect("finite")
+            set_costs[a.0 as usize].partial_cmp(&set_costs[b.0 as usize]).expect("finite")
         })
         .expect("non-empty ensemble");
-    let mut sets: Vec<ModelSet> =
-        (0..n).map(|_| *all.choose(rng).expect("non-empty")).collect();
+    let mut sets: Vec<ModelSet> = (0..n).map(|_| *all.choose(rng).expect("non-empty")).collect();
     let mut cost: f64 = sets.iter().map(|s| set_costs[s.0 as usize]).sum();
     let mut idx = 0usize;
     while cost > budget_ms && idx < n {
@@ -223,10 +217,7 @@ mod tests {
         // between a subset and the full set stop upgrades early, so the sets
         // themselves need not all be the full ensemble).
         let unlimited = budgeted_selection(&rows, &costs, 1e12);
-        let max_total: f64 = rows
-            .iter()
-            .map(|r| r.iter().cloned().fold(0.0, f64::max))
-            .sum();
+        let max_total: f64 = rows.iter().map(|r| r.iter().cloned().fold(0.0, f64::max)).sum();
         assert!(
             (unlimited.expected_utility - max_total).abs() < 1e-9,
             "unlimited budget should reach max utility: {} vs {}",

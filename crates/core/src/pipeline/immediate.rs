@@ -6,14 +6,12 @@
 //! [`Deployment`], and the DES/Gating baselines (feature-based selectors
 //! implemented in `schemble-baselines`).
 
-use super::eval::evaluate;
 use super::{AdmissionMode, ResultAssembler};
+use crate::backend::{ExecutionBackend, SimBackend};
+use crate::engine::{ImmediateEngine, PipelineEngine};
 use schemble_data::{Query, Workload};
-use schemble_metrics::{QueryOutcome, QueryRecord, RunSummary};
-use schemble_models::{Ensemble, ModelSet, Output};
-use schemble_sim::rng::stream_rng;
-use schemble_sim::{EventQueue, ServerBank, TaskId};
-use std::collections::HashMap;
+use schemble_metrics::RunSummary;
+use schemble_models::{Ensemble, ModelSet};
 
 /// Chooses a model subset for each arriving query, immediately.
 pub trait SelectionPolicy {
@@ -70,10 +68,7 @@ impl Deployment {
 
     /// Instances hosting base model `k`.
     pub fn instances_of(&self, k: usize) -> impl Iterator<Item = usize> + '_ {
-        self.hosts
-            .iter()
-            .enumerate()
-            .filter_map(move |(i, &h)| (h == k).then_some(i))
+        self.hosts.iter().enumerate().filter_map(move |(i, &h)| (h == k).then_some(i))
     }
 
     /// Number of instances.
@@ -87,24 +82,17 @@ impl Deployment {
     }
 }
 
-#[derive(Debug)]
-struct Pending {
-    set: ModelSet,
-    outputs: Vec<(usize, Output)>,
-    expected: usize,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    Arrival(usize),
-    TaskDone { instance: usize, query: u64 },
-}
-
-/// Runs an immediate-selection pipeline over a workload.
+/// Runs an immediate-selection pipeline over a workload in the
+/// discrete-event simulator.
 ///
 /// In [`AdmissionMode::Reject`] a query is rejected at arrival when its
 /// estimated completion (per-instance queue depth + nominal latency) exceeds
 /// its deadline. Rejected and never-completed queries are recorded as missed.
+///
+/// This is a thin driver: all decision logic lives in
+/// [`ImmediateEngine`](crate::engine::ImmediateEngine), executed here over a
+/// [`SimBackend`](crate::backend::SimBackend). The `schemble-serve` runtime
+/// drives the identical engine over worker threads.
 pub fn run_immediate(
     ensemble: &Ensemble,
     deployment: &Deployment,
@@ -114,125 +102,18 @@ pub fn run_immediate(
     admission: AdmissionMode,
     seed: u64,
 ) -> RunSummary {
-    let mut events: EventQueue<Event> = EventQueue::new();
+    let latencies = deployment.hosts.iter().map(|&h| ensemble.latency(h)).collect();
+    let mut backend = SimBackend::new(latencies, seed, "immediate-latency");
     for (i, q) in workload.queries.iter().enumerate() {
-        events.push(q.arrival, Event::Arrival(i));
+        backend.push_arrival(q.arrival, i);
     }
-    let mut servers = ServerBank::new(deployment.len());
-    // Per-instance duration of the *next started* task is sampled at start.
-    let mut lat_rng = stream_rng(seed, "immediate-latency");
-    let mut pending: HashMap<u64, Pending> = HashMap::new();
-    let mut records: Vec<QueryRecord> = workload
-        .queries
-        .iter()
-        .map(|q| QueryRecord {
-            id: q.id,
-            arrival: q.arrival,
-            deadline: q.deadline,
-            completion: None,
-            outcome: QueryOutcome::Missed,
-            models_used: 0,
-        })
-        .collect();
-
-    // instance backlog durations are attached at enqueue time.
-    while let Some((now, event)) = events.pop() {
-        match event {
-            Event::Arrival(i) => {
-                let query = &workload.queries[i];
-                let set = policy.select(query, ensemble);
-                assert!(!set.is_empty(), "policy must select at least one model");
-                // Choose the least-loaded instance per selected model.
-                let chosen: Vec<usize> = set
-                    .iter()
-                    .map(|k| {
-                        deployment
-                            .instances_of(k)
-                            .min_by_key(|&inst| servers.get(inst).available_at(now))
-                            .unwrap_or_else(|| {
-                                panic!("deployment hosts no instance of model {k}")
-                            })
-                    })
-                    .collect();
-                if admission == AdmissionMode::Reject {
-                    let est = chosen
-                        .iter()
-                        .map(|&inst| {
-                            servers.get(inst).available_at(now)
-                                + ensemble.latency(deployment.hosts[inst]).planned()
-                        })
-                        .max()
-                        .expect("non-empty set");
-                    if est > query.deadline {
-                        continue; // rejected; record stays Missed.
-                    }
-                }
-                records[i].models_used = set.len();
-                pending.insert(
-                    query.id,
-                    Pending { set, outputs: Vec::new(), expected: set.len() },
-                );
-                for &inst in &chosen {
-                    let model = deployment.hosts[inst];
-                    let dur = ensemble.latency(model).sample(&mut lat_rng);
-                    let server = servers.get_mut(inst);
-                    server.enqueue(TaskId(query.id), dur);
-                    if let Some(run) = server.start_next(now) {
-                        events.push(
-                            run.completes_at,
-                            Event::TaskDone { instance: inst, query: run.task.0 },
-                        );
-                    }
-                }
-            }
-            Event::TaskDone { instance, query } => {
-                servers.get_mut(instance).complete(TaskId(query), now);
-                let model = deployment.hosts[instance];
-                let q = &workload.queries[query as usize];
-                let entry = pending.get_mut(&query).expect("completion for unknown query");
-                // Replicated deployments may run the same model once; outputs
-                // are keyed by base model.
-                entry.outputs.push((model, ensemble.models[model].infer(&q.sample, &ensemble.spec)));
-                if entry.outputs.len() == entry.expected {
-                    let done = pending.remove(&query).expect("present");
-                    let mut outputs = done.outputs;
-                    outputs.sort_by_key(|(k, _)| *k);
-                    let result = assembler.assemble(ensemble, &outputs, done.set);
-                    let (correct, score) = evaluate(ensemble, &q.sample, &result);
-                    records[query as usize].completion = Some(now);
-                    records[query as usize].outcome =
-                        QueryOutcome::Completed { correct, score };
-                }
-                // Freed instance: start its next backlog task.
-                if let Some(run) = servers.get_mut(instance).start_next(now) {
-                    events.push(
-                        run.completes_at,
-                        Event::TaskDone { instance, query: run.task.0 },
-                    );
-                }
-            }
-        }
+    let mut engine =
+        ImmediateEngine::new(ensemble, deployment, policy, assembler, admission, workload);
+    while let Some((now, event)) = backend.pop_event() {
+        engine.handle(event, now, &mut backend);
     }
-    assert!(pending.is_empty(), "simulation drained with pending queries");
-    let usage = (0..ensemble.m())
-        .map(|k| {
-            let mut busy = 0.0;
-            let mut tasks = 0u64;
-            let mut instances = 0usize;
-            for inst in deployment.instances_of(k) {
-                busy += servers.get(inst).busy_time().as_secs_f64();
-                tasks += servers.get(inst).completed_tasks();
-                instances += 1;
-            }
-            schemble_metrics::ModelUsage {
-                name: ensemble.models[k].name.clone(),
-                busy_secs: busy,
-                tasks,
-                instances,
-            }
-        })
-        .collect();
-    RunSummary::new(records).with_usage(usage)
+    let usage = backend.usage();
+    engine.into_summary(usage)
 }
 
 #[cfg(test)]

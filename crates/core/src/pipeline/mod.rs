@@ -24,7 +24,7 @@ pub mod schemble;
 pub mod static_select;
 
 pub use immediate::{
-    run_immediate, Deployment, FullEnsemblePolicy, FixedSubsetPolicy, SelectionPolicy,
+    run_immediate, Deployment, FixedSubsetPolicy, FullEnsemblePolicy, SelectionPolicy,
 };
 pub use schemble::{run_schemble, SchembleConfig};
 pub use static_select::best_static_deployment;
@@ -68,8 +68,7 @@ impl ResultAssembler {
             ResultAssembler::KnnFill(filler) => {
                 let present: Vec<(usize, &schemble_models::Output)> =
                     outputs.iter().map(|(k, o)| (*k, o)).collect();
-                let filled =
-                    filler.fill_outputs(&present, set, ensemble.spec.is_categorical());
+                let filled = filler.fill_outputs(&present, set, ensemble.spec.is_categorical());
                 let refs: Vec<(usize, &schemble_models::Output)> =
                     filled.iter().enumerate().collect();
                 ensemble.aggregate(&refs)

@@ -10,17 +10,16 @@
 //! idle; once any task of a query starts, its model set is frozen
 //! (non-preemptive execution).
 
-use super::eval::evaluate;
 use super::{AdmissionMode, ResultAssembler};
+use crate::backend::{ExecutionBackend, SimBackend};
+use crate::engine::{PipelineEngine, SchembleEngine};
 use crate::predictor::OnlineScorer;
 use crate::profiling::AccuracyProfile;
-use crate::scheduler::{BufferedQuery, ScheduleInput, Scheduler};
+use crate::scheduler::Scheduler;
 use schemble_data::Workload;
-use schemble_metrics::{QueryOutcome, QueryRecord, RunSummary};
-use schemble_models::{Ensemble, ModelSet, Output};
-use schemble_sim::rng::stream_rng;
-use schemble_sim::{EventQueue, ServerBank, SimDuration, SimTime, TaskId};
-use std::collections::HashMap;
+use schemble_metrics::RunSummary;
+use schemble_models::Ensemble;
+use schemble_sim::SimDuration;
 
 /// Configuration of a Schemble pipeline run.
 pub struct SchembleConfig {
@@ -71,357 +70,30 @@ impl SchembleConfig {
     }
 }
 
-#[derive(Debug)]
-struct QState {
-    deadline: SimTime,
-    arrival: SimTime,
-    /// Earliest dispatch (arrival + predictor latency).
-    ready_at: SimTime,
-    score: f64,
-    utilities: Vec<f64>,
-    set: ModelSet,
-    started: ModelSet,
-    outputs: Vec<(usize, Output)>,
-    closed: bool,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    Arrival(usize),
-    TaskDone { model: usize, query: u64 },
-    Wake,
-}
-
-/// Runs the Schemble pipeline over a workload.
+/// Runs the Schemble pipeline over a workload in the discrete-event
+/// simulator.
+///
+/// This is a thin driver: all decision logic lives in
+/// [`SchembleEngine`](crate::engine::SchembleEngine), executed here over a
+/// [`SimBackend`](crate::backend::SimBackend). The `schemble-serve` runtime
+/// drives the identical engine over worker threads.
 pub fn run_schemble(
     ensemble: &Ensemble,
     config: &SchembleConfig,
     workload: &Workload,
     seed: u64,
 ) -> RunSummary {
-    let m = ensemble.m();
-    let mut events: EventQueue<Event> = EventQueue::new();
+    let latencies = (0..ensemble.m()).map(|k| ensemble.latency(k)).collect();
+    let mut backend = SimBackend::new(latencies, seed, "schemble-latency");
     for (i, q) in workload.queries.iter().enumerate() {
-        events.push(q.arrival, Event::Arrival(i));
+        backend.push_arrival(q.arrival, i);
     }
-    let mut servers = ServerBank::new(m);
-    let mut lat_rng = stream_rng(seed, "schemble-latency");
-    let mut open: HashMap<u64, QState> = HashMap::new();
-    let mut plan_ready_at = SimTime::ZERO;
-    let mut records: Vec<QueryRecord> = workload
-        .queries
-        .iter()
-        .map(|q| QueryRecord {
-            id: q.id,
-            arrival: q.arrival,
-            deadline: q.deadline,
-            completion: None,
-            outcome: QueryOutcome::Missed,
-            models_used: 0,
-        })
-        .collect();
-
-
-
-    while let Some((now, event)) = events.pop() {
-        match event {
-            Event::Arrival(i) => {
-                let q = &workload.queries[i];
-                // Fast path (§VIII): empty buffer + an idle model ⇒ skip
-                // prediction and scheduling, run the fastest idle model now.
-                if config.fast_path && open.is_empty() && servers.any_idle() {
-                    let k = servers
-                        .idle_indices()
-                        .into_iter()
-                        .min_by_key(|&k| ensemble.latency(k).planned())
-                        .expect("an idle server exists");
-                    let dur = ensemble.latency(k).sample(&mut lat_rng);
-                    let run = servers.get_mut(k).start_immediately(TaskId(q.id), now, dur);
-                    events.push(run.completes_at, Event::TaskDone { model: k, query: q.id });
-                    open.insert(
-                        q.id,
-                        QState {
-                            deadline: q.deadline,
-                            arrival: q.arrival,
-                            ready_at: q.arrival,
-                            score: 0.0,
-                            utilities: config.profile.utility_vector(0.0),
-                            set: ModelSet::singleton(k),
-                            started: ModelSet::singleton(k),
-                            outputs: Vec::new(),
-                            closed: false,
-                        },
-                    );
-                    continue;
-                }
-                let score =
-                    config.scorer.score(&q.sample, ensemble).clamp(0.0, 1.0);
-                let utilities = config.profile.utility_vector(score);
-                open.insert(
-                    q.id,
-                    QState {
-                        deadline: q.deadline,
-                        arrival: q.arrival,
-                        ready_at: q.arrival + config.predictor_latency,
-                        score,
-                        utilities,
-                        set: ModelSet::EMPTY,
-                        started: ModelSet::EMPTY,
-                        outputs: Vec::new(),
-                        closed: false,
-                    },
-                );
-                // The query only becomes dispatchable once its score
-                // prediction lands; make sure something fires then.
-                let ready_at = q.arrival + config.predictor_latency;
-                events.push(ready_at.max(now), Event::Wake);
-                expire(ensemble, config, workload, &mut open, &mut records, now);
-                plan_ready_at = replan(
-                    ensemble,
-                    config,
-                    &mut open,
-                    &servers,
-                    now,
-                    plan_ready_at,
-                );
-                schedule_dispatch(&mut events, now, plan_ready_at);
-            }
-            Event::TaskDone { model, query } => {
-                servers.get_mut(model).complete(TaskId(query), now);
-                {
-                    let q = &workload.queries[query as usize];
-                    let state =
-                        open.get_mut(&query).expect("completion for unknown query");
-                    state.outputs.push((
-                        model,
-                        ensemble.models[model].infer(&q.sample, &ensemble.spec),
-                    ));
-                }
-                finish_if_complete(ensemble, config, workload, &mut open, &mut records, query, now);
-                expire(ensemble, config, workload, &mut open, &mut records, now);
-                plan_ready_at = replan(
-                    ensemble,
-                    config,
-                    &mut open,
-                    &servers,
-                    now,
-                    plan_ready_at,
-                );
-                schedule_dispatch(&mut events, now, plan_ready_at);
-            }
-            Event::Wake => {
-                expire(ensemble, config, workload, &mut open, &mut records, now);
-            }
-        }
-        // Dispatch whenever the latest plan is effective.
-        if now >= plan_ready_at {
-            dispatch(
-                ensemble,
-                &mut servers,
-                &mut open,
-                &mut events,
-                &mut lat_rng,
-                now,
-            );
-        }
+    let mut engine = SchembleEngine::new(ensemble, config, workload);
+    while let Some((now, event)) = backend.pop_event() {
+        engine.handle(event, now, &mut backend);
     }
-
-    // Anything still open at drain never completed (possible only in Reject
-    // mode where unscheduled queries expired silently before last event).
-    for (id, state) in &open {
-        debug_assert!(
-            state.started.is_empty(),
-            "query {id} drained with running tasks"
-        );
-    }
-    let usage = (0..m)
-        .map(|k| schemble_metrics::ModelUsage {
-            name: ensemble.models[k].name.clone(),
-            busy_secs: servers.get(k).busy_time().as_secs_f64(),
-            tasks: servers.get(k).completed_tasks(),
-            instances: 1,
-        })
-        .collect();
-    RunSummary::new(records).with_usage(usage)
-}
-
-/// Re-plans the unstarted buffer; returns when the new plan takes effect.
-fn replan(
-    ensemble: &Ensemble,
-    config: &SchembleConfig,
-    open: &mut HashMap<u64, QState>,
-    servers: &ServerBank,
-    now: SimTime,
-    prev_ready: SimTime,
-) -> SimTime {
-    let mut ids: Vec<u64> = open
-        .iter()
-        .filter(|(_, s)| s.started.is_empty() && !s.closed)
-        .map(|(&id, _)| id)
-        .collect();
-    if ids.is_empty() {
-        return prev_ready.max(now);
-    }
-    ids.sort_unstable();
-    // Availability must account for *committed* work: tasks of frozen
-    // (already-started) queries that have not begun executing yet will
-    // occupy their models before anything planned now — without this, the
-    // planner overcommits and every plan completes late.
-    let mut availability = servers.availability(now);
-    for state in open.values() {
-        if state.closed || state.started.is_empty() {
-            continue;
-        }
-        for k in state.set.iter() {
-            if !state.started.contains(k) {
-                availability[k] += ensemble.latency(k).planned();
-            }
-        }
-    }
-    let queries: Vec<BufferedQuery> = ids
-        .iter()
-        .map(|id| {
-            let s = &open[id];
-            BufferedQuery {
-                id: *id,
-                arrival: s.arrival,
-                deadline: s.deadline,
-                utilities: s.utilities.clone(),
-                score: s.score,
-            }
-        })
-        .collect();
-    let input = ScheduleInput {
-        now,
-        availability,
-        latencies: ensemble.planned_latencies(),
-        queries,
-    };
-    let plan = config.scheduler.plan(&input);
-    for (pos, id) in ids.iter().enumerate() {
-        open.get_mut(id).expect("present").set = plan.assignments[pos];
-    }
-    // Forced mode: queries the plan abandoned but that must run get the
-    // least-loaded single model.
-    if config.admission == AdmissionMode::ForceAll {
-        let availability = servers.availability(now);
-        for id in &ids {
-            let s = open.get_mut(id).expect("present");
-            if s.set.is_empty() {
-                let best = (0..ensemble.m())
-                    .min_by_key(|&k| availability[k] + ensemble.latency(k).planned())
-                    .expect("non-empty ensemble");
-                s.set = ModelSet::singleton(best);
-            }
-        }
-    }
-    let cost = SimDuration::from_micros(
-        (config.sched_ns_per_unit * plan.work as f64 / 1000.0).round() as u64,
-    ) + config.sched_base_overhead;
-    now + cost
-}
-
-/// Starts tasks on idle servers per the current plan, in EDF order.
-fn dispatch(
-    ensemble: &Ensemble,
-    servers: &mut ServerBank,
-    open: &mut HashMap<u64, QState>,
-    events: &mut EventQueue<Event>,
-    lat_rng: &mut impl rand::Rng,
-    now: SimTime,
-) {
-    // EDF order over open queries.
-    let mut ids: Vec<u64> = open.keys().copied().collect();
-    ids.sort_by_key(|id| (open[id].deadline, *id));
-    for k in servers.idle_indices() {
-        for id in &ids {
-            let state = open.get_mut(id).expect("present");
-            if state.closed
-                || !state.set.contains(k)
-                || state.started.contains(k)
-                || state.ready_at > now
-            {
-                continue;
-            }
-            let dur = ensemble.latency(k).sample(lat_rng);
-            let run = servers.get_mut(k).start_immediately(TaskId(*id), now, dur);
-            events.push(run.completes_at, Event::TaskDone { model: k, query: *id });
-            state.started = state.started.with(k);
-            break;
-        }
-    }
-}
-
-/// Completes a query once outputs for its whole (possibly shrunk) set have
-/// arrived: assembles the result, evaluates it and records the completion.
-fn finish_if_complete(
-    ensemble: &Ensemble,
-    config: &SchembleConfig,
-    workload: &Workload,
-    open: &mut HashMap<u64, QState>,
-    records: &mut [QueryRecord],
-    query: u64,
-    now: SimTime,
-) {
-    let Some(state) = open.get_mut(&query) else { return };
-    if state.set.is_empty() || state.outputs.len() != state.set.len() {
-        return;
-    }
-    let q = &workload.queries[query as usize];
-    let mut outputs = std::mem::take(&mut state.outputs);
-    outputs.sort_by_key(|(k, _)| *k);
-    let result = config.assembler.assemble(ensemble, &outputs, state.set);
-    let (correct, score) = evaluate(ensemble, &q.sample, &result);
-    records[query as usize].completion = Some(now);
-    records[query as usize].outcome = QueryOutcome::Completed { correct, score };
-    records[query as usize].models_used = state.set.len();
-    state.closed = true;
-    open.remove(&query);
-}
-
-/// Deadline housekeeping (Reject mode only; ForceAll keeps everything):
-/// unstarted expired queries are dropped, and already-started expired
-/// queries stop scheduling *further* tasks (their set shrinks to what has
-/// started — a late result is a miss either way, so the remaining capacity
-/// goes to queries that can still make it).
-fn expire(
-    ensemble: &Ensemble,
-    config: &SchembleConfig,
-    workload: &Workload,
-    open: &mut HashMap<u64, QState>,
-    records: &mut [QueryRecord],
-    now: SimTime,
-) {
-    if config.admission == AdmissionMode::ForceAll {
-        return;
-    }
-    let expired: Vec<u64> = open
-        .iter()
-        .filter(|(_, s)| s.started.is_empty() && s.deadline < now)
-        .map(|(&id, _)| id)
-        .collect();
-    for id in expired {
-        open.remove(&id);
-        // Record already defaults to Missed.
-        records[id as usize].models_used = 0;
-    }
-    let late_started: Vec<u64> = open
-        .iter()
-        .filter(|(_, s)| !s.started.is_empty() && s.deadline < now && s.set != s.started)
-        .map(|(&id, _)| id)
-        .collect();
-    for id in late_started {
-        let state = open.get_mut(&id).expect("present");
-        state.set = state.started;
-        finish_if_complete(ensemble, config, workload, open, records, id, now);
-    }
-}
-
-/// Ensures a wake-up fires when a pending plan becomes effective.
-fn schedule_dispatch(events: &mut EventQueue<Event>, now: SimTime, plan_ready_at: SimTime) {
-    if plan_ready_at > now {
-        events.push(plan_ready_at, Event::Wake);
-    }
+    let usage = backend.usage();
+    engine.into_summary(usage)
 }
 
 #[cfg(test)]

@@ -81,8 +81,7 @@ pub fn train_seq_score_predictor(
     assert_eq!(history.len(), scores.len(), "history/scores length mismatch");
     assert!(!history.is_empty(), "cannot train predictor on empty history");
     let feat_dim = history[0].features.len();
-    let features =
-        Matrix::from_fn(history.len(), feat_dim, |r, c| history[r].features[c]);
+    let features = Matrix::from_fn(history.len(), feat_dim, |r, c| history[r].features[c]);
     let (task_loss, task_labels) = task_labels_for(ensemble, history);
     let config = SeqPredictorConfig::default_for(feat_dim, task_loss);
     let mut predictor = SequencePredictor::new(config, rng);
@@ -102,11 +101,9 @@ pub fn train_score_predictor_with_lambda(
     assert_eq!(history.len(), scores.len(), "history/scores length mismatch");
     assert!(!history.is_empty(), "cannot train predictor on empty history");
     let feat_dim = history[0].features.len();
-    let features =
-        Matrix::from_fn(history.len(), feat_dim, |r, c| history[r].features[c]);
+    let features = Matrix::from_fn(history.len(), feat_dim, |r, c| history[r].features[c]);
     let (task_loss, task_labels) = task_labels_for(ensemble, history);
-    let config =
-        PredictorConfig { lambda, ..PredictorConfig::default_for(feat_dim, task_loss) };
+    let config = PredictorConfig { lambda, ..PredictorConfig::default_for(feat_dim, task_loss) };
     let mut predictor = DiscrepancyPredictor::new(config, rng);
     predictor.fit(&features, &task_labels, scores, rng);
     predictor
@@ -140,10 +137,8 @@ fn task_labels_for(ensemble: &Ensemble, history: &[Sample]) -> (TaskLoss, Vec<f6
         }
         TaskSpec::Regression { .. } => {
             // Counts live in roughly [0, 25]; scale into [0, 1] for training.
-            let labels = history
-                .iter()
-                .map(|s| ensemble.ensemble_output(s).value() / 25.0)
-                .collect();
+            let labels =
+                history.iter().map(|s| ensemble.ensemble_output(s).value() / 25.0).collect();
             (TaskLoss::Regression, labels)
         }
     }
@@ -171,8 +166,7 @@ mod tests {
         // Evaluate on *fresh* samples.
         let test = gen.batch(5000, 500);
         let truth = oracle.score_batch(&ens, &test);
-        let predicted: Vec<f64> =
-            test.iter().map(|s| nn.predict_score(&s.features)).collect();
+        let predicted: Vec<f64> = test.iter().map(|s| nn.predict_score(&s.features)).collect();
         let corr = pearson(&predicted, &truth);
         assert!(corr > 0.25, "predictor/oracle correlation too weak: {corr:.3}");
     }
@@ -226,8 +220,7 @@ mod seq_tests {
         let nn = train_seq_score_predictor(&ens, &history, &scores, &mut rng);
         let test = gen.batch(5000, 300);
         let truth = oracle.score_batch(&ens, &test);
-        let predicted: Vec<f64> =
-            test.iter().map(|s| nn.predict_score(&s.features)).collect();
+        let predicted: Vec<f64> = test.iter().map(|s| nn.predict_score(&s.features)).collect();
         let corr = pearson(&predicted, &truth);
         assert!(corr > 0.2, "seq predictor correlation too weak: {corr:.3}");
         let scorer = OnlineScorer::SeqPredictor(nn);

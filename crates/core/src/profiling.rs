@@ -38,12 +38,7 @@ impl AccuracyProfile {
     ///
     /// # Panics
     /// Panics if lengths mismatch, history is empty, or `bins == 0`.
-    pub fn fit(
-        ensemble: &Ensemble,
-        history: &[Sample],
-        scores: &[f64],
-        bins: usize,
-    ) -> Self {
+    pub fn fit(ensemble: &Ensemble, history: &[Sample], scores: &[f64], bins: usize) -> Self {
         Self::fit_with_cutoff(ensemble, history, scores, bins, ensemble.m())
     }
 
@@ -164,8 +159,7 @@ impl AccuracyProfile {
                 for &q in &order[..k] {
                     let pair = ModelSet::from_indices(&[q, next_model]);
                     let single = ModelSet::singleton(q);
-                    marginal += self.table[b][pair.0 as usize]
-                        - self.table[b][single.0 as usize];
+                    marginal += self.table[b][pair.0 as usize] - self.table[b][single.0 as usize];
                 }
                 marginal /= k as f64;
                 self.table[b][grown.0 as usize] = (base + gamma * marginal).clamp(0.0, 1.0);
@@ -200,8 +194,7 @@ impl AccuracyProfile {
             if self.counts[b] == 0 {
                 continue;
             }
-            let observed =
-                self.table[b][grown.0 as usize] - self.table[b][prefix.0 as usize];
+            let observed = self.table[b][grown.0 as usize] - self.table[b][prefix.0 as usize];
             let mut raw = 0.0;
             for &q in &order[..k] {
                 let pair = ModelSet::from_indices(&[q, next_model]);

@@ -22,14 +22,7 @@ pub fn optimal_plan(input: &ScheduleInput) -> SchedulePlan {
     let mut best = SchedulePlan::empty(n);
     let mut best_utility = 0.0f64;
     let mut assignment = vec![ModelSet::EMPTY; n];
-    search(
-        input,
-        &order,
-        0,
-        &mut assignment,
-        &mut best,
-        &mut best_utility,
-    );
+    search(input, &order, 0, &mut assignment, &mut best, &mut best_utility);
     best.order = order;
     best
 }
@@ -43,11 +36,7 @@ fn search(
     best_utility: &mut f64,
 ) {
     if depth == order.len() {
-        let plan = SchedulePlan {
-            assignments: assignment.clone(),
-            order: order.to_vec(),
-            work: 0,
-        };
+        let plan = SchedulePlan { assignments: assignment.clone(), order: order.to_vec(), work: 0 };
         if input.plan_is_feasible(&plan) {
             let u = input.plan_utility(&plan);
             if u > *best_utility {

@@ -201,9 +201,7 @@ fn prune(nodes: &mut Vec<Node>, cap: usize) {
     let mut kept: Vec<Node> = Vec::with_capacity(nodes.len().min(cap));
     'candidates: for node in nodes.drain(..) {
         for k in &kept {
-            if k.u >= node.u
-                && k.times.iter().zip(&node.times).all(|(a, b)| a <= b)
-            {
+            if k.u >= node.u && k.times.iter().zip(&node.times).all(|(a, b)| a <= b) {
                 continue 'candidates;
             }
         }
@@ -230,13 +228,7 @@ mod tests {
     }
 
     fn query(id: u64, deadline_ms: u64, utilities: Vec<f64>) -> BufferedQuery {
-        BufferedQuery {
-            id,
-            arrival: at(0),
-            deadline: at(deadline_ms),
-            utilities,
-            score: 0.5,
-        }
+        BufferedQuery { id, arrival: at(0), deadline: at(deadline_ms), utilities, score: 0.5 }
     }
 
     #[test]
@@ -254,8 +246,7 @@ mod tests {
         assert_eq!(plan.scheduled_count(), 2, "both queries must be served");
         assert!(input.plan_is_feasible(&plan));
         // Neither query can take more than the deadline allows (one round).
-        let total_models: usize =
-            plan.assignments.iter().map(|s| s.len()).sum();
+        let total_models: usize = plan.assignments.iter().map(|s| s.len()).sum();
         assert_eq!(total_models, 3, "all three models should be used exactly once");
     }
 
@@ -266,8 +257,7 @@ mod tests {
         let mut mismatches = 0;
         for seed in 0..20u64 {
             let input = random_instance(seed, 4, 2);
-            let dp = DpScheduler { delta: 1e-4, max_frontier: 4096, max_queries: 24 }
-                .plan(&input);
+            let dp = DpScheduler { delta: 1e-4, max_frontier: 4096, max_queries: 24 }.plan(&input);
             let best = optimal_plan(&input);
             let dp_u = input.plan_utility(&dp);
             let opt_u = input.plan_utility(&best);
@@ -311,12 +301,8 @@ mod tests {
 
     #[test]
     fn empty_buffer_is_fine() {
-        let input = ScheduleInput {
-            now: at(0),
-            availability: vec![],
-            latencies: vec![],
-            queries: vec![],
-        };
+        let input =
+            ScheduleInput { now: at(0), availability: vec![], latencies: vec![], queries: vec![] };
         let plan = DpScheduler::default().plan(&input);
         assert_eq!(plan.assignments.len(), 0);
     }
@@ -337,8 +323,7 @@ mod tests {
     pub(crate) fn random_instance(seed: u64, n: usize, m: usize) -> ScheduleInput {
         use rand::Rng;
         let mut rng = schemble_sim::rng::stream_rng(seed, "sched-instance");
-        let latencies: Vec<SimDuration> =
-            (0..m).map(|_| ms(rng.random_range(5..40))).collect();
+        let latencies: Vec<SimDuration> = (0..m).map(|_| ms(rng.random_range(5..40))).collect();
         let queries = (0..n as u64)
             .map(|id| {
                 // Random monotone utility vector.
@@ -348,8 +333,7 @@ mod tests {
                         .iter()
                         .map(|k| 0.3 + 0.2 * (k as f64) + rng.random_range(0.0..0.1))
                         .fold(0.0, f64::max);
-                    utilities[set.0 as usize] =
-                        (base + 0.08 * set.len() as f64).min(1.0);
+                    utilities[set.0 as usize] = (base + 0.08 * set.len() as f64).min(1.0);
                 }
                 // Monotone repair.
                 let mut masks: Vec<u32> = (1..(1u32 << m)).collect();

@@ -155,18 +155,9 @@ mod tests {
     #[test]
     fn orders_differ() {
         let input = input();
-        assert_eq!(
-            GreedyScheduler::new(QueueOrder::Edf).visit_order(&input),
-            vec![1, 0]
-        );
-        assert_eq!(
-            GreedyScheduler::new(QueueOrder::Fifo).visit_order(&input),
-            vec![0, 1]
-        );
-        assert_eq!(
-            GreedyScheduler::new(QueueOrder::Sjf).visit_order(&input),
-            vec![1, 0]
-        );
+        assert_eq!(GreedyScheduler::new(QueueOrder::Edf).visit_order(&input), vec![1, 0]);
+        assert_eq!(GreedyScheduler::new(QueueOrder::Fifo).visit_order(&input), vec![0, 1]);
+        assert_eq!(GreedyScheduler::new(QueueOrder::Sjf).visit_order(&input), vec![1, 0]);
     }
 
     #[test]

@@ -78,11 +78,7 @@ impl ScheduleInput {
 
     /// Total (unquantized) utility a plan collects.
     pub fn plan_utility(&self, plan: &SchedulePlan) -> f64 {
-        plan.assignments
-            .iter()
-            .zip(&self.queries)
-            .map(|(set, q)| q.utilities[set.0 as usize])
-            .sum()
+        plan.assignments.iter().zip(&self.queries).map(|(set, q)| q.utilities[set.0 as usize]).sum()
     }
 }
 

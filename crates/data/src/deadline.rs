@@ -47,9 +47,7 @@ impl DeadlinePolicy {
                 let mut rng = stream_rng(seed, "camera-deadlines");
                 (0..*cameras)
                     .map(|_| {
-                        SimDuration::from_micros(
-                            rng.random_range(lo.as_micros()..=hi.as_micros()),
-                        )
+                        SimDuration::from_micros(rng.random_range(lo.as_micros()..=hi.as_micros()))
                     })
                     .collect()
             }
@@ -65,9 +63,7 @@ impl DeadlinePolicy {
             .enumerate()
             .map(|(i, &arr)| match self {
                 DeadlinePolicy::Constant(d) => arr + *d,
-                DeadlinePolicy::PerCameraUniform { cameras, .. } => {
-                    arr + table[i % cameras]
-                }
+                DeadlinePolicy::PerCameraUniform { cameras, .. } => arr + table[i % cameras],
             })
             .collect()
     }

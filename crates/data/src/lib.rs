@@ -23,6 +23,6 @@ pub mod workload;
 
 pub use deadline::DeadlinePolicy;
 pub use task::TaskKind;
-pub use trace::{ArrivalTrace, DiurnalTrace, PoissonTrace};
+pub use trace::{ArrivalTrace, DiurnalSliceTrace, DiurnalTrace, PoissonTrace};
 pub use trace_io::{RecordedTrace, TraceError};
 pub use workload::{Query, Workload};

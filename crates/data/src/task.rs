@@ -74,14 +74,8 @@ mod tests {
             TaskKind::TextMatching.ensemble(1).spec,
             TaskSpec::Classification { num_classes: 2 }
         ));
-        assert!(matches!(
-            TaskKind::VehicleCounting.ensemble(1).spec,
-            TaskSpec::Regression { .. }
-        ));
-        assert!(matches!(
-            TaskKind::ImageRetrieval.ensemble(1).spec,
-            TaskSpec::Retrieval { .. }
-        ));
+        assert!(matches!(TaskKind::VehicleCounting.ensemble(1).spec, TaskSpec::Regression { .. }));
+        assert!(matches!(TaskKind::ImageRetrieval.ensemble(1).spec, TaskSpec::Retrieval { .. }));
     }
 
     #[test]
@@ -96,8 +90,7 @@ mod tests {
     #[test]
     fn default_difficulty_is_easy_heavy() {
         let g = TaskKind::TextMatching.default_generator(3);
-        let mean: f64 =
-            g.batch(0, 4000).iter().map(|s| s.difficulty).sum::<f64>() / 4000.0;
+        let mean: f64 = g.batch(0, 4000).iter().map(|s| s.difficulty).sum::<f64>() / 4000.0;
         assert!(mean < 0.4, "default difficulty should skew easy, mean {mean}");
     }
 }

@@ -107,6 +107,58 @@ impl ArrivalTrace for DiurnalTrace {
     }
 }
 
+/// A contiguous hour window cut out of a [`DiurnalTrace`], re-based so the
+/// window opens at `t = 0`.
+///
+/// Fig. 19 evaluates schedulers on the bursty 14–19 h afternoon segment in
+/// isolation: the slice reproduces exactly the arrivals the full day would
+/// place in the window (same seed stream), so a sliced run sees the same
+/// burst shape without simulating the quiet hours around it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalSliceTrace {
+    /// The full-day trace to slice.
+    pub day: DiurnalTrace,
+    /// First hour included (0–23).
+    pub start_hour: usize,
+    /// One past the last hour included (`start_hour < end_hour <= 24`).
+    pub end_hour: usize,
+}
+
+impl DiurnalSliceTrace {
+    /// The fraction of the day's queries that fall in the window, in
+    /// expectation. Useful to size `day.n` for a target slice volume.
+    pub fn expected_fraction(&self) -> f64 {
+        let total: f64 = DiurnalTrace::HOUR_WEIGHTS.iter().sum();
+        let window: f64 = DiurnalTrace::HOUR_WEIGHTS[self.start_hour..self.end_hour].iter().sum();
+        window / total
+    }
+}
+
+impl ArrivalTrace for DiurnalSliceTrace {
+    fn arrivals(&self, seed: u64) -> Vec<SimTime> {
+        assert!(
+            self.start_hour < self.end_hour && self.end_hour <= 24,
+            "hour window {}..{} out of range",
+            self.start_hour,
+            self.end_hour
+        );
+        let hour_len = self.day.day_secs / 24.0;
+        let start = SimTime::from_secs_f64(self.start_hour as f64 * hour_len);
+        let end = SimTime::from_secs_f64(self.end_hour as f64 * hour_len);
+        self.day
+            .arrivals(seed)
+            .into_iter()
+            .filter(|&t| t >= start && t < end)
+            .map(|t| SimTime::ZERO + t.saturating_since(start))
+            .collect()
+    }
+
+    fn duration(&self) -> SimTime {
+        let hour_len = self.day.day_secs / 24.0;
+        SimTime::from_secs_f64((self.end_hour - self.start_hour) as f64 * hour_len)
+    }
+}
+
 /// Exponential inter-arrival sample with the given rate.
 fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
     let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
@@ -169,6 +221,37 @@ mod tests {
         assert_eq!(trace.hour_of(SimTime::from_secs_f64(150.0)), 1);
         assert_eq!(trace.hour_of(SimTime::from_secs_f64(2399.0)), 23);
         assert_eq!(trace.hour_of(SimTime::from_secs_f64(99999.0)), 23);
+    }
+
+    #[test]
+    fn slice_reproduces_the_windowed_arrivals_rebased() {
+        let day = DiurnalTrace { n: 20_000, day_secs: 2400.0 }; // 100 s/hour
+        let slice = DiurnalSliceTrace { day, start_hour: 14, end_hour: 19 };
+        let full = day.arrivals(9);
+        let sliced = slice.arrivals(9);
+        let start = SimTime::from_secs_f64(1400.0);
+        let end = SimTime::from_secs_f64(1900.0);
+        let expected: Vec<SimTime> = full
+            .iter()
+            .filter(|&&t| t >= start && t < end)
+            .map(|&t| SimTime::ZERO + t.saturating_since(start))
+            .collect();
+        assert_eq!(sliced, expected);
+        assert!(!sliced.is_empty());
+        assert!(sliced.iter().all(|&t| t < slice.duration()));
+        assert_eq!(slice.duration(), SimTime::from_secs_f64(500.0));
+    }
+
+    #[test]
+    fn slice_volume_tracks_expected_fraction() {
+        let day = DiurnalTrace { n: 20_000, day_secs: 1200.0 };
+        let slice = DiurnalSliceTrace { day, start_hour: 14, end_hour: 19 };
+        let n = slice.arrivals(3).len() as f64;
+        let expected = 20_000.0 * slice.expected_fraction();
+        assert!(
+            (n - expected).abs() < 0.1 * expected,
+            "slice produced {n} arrivals, expected about {expected:.0}"
+        );
     }
 
     #[test]

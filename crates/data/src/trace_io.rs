@@ -61,10 +61,7 @@ impl RecordedTrace {
     /// Panics if the arrivals are unsorted — recorded traces are
     /// chronological by definition.
     pub fn new(arrivals: Vec<SimTime>) -> Self {
-        assert!(
-            arrivals.windows(2).all(|w| w[0] <= w[1]),
-            "recorded arrivals must be sorted"
-        );
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "recorded arrivals must be sorted");
         Self { arrivals, deadlines: None }
     }
 
@@ -100,15 +97,10 @@ impl RecordedTrace {
                 continue;
             }
             let mut parts = line.split(',');
-            let arrival: f64 = parts
-                .next()
-                .expect("split yields at least one part")
-                .trim()
-                .parse()
-                .map_err(|_| TraceError::Parse {
-                    line: lineno,
-                    message: "bad arrival".to_string(),
-                })?;
+            let arrival: f64 =
+                parts.next().expect("split yields at least one part").trim().parse().map_err(
+                    |_| TraceError::Parse { line: lineno, message: "bad arrival".to_string() },
+                )?;
             if arrival < 0.0 {
                 return Err(TraceError::Parse {
                     line: lineno,
@@ -139,10 +131,7 @@ impl RecordedTrace {
             }
         }
         if !arrivals.windows(2).all(|w| w[0] <= w[1]) {
-            return Err(TraceError::Parse {
-                line: 0,
-                message: "arrivals not sorted".to_string(),
-            });
+            return Err(TraceError::Parse { line: 0, message: "arrivals not sorted".to_string() });
         }
         Ok(Self {
             arrivals,

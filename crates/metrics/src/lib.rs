@@ -18,6 +18,7 @@ pub mod aggregate;
 pub mod export;
 pub mod latency;
 pub mod outcome;
+pub mod runtime;
 pub mod segments;
 pub mod tradeoff;
 
@@ -25,5 +26,6 @@ pub use aggregate::SeedStats;
 pub use export::{to_csv, write_csv};
 pub use latency::LatencyStats;
 pub use outcome::{ModelUsage, QueryOutcome, QueryRecord, RunSummary};
+pub use runtime::{LatencyHistogram, RuntimeCounters, RuntimeMetrics, RuntimeSnapshot};
 pub use segments::SegmentSeries;
 pub use tradeoff::tradeoff_objective;

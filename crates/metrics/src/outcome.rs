@@ -168,8 +168,7 @@ impl RunSummary {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.models_used as f64).sum::<f64>()
-            / self.records.len() as f64
+        self.records.iter().map(|r| r.models_used as f64).sum::<f64>() / self.records.len() as f64
     }
 
     /// Fraction of queries completed (by deadline or not).

@@ -1,0 +1,327 @@
+//! Lock-light live metrics for the serving runtime (`schemble-serve`).
+//!
+//! The runtime's hot path (scheduler loop, worker threads) updates plain
+//! atomics; observers take consistent-enough [`RuntimeSnapshot`]s without
+//! stopping the world. Counters use `Relaxed` ordering throughout — each
+//! value is independently meaningful and monotone, which is all a metrics
+//! export needs.
+
+use crate::latency::LatencyStats;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Query- and task-level counters shared between the runtime and observers.
+///
+/// Query conservation invariant (checked by `schemble-serve`'s property
+/// tests): `submitted == completed + rejected + expired + open`, and at
+/// drain `open == 0`.
+#[derive(Debug, Default)]
+pub struct RuntimeCounters {
+    /// Queries handed to the pipeline (arrival events delivered).
+    pub submitted: AtomicU64,
+    /// Queries that finished with an assembled result.
+    pub completed: AtomicU64,
+    /// Queries refused at arrival (admission control).
+    pub rejected: AtomicU64,
+    /// Queries dropped after admission (deadline passed before completion).
+    pub expired: AtomicU64,
+    /// Tasks started on executors.
+    pub tasks_started: AtomicU64,
+    /// Tasks finished by executors.
+    pub tasks_completed: AtomicU64,
+}
+
+impl RuntimeCounters {
+    /// A zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queries submitted but not yet decided.
+    pub fn open(&self) -> u64 {
+        let submitted = self.submitted.load(Relaxed);
+        let closed =
+            self.completed.load(Relaxed) + self.rejected.load(Relaxed) + self.expired.load(Relaxed);
+        submitted.saturating_sub(closed)
+    }
+}
+
+/// Per-executor gauges: queue depth and cumulative busy time.
+#[derive(Debug, Default)]
+pub struct ExecutorGauges {
+    /// Tasks waiting in the executor's FIFO backlog.
+    pub queue_depth: AtomicU64,
+    /// 1 while a task is running, 0 while idle.
+    pub running: AtomicU64,
+    /// Cumulative busy time, in simulated microseconds.
+    pub busy_micros: AtomicU64,
+    /// Tasks completed by this executor.
+    pub tasks: AtomicU64,
+}
+
+/// A fixed-bucket, log-spaced latency histogram with atomic counts.
+///
+/// Buckets span 100 µs to ~100 s with 8 buckets per octave; one update is a
+/// single relaxed `fetch_add`, so worker threads can record without
+/// coordination.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    /// Values below the first bucket edge.
+    underflow: AtomicU64,
+}
+
+/// Number of histogram buckets (8 per octave over 20 octaves).
+const HIST_BUCKETS: usize = 160;
+/// Lower edge of bucket 0, seconds.
+const HIST_MIN_SECS: f64 = 1e-4;
+/// Buckets per factor-of-two.
+const HIST_PER_OCTAVE: f64 = 8.0;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            underflow: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(secs: f64) -> Option<usize> {
+        if secs.is_nan() || secs < HIST_MIN_SECS {
+            return None;
+        }
+        let idx = ((secs / HIST_MIN_SECS).log2() * HIST_PER_OCTAVE) as usize;
+        Some(idx.min(HIST_BUCKETS - 1))
+    }
+
+    /// Lower edge of bucket `i`, seconds.
+    fn edge(i: usize) -> f64 {
+        HIST_MIN_SECS * 2f64.powf(i as f64 / HIST_PER_OCTAVE)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, secs: f64) {
+        match Self::bucket_of(secs) {
+            Some(i) => self.buckets[i].fetch_add(1, Relaxed),
+            None => self.underflow.fetch_add(1, Relaxed),
+        };
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.underflow.load(Relaxed) + self.buckets.iter().map(|b| b.load(Relaxed)).sum::<u64>()
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) from bucket edges; `None` while
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow.load(Relaxed);
+        if seen >= target {
+            return Some(0.0);
+        }
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Relaxed);
+            if seen >= target {
+                // Report the bucket's geometric midpoint.
+                return Some((Self::edge(i) * Self::edge(i + 1)).sqrt());
+            }
+        }
+        Some(Self::edge(HIST_BUCKETS))
+    }
+
+    /// Non-empty buckets as `(lower_edge_secs, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        if self.underflow.load(Relaxed) > 0 {
+            out.push((0.0, self.underflow.load(Relaxed)));
+        }
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Relaxed);
+            if n > 0 {
+                out.push((Self::edge(i), n));
+            }
+        }
+        out
+    }
+}
+
+/// Everything the runtime exposes to observers, behind one allocation.
+#[derive(Debug)]
+pub struct RuntimeMetrics {
+    /// Query/task counters.
+    pub counters: RuntimeCounters,
+    /// Per-executor gauges, fixed at construction.
+    pub executors: Vec<ExecutorGauges>,
+    /// End-to-end latency of completed queries.
+    pub latency: LatencyHistogram,
+}
+
+impl RuntimeMetrics {
+    /// Metrics for a runtime with `executors` executors.
+    pub fn new(executors: usize) -> Self {
+        Self {
+            counters: RuntimeCounters::new(),
+            executors: (0..executors).map(|_| ExecutorGauges::default()).collect(),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Takes a point-in-time snapshot. `elapsed_secs` is the (simulated)
+    /// time base for utilisation; pass the run's elapsed sim time.
+    pub fn snapshot(&self, elapsed_secs: f64) -> RuntimeSnapshot {
+        let c = &self.counters;
+        RuntimeSnapshot {
+            submitted: c.submitted.load(Relaxed),
+            completed: c.completed.load(Relaxed),
+            rejected: c.rejected.load(Relaxed),
+            expired: c.expired.load(Relaxed),
+            open: c.open(),
+            tasks_started: c.tasks_started.load(Relaxed),
+            tasks_completed: c.tasks_completed.load(Relaxed),
+            queue_depths: self
+                .executors
+                .iter()
+                .map(|e| e.queue_depth.load(Relaxed) as usize)
+                .collect(),
+            running: self.executors.iter().map(|e| e.running.load(Relaxed) == 1).collect(),
+            utilization: self
+                .executors
+                .iter()
+                .map(|e| {
+                    if elapsed_secs > 0.0 {
+                        (e.busy_micros.load(Relaxed) as f64 / 1e6 / elapsed_secs).min(1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            latency_p50: self.latency.quantile(0.50),
+            latency_p95: self.latency.quantile(0.95),
+            latency_p99: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time view of [`RuntimeMetrics`], safe to print or export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeSnapshot {
+    /// Queries handed to the pipeline.
+    pub submitted: u64,
+    /// Queries completed with a result.
+    pub completed: u64,
+    /// Queries refused at arrival.
+    pub rejected: u64,
+    /// Queries dropped after admission.
+    pub expired: u64,
+    /// Queries still in flight.
+    pub open: u64,
+    /// Tasks started on executors.
+    pub tasks_started: u64,
+    /// Tasks finished by executors.
+    pub tasks_completed: u64,
+    /// Backlog length per executor.
+    pub queue_depths: Vec<usize>,
+    /// Whether each executor is mid-task.
+    pub running: Vec<bool>,
+    /// Fraction of elapsed time each executor was busy.
+    pub utilization: Vec<f64>,
+    /// Median completed-query latency, seconds.
+    pub latency_p50: Option<f64>,
+    /// 95th-percentile completed-query latency, seconds.
+    pub latency_p95: Option<f64>,
+    /// 99th-percentile completed-query latency, seconds.
+    pub latency_p99: Option<f64>,
+}
+
+impl RuntimeSnapshot {
+    /// One-line human-readable form for periodic progress output.
+    pub fn brief(&self) -> String {
+        format!(
+            "submitted {} | completed {} | rejected {} | expired {} | open {} | queues {:?} | util {}",
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.expired,
+            self.open,
+            self.queue_depths,
+            self.utilization
+                .iter()
+                .map(|u| format!("{:.0}%", u * 100.0))
+                .collect::<Vec<_>>()
+                .join("/"),
+        )
+    }
+}
+
+/// Summarises a histogram against exact stats (used in tests and reports to
+/// sanity-check the approximation).
+pub fn histogram_consistent(h: &LatencyHistogram, exact: &LatencyStats, tol_frac: f64) -> bool {
+    match h.quantile(0.95) {
+        Some(p95) => (p95 - exact.p95).abs() <= tol_frac * exact.p95.max(1e-3),
+        None => exact.p95 == 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_conserve_queries() {
+        let c = RuntimeCounters::new();
+        c.submitted.fetch_add(10, Relaxed);
+        c.completed.fetch_add(6, Relaxed);
+        c.rejected.fetch_add(1, Relaxed);
+        c.expired.fetch_add(2, Relaxed);
+        assert_eq!(c.open(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(0.010);
+        }
+        for _ in 0..5 {
+            h.record(1.0);
+        }
+        assert_eq!(h.count(), 105);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((0.005..0.02).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((0.5..2.0).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_handles_tiny_and_zero_values() {
+        let h = LatencyHistogram::new();
+        h.record(0.0);
+        h.record(1e-6);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn snapshot_reflects_gauges() {
+        let m = RuntimeMetrics::new(2);
+        m.counters.submitted.fetch_add(3, Relaxed);
+        m.executors[1].queue_depth.store(4, Relaxed);
+        m.executors[0].busy_micros.store(500_000, Relaxed);
+        let s = m.snapshot(1.0);
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.queue_depths, vec![0, 4]);
+        assert!((s.utilization[0] - 0.5).abs() < 1e-9);
+        assert!(s.brief().contains("submitted 3"));
+    }
+}

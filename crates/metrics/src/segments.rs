@@ -78,9 +78,8 @@ mod tests {
     #[test]
     fn segments_bucket_correctly() {
         let records = vec![rec(0, 0, true), rec(1, 0, false), rec(2, 1, true)];
-        let series = SegmentSeries::compute(&records, 2, |r| {
-            (r.arrival.as_secs_f64() / 3600.0) as usize
-        });
+        let series =
+            SegmentSeries::compute(&records, 2, |r| (r.arrival.as_secs_f64() / 3600.0) as usize);
         assert_eq!(series.counts, vec![2, 1]);
         assert!((series.accuracy[0] - 0.5).abs() < 1e-12);
         assert!((series.dmr[0] - 0.5).abs() < 1e-12);

@@ -69,8 +69,7 @@ mod tests {
 
     #[test]
     fn balanced_candidate_wins_a_middle_range() {
-        let points =
-            [("accurate", 0.97, 5.0), ("balanced", 0.95, 0.10), ("fast", 0.80, 0.05)];
+        let points = [("accurate", 0.97, 5.0), ("balanced", 0.95, 0.10), ("fast", 0.80, 0.05)];
         let range = winning_lambda_range(&points, "balanced", 0.01, 1000.0, 200).unwrap();
         assert!(range.0 < 1.0 && range.1 > 10.0, "balanced should win a wide band: {range:?}");
         // The extremes belong to the specialists.

@@ -51,9 +51,7 @@ impl Aggregator {
         assert!(!present.is_empty(), "cannot aggregate zero outputs");
         match self {
             Aggregator::Voting => aggregate_voting(present, spec),
-            Aggregator::WeightedAverage { weights } => {
-                aggregate_weighted(present, spec, weights)
-            }
+            Aggregator::WeightedAverage { weights } => aggregate_weighted(present, spec, weights),
             Aggregator::Stacking { meta } => {
                 assert_eq!(
                     present.len(),
@@ -63,8 +61,7 @@ impl Aggregator {
                 for (pos, (idx, _)) in present.iter().enumerate() {
                     assert_eq!(*idx, pos, "stacking inputs must be in model order");
                 }
-                let features: Vec<f64> =
-                    present.iter().flat_map(|(_, o)| o.as_vec()).collect();
+                let features: Vec<f64> = present.iter().flat_map(|(_, o)| o.as_vec()).collect();
                 let raw = meta.infer_one(&features);
                 match spec {
                     TaskSpec::Regression { .. } => Output::Scalar(raw[0]),
@@ -98,20 +95,12 @@ fn aggregate_voting(present: &[(usize, &Output)], spec: &TaskSpec) -> Output {
     }
 }
 
-fn aggregate_weighted(
-    present: &[(usize, &Output)],
-    spec: &TaskSpec,
-    weights: &[f64],
-) -> Output {
+fn aggregate_weighted(present: &[(usize, &Output)], spec: &TaskSpec, weights: &[f64]) -> Output {
     let wsum: f64 = present.iter().map(|(k, _)| weights[*k]).sum();
     assert!(wsum > 0.0, "all present weights are zero");
     match spec {
         TaskSpec::Regression { .. } => {
-            let v = present
-                .iter()
-                .map(|(k, o)| weights[*k] * o.value())
-                .sum::<f64>()
-                / wsum;
+            let v = present.iter().map(|(k, o)| weights[*k] * o.value()).sum::<f64>() / wsum;
             Output::Scalar(v)
         }
         _ => {
@@ -150,12 +139,7 @@ pub fn train_stacking_meta(
     let in_dim = rows[0].len();
     let out_dim = spec.output_dim();
     let x = Matrix::from_fn(rows.len(), in_dim, |r, c| rows[r][c]);
-    let mut meta = Mlp::new(
-        &[in_dim, 16, out_dim],
-        Activation::Relu,
-        Activation::Identity,
-        rng,
-    );
+    let mut meta = Mlp::new(&[in_dim, 16, out_dim], Activation::Relu, Activation::Identity, rng);
     let mut opt = Adam::new(0.01);
     match spec {
         TaskSpec::Regression { .. } => {
@@ -216,8 +200,7 @@ mod tests {
     fn voting_median_for_regression() {
         let spec = TaskSpec::Regression { tolerance: 0.5 };
         let o = [Output::Scalar(1.0), Output::Scalar(10.0), Output::Scalar(3.0)];
-        let out =
-            Aggregator::Voting.aggregate(&[(0, &o[0]), (1, &o[1]), (2, &o[2])], &spec, 3);
+        let out = Aggregator::Voting.aggregate(&[(0, &o[0]), (1, &o[1]), (2, &o[2])], &spec, 3);
         assert_eq!(out.value(), 3.0);
     }
 
@@ -240,11 +223,7 @@ mod tests {
     fn weighted_average_scalar() {
         let spec = TaskSpec::Regression { tolerance: 0.5 };
         let w = Aggregator::WeightedAverage { weights: vec![1.0, 3.0] };
-        let out = w.aggregate(
-            &[(0, &Output::Scalar(0.0)), (1, &Output::Scalar(4.0))],
-            &spec,
-            2,
-        );
+        let out = w.aggregate(&[(0, &Output::Scalar(0.0)), (1, &Output::Scalar(4.0))], &spec, 2);
         assert_eq!(out.value(), 3.0);
     }
 

@@ -41,9 +41,7 @@ impl DifficultyDist {
     pub fn sample(&self, rng: &mut impl Rng) -> f64 {
         match *self {
             DifficultyDist::Uniform => rng.random_range(0.0..1.0),
-            DifficultyDist::EasySkewed { exponent } => {
-                rng.random_range(0.0f64..1.0).powf(exponent)
-            }
+            DifficultyDist::EasySkewed { exponent } => rng.random_range(0.0f64..1.0).powf(exponent),
             DifficultyDist::Normal { mean, std } => {
                 (mean + std * standard_normal(rng)).clamp(0.0, 1.0)
             }
@@ -100,8 +98,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

@@ -94,10 +94,7 @@ impl Ensemble {
 
     /// Planned makespan of running `set` in parallel (its slowest member).
     pub fn set_planned_latency(&self, set: ModelSet) -> SimDuration {
-        set.iter()
-            .map(|k| self.models[k].latency.planned())
-            .max()
-            .unwrap_or(SimDuration::ZERO)
+        set.iter().map(|k| self.models[k].latency.planned()).max().unwrap_or(SimDuration::ZERO)
     }
 
     /// Sum of planned execution times of `set` — the *cumulative runtime*
@@ -175,8 +172,7 @@ mod tests {
             let reference = ens.ensemble_output(&s);
             let solo_ok: Vec<bool> = (0..ens.m())
                 .map(|k| {
-                    ens.subset_output(&s, ModelSet::singleton(k))
-                        .agrees_with(&reference, &ens.spec)
+                    ens.subset_output(&s, ModelSet::singleton(k)).agrees_with(&reference, &ens.spec)
                 })
                 .collect();
             if solo_ok.iter().all(|&b| b) {
@@ -192,10 +188,7 @@ mod tests {
         }
         let frac_any = any_single as f64 / n as f64;
         let frac_all = need_all as f64 / n as f64;
-        assert!(
-            frac_any > 0.6,
-            "fraction solvable by every single model too low: {frac_any:.3}"
-        );
+        assert!(frac_any > 0.6, "fraction solvable by every single model too low: {frac_any:.3}");
         assert!(frac_all < 0.15, "fraction needing all models too high: {frac_all:.3}");
     }
 

@@ -82,10 +82,7 @@ pub fn cifar_model(arch: usize, seed: u64) -> BaseModel {
 /// A CIFAR100-like ensemble of the first `size` architectures (Fig. 20a
 /// sweeps the ensemble size).
 pub fn cifar_zoo(size: usize, seed: u64) -> Ensemble {
-    assert!(
-        (1..=CIFAR_ARCHS.len()).contains(&size),
-        "cifar zoo size must be 1..=6"
-    );
+    assert!((1..=CIFAR_ARCHS.len()).contains(&size), "cifar zoo size must be 1..=6");
     let spec = TaskSpec::Classification { num_classes: 100 };
     Ensemble::weighted_average((0..size).map(|a| cifar_model(a, seed)).collect(), spec)
 }

@@ -178,8 +178,7 @@ mod tests {
     /// Finite-difference check of the backward pass for every activation.
     #[test]
     fn gradients_match_finite_differences() {
-        for act in [Activation::Identity, Activation::Relu, Activation::Tanh, Activation::Sigmoid]
-        {
+        for act in [Activation::Identity, Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
             let mut layer = Dense::new(3, 2, act, &mut rng());
             let x = Matrix::from_vec(2, 3, vec![0.3, -0.7, 1.1, 0.9, 0.2, -0.4]);
             // Scalar loss L = sum(forward(x)); dL/d(out) = ones.

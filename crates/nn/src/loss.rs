@@ -119,8 +119,7 @@ mod tests {
             zp.as_mut_slice()[i] += eps;
             let mut zm = z.clone();
             zm.as_mut_slice()[i] -= eps;
-            let numeric =
-                (bce_with_logits(&zp, &y).0 - bce_with_logits(&zm, &y).0) / (2.0 * eps);
+            let numeric = (bce_with_logits(&zp, &y).0 - bce_with_logits(&zm, &y).0) / (2.0 * eps);
             assert!((numeric - g.as_slice()[i]).abs() < 1e-6);
         }
     }

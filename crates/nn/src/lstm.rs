@@ -181,8 +181,7 @@ impl Lstm {
         for t in (0..self.cache.len()).rev() {
             let s = &self.cache[t];
             // Total gradient into h_t: external + recurrent.
-            let dh: Vec<f64> =
-                (0..hsz).map(|j| grad_h[t][j] + dh_next[j]).collect();
+            let dh: Vec<f64> = (0..hsz).map(|j| grad_h[t][j] + dh_next[j]).collect();
             // h = o ⊙ tanh(c)
             let do_: Vec<f64> = (0..hsz).map(|j| dh[j] * s.tanh_c[j]).collect();
             let mut dc: Vec<f64> = (0..hsz)
@@ -192,8 +191,8 @@ impl Lstm {
             let df: Vec<f64> = (0..hsz).map(|j| dc[j] * s.c_prev[j]).collect();
             let di: Vec<f64> = (0..hsz).map(|j| dc[j] * s.g[j]).collect();
             let dg: Vec<f64> = (0..hsz).map(|j| dc[j] * s.i[j]).collect();
-            for j in 0..hsz {
-                dc[j] *= s.f[j]; // flows to c_{t-1}
+            for (dcj, &fj) in dc.iter_mut().zip(&s.f) {
+                *dcj *= fj; // flows to c_{t-1}
             }
             // Pre-activation gradients per gate.
             let pre_grads: Vec<f64> = (0..4 * hsz)
@@ -215,9 +214,9 @@ impl Lstm {
                     self.grad_w[(r, j)] += pg * xj;
                     dx_all[t][j] += pg * self.w[(r, j)];
                 }
-                for j in 0..hsz {
+                for (j, dhp) in dh_prev.iter_mut().enumerate() {
                     self.grad_u[(r, j)] += pg * s.h_prev[j];
-                    dh_prev[j] += pg * self.u[(r, j)];
+                    *dhp += pg * self.u[(r, j)];
                 }
             }
             dh_next = dh_prev;
@@ -292,9 +291,7 @@ mod tests {
         lstm.zero_grad();
         let dx = lstm.backward(&grad_h);
 
-        let loss = |l: &Lstm| -> f64 {
-            l.infer(&s).iter().map(|h| h.iter().sum::<f64>()).sum()
-        };
+        let loss = |l: &Lstm| -> f64 { l.infer(&s).iter().map(|h| h.iter().sum::<f64>()).sum() };
         let eps = 1e-6;
         // w gradients.
         for &(r, c) in &[(0usize, 0usize), (4, 1), (7, 0), (11, 1)] {
@@ -377,10 +374,7 @@ mod tests {
             let outs = lstm.forward(&s);
             let last = Matrix::row_vector(outs.last().expect("non-empty"));
             let z = head.forward(&last);
-            let (_, grad) = crate::loss::bce_with_logits(
-                &z,
-                &Matrix::row_vector(&[label]),
-            );
+            let (_, grad) = crate::loss::bce_with_logits(&z, &Matrix::row_vector(&[label]));
             let gh = head.backward(&grad);
             let mut grad_h = vec![vec![0.0; 8]; s.len()];
             grad_h[s.len() - 1] = gh.as_slice().to_vec();

@@ -184,9 +184,7 @@ impl DiscrepancyPredictor {
 
     /// Multiply–accumulate count per inference — the latency proxy.
     pub fn flops_per_sample(&self) -> usize {
-        self.trunk.flops_per_sample()
-            + 2 * self.task_head.in_dim()
-            + 2 * self.dis_head.in_dim()
+        self.trunk.flops_per_sample() + 2 * self.task_head.in_dim() + 2 * self.dis_head.in_dim()
     }
 
     /// The configuration this predictor was built with.
@@ -253,15 +251,12 @@ mod tests {
         let n = 200;
         let features = Matrix::from_fn(n, 3, |_, _| rng.random_range(0.0..1.0));
         let dis: Vec<f64> = (0..n).map(|r| features[(r, 0)]).collect();
-        let labels: Vec<f64> = (0..n).map(|r| if features[(r, 1)] > 0.5 { 1.0 } else { 0.0 }).collect();
-        let short = PredictorConfig {
-            epochs: 2,
-            ..PredictorConfig::default_for(3, TaskLoss::Binary)
-        };
-        let long = PredictorConfig {
-            epochs: 60,
-            ..PredictorConfig::default_for(3, TaskLoss::Binary)
-        };
+        let labels: Vec<f64> =
+            (0..n).map(|r| if features[(r, 1)] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let short =
+            PredictorConfig { epochs: 2, ..PredictorConfig::default_for(3, TaskLoss::Binary) };
+        let long =
+            PredictorConfig { epochs: 60, ..PredictorConfig::default_for(3, TaskLoss::Binary) };
         let mut rng_a = StdRng::seed_from_u64(10);
         let mut p_short = DiscrepancyPredictor::new(short, &mut rng_a);
         let l_short = p_short.fit(&features, &labels, &dis, &mut rng_a);

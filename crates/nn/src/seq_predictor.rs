@@ -40,10 +40,8 @@ impl SeqPredictorConfig {
     /// Defaults matching the MLP predictor's capacity class.
     pub fn default_for(input_dim: usize, task_loss: TaskLoss) -> Self {
         // Pick the largest chunk ≤ 4 dividing the input.
-        let chunk = (1..=4usize.min(input_dim))
-            .rev()
-            .find(|c| input_dim % c == 0)
-            .unwrap_or(1);
+        let chunk =
+            (1..=4usize.min(input_dim)).rev().find(|&c| input_dim.is_multiple_of(c)).unwrap_or(1);
         Self { input_dim, chunk, hidden: 12, task_loss, lambda: 0.2, epochs: 30, lr: 0.01 }
     }
 }
@@ -123,8 +121,7 @@ impl SequencePredictor {
                 };
                 let (dis_l, dis_g) = mse(&dis_out, &d_target);
                 let g_task = self.task_head.backward(&task_g);
-                let g_dis =
-                    self.dis_head.backward(&dis_g.map(|g| g * self.config.lambda));
+                let g_dis = self.dis_head.backward(&dis_g.map(|g| g * self.config.lambda));
                 let g_feat = &g_task + &g_dis;
                 // Split [h_last ‖ mean] gradient back across the steps.
                 let h = self.config.hidden;
@@ -187,10 +184,8 @@ mod tests {
     #[test]
     fn predicts_in_unit_interval() {
         let mut rng = StdRng::seed_from_u64(1);
-        let p = SequencePredictor::new(
-            SeqPredictorConfig::default_for(12, TaskLoss::Binary),
-            &mut rng,
-        );
+        let p =
+            SequencePredictor::new(SeqPredictorConfig::default_for(12, TaskLoss::Binary), &mut rng);
         for _ in 0..30 {
             use rand::Rng;
             let f: Vec<f64> = (0..12).map(|_| rng.random_range(-3.0..3.0)).collect();
@@ -224,8 +219,7 @@ mod tests {
         };
         let mut p = SequencePredictor::new(cfg, &mut rng);
         p.fit(&features, &labels, &dis, &mut rng);
-        let predicted: Vec<f64> =
-            (0..n).map(|r| p.predict_score(features.row(r))).collect();
+        let predicted: Vec<f64> = (0..n).map(|r| p.predict_score(features.row(r))).collect();
         let corr = pearson(&predicted, &dis);
         assert!(corr > 0.8, "sequence predictor correlation too low: {corr:.3}");
     }

@@ -1,0 +1,263 @@
+//! The threaded execution backend.
+//!
+//! [`ThreadedBackend`] implements [`ExecutionBackend`] over a
+//! [`WorkerPool`]: `start_task` samples the task's synthetic execution time
+//! (same latency models and RNG stream discipline as the simulator) and
+//! hands it to the executor's worker thread, which sleeps the dilated
+//! duration and reports completion. FIFO backlogs for the
+//! immediate-selection pipelines live here, mirroring the simulator's
+//! split between a server's running slot and its queue; per-executor
+//! backlog length is bounded by `queue_capacity`.
+//!
+//! All methods run on the runtime's scheduler thread; the shared
+//! [`RuntimeMetrics`] atomics exist so observer threads can snapshot state
+//! without locks.
+
+use crate::clock::DilatedClock;
+use crate::worker::WorkerPool;
+use rand::rngs::StdRng;
+use schemble_core::backend::{ExecutionBackend, ExecutorUsage};
+use schemble_metrics::RuntimeMetrics;
+use schemble_sim::rng::stream_rng;
+use schemble_sim::{LatencyModel, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+struct RunningTask {
+    query: u64,
+    /// Sampled execution time, charged to busy accounting at completion.
+    duration: SimDuration,
+    /// `started + duration`: the availability estimate while running.
+    completes_at: SimTime,
+}
+
+/// [`ExecutionBackend`] over per-executor worker threads.
+pub struct ThreadedBackend {
+    latencies: Vec<LatencyModel>,
+    rng: StdRng,
+    pool: WorkerPool,
+    clock: DilatedClock,
+    running: Vec<Option<RunningTask>>,
+    /// FIFO backlog per executor: `(query, sampled duration)`, duration
+    /// drawn at enqueue time like the simulator's `Server::enqueue`.
+    backlog: Vec<VecDeque<(u64, SimDuration)>>,
+    queue_capacity: usize,
+    /// Pending wake-ups requested by the engine.
+    wakes: BinaryHeap<Reverse<SimTime>>,
+    busy: Vec<SimDuration>,
+    tasks: Vec<u64>,
+    metrics: Arc<RuntimeMetrics>,
+}
+
+impl ThreadedBackend {
+    /// A backend with one worker per entry of `latencies`, sampling
+    /// execution times from the `(seed, stream)` RNG stream.
+    pub fn new(
+        latencies: Vec<LatencyModel>,
+        seed: u64,
+        stream: &str,
+        pool: WorkerPool,
+        clock: DilatedClock,
+        queue_capacity: usize,
+        metrics: Arc<RuntimeMetrics>,
+    ) -> Self {
+        assert_eq!(pool.len(), latencies.len(), "one worker per executor");
+        assert_eq!(metrics.executors.len(), latencies.len());
+        let n = latencies.len();
+        Self {
+            latencies,
+            rng: stream_rng(seed, stream),
+            pool,
+            clock,
+            running: (0..n).map(|_| None).collect(),
+            backlog: (0..n).map(|_| VecDeque::new()).collect(),
+            queue_capacity,
+            wakes: BinaryHeap::new(),
+            busy: vec![SimDuration::ZERO; n],
+            tasks: vec![0; n],
+            metrics: Arc::clone(&metrics),
+        }
+    }
+
+    fn launch(&mut self, executor: usize, query: u64, duration: SimDuration, now: SimTime) {
+        debug_assert!(self.running[executor].is_none());
+        self.pool.submit(executor, query, self.clock.dilate(duration));
+        self.running[executor] =
+            Some(RunningTask { query, duration, completes_at: now + duration });
+        self.metrics.counters.tasks_started.fetch_add(1, Relaxed);
+        self.metrics.executors[executor].running.store(1, Relaxed);
+    }
+
+    /// Retires `executor`'s finished task and starts its next backlog task,
+    /// if any. Call on receipt of the worker's completion message, before
+    /// handing the event to the engine (mirrors `SimBackend::pop_event`).
+    pub fn complete(&mut self, executor: usize, query: u64, now: SimTime) {
+        let task = self.running[executor].take().expect("completion from idle executor");
+        assert_eq!(task.query, query, "completion for the wrong task");
+        self.busy[executor] = self.busy[executor] + task.duration;
+        self.tasks[executor] += 1;
+        let g = &self.metrics.executors[executor];
+        g.running.store(0, Relaxed);
+        g.busy_micros.fetch_add(task.duration.as_micros(), Relaxed);
+        g.tasks.fetch_add(1, Relaxed);
+        self.metrics.counters.tasks_completed.fetch_add(1, Relaxed);
+        if let Some((next_query, dur)) = self.backlog[executor].pop_front() {
+            g.queue_depth.store(self.backlog[executor].len() as u64, Relaxed);
+            self.launch(executor, next_query, dur, now);
+        }
+    }
+
+    /// True when no executor is running or holding backlog.
+    pub fn all_idle(&self) -> bool {
+        self.running.iter().all(Option::is_none) && self.backlog.iter().all(VecDeque::is_empty)
+    }
+
+    /// Earliest pending wake-up, if any.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.wakes.peek().map(|Reverse(t)| *t)
+    }
+
+    /// Pops one wake-up due at or before `now`; true if one fired.
+    pub fn take_due_wake(&mut self, now: SimTime) -> bool {
+        if self.wakes.peek().is_some_and(|Reverse(t)| *t <= now) {
+            self.wakes.pop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Stops the worker threads (after their current tasks) and joins them.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+impl ExecutionBackend for ThreadedBackend {
+    fn executors(&self) -> usize {
+        self.latencies.len()
+    }
+
+    fn is_idle(&self, executor: usize) -> bool {
+        self.running[executor].is_none()
+    }
+
+    fn idle_executors(&self) -> Vec<usize> {
+        (0..self.running.len()).filter(|&k| self.running[k].is_none()).collect()
+    }
+
+    fn available_at(&self, executor: usize, now: SimTime) -> SimTime {
+        let mut at = match &self.running[executor] {
+            Some(task) => task.completes_at.max(now),
+            None => now,
+        };
+        for (_, dur) in &self.backlog[executor] {
+            at += *dur;
+        }
+        at
+    }
+
+    fn start_task(&mut self, executor: usize, query: u64, now: SimTime) {
+        assert!(self.running[executor].is_none(), "start_task on a busy executor");
+        let duration = self.latencies[executor].sample(&mut self.rng);
+        self.launch(executor, query, duration, now);
+    }
+
+    fn enqueue_task(&mut self, executor: usize, query: u64, now: SimTime) {
+        let duration = self.latencies[executor].sample(&mut self.rng);
+        if self.running[executor].is_none() {
+            self.launch(executor, query, duration, now);
+            return;
+        }
+        assert!(
+            self.backlog[executor].len() < self.queue_capacity,
+            "executor {executor} backlog exceeded queue capacity {}",
+            self.queue_capacity
+        );
+        self.backlog[executor].push_back((query, duration));
+        self.metrics.executors[executor]
+            .queue_depth
+            .store(self.backlog[executor].len() as u64, Relaxed);
+    }
+
+    fn request_wake(&mut self, at: SimTime) {
+        self.wakes.push(Reverse(at));
+    }
+
+    fn usage(&self) -> Vec<ExecutorUsage> {
+        (0..self.latencies.len())
+            .map(|k| ExecutorUsage { busy_secs: self.busy[k].as_secs_f64(), tasks: self.tasks[k] })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::RuntimeMsg;
+    use std::time::Duration;
+
+    fn backend(
+        ms: &[f64],
+        dilation: f64,
+    ) -> (ThreadedBackend, std::sync::mpsc::Receiver<RuntimeMsg>) {
+        let latencies: Vec<LatencyModel> =
+            ms.iter().map(|&m| LatencyModel::constant_millis(m)).collect();
+        let (tx, rx) = std::sync::mpsc::sync_channel(64);
+        let pool = WorkerPool::spawn(latencies.len(), tx);
+        let clock = DilatedClock::start(dilation);
+        let metrics = Arc::new(RuntimeMetrics::new(latencies.len()));
+        (ThreadedBackend::new(latencies, 1, "test", pool, clock, 8, metrics), rx)
+    }
+
+    #[test]
+    fn started_tasks_complete_through_workers() {
+        let (mut b, rx) = backend(&[5.0, 5.0], 50.0);
+        let now = SimTime::ZERO;
+        b.start_task(0, 1, now);
+        assert!(!b.is_idle(0));
+        let msg = rx.recv_timeout(Duration::from_secs(2)).expect("completion");
+        assert_eq!(msg, RuntimeMsg::TaskDone { executor: 0, query: 1 });
+        b.complete(0, 1, now + SimDuration::from_millis(5));
+        assert!(b.is_idle(0));
+        assert!(b.all_idle());
+        assert_eq!(b.usage()[0].tasks, 1);
+        b.shutdown();
+    }
+
+    #[test]
+    fn backlog_feeds_executor_on_completion() {
+        let (mut b, rx) = backend(&[2.0], 50.0);
+        let now = SimTime::ZERO;
+        b.enqueue_task(0, 1, now);
+        b.enqueue_task(0, 2, now);
+        assert_eq!(
+            b.available_at(0, now),
+            now + SimDuration::from_millis(4),
+            "running + backlog at sampled durations"
+        );
+        let first = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(first, RuntimeMsg::TaskDone { executor: 0, query: 1 });
+        b.complete(0, 1, now + SimDuration::from_millis(2));
+        // complete() must have launched query 2 automatically.
+        let second = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(second, RuntimeMsg::TaskDone { executor: 0, query: 2 });
+        b.complete(0, 2, now + SimDuration::from_millis(4));
+        assert!(b.all_idle());
+        b.shutdown();
+    }
+
+    #[test]
+    fn wake_heap_orders_and_fires() {
+        let (mut b, _rx) = backend(&[1.0], 1000.0);
+        b.request_wake(SimTime::from_millis(30));
+        b.request_wake(SimTime::from_millis(10));
+        assert_eq!(b.next_wake(), Some(SimTime::from_millis(10)));
+        assert!(!b.take_due_wake(SimTime::from_millis(5)));
+        assert!(b.take_due_wake(SimTime::from_millis(10)));
+        assert_eq!(b.next_wake(), Some(SimTime::from_millis(30)));
+        b.shutdown();
+    }
+}

@@ -1,0 +1,104 @@
+//! Mapping between simulated time and wall-clock time.
+//!
+//! The runtime replays workloads whose timestamps are [`SimTime`]s. A
+//! [`DilatedClock`] anchors the simulation epoch to an [`Instant`] and
+//! scales it by a *dilation* factor: with dilation 10, ten simulated
+//! seconds elapse per wall second, so a one-day trace replays in ~2.4
+//! hours and synthetic model latencies sleep for a tenth of their nominal
+//! duration. Dilation 1 is faithful real time.
+
+use schemble_sim::{SimDuration, SimTime};
+use std::time::{Duration, Instant};
+
+/// A wall-clock anchored, dilated view of simulated time.
+#[derive(Debug, Clone, Copy)]
+pub struct DilatedClock {
+    origin: Instant,
+    dilation: f64,
+}
+
+impl DilatedClock {
+    /// Starts the clock: sim time `ZERO` is *now*, advancing `dilation`
+    /// simulated seconds per wall second.
+    ///
+    /// # Panics
+    /// Panics unless `dilation` is positive and finite.
+    pub fn start(dilation: f64) -> Self {
+        assert!(dilation.is_finite() && dilation > 0.0, "dilation must be positive");
+        Self { origin: Instant::now(), dilation }
+    }
+
+    /// The dilation factor.
+    pub fn dilation(&self) -> f64 {
+        self.dilation
+    }
+
+    /// Current simulated time.
+    pub fn now_sim(&self) -> SimTime {
+        let wall = self.origin.elapsed().as_secs_f64();
+        SimTime::from_secs_f64(wall * self.dilation)
+    }
+
+    /// Wall time remaining until simulated instant `t` (zero if past).
+    pub fn wall_until(&self, t: SimTime) -> Duration {
+        let target_wall = Duration::from_secs_f64(t.as_secs_f64() / self.dilation);
+        target_wall.saturating_sub(self.origin.elapsed())
+    }
+
+    /// The wall-clock duration a simulated span occupies.
+    pub fn dilate(&self, d: SimDuration) -> Duration {
+        Duration::from_secs_f64(d.as_secs_f64() / self.dilation)
+    }
+}
+
+/// Sleeps `d` of wall time with sub-millisecond accuracy: OS sleep for the
+/// bulk, then a short spin to the target. Synthetic model latencies are a
+/// few to tens of milliseconds (less when dilated), where plain
+/// `thread::sleep` overshoot would distort the replay.
+pub fn precise_sleep(d: Duration) {
+    let target = Instant::now() + d;
+    const SPIN_WINDOW: Duration = Duration::from_micros(300);
+    if d > SPIN_WINDOW {
+        std::thread::sleep(d - SPIN_WINDOW);
+    }
+    while Instant::now() < target {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dilation_scales_sim_time() {
+        let clock = DilatedClock::start(100.0);
+        precise_sleep(Duration::from_millis(20));
+        let sim = clock.now_sim().as_secs_f64();
+        // 20 ms wall at 100x ≈ 2 sim seconds; generous bounds for CI noise.
+        assert!((1.5..4.0).contains(&sim), "sim {sim}");
+    }
+
+    #[test]
+    fn wall_until_past_instants_is_zero() {
+        let clock = DilatedClock::start(1000.0);
+        precise_sleep(Duration::from_millis(5));
+        assert_eq!(clock.wall_until(SimTime::from_millis(1)), Duration::ZERO);
+    }
+
+    #[test]
+    fn dilate_divides_by_factor() {
+        let clock = DilatedClock::start(10.0);
+        let wall = clock.dilate(SimDuration::from_millis(100));
+        assert_eq!(wall, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn precise_sleep_hits_short_targets() {
+        let start = Instant::now();
+        precise_sleep(Duration::from_micros(500));
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_micros(500));
+        assert!(elapsed < Duration::from_millis(15), "overshoot {elapsed:?}");
+    }
+}

@@ -1,0 +1,327 @@
+//! The serving runtime: scheduler loop, load generator and reports.
+//!
+//! [`run_wall`] drives a [`PipelineEngine`] in real (dilated) time: a load
+//! generator thread replays the workload's arrival trace, worker threads
+//! realise task latencies as sleeps, and the scheduler loop reacts to
+//! arrivals, completions and timer wake-ups — re-running the engine's
+//! planning logic on every event exactly as the simulator does, and
+//! enforcing deadlines with `recv_timeout` timers derived from
+//! [`PipelineEngine::next_wake_hint`]. [`run_virtual`] drives the same
+//! engine over the deterministic [`SimBackend`] instead; because both modes
+//! execute identical decision code, a virtual-clock serve run reproduces
+//! the DES pipelines' admission decisions bit-for-bit (the
+//! `serve_runtime` integration test checks this).
+
+use crate::backend::ThreadedBackend;
+use crate::clock::{precise_sleep, DilatedClock};
+use crate::worker::{RuntimeMsg, WorkerPool};
+use schemble_core::backend::{BackendEvent, ExecutionBackend, SimBackend};
+use schemble_core::engine::{EngineStats, ImmediateEngine, PipelineEngine, SchembleEngine};
+use schemble_core::pipeline::immediate::{Deployment, SelectionPolicy};
+use schemble_core::pipeline::{AdmissionMode, ResultAssembler, SchembleConfig};
+use schemble_data::Workload;
+use schemble_metrics::{RunSummary, RuntimeMetrics, RuntimeSnapshot};
+use schemble_models::Ensemble;
+use schemble_sim::{LatencyModel, SimTime};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the runtime's clock advances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockMode {
+    /// Real threads and sleeps; simulated time = wall time × `dilation`.
+    Wall {
+        /// Simulated seconds per wall second (1.0 = faithful real time).
+        dilation: f64,
+    },
+    /// Deterministic virtual clock over the discrete-event simulator —
+    /// reproduces the DES pipelines' decisions exactly.
+    Virtual,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Clock mode (wall dilation or deterministic virtual time).
+    pub mode: ClockMode,
+    /// Per-executor backlog bound; exceeding it is a bug, not backpressure.
+    pub queue_capacity: usize,
+    /// Capacity of the bounded channel feeding the scheduler loop.
+    pub channel_capacity: usize,
+    /// Print a metrics snapshot at this (wall) interval, if set.
+    pub report_every: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            mode: ClockMode::Wall { dilation: 1.0 },
+            queue_capacity: 4096,
+            channel_capacity: 1024,
+            report_every: None,
+        }
+    }
+}
+
+/// Low-level result of one runtime execution.
+pub struct RunStats {
+    /// Per-executor busy/task counters.
+    pub usage: Vec<schemble_core::backend::ExecutorUsage>,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Simulated seconds the replayed trace spanned.
+    pub sim_secs: f64,
+}
+
+/// Everything a serve/loadtest run reports.
+pub struct ServeReport {
+    /// Per-query outcomes, identical in shape to a DES run's summary.
+    pub summary: RunSummary,
+    /// The engine's final admission counters.
+    pub stats: EngineStats,
+    /// Final metrics snapshot (queues, utilisation, latency quantiles).
+    pub snapshot: RuntimeSnapshot,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Simulated seconds the replayed trace spanned.
+    pub sim_secs: f64,
+}
+
+/// Mirrors the engine's counters into the shared atomics and feeds fresh
+/// completions into the latency histogram.
+fn sync_metrics(engine: &mut dyn PipelineEngine, metrics: &RuntimeMetrics) {
+    let s = engine.stats();
+    let c = &metrics.counters;
+    c.submitted.store(s.submitted, Relaxed);
+    c.completed.store(s.completed, Relaxed);
+    c.rejected.store(s.rejected, Relaxed);
+    c.expired.store(s.expired, Relaxed);
+    for (_, latency_secs) in engine.take_completions() {
+        metrics.latency.record(latency_secs);
+    }
+}
+
+/// Drives `engine` in wall-clock mode over a [`ThreadedBackend`].
+///
+/// Returns once the whole trace has been replayed, every admitted query has
+/// completed or expired, and all executors have drained; worker threads are
+/// then shut down gracefully (current tasks finish, queues must be empty).
+#[allow(clippy::too_many_arguments)]
+pub fn run_wall(
+    engine: &mut dyn PipelineEngine,
+    latencies: Vec<LatencyModel>,
+    workload: &Workload,
+    seed: u64,
+    stream: &str,
+    config: &ServeConfig,
+    dilation: f64,
+    metrics: &Arc<RuntimeMetrics>,
+) -> RunStats {
+    let wall_start = Instant::now();
+    let clock = DilatedClock::start(dilation);
+    let (tx, rx) = sync_channel::<RuntimeMsg>(config.channel_capacity);
+    let pool = WorkerPool::spawn(latencies.len(), tx.clone());
+    let mut backend = ThreadedBackend::new(
+        latencies,
+        seed,
+        stream,
+        pool,
+        clock,
+        config.queue_capacity,
+        Arc::clone(metrics),
+    );
+
+    // Trace-replay load generator: one thread sleeping to each arrival.
+    let arrivals: Vec<SimTime> = workload.queries.iter().map(|q| q.arrival).collect();
+    let loadgen = std::thread::Builder::new()
+        .name("schemble-loadgen".into())
+        .spawn(move || {
+            for (i, at) in arrivals.into_iter().enumerate() {
+                let wait = clock.wall_until(at);
+                if !wait.is_zero() {
+                    precise_sleep(wait);
+                }
+                if tx.send(RuntimeMsg::Arrive(i)).is_err() {
+                    return; // runtime gone; stop replaying.
+                }
+            }
+            let _ = tx.send(RuntimeMsg::ArrivalsDone);
+        })
+        .expect("spawn load generator");
+
+    // Optional periodic reporter, reading the shared atomics lock-free.
+    let stop_reporter = Arc::new(AtomicBool::new(false));
+    let reporter = config.report_every.map(|every| {
+        let metrics = Arc::clone(metrics);
+        let stop = Arc::clone(&stop_reporter);
+        std::thread::Builder::new()
+            .name("schemble-reporter".into())
+            .spawn(move || {
+                while !stop.load(Relaxed) {
+                    std::thread::sleep(every);
+                    let now = clock.now_sim();
+                    let snap = metrics.snapshot(now.as_secs_f64());
+                    eprintln!("[serve t={:.1}s] {}", now.as_secs_f64(), snap.brief());
+                }
+            })
+            .expect("spawn reporter")
+    });
+
+    let mut arrivals_done = false;
+    loop {
+        let now = clock.now_sim();
+        // Engine-requested wake-ups that have come due fire first.
+        if backend.take_due_wake(now) {
+            engine.handle(BackendEvent::Wake, now, &mut backend);
+            sync_metrics(engine, metrics);
+            continue;
+        }
+        if arrivals_done && engine.open_count() == 0 && backend.all_idle() {
+            break;
+        }
+        // Sleep until the next arrival/completion, or the next timer the
+        // engine needs (pending plan, predictor done, earliest deadline).
+        let mut next = backend.next_wake();
+        if let Some(hint) = engine.next_wake_hint(now) {
+            next = Some(next.map_or(hint, |n| n.min(hint)));
+        }
+        let timeout = match next {
+            Some(t) => clock.wall_until(t),
+            None => Duration::from_millis(20),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(RuntimeMsg::Arrive(i)) => {
+                let now = clock.now_sim();
+                engine.handle(BackendEvent::Arrival(i), now, &mut backend);
+            }
+            Ok(RuntimeMsg::TaskDone { executor, query }) => {
+                let now = clock.now_sim();
+                backend.complete(executor, query, now);
+                engine.handle(BackendEvent::TaskDone { executor, query }, now, &mut backend);
+            }
+            Ok(RuntimeMsg::ArrivalsDone) => arrivals_done = true,
+            Err(RecvTimeoutError::Timeout) => {
+                let now = clock.now_sim();
+                engine.handle(BackendEvent::Wake, now, &mut backend);
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        sync_metrics(engine, metrics);
+    }
+
+    let end = clock.now_sim();
+    engine.drain(end);
+    sync_metrics(engine, metrics);
+    let _ = loadgen.join();
+    stop_reporter.store(true, Relaxed);
+    if let Some(handle) = reporter {
+        let _ = handle.join();
+    }
+    let usage = backend.usage();
+    backend.shutdown();
+    RunStats { usage, wall_secs: wall_start.elapsed().as_secs_f64(), sim_secs: end.as_secs_f64() }
+}
+
+/// Drives `engine` deterministically over the DES [`SimBackend`] — the same
+/// loop `run_schemble`/`run_immediate` use, so decisions (admissions,
+/// model sets, completion times) match those pipelines exactly.
+pub fn run_virtual(
+    engine: &mut dyn PipelineEngine,
+    latencies: Vec<LatencyModel>,
+    workload: &Workload,
+    seed: u64,
+    stream: &str,
+    metrics: &RuntimeMetrics,
+) -> RunStats {
+    let wall_start = Instant::now();
+    let mut backend = SimBackend::new(latencies, seed, stream);
+    for (i, q) in workload.queries.iter().enumerate() {
+        backend.push_arrival(q.arrival, i);
+    }
+    let mut end = SimTime::ZERO;
+    while let Some((now, event)) = backend.pop_event() {
+        engine.handle(event, now, &mut backend);
+        end = now;
+    }
+    engine.drain(end);
+    sync_metrics(engine, metrics);
+    RunStats {
+        usage: backend.usage(),
+        wall_secs: wall_start.elapsed().as_secs_f64(),
+        sim_secs: end.as_secs_f64(),
+    }
+}
+
+fn run_with(
+    engine: &mut dyn PipelineEngine,
+    latencies: Vec<LatencyModel>,
+    workload: &Workload,
+    seed: u64,
+    stream: &str,
+    config: &ServeConfig,
+    metrics: &Arc<RuntimeMetrics>,
+) -> RunStats {
+    match config.mode {
+        ClockMode::Virtual => run_virtual(engine, latencies, workload, seed, stream, metrics),
+        ClockMode::Wall { dilation } => {
+            run_wall(engine, latencies, workload, seed, stream, config, dilation, metrics)
+        }
+    }
+}
+
+/// Serves `workload` through the Schemble pipeline on this runtime.
+pub fn serve_schemble(
+    ensemble: &Ensemble,
+    pipeline: &SchembleConfig,
+    workload: &Workload,
+    seed: u64,
+    config: &ServeConfig,
+) -> ServeReport {
+    let latencies: Vec<LatencyModel> = (0..ensemble.m()).map(|k| ensemble.latency(k)).collect();
+    let metrics = Arc::new(RuntimeMetrics::new(latencies.len()));
+    let mut engine = SchembleEngine::new(ensemble, pipeline, workload);
+    let run =
+        run_with(&mut engine, latencies, workload, seed, "schemble-latency", config, &metrics);
+    let stats = PipelineEngine::stats(&engine);
+    let snapshot = metrics.snapshot(run.sim_secs);
+    ServeReport {
+        summary: engine.into_summary(run.usage),
+        stats,
+        snapshot,
+        wall_secs: run.wall_secs,
+        sim_secs: run.sim_secs,
+    }
+}
+
+/// Serves `workload` through an immediate-selection pipeline (Original /
+/// Static / DES / Gating) on this runtime.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_immediate(
+    ensemble: &Ensemble,
+    deployment: &Deployment,
+    policy: &mut dyn SelectionPolicy,
+    assembler: &ResultAssembler,
+    admission: AdmissionMode,
+    workload: &Workload,
+    seed: u64,
+    config: &ServeConfig,
+) -> ServeReport {
+    let latencies: Vec<LatencyModel> =
+        deployment.hosts.iter().map(|&h| ensemble.latency(h)).collect();
+    let metrics = Arc::new(RuntimeMetrics::new(latencies.len()));
+    let mut engine =
+        ImmediateEngine::new(ensemble, deployment, policy, assembler, admission, workload);
+    let run =
+        run_with(&mut engine, latencies, workload, seed, "immediate-latency", config, &metrics);
+    let stats = PipelineEngine::stats(&engine);
+    let snapshot = metrics.snapshot(run.sim_secs);
+    ServeReport {
+        summary: engine.into_summary(run.usage),
+        stats,
+        snapshot,
+        wall_secs: run.wall_secs,
+        sim_secs: run.sim_secs,
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-executor worker threads.
+//!
+//! Each executor (base-model instance) gets one OS thread that realises
+//! synthetic model latencies as actual (dilated) sleeps. Work reaches a
+//! worker over a **bounded** channel sized for the single running task —
+//! backlog queues live in the backend, mirroring the simulator's
+//! [`Server`](schemble_sim::Server) split between the running slot and the
+//! FIFO queue. Completions flow back to the runtime loop over a shared
+//! bounded channel, so a stalled scheduler exerts backpressure instead of
+//! accumulating unbounded buffers.
+
+use crate::clock::precise_sleep;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Messages to a worker thread.
+pub enum WorkerMsg {
+    /// Realise one task: sleep `wall`, then report completion.
+    Run {
+        /// Query the task belongs to.
+        query: u64,
+        /// Dilated wall-clock execution time.
+        wall: Duration,
+    },
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Messages into the runtime's scheduler loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeMsg {
+    /// The load generator delivered query `workload.queries[i]`.
+    Arrive(usize),
+    /// `executor` finished its task for `query`.
+    TaskDone {
+        /// Executor index.
+        executor: usize,
+        /// Query id.
+        query: u64,
+    },
+    /// The load generator replayed the whole trace.
+    ArrivalsDone,
+}
+
+/// Handles to the spawned worker threads.
+pub struct WorkerPool {
+    senders: Vec<SyncSender<WorkerMsg>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns one worker per executor, reporting completions to `done_tx`.
+    pub fn spawn(executors: usize, done_tx: SyncSender<RuntimeMsg>) -> Self {
+        let mut senders = Vec::with_capacity(executors);
+        let mut handles = Vec::with_capacity(executors);
+        for executor in 0..executors {
+            // Capacity 2: the running task plus a shutdown message — the
+            // backend only submits to idle executors, so this never blocks.
+            let (tx, rx) = std::sync::mpsc::sync_channel::<WorkerMsg>(2);
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("schemble-worker-{executor}"))
+                .spawn(move || worker_loop(executor, rx, done))
+                .expect("spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True when the pool has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Hands `executor` a task. Panics if the worker's slot is full — the
+    /// backend must only submit to idle executors (non-preemptive contract).
+    pub fn submit(&self, executor: usize, query: u64, wall: Duration) {
+        self.senders[executor]
+            .try_send(WorkerMsg::Run { query, wall })
+            .expect("submitted to a busy executor");
+    }
+
+    /// Stops all workers after their current task and joins them.
+    pub fn shutdown(self) {
+        for tx in &self.senders {
+            // A worker gone after a disconnect (panic) is already stopped.
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        drop(self.senders);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(executor: usize, rx: Receiver<WorkerMsg>, done: SyncSender<RuntimeMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Run { query, wall } => {
+                precise_sleep(wall);
+                // The runtime dropping its receiver means shutdown; exit.
+                if done.send(RuntimeMsg::TaskDone { executor, query }).is_err() {
+                    return;
+                }
+            }
+            WorkerMsg::Shutdown => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_realise_tasks_and_report() {
+        let (done_tx, done_rx) = std::sync::mpsc::sync_channel(16);
+        let pool = WorkerPool::spawn(2, done_tx);
+        assert_eq!(pool.len(), 2);
+        pool.submit(0, 7, Duration::from_millis(2));
+        pool.submit(1, 8, Duration::from_millis(1));
+        let mut got: Vec<RuntimeMsg> = (0..2).map(|_| done_rx.recv().unwrap()).collect();
+        got.sort_by_key(|m| match m {
+            RuntimeMsg::TaskDone { executor, .. } => *executor,
+            _ => usize::MAX,
+        });
+        assert_eq!(
+            got,
+            vec![
+                RuntimeMsg::TaskDone { executor: 0, query: 7 },
+                RuntimeMsg::TaskDone { executor: 1, query: 8 },
+            ]
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_idle_workers() {
+        let (done_tx, _done_rx) = std::sync::mpsc::sync_channel(1);
+        let pool = WorkerPool::spawn(3, done_tx);
+        pool.shutdown();
+    }
+}

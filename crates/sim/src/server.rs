@@ -91,11 +91,8 @@ impl Server {
             return None;
         }
         let pending = self.backlog.pop_front()?;
-        let run = Running {
-            task: pending.task,
-            started_at: now,
-            completes_at: now + pending.duration,
-        };
+        let run =
+            Running { task: pending.task, started_at: now, completes_at: now + pending.duration };
         self.running = Some(run);
         Some(run)
     }
@@ -105,7 +102,12 @@ impl Server {
     /// # Panics
     /// Panics if the server is busy — dispatching onto a busy server is a
     /// policy bug, not a runtime condition.
-    pub fn start_immediately(&mut self, task: TaskId, now: SimTime, duration: SimDuration) -> Running {
+    pub fn start_immediately(
+        &mut self,
+        task: TaskId,
+        now: SimTime,
+        duration: SimDuration,
+    ) -> Running {
         assert!(self.running.is_none(), "dispatch onto busy server");
         let run = Running { task, started_at: now, completes_at: now + duration };
         self.running = Some(run);
@@ -183,11 +185,7 @@ impl ServerBank {
 
     /// Indices of servers currently idle.
     pub fn idle_indices(&self) -> Vec<usize> {
-        self.servers
-            .iter()
-            .enumerate()
-            .filter_map(|(k, s)| s.is_idle().then_some(k))
-            .collect()
+        self.servers.iter().enumerate().filter_map(|(k, s)| s.is_idle().then_some(k)).collect()
     }
 
     /// True if any server is idle.

@@ -22,13 +22,7 @@ pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len(), "distribution length mismatch");
     p.iter()
         .zip(q)
-        .map(|(&pi, &qi)| {
-            if pi <= 0.0 {
-                0.0
-            } else {
-                pi * ((pi.max(EPS)) / (qi.max(EPS))).ln()
-            }
-        })
+        .map(|(&pi, &qi)| if pi <= 0.0 { 0.0 } else { pi * ((pi.max(EPS)) / (qi.max(EPS))).ln() })
         .sum()
 }
 

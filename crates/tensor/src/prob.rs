@@ -44,9 +44,7 @@ pub fn rescale_probs(probs: &[f64], t: f64) -> Vec<f64> {
 
 /// Shannon entropy in nats.
 pub fn entropy(p: &[f64]) -> f64 {
-    p.iter()
-        .map(|&pi| if pi <= 0.0 { 0.0 } else { -pi * pi.max(crate::dist::EPS).ln() })
-        .sum()
+    p.iter().map(|&pi| if pi <= 0.0 { 0.0 } else { -pi * pi.max(crate::dist::EPS).ln() }).sum()
 }
 
 /// Index of the maximum element (prediction argmax). Ties break toward the
@@ -77,11 +75,7 @@ pub fn fit_temperature(outputs: &[Vec<f64>], labels: &[usize]) -> f64 {
     assert_eq!(outputs.len(), labels.len(), "outputs/labels length mismatch");
     assert!(!outputs.is_empty(), "cannot fit temperature on empty data");
     let loss = |t: f64| -> f64 {
-        outputs
-            .iter()
-            .zip(labels)
-            .map(|(p, &y)| nll(&rescale_probs(p, t), y))
-            .sum::<f64>()
+        outputs.iter().zip(labels).map(|(p, &y)| nll(&rescale_probs(p, t), y)).sum::<f64>()
             / outputs.len() as f64
     };
     golden_section_min(loss, 0.05, 20.0, 1e-4)

@@ -32,11 +32,7 @@ fn main() {
     let workload = ctx.workload();
     println!("\nserving {} retrieval queries (180 ms deadline):", workload.len());
     println!("  {:<14} {:>7} {:>7} {:>12}", "method", "mAP %", "DMR %", "models/query");
-    for kind in [
-        PipelineKind::Original,
-        PipelineKind::Static,
-        PipelineKind::Schemble,
-    ] {
+    for kind in [PipelineKind::Original, PipelineKind::Static, PipelineKind::Schemble] {
         let summary = ctx.run(kind, &workload);
         println!(
             "  {:<14} {:>7.1} {:>7.1} {:>12.2}",

@@ -8,9 +8,7 @@
 
 use schemble::baselines::{run_baseline, BaselineKind};
 use schemble::core::artifacts::SchembleArtifacts;
-use schemble::core::experiment::{
-    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
-};
+use schemble::core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
 use schemble::core::pipeline::AdmissionMode;
 use schemble::data::TaskKind;
 use schemble::models::ModelSet;

@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use schemble::core::experiment::{
-    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
-};
+use schemble::core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
 use schemble::data::TaskKind;
 
 fn main() {

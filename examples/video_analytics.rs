@@ -29,12 +29,7 @@ fn main() {
         "{} frames from 24 cameras at {:.0} fps aggregate; detectors: {}",
         workload.len(),
         workload.len() as f64 / workload.duration.as_secs_f64(),
-        ctx.ensemble
-            .models
-            .iter()
-            .map(|m| m.name.as_str())
-            .collect::<Vec<_>>()
-            .join(", ")
+        ctx.ensemble.models.iter().map(|m| m.name.as_str()).collect::<Vec<_>>().join(", ")
     );
 
     let original = ctx.run(PipelineKind::Original, &workload);
@@ -52,9 +47,7 @@ fn main() {
     // Tight-deadline cameras are where scheduling matters most: split the
     // results by camera priority class.
     let policy = &ctx.config.deadline;
-    let rel_ms = |r: &schemble::metrics::QueryRecord| {
-        (r.deadline - r.arrival).as_millis_f64()
-    };
+    let rel_ms = |r: &schemble::metrics::QueryRecord| (r.deadline - r.arrival).as_millis_f64();
     let class_of = |r: &schemble::metrics::QueryRecord| usize::from(rel_ms(r) >= 90.0);
     let orig_series = SegmentSeries::compute(original.records(), 2, |r| class_of(r));
     let sch_series = SegmentSeries::compute(schemble.records(), 2, |r| class_of(r));

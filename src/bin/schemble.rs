@@ -7,23 +7,29 @@
 //! schemble compare --task tm [...]            # all six Table-I methods
 //! schemble trace   --task tm [--queries N]    # dump the workload as CSV
 //! schemble score   --task tm [--queries N]    # discrepancy scores as CSV
+//! schemble serve   --task tm --method schemble [--dilation G]
+//!                  [--virtual-clock] [--report-ms MS]   # real-time runtime
+//! schemble loadtest --trace one-day --method schemble   # replay + DES check
 //! ```
 //!
 //! Argument parsing is hand-rolled to keep the dependency set at the
 //! approved offline crates.
 
-use schemble::baselines::{run_baseline, BaselineKind};
+use schemble::baselines::{run_baseline, train_des, train_gating, BaselineKind};
 use schemble::core::artifacts::SchembleArtifacts;
-use schemble::core::experiment::{
-    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
-};
+use schemble::core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
 use schemble::core::pipeline::schemble::{run_schemble, SchembleConfig};
-use schemble::core::pipeline::AdmissionMode;
+use schemble::core::pipeline::{
+    best_static_deployment, AdmissionMode, Deployment, FixedSubsetPolicy, FullEnsemblePolicy,
+    ResultAssembler,
+};
 use schemble::core::predictor::OnlineScorer;
 use schemble::core::scheduler::{DpScheduler, QueueOrder};
 use schemble::data::TaskKind;
 use schemble::metrics::RunSummary;
+use schemble::serve::{serve_immediate, serve_schemble, ClockMode, ServeConfig, ServeReport};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,10 +45,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  schemble run     --task <tm|vc|ir> --method <METHOD> [options]
-  schemble compare --task <tm|vc|ir> [options]
-  schemble trace   --task <tm|vc|ir> [options]
-  schemble score   --task <tm|vc|ir> [options]
+  schemble run      --method <METHOD> [--task <tm|vc|ir>] [options]
+  schemble compare  [--task <tm|vc|ir>] [options]
+  schemble trace    [--task <tm|vc|ir>] [options]
+  schemble score    [--task <tm|vc|ir>] [options]
+  schemble serve    --method <METHOD> [--task <tm|vc|ir>] [serve options]
+  schemble loadtest --method <METHOD> [--task <tm|vc|ir>] [serve options]
 
 methods:
   original | static | des | gating | schemble | schemble-ea | schemble-t |
@@ -56,7 +64,15 @@ options:
   --seed <S>          root seed                  (default 42)
   --force-all         disable rejection (Table II mode)
   --fast-path         enable the §VIII fast-path dispatch optimisation
-  --csv <PATH>        (run) write per-query records to a CSV file";
+  --csv <PATH>        (run) write per-query records to a CSV file
+  (--task defaults to tm, the paper's primary text-matching task)
+
+serve/loadtest options (methods: original|static|des|gating|schemble):
+  --dilation <G>      simulated seconds per wall second
+                      (serve default 1; loadtest default 20)
+  --virtual-clock     deterministic virtual time: decisions match the DES
+  --report-ms <MS>    print a live metrics snapshot every MS wall millis
+  --trace <T>         (loadtest) one-day | poisson   (default one-day)";
 
 struct Cli {
     task: TaskKind,
@@ -69,6 +85,10 @@ struct Cli {
     force_all: bool,
     fast_path: bool,
     csv: Option<String>,
+    dilation: Option<f64>,
+    virtual_clock: bool,
+    report_ms: Option<u64>,
+    trace: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -83,9 +103,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         force_all: false,
         fast_path: false,
         csv: None,
+        dilation: None,
+        virtual_clock: false,
+        report_ms: None,
+        trace: None,
     };
     let mut i = 0;
-    let mut task_seen = false;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<&String, String> {
             *i += 1;
@@ -99,35 +122,36 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     "ir" => TaskKind::ImageRetrieval,
                     other => return Err(format!("unknown task '{other}'")),
                 };
-                task_seen = true;
             }
             "--method" => cli.method = Some(take(&mut i)?.clone()),
             "--queries" => {
-                cli.queries =
-                    take(&mut i)?.parse().map_err(|_| "bad --queries".to_string())?
+                cli.queries = take(&mut i)?.parse().map_err(|_| "bad --queries".to_string())?
             }
             "--rate" => {
-                cli.rate =
-                    Some(take(&mut i)?.parse().map_err(|_| "bad --rate".to_string())?)
+                cli.rate = Some(take(&mut i)?.parse().map_err(|_| "bad --rate".to_string())?)
             }
             "--deadline-ms" => {
-                cli.deadline_ms = Some(
-                    take(&mut i)?.parse().map_err(|_| "bad --deadline-ms".to_string())?,
-                )
+                cli.deadline_ms =
+                    Some(take(&mut i)?.parse().map_err(|_| "bad --deadline-ms".to_string())?)
             }
-            "--seed" => {
-                cli.seed = take(&mut i)?.parse().map_err(|_| "bad --seed".to_string())?
-            }
+            "--seed" => cli.seed = take(&mut i)?.parse().map_err(|_| "bad --seed".to_string())?,
             "--csv" => cli.csv = Some(take(&mut i)?.clone()),
+            "--dilation" => {
+                cli.dilation =
+                    Some(take(&mut i)?.parse().map_err(|_| "bad --dilation".to_string())?)
+            }
+            "--report-ms" => {
+                cli.report_ms =
+                    Some(take(&mut i)?.parse().map_err(|_| "bad --report-ms".to_string())?)
+            }
+            "--trace" => cli.trace = Some(take(&mut i)?.clone()),
+            "--virtual-clock" => cli.virtual_clock = true,
             "--diurnal" => cli.diurnal = true,
             "--force-all" => cli.force_all = true,
             "--fast-path" => cli.fast_path = true,
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
-    }
-    if !task_seen {
-        return Err("--task is required".to_string());
     }
     Ok(cli)
 }
@@ -164,7 +188,11 @@ fn print_summary(label: &str, s: &RunSummary) {
     );
 }
 
-fn run_one(ctx: &mut ExperimentContext, method: &str, fast_path: bool) -> Result<RunSummary, String> {
+fn run_one(
+    ctx: &mut ExperimentContext,
+    method: &str,
+    fast_path: bool,
+) -> Result<RunSummary, String> {
     let workload = ctx.workload();
     let kind = match method {
         "original" => Some(PipelineKind::Original),
@@ -195,8 +223,7 @@ fn run_one(ctx: &mut ExperimentContext, method: &str, fast_path: bool) -> Result
         }
         "schemble" => Ok(ctx.run(PipelineKind::Schemble, &workload)),
         "des" | "gating" => {
-            let kind =
-                if method == "des" { BaselineKind::Des } else { BaselineKind::Gating };
+            let kind = if method == "des" { BaselineKind::Des } else { BaselineKind::Gating };
             Ok(run_baseline(
                 kind,
                 &ctx.ensemble,
@@ -211,16 +238,134 @@ fn run_one(ctx: &mut ExperimentContext, method: &str, fast_path: bool) -> Result
     }
 }
 
+/// Builds the runtime configuration from the CLI flags.
+fn serve_config(cli: &Cli, default_dilation: f64) -> ServeConfig {
+    ServeConfig {
+        mode: if cli.virtual_clock {
+            ClockMode::Virtual
+        } else {
+            ClockMode::Wall { dilation: cli.dilation.unwrap_or(default_dilation) }
+        },
+        report_every: cli.report_ms.map(Duration::from_millis),
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs one method on the schemble-serve runtime.
+fn serve_one(
+    ctx: &mut ExperimentContext,
+    method: &str,
+    cli: &Cli,
+    default_dilation: f64,
+) -> Result<ServeReport, String> {
+    let workload = ctx.workload();
+    let seed = ctx.config.seed;
+    let admission = ctx.config.admission;
+    let scfg = serve_config(cli, default_dilation);
+    let m = ctx.ensemble.m();
+    match method {
+        "schemble" => {
+            let art = ctx.artifacts().clone();
+            let mut config = SchembleConfig::new(
+                Box::new(DpScheduler::default()),
+                OnlineScorer::Predictor(art.predictor),
+                art.profile,
+            );
+            config.admission = admission;
+            config.fast_path = cli.fast_path;
+            Ok(serve_schemble(&ctx.ensemble, &config, &workload, seed, &scfg))
+        }
+        "original" => Ok(serve_immediate(
+            &ctx.ensemble,
+            &Deployment::identity(m),
+            &mut FullEnsemblePolicy,
+            &ResultAssembler::Direct,
+            admission,
+            &workload,
+            seed,
+            &scfg,
+        )),
+        "static" => {
+            let pilot = (workload.len() / 5).clamp(100, 2000);
+            let (set, deployment) = best_static_deployment(&ctx.ensemble, &workload, pilot, seed);
+            Ok(serve_immediate(
+                &ctx.ensemble,
+                &deployment,
+                &mut FixedSubsetPolicy { set },
+                &ResultAssembler::Direct,
+                admission,
+                &workload,
+                seed,
+                &scfg,
+            ))
+        }
+        "des" => {
+            let mut policy = train_des(&ctx.ensemble, &ctx.generator, ctx.config.history_n, seed);
+            Ok(serve_immediate(
+                &ctx.ensemble,
+                &Deployment::identity(m),
+                &mut policy,
+                &ResultAssembler::Direct,
+                admission,
+                &workload,
+                seed,
+                &scfg,
+            ))
+        }
+        "gating" => {
+            let mut policy =
+                train_gating(&ctx.ensemble, &ctx.generator, ctx.config.history_n, seed);
+            Ok(serve_immediate(
+                &ctx.ensemble,
+                &Deployment::identity(m),
+                &mut policy,
+                &ResultAssembler::Direct,
+                admission,
+                &workload,
+                seed,
+                &scfg,
+            ))
+        }
+        other => Err(format!("method '{other}' is not supported by the serving runtime")),
+    }
+}
+
+fn print_report(method: &str, report: &ServeReport, virtual_clock: bool) {
+    print_summary(method, &report.summary);
+    let s = &report.stats;
+    println!(
+        "  runtime [{}]: {} submitted = {} completed + {} rejected + {} expired",
+        if virtual_clock { "virtual clock" } else { "wall clock" },
+        s.submitted,
+        s.completed,
+        s.rejected,
+        s.expired,
+    );
+    println!(
+        "  {:.1}s of simulated traffic in {:.2}s wall ({:.1}x); {}",
+        report.sim_secs,
+        report.wall_secs,
+        report.sim_secs / report.wall_secs.max(1e-9),
+        report.snapshot.brief()
+    );
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err("missing command".to_string());
     };
-    let cli = parse(&args[1..])?;
+    let mut cli = parse(&args[1..])?;
+    if command == "loadtest" {
+        match cli.trace.as_deref().unwrap_or("one-day") {
+            "one-day" => cli.diurnal = true,
+            "poisson" => cli.diurnal = false,
+            other => return Err(format!("unknown trace '{other}'")),
+        }
+    }
     let mut ctx = context_for(&cli);
     match command.as_str() {
         "run" => {
-            let method =
-                cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
+            let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
             let summary = run_one(&mut ctx, &method, cli.fast_path)?;
             print_summary(&method, &summary);
             if let Some(path) = &cli.csv {
@@ -231,9 +376,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "compare" => {
-            for method in
-                ["original", "static", "des", "gating", "schemble-ea", "schemble"]
-            {
+            for method in ["original", "static", "des", "gating", "schemble-ea", "schemble"] {
                 let summary = run_one(&mut ctx, method, cli.fast_path)?;
                 print_summary(method, &summary);
             }
@@ -266,6 +409,45 @@ fn run(args: &[String]) -> Result<(), String> {
                     art.predictor.predict_score(&q.sample.features)
                 );
             }
+            Ok(())
+        }
+        "serve" => {
+            let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
+            let report = serve_one(&mut ctx, &method, &cli, 1.0)?;
+            print_report(&method, &report, cli.virtual_clock);
+            Ok(())
+        }
+        "loadtest" => {
+            let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
+            let trace = cli.trace.clone().unwrap_or_else(|| "one-day".to_string());
+            println!(
+                "loadtest: replaying the {trace} trace ({} queries) through '{method}'",
+                cli.queries
+            );
+            let report = serve_one(&mut ctx, &method, &cli, 20.0)?;
+            print_report(&method, &report, cli.virtual_clock);
+            // Cross-check against the discrete-event simulator on the same
+            // seeded trace: under --virtual-clock the counts must coincide
+            // exactly; in wall-clock mode small timing drift is expected.
+            let des = run_one(&mut ctx, &method, cli.fast_path)?;
+            print_summary("des-reference", &des);
+            let missed = |s: &RunSummary| {
+                s.records()
+                    .iter()
+                    .filter(|r| matches!(r.outcome, schemble::metrics::QueryOutcome::Missed))
+                    .count()
+            };
+            let (sa, sm) =
+                (report.summary.len() - missed(&report.summary), missed(&report.summary));
+            let (da, dm) = (des.len() - missed(&des), missed(&des));
+            let verdict = if (sa, sm) == (da, dm) {
+                "consistent"
+            } else if cli.virtual_clock {
+                "MISMATCH"
+            } else {
+                "drift (expected under wall clock)"
+            };
+            println!("  runtime vs DES: accepted {sa} vs {da}, missed {sm} vs {dm} -> {verdict}");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),

@@ -17,6 +17,8 @@
 //! * [`data`] — sample generators, difficulty distributions, arrival traces.
 //! * [`core`] — discrepancy score, profiling, DP scheduler, pipelines.
 //! * [`baselines`] — DES and gating-network selection baselines.
+//! * [`serve`] — wall-clock multi-threaded serving runtime (worker threads,
+//!   trace-replay load generator, live re-planning scheduler loop).
 //! * [`metrics`] — accuracy / deadline-miss-rate / latency evaluation.
 //!
 //! ## Quickstart
@@ -36,5 +38,6 @@ pub use schemble_data as data;
 pub use schemble_metrics as metrics;
 pub use schemble_models as models;
 pub use schemble_nn as nn;
+pub use schemble_serve as serve;
 pub use schemble_sim as sim;
 pub use schemble_tensor as tensor;

@@ -3,9 +3,7 @@
 //! invariants of the simulation.
 
 use schemble::baselines::{run_baseline, BaselineKind};
-use schemble::core::experiment::{
-    ExperimentConfig, ExperimentContext, PipelineKind, Traffic,
-};
+use schemble::core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
 use schemble::core::pipeline::AdmissionMode;
 use schemble::data::TaskKind;
 use schemble::metrics::QueryOutcome;
@@ -60,10 +58,7 @@ fn every_query_is_accounted_for_exactly_once() {
                     assert!(r.models_used >= 1, "completed with zero models");
                 }
                 QueryOutcome::Missed => {
-                    assert!(
-                        r.completion.is_none(),
-                        "missed outcome must not carry a completion"
-                    );
+                    assert!(r.completion.is_none(), "missed outcome must not carry a completion");
                 }
             }
         }

@@ -3,10 +3,10 @@
 
 use schemble::core::discrepancy::{DifficultyMetric, DiscrepancyScorer};
 use schemble::core::filling::KnnFiller;
-use schemble::core::profiling::AccuracyProfile;
 use schemble::core::pipeline::schemble::{run_schemble, SchembleConfig};
-use schemble::core::pipeline::{ResultAssembler};
+use schemble::core::pipeline::ResultAssembler;
 use schemble::core::predictor::OnlineScorer;
+use schemble::core::profiling::AccuracyProfile;
 use schemble::core::scheduler::DpScheduler;
 use schemble::data::{DeadlinePolicy, PoissonTrace, TaskKind, Workload};
 use schemble::models::aggregate::train_stacking_meta;
@@ -47,9 +47,8 @@ fn stacking_with_knn_filling_serves_under_load() {
         ensemble.m(),
         &assembler_for_profile,
     );
-    let predictor = schemble::core::predictor::train_score_predictor(
-        &ensemble, &history, &scores, &mut rng,
-    );
+    let predictor =
+        schemble::core::predictor::train_score_predictor(&ensemble, &history, &scores, &mut rng);
 
     let workload = Workload::generate(
         &gen,

@@ -22,9 +22,8 @@ use schemble::sim::{SimDuration, SimTime};
 /// Deterministic random instance with monotone utility vectors.
 fn instance(seed: u64, n: usize, m: usize, tight: bool) -> ScheduleInput {
     let mut rng = stream_rng(seed, "theorem-instance");
-    let latencies: Vec<SimDuration> = (0..m)
-        .map(|_| SimDuration::from_millis(rng.random_range(5..35)))
-        .collect();
+    let latencies: Vec<SimDuration> =
+        (0..m).map(|_| SimDuration::from_millis(rng.random_range(5..35))).collect();
     let queries = (0..n as u64)
         .map(|id| {
             let mut utilities = vec![0.0; 1 << m];
@@ -104,8 +103,7 @@ fn theorem2_edf_feasible_whenever_any_order_is() {
             .map(|q| {
                 let mut best = ModelSet::singleton(0);
                 for k in 1..input.m() {
-                    if q.utilities[ModelSet::singleton(k).0 as usize]
-                        > q.utilities[best.0 as usize]
+                    if q.utilities[ModelSet::singleton(k).0 as usize] > q.utilities[best.0 as usize]
                     {
                         best = ModelSet::singleton(k);
                     }
@@ -151,11 +149,7 @@ fn theorem1_consistent_order_suffices_for_the_dp() {
                 assignment[i] = ModelSet(s as u32);
             }
             for order in permutations(n) {
-                let plan = SchedulePlan {
-                    assignments: assignment.clone(),
-                    order,
-                    work: 0,
-                };
+                let plan = SchedulePlan { assignments: assignment.clone(), order, work: 0 };
                 if input.plan_is_feasible(&plan) {
                     best = best.max(input.plan_utility(&plan));
                 }
@@ -249,8 +243,8 @@ fn theorem4_online_is_2m_competitive() {
                 latencies: input.latencies.clone(),
                 queries: pending.iter().map(|&i| input.queries[i].clone()).collect(),
             };
-            let plan = DpScheduler { delta: 1e-3, max_frontier: 2048, max_queries: 16 }
-                .plan(&local);
+            let plan =
+                DpScheduler { delta: 1e-3, max_frontier: 2048, max_queries: 16 }.plan(&local);
             // Commit in EDF order.
             let mut still_pending = Vec::new();
             for &pos in &plan.order {
@@ -261,8 +255,7 @@ fn theorem4_online_is_2m_competitive() {
                     continue;
                 }
                 for k in set.iter() {
-                    availability[k] =
-                        availability[k].max(now) + local.latencies[k];
+                    availability[k] = availability[k].max(now) + local.latencies[k];
                 }
                 collected += input.queries[original].utilities[set.0 as usize];
             }
@@ -270,9 +263,7 @@ fn theorem4_online_is_2m_competitive() {
             // deadline passed the fastest completion) — they expire.
             still_pending.retain(|&i| {
                 let q = &input.queries[i];
-                (0..m).any(|k| {
-                    availability[k].max(now) + input.latencies[k] <= q.deadline
-                })
+                (0..m).any(|k| availability[k].max(now) + input.latencies[k] <= q.deadline)
             });
             pending = still_pending;
         }

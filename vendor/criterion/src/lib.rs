@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the subset of the criterion 0.8 API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `bench_with_input`/`sample_size`/`finish`, [`BenchmarkId`],
+//! [`Bencher::iter`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up briefly,
+//! then timed over enough iterations to fill a target window, and the mean
+//! ns/iter is printed. No statistics, plots, or baselines — the goal is a
+//! working `cargo bench` in an offline environment, with numbers good
+//! enough for relative comparisons.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    /// Iterations executed during measurement.
+    iters: u64,
+    /// Target measurement window.
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` and records its mean cost per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for ~10% of the window to estimate per-iter cost.
+        let warmup = self.measurement.mul_f64(0.1).max(Duration::from_millis(20));
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let total = ((self.measurement.as_secs_f64() / est_per_iter) as u64).clamp(10, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..total {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iters = total;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / total as f64;
+    }
+}
+
+/// Identifies one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Just the parameter (group name supplies the function part).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark harness handle passed to every bench function.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { measurement: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Runs one unparameterised benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.measurement, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), measurement: self.measurement, _parent: self }
+    }
+}
+
+/// A group of related, usually parameterised, benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream API: target sample count. The vendored harness keys its
+    /// effort off wall-clock windows instead; accepted and used only to
+    /// scale the window down for expensive benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n < 50 {
+            self.measurement = Duration::from_millis(200);
+        }
+        self
+    }
+
+    /// Runs one benchmark in the group with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.measurement, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one unparameterised benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_one(&label, self.measurement, &mut f);
+        self
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, measurement: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: 0.0, iters: 0, measurement };
+    f(&mut b);
+    let (value, unit) = humanize_ns(b.ns_per_iter);
+    println!("{label:<48} {value:>10.2} {unit}/iter  ({} iters)", b.iters);
+}
+
+fn humanize_ns(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// Bundles bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { measurement: Duration::from_millis(30) };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(16).to_string(), "16");
+        assert_eq!(BenchmarkId::new("plan", 0.01).to_string(), "plan/0.01");
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion { measurement: Duration::from_millis(30) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+}

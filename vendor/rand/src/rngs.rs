@@ -1,0 +1,73 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Not the ChaCha12 generator of upstream `rand` — streams differ from the
+/// real crate — but deterministic per seed, fast, and statistically strong
+/// for simulation workloads (passes BigCrush in its published form).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        // The all-zero state is a fixed point of xoshiro; nudge it.
+        if s == [0, 0, 0, 0] {
+            s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2n = s2 ^ s0;
+        let mut s3n = s3 ^ s1;
+        let s1n = s1 ^ s2n;
+        let s0n = s0 ^ s3n;
+        s2n ^= t;
+        s3n = s3n.rotate_left(45);
+        self.s = [s0n, s1n, s2n, s3n];
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}
