@@ -4,12 +4,14 @@
 use crate::des::DesSelector;
 use crate::gating::GatingSelector;
 use schemble_core::pipeline::{
-    run_immediate, AdmissionMode, Deployment, ResultAssembler, SelectionPolicy,
+    run_immediate_traced, AdmissionMode, Deployment, ResultAssembler, SelectionPolicy,
 };
 use schemble_data::Workload;
 use schemble_metrics::RunSummary;
 use schemble_models::{Ensemble, SampleGenerator};
 use schemble_sim::rng::stream_rng;
+use schemble_trace::TraceSink;
+use std::sync::Arc;
 
 /// The feature-based selection baselines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,11 +70,35 @@ pub fn run_baseline(
     history_n: usize,
     seed: u64,
 ) -> RunSummary {
+    run_baseline_traced(
+        kind,
+        ensemble,
+        generator,
+        workload,
+        admission,
+        history_n,
+        seed,
+        TraceSink::disabled(),
+    )
+}
+
+/// [`run_baseline`] with lifecycle events emitted into `trace`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_baseline_traced(
+    kind: BaselineKind,
+    ensemble: &Ensemble,
+    generator: &SampleGenerator,
+    workload: &Workload,
+    admission: AdmissionMode,
+    history_n: usize,
+    seed: u64,
+    trace: Arc<TraceSink>,
+) -> RunSummary {
     let mut policy: Box<dyn SelectionPolicy> = match kind {
         BaselineKind::Des => Box::new(train_des(ensemble, generator, history_n, seed)),
         BaselineKind::Gating => Box::new(train_gating(ensemble, generator, history_n, seed)),
     };
-    run_immediate(
+    run_immediate_traced(
         ensemble,
         &Deployment::identity(ensemble.m()),
         policy.as_mut(),
@@ -80,6 +106,7 @@ pub fn run_baseline(
         workload,
         admission,
         seed,
+        trace,
     )
 }
 

@@ -19,6 +19,8 @@
 use rand::rngs::StdRng;
 use schemble_sim::rng::stream_rng;
 use schemble_sim::{EventQueue, LatencyModel, ServerBank, SimTime, TaskId};
+use schemble_trace::{TraceEvent, TraceSink};
+use std::sync::Arc;
 
 /// An event surfaced by a backend to the engine driving it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +111,7 @@ pub struct SimBackend {
     events: EventQueue<BackendEvent>,
     latencies: Vec<LatencyModel>,
     rng: StdRng,
+    trace: Arc<TraceSink>,
 }
 
 impl SimBackend {
@@ -120,7 +123,14 @@ impl SimBackend {
             events: EventQueue::new(),
             latencies,
             rng: stream_rng(seed, stream),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Emits task lifecycle events into `trace` (virtual timestamps).
+    pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Schedules `Arrival(index)` at `at`.
@@ -137,9 +147,15 @@ impl SimBackend {
         let (now, event) = self.events.pop()?;
         if let BackendEvent::TaskDone { executor, query } = event {
             self.servers.get_mut(executor).complete(TaskId(query), now);
+            self.trace.emit(TraceEvent::TaskDone { t: now, query, executor: executor as u16 });
             if let Some(run) = self.servers.get_mut(executor).start_next(now) {
                 self.events
                     .push(run.completes_at, BackendEvent::TaskDone { executor, query: run.task.0 });
+                self.trace.emit(TraceEvent::TaskStart {
+                    t: now,
+                    query: run.task.0,
+                    executor: executor as u16,
+                });
             }
         }
         Some((now, event))
@@ -175,6 +191,7 @@ impl ExecutionBackend for SimBackend {
         let dur = self.latencies[executor].sample(&mut self.rng);
         let run = self.servers.get_mut(executor).start_immediately(TaskId(query), now, dur);
         self.events.push(run.completes_at, BackendEvent::TaskDone { executor, query });
+        self.trace.emit(TraceEvent::TaskStart { t: now, query, executor: executor as u16 });
     }
 
     fn enqueue_task(&mut self, executor: usize, query: u64, now: SimTime) {
@@ -184,6 +201,13 @@ impl ExecutionBackend for SimBackend {
         if let Some(run) = server.start_next(now) {
             self.events
                 .push(run.completes_at, BackendEvent::TaskDone { executor, query: run.task.0 });
+            self.trace.emit(TraceEvent::TaskStart {
+                t: now,
+                query: run.task.0,
+                executor: executor as u16,
+            });
+        } else {
+            self.trace.emit(TraceEvent::TaskEnqueue { t: now, query, executor: executor as u16 });
         }
     }
 

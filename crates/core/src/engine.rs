@@ -27,7 +27,10 @@ use schemble_data::Workload;
 use schemble_metrics::{ModelUsage, QueryOutcome, QueryRecord, RunSummary};
 use schemble_models::{Ensemble, ModelSet, Output};
 use schemble_sim::{SimDuration, SimTime};
+use schemble_trace::{AdmissionVerdict, TraceEvent, TraceSink};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Live query-outcome counters, maintained incrementally by every engine.
 ///
@@ -126,6 +129,7 @@ pub struct SchembleEngine<'a> {
     records: Vec<QueryRecord>,
     stats: EngineStats,
     completions: Vec<(u64, f64)>,
+    trace: Arc<TraceSink>,
 }
 
 impl<'a> SchembleEngine<'a> {
@@ -140,7 +144,16 @@ impl<'a> SchembleEngine<'a> {
             records: blank_records(workload),
             stats: EngineStats::default(),
             completions: Vec::new(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Emits decision events into `trace` (and plan timings into its
+    /// [`PlanningProfile`](schemble_trace::PlanningProfile)). Tracing never
+    /// alters a decision: events carry only data the engine computed anyway.
+    pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Consumes the engine, aggregating backend usage into a [`RunSummary`].
@@ -162,6 +175,7 @@ impl<'a> SchembleEngine<'a> {
     fn on_arrival(&mut self, i: usize, now: SimTime, backend: &mut dyn ExecutionBackend) {
         let q = &self.workload.queries[i];
         self.stats.submitted += 1;
+        self.trace.emit(TraceEvent::Arrival { t: now, query: q.id, deadline: q.deadline });
         // Fast path (§VIII): empty buffer + an idle model ⇒ skip
         // prediction and scheduling, run the fastest idle model now.
         if self.config.fast_path && self.open.is_empty() && backend.any_idle() {
@@ -170,6 +184,11 @@ impl<'a> SchembleEngine<'a> {
                 .into_iter()
                 .min_by_key(|&k| self.ensemble.latency(k).planned())
                 .expect("an idle server exists");
+            self.trace.emit(TraceEvent::Admission {
+                t: now,
+                query: q.id,
+                verdict: AdmissionVerdict::FastPath { executor: k as u16 },
+            });
             backend.start_task(k, q.id, now);
             self.open.insert(
                 q.id,
@@ -187,6 +206,11 @@ impl<'a> SchembleEngine<'a> {
             );
             return;
         }
+        self.trace.emit(TraceEvent::Admission {
+            t: now,
+            query: q.id,
+            verdict: AdmissionVerdict::Buffered,
+        });
         let score = self.config.scorer.score(&q.sample, self.ensemble).clamp(0.0, 1.0);
         let utilities = self.config.profile.utility_vector(score);
         self.open.insert(
@@ -280,7 +304,9 @@ impl<'a> SchembleEngine<'a> {
             latencies: self.ensemble.planned_latencies(),
             queries,
         };
+        let plan_t0 = Instant::now();
         let plan = self.config.scheduler.plan(&input);
+        self.trace.planning.record(plan.work, plan_t0.elapsed());
         for (pos, id) in ids.iter().enumerate() {
             self.open.get_mut(id).expect("present").set = plan.assignments[pos];
         }
@@ -302,6 +328,13 @@ impl<'a> SchembleEngine<'a> {
             (self.config.sched_ns_per_unit * plan.work as f64 / 1000.0).round() as u64,
         ) + self.config.sched_base_overhead;
         self.plan_ready_at = now + cost;
+        self.trace.emit(TraceEvent::Plan {
+            t: now,
+            buffer: ids.len() as u32,
+            scheduled: plan.assignments.iter().filter(|s| !s.is_empty()).count() as u32,
+            work: plan.work,
+            cost,
+        });
     }
 
     /// Starts tasks on idle executors per the current plan, in EDF order.
@@ -342,9 +375,11 @@ impl<'a> SchembleEngine<'a> {
         self.records[query as usize].outcome = QueryOutcome::Completed { correct, score };
         self.records[query as usize].models_used = state.set.len();
         state.closed = true;
+        let set = state.set;
         self.open.remove(&query);
         self.stats.completed += 1;
         self.completions.push((query, (now - q.arrival).as_secs_f64()));
+        self.trace.emit(TraceEvent::QueryDone { t: now, query, set: set.0 });
     }
 
     /// Deadline housekeeping (Reject mode only; ForceAll keeps everything):
@@ -356,24 +391,28 @@ impl<'a> SchembleEngine<'a> {
         if self.config.admission == AdmissionMode::ForceAll {
             return;
         }
-        let expired: Vec<u64> = self
+        // Sorted so the emitted trace is independent of hash-map order.
+        let mut expired: Vec<u64> = self
             .open
             .iter()
             .filter(|(_, s)| s.started.is_empty() && s.deadline < now)
             .map(|(&id, _)| id)
             .collect();
+        expired.sort_unstable();
         for id in expired {
             self.open.remove(&id);
             // Record already defaults to Missed.
             self.records[id as usize].models_used = 0;
             self.stats.expired += 1;
+            self.trace.emit(TraceEvent::QueryExpired { t: now, query: id });
         }
-        let late_started: Vec<u64> = self
+        let mut late_started: Vec<u64> = self
             .open
             .iter()
             .filter(|(_, s)| !s.started.is_empty() && s.deadline < now && s.set != s.started)
             .map(|(&id, _)| id)
             .collect();
+        late_started.sort_unstable();
         for id in late_started {
             let state = self.open.get_mut(&id).expect("present");
             state.set = state.started;
@@ -431,14 +470,15 @@ impl PipelineEngine for SchembleEngine<'_> {
 
     fn drain(&mut self, now: SimTime) {
         // End of trace: whatever never started can no longer complete.
-        let stuck: Vec<u64> =
+        let mut stuck: Vec<u64> =
             self.open.iter().filter(|(_, s)| s.started.is_empty()).map(|(&id, _)| id).collect();
+        stuck.sort_unstable();
         for id in stuck {
             self.open.remove(&id);
             self.records[id as usize].models_used = 0;
             self.stats.expired += 1;
+            self.trace.emit(TraceEvent::QueryExpired { t: now, query: id });
         }
-        let _ = now;
     }
 
     fn take_records(&mut self) -> Vec<QueryRecord> {
@@ -476,6 +516,7 @@ pub struct ImmediateEngine<'a> {
     records: Vec<QueryRecord>,
     stats: EngineStats,
     completions: Vec<(u64, f64)>,
+    trace: Arc<TraceSink>,
 }
 
 impl<'a> ImmediateEngine<'a> {
@@ -499,7 +540,14 @@ impl<'a> ImmediateEngine<'a> {
             records: blank_records(workload),
             stats: EngineStats::default(),
             completions: Vec::new(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Emits decision events into `trace`; never alters a decision.
+    pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Consumes the engine, aggregating per-instance usage into per-model
@@ -530,6 +578,7 @@ impl<'a> ImmediateEngine<'a> {
     fn on_arrival(&mut self, i: usize, now: SimTime, backend: &mut dyn ExecutionBackend) {
         let query = &self.workload.queries[i];
         self.stats.submitted += 1;
+        self.trace.emit(TraceEvent::Arrival { t: now, query: query.id, deadline: query.deadline });
         let set = self.policy.select(query, self.ensemble);
         assert!(!set.is_empty(), "policy must select at least one model");
         // Choose the least-loaded instance per selected model.
@@ -553,9 +602,19 @@ impl<'a> ImmediateEngine<'a> {
                 .expect("non-empty set");
             if est > query.deadline {
                 self.stats.rejected += 1;
+                self.trace.emit(TraceEvent::Admission {
+                    t: now,
+                    query: query.id,
+                    verdict: AdmissionVerdict::Rejected,
+                });
                 return; // rejected; record stays Missed.
             }
         }
+        self.trace.emit(TraceEvent::Admission {
+            t: now,
+            query: query.id,
+            verdict: AdmissionVerdict::Selected { set: set.0 },
+        });
         self.records[i].models_used = set.len();
         self.pending.insert(query.id, Pending { set, outputs: Vec::new(), expected: set.len() });
         for &inst in &chosen {
@@ -582,6 +641,7 @@ impl<'a> ImmediateEngine<'a> {
             self.records[query as usize].outcome = QueryOutcome::Completed { correct, score };
             self.stats.completed += 1;
             self.completions.push((query, (now - q.arrival).as_secs_f64()));
+            self.trace.emit(TraceEvent::QueryDone { t: now, query, set: done.set.0 });
         }
     }
 }

@@ -8,9 +8,9 @@
 use crate::artifacts::SchembleArtifacts;
 use crate::discrepancy::DifficultyMetric;
 use crate::pipeline::immediate::{
-    run_immediate, Deployment, FixedSubsetPolicy, FullEnsemblePolicy,
+    run_immediate_traced, Deployment, FixedSubsetPolicy, FullEnsemblePolicy,
 };
-use crate::pipeline::schemble::{run_schemble, SchembleConfig};
+use crate::pipeline::schemble::{run_schemble_traced, SchembleConfig};
 use crate::pipeline::static_select::best_static_deployment;
 use crate::pipeline::{AdmissionMode, ResultAssembler};
 use crate::predictor::OnlineScorer;
@@ -18,6 +18,8 @@ use crate::scheduler::{DpScheduler, GreedyScheduler, QueueOrder, Scheduler};
 use schemble_data::{DeadlinePolicy, DiurnalTrace, PoissonTrace, TaskKind, Workload};
 use schemble_metrics::RunSummary;
 use schemble_models::{DifficultyDist, Ensemble, SampleGenerator};
+use schemble_trace::TraceSink;
+use std::sync::Arc;
 
 /// Arrival process of an experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -244,10 +246,20 @@ impl ExperimentContext {
 
     /// Runs one pipeline variant on a workload.
     pub fn run(&mut self, kind: PipelineKind, workload: &Workload) -> RunSummary {
+        self.run_traced(kind, workload, TraceSink::disabled())
+    }
+
+    /// [`Self::run`] with lifecycle events emitted into `trace`.
+    pub fn run_traced(
+        &mut self,
+        kind: PipelineKind,
+        workload: &Workload,
+        trace: Arc<TraceSink>,
+    ) -> RunSummary {
         let admission = self.config.admission;
         let seed = self.config.seed;
         match kind {
-            PipelineKind::Original => run_immediate(
+            PipelineKind::Original => run_immediate_traced(
                 &self.ensemble,
                 &Deployment::identity(self.ensemble.m()),
                 &mut FullEnsemblePolicy,
@@ -255,12 +267,13 @@ impl ExperimentContext {
                 workload,
                 admission,
                 seed,
+                trace,
             ),
             PipelineKind::Static => {
                 let pilot = (workload.len() / 5).clamp(100, 2000);
                 let (set, deployment) =
                     best_static_deployment(&self.ensemble, workload, pilot, seed);
-                run_immediate(
+                run_immediate_traced(
                     &self.ensemble,
                     &deployment,
                     &mut FixedSubsetPolicy { set },
@@ -268,15 +281,28 @@ impl ExperimentContext {
                     workload,
                     admission,
                     seed,
+                    trace,
                 )
             }
             PipelineKind::Schemble => {
                 let scorer = OnlineScorer::Predictor(self.artifacts().predictor.clone());
-                self.run_schemble_variant(Box::new(DpScheduler::default()), scorer, false, workload)
+                self.run_schemble_variant(
+                    Box::new(DpScheduler::default()),
+                    scorer,
+                    false,
+                    workload,
+                    trace,
+                )
             }
             PipelineKind::SchembleEa => {
                 let scorer = OnlineScorer::Predictor(self.ea_artifacts().predictor.clone());
-                self.run_schemble_variant(Box::new(DpScheduler::default()), scorer, true, workload)
+                self.run_schemble_variant(
+                    Box::new(DpScheduler::default()),
+                    scorer,
+                    true,
+                    workload,
+                    trace,
+                )
             }
             PipelineKind::SchembleT => {
                 let c = self.artifacts().mean_score;
@@ -285,11 +311,18 @@ impl ExperimentContext {
                     OnlineScorer::Constant(c),
                     false,
                     workload,
+                    trace,
                 )
             }
             PipelineKind::SchembleOracle => {
                 let scorer = OnlineScorer::Oracle(self.artifacts().scorer.clone());
-                self.run_schemble_variant(Box::new(DpScheduler::default()), scorer, false, workload)
+                self.run_schemble_variant(
+                    Box::new(DpScheduler::default()),
+                    scorer,
+                    false,
+                    workload,
+                    trace,
+                )
             }
             PipelineKind::Greedy(order) => {
                 let scorer = OnlineScorer::Predictor(self.artifacts().predictor.clone());
@@ -298,6 +331,7 @@ impl ExperimentContext {
                     scorer,
                     false,
                     workload,
+                    trace,
                 )
             }
             PipelineKind::DpDelta(delta) => {
@@ -307,6 +341,7 @@ impl ExperimentContext {
                     scorer,
                     false,
                     workload,
+                    trace,
                 )
             }
         }
@@ -318,12 +353,13 @@ impl ExperimentContext {
         scorer: OnlineScorer,
         ea: bool,
         workload: &Workload,
+        trace: Arc<TraceSink>,
     ) -> RunSummary {
         let profile =
             if ea { self.ea_artifacts().profile.clone() } else { self.artifacts().profile.clone() };
         let mut config = SchembleConfig::new(scheduler, scorer, profile);
         config.admission = self.config.admission;
-        run_schemble(&self.ensemble, &config, workload, self.config.seed)
+        run_schemble_traced(&self.ensemble, &config, workload, self.config.seed, trace)
     }
 }
 

@@ -12,6 +12,8 @@ use crate::engine::{ImmediateEngine, PipelineEngine};
 use schemble_data::{Query, Workload};
 use schemble_metrics::RunSummary;
 use schemble_models::{Ensemble, ModelSet};
+use schemble_trace::TraceSink;
+use std::sync::Arc;
 
 /// Chooses a model subset for each arriving query, immediately.
 pub trait SelectionPolicy {
@@ -102,13 +104,39 @@ pub fn run_immediate(
     admission: AdmissionMode,
     seed: u64,
 ) -> RunSummary {
+    run_immediate_traced(
+        ensemble,
+        deployment,
+        policy,
+        assembler,
+        workload,
+        admission,
+        seed,
+        TraceSink::disabled(),
+    )
+}
+
+/// [`run_immediate`] with lifecycle events emitted into `trace`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_immediate_traced(
+    ensemble: &Ensemble,
+    deployment: &Deployment,
+    policy: &mut dyn SelectionPolicy,
+    assembler: &ResultAssembler,
+    workload: &Workload,
+    admission: AdmissionMode,
+    seed: u64,
+    trace: Arc<TraceSink>,
+) -> RunSummary {
     let latencies = deployment.hosts.iter().map(|&h| ensemble.latency(h)).collect();
-    let mut backend = SimBackend::new(latencies, seed, "immediate-latency");
+    let mut backend =
+        SimBackend::new(latencies, seed, "immediate-latency").with_trace(trace.clone());
     for (i, q) in workload.queries.iter().enumerate() {
         backend.push_arrival(q.arrival, i);
     }
     let mut engine =
-        ImmediateEngine::new(ensemble, deployment, policy, assembler, admission, workload);
+        ImmediateEngine::new(ensemble, deployment, policy, assembler, admission, workload)
+            .with_trace(trace);
     while let Some((now, event)) = backend.pop_event() {
         engine.handle(event, now, &mut backend);
     }

@@ -24,9 +24,10 @@ pub mod schemble;
 pub mod static_select;
 
 pub use immediate::{
-    run_immediate, Deployment, FixedSubsetPolicy, FullEnsemblePolicy, SelectionPolicy,
+    run_immediate, run_immediate_traced, Deployment, FixedSubsetPolicy, FullEnsemblePolicy,
+    SelectionPolicy,
 };
-pub use schemble::{run_schemble, SchembleConfig};
+pub use schemble::{run_schemble, run_schemble_traced, SchembleConfig};
 pub use static_select::best_static_deployment;
 
 /// Whether queries may be refused service.

@@ -20,6 +20,8 @@ use schemble_data::Workload;
 use schemble_metrics::RunSummary;
 use schemble_models::Ensemble;
 use schemble_sim::SimDuration;
+use schemble_trace::TraceSink;
+use std::sync::Arc;
 
 /// Configuration of a Schemble pipeline run.
 pub struct SchembleConfig {
@@ -83,12 +85,27 @@ pub fn run_schemble(
     workload: &Workload,
     seed: u64,
 ) -> RunSummary {
+    run_schemble_traced(ensemble, config, workload, seed, TraceSink::disabled())
+}
+
+/// [`run_schemble`] with lifecycle events emitted into `trace`.
+///
+/// The sink observes, never steers: a traced run makes exactly the
+/// decisions of an untraced one (`tests/trace_export.rs` pins this).
+pub fn run_schemble_traced(
+    ensemble: &Ensemble,
+    config: &SchembleConfig,
+    workload: &Workload,
+    seed: u64,
+    trace: Arc<TraceSink>,
+) -> RunSummary {
     let latencies = (0..ensemble.m()).map(|k| ensemble.latency(k)).collect();
-    let mut backend = SimBackend::new(latencies, seed, "schemble-latency");
+    let mut backend =
+        SimBackend::new(latencies, seed, "schemble-latency").with_trace(trace.clone());
     for (i, q) in workload.queries.iter().enumerate() {
         backend.push_arrival(q.arrival, i);
     }
-    let mut engine = SchembleEngine::new(ensemble, config, workload);
+    let mut engine = SchembleEngine::new(ensemble, config, workload).with_trace(trace);
     while let Some((now, event)) = backend.pop_event() {
         engine.handle(event, now, &mut backend);
     }

@@ -61,4 +61,35 @@ mod tests {
         assert_eq!(s.p95, 0.42);
         assert_eq!(s.max, 0.42);
     }
+
+    #[test]
+    fn p95_pins_to_interpolated_rank() {
+        // 1..=100 / 100: the 95th percentile interpolates between the 95th
+        // and 96th order statistics. Pin the exact value so a change to the
+        // percentile convention (nearest-rank vs linear) is caught.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let s = LatencyStats::from_samples(&xs);
+        let expected = percentile(&xs, 95.0);
+        assert_eq!(s.p95, expected, "p95 must come from the shared percentile helper");
+        assert!((0.95..=0.96).contains(&s.p95), "p95 {} outside the bracketing ranks", s.p95);
+    }
+
+    #[test]
+    fn quantiles_are_order_independent() {
+        let sorted: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let mut shuffled = sorted.clone();
+        shuffled.reverse();
+        shuffled.swap(3, 41);
+        assert_eq!(
+            LatencyStats::from_samples(&sorted),
+            LatencyStats::from_samples(&shuffled),
+            "stats must not depend on sample order"
+        );
+    }
+
+    #[test]
+    fn identical_samples_collapse_every_statistic() {
+        let s = LatencyStats::from_samples(&[0.25; 17]);
+        assert_eq!((s.mean, s.p95, s.max, s.count), (0.25, 0.25, 0.25, 17));
+    }
 }

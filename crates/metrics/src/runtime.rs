@@ -68,6 +68,8 @@ pub struct LatencyHistogram {
     buckets: Vec<AtomicU64>,
     /// Values below the first bucket edge.
     underflow: AtomicU64,
+    /// Sum of all observations, in microseconds (for exporter `_sum` rows).
+    sum_micros: AtomicU64,
 }
 
 /// Number of histogram buckets (8 per octave over 20 octaves).
@@ -89,6 +91,7 @@ impl LatencyHistogram {
         Self {
             buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             underflow: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +114,14 @@ impl LatencyHistogram {
             Some(i) => self.buckets[i].fetch_add(1, Relaxed),
             None => self.underflow.fetch_add(1, Relaxed),
         };
+        if secs.is_finite() && secs > 0.0 {
+            self.sum_micros.fetch_add((secs * 1e6) as u64, Relaxed);
+        }
+    }
+
+    /// Sum of all observations, in seconds (µs resolution).
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_micros.load(Relaxed) as f64 / 1e6
     }
 
     /// Total observations.
@@ -138,6 +149,26 @@ impl LatencyHistogram {
             }
         }
         Some(Self::edge(HIST_BUCKETS))
+    }
+
+    /// Cumulative counts at each occupied bucket's *upper* edge, as
+    /// `(upper_edge_secs, cumulative_count)` pairs — the shape Prometheus
+    /// `le` buckets want. Only edges where the cumulative count grows are
+    /// emitted, so sparse histograms stay small.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = self.underflow.load(Relaxed);
+        if cumulative > 0 {
+            out.push((HIST_MIN_SECS, cumulative));
+        }
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Relaxed);
+            if n > 0 {
+                cumulative += n;
+                out.push((Self::edge(i + 1), cumulative));
+            }
+        }
+        out
     }
 
     /// Non-empty buckets as `(lower_edge_secs, count)` pairs.
@@ -310,6 +341,97 @@ mod tests {
         h.record(1e-6);
         assert_eq!(h.count(), 2);
         assert_eq!(h.quantile(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn log_bucket_boundaries_pin_to_spec() {
+        // The histogram spans 1e-4 s upward with 8 buckets per octave:
+        // edge(i) = 1e-4 * 2^(i/8). Pin the boundaries so a silent change
+        // to the bucket layout breaks loudly (exporters and dashboards
+        // depend on these edges).
+        assert_eq!(LatencyHistogram::edge(0), HIST_MIN_SECS);
+        assert!((LatencyHistogram::edge(8) - 2e-4).abs() < 1e-12, "one octave doubles");
+        assert!((LatencyHistogram::edge(16) - 4e-4).abs() < 1e-12, "two octaves quadruple");
+        for i in 0..HIST_BUCKETS {
+            assert!(
+                LatencyHistogram::edge(i) < LatencyHistogram::edge(i + 1),
+                "edges must be strictly increasing at {i}"
+            );
+        }
+        // Values at (or just above) a lower edge land in that bucket;
+        // values below the first edge underflow.
+        assert_eq!(LatencyHistogram::bucket_of(HIST_MIN_SECS), Some(0));
+        assert_eq!(LatencyHistogram::bucket_of(2.0001e-4), Some(8));
+        assert_eq!(LatencyHistogram::bucket_of(9.9e-5), None);
+        assert_eq!(LatencyHistogram::bucket_of(f64::NAN), None);
+        // Far beyond the last edge clamps into the final bucket.
+        assert_eq!(LatencyHistogram::bucket_of(1e9), Some(HIST_BUCKETS - 1));
+    }
+
+    #[test]
+    fn cumulative_buckets_match_prometheus_shape() {
+        let h = LatencyHistogram::new();
+        h.record(5e-5); // underflow
+        for _ in 0..3 {
+            h.record(0.010);
+        }
+        for _ in 0..2 {
+            h.record(1.0);
+        }
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.first().map(|&(e, n)| (e, n)), Some((HIST_MIN_SECS, 1)));
+        assert_eq!(cum.last().map(|&(_, n)| n), Some(h.count()), "last bucket holds the total");
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0, "upper edges strictly increase");
+            assert!(w[0].1 <= w[1].1, "counts are cumulative");
+        }
+        // Each observation must sit at or below the upper edge it counts
+        // toward: 0.010 s under the first post-underflow edge.
+        let edge_10ms = cum[1].0;
+        assert!((0.010..0.012).contains(&edge_10ms), "upper edge {edge_10ms}");
+        assert!((h.sum_secs() - (5e-5 + 3.0 * 0.010 + 2.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn open_never_underflows_under_concurrent_updates() {
+        use std::sync::Arc;
+        // Each worker closes every query it submits, but a reader may see
+        // the close before the submit (all updates are Relaxed). open()
+        // must saturate rather than wrap, and must settle to exactly zero.
+        let m = Arc::new(RuntimeMetrics::new(1));
+        const WORKERS: usize = 4;
+        const PER_WORKER: u64 = 5_000;
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WORKER {
+                        m.counters.submitted.fetch_add(1, Relaxed);
+                        match (w as u64 + i) % 3 {
+                            0 => m.counters.completed.fetch_add(1, Relaxed),
+                            1 => m.counters.rejected.fetch_add(1, Relaxed),
+                            _ => m.counters.expired.fetch_add(1, Relaxed),
+                        };
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                let total = (WORKERS as u64) * PER_WORKER;
+                for _ in 0..10_000 {
+                    let open = m.counters.open();
+                    assert!(open <= total, "open {open} exceeds every possible in-flight count");
+                }
+            })
+        };
+        for t in workers {
+            t.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(m.counters.open(), 0, "every submitted query was closed");
+        assert_eq!(m.counters.submitted.load(Relaxed), (WORKERS as u64) * PER_WORKER);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use schemble_core::backend::{ExecutionBackend, ExecutorUsage};
 use schemble_metrics::RuntimeMetrics;
 use schemble_sim::rng::stream_rng;
 use schemble_sim::{LatencyModel, SimDuration, SimTime};
+use schemble_trace::{TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::Ordering::Relaxed;
@@ -49,6 +50,7 @@ pub struct ThreadedBackend {
     busy: Vec<SimDuration>,
     tasks: Vec<u64>,
     metrics: Arc<RuntimeMetrics>,
+    trace: Arc<TraceSink>,
 }
 
 impl ThreadedBackend {
@@ -78,7 +80,14 @@ impl ThreadedBackend {
             busy: vec![SimDuration::ZERO; n],
             tasks: vec![0; n],
             metrics: Arc::clone(&metrics),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Emits task lifecycle events into `trace` (dilated-sim timestamps).
+    pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
+        self.trace = trace;
+        self
     }
 
     fn launch(&mut self, executor: usize, query: u64, duration: SimDuration, now: SimTime) {
@@ -88,6 +97,7 @@ impl ThreadedBackend {
             Some(RunningTask { query, duration, completes_at: now + duration });
         self.metrics.counters.tasks_started.fetch_add(1, Relaxed);
         self.metrics.executors[executor].running.store(1, Relaxed);
+        self.trace.emit(TraceEvent::TaskStart { t: now, query, executor: executor as u16 });
     }
 
     /// Retires `executor`'s finished task and starts its next backlog task,
@@ -103,6 +113,7 @@ impl ThreadedBackend {
         g.busy_micros.fetch_add(task.duration.as_micros(), Relaxed);
         g.tasks.fetch_add(1, Relaxed);
         self.metrics.counters.tasks_completed.fetch_add(1, Relaxed);
+        self.trace.emit(TraceEvent::TaskDone { t: now, query, executor: executor as u16 });
         if let Some((next_query, dur)) = self.backlog[executor].pop_front() {
             g.queue_depth.store(self.backlog[executor].len() as u64, Relaxed);
             self.launch(executor, next_query, dur, now);
@@ -180,6 +191,7 @@ impl ExecutionBackend for ThreadedBackend {
         self.metrics.executors[executor]
             .queue_depth
             .store(self.backlog[executor].len() as u64, Relaxed);
+        self.trace.emit(TraceEvent::TaskEnqueue { t: now, query, executor: executor as u16 });
     }
 
     fn request_wake(&mut self, at: SimTime) {

@@ -23,9 +23,10 @@ use schemble_data::Workload;
 use schemble_metrics::{RunSummary, RuntimeMetrics, RuntimeSnapshot};
 use schemble_models::Ensemble;
 use schemble_sim::{LatencyModel, SimTime};
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use schemble_trace::TraceSink;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// How the runtime's clock advances.
@@ -52,6 +53,9 @@ pub struct ServeConfig {
     pub channel_capacity: usize,
     /// Print a metrics snapshot at this (wall) interval, if set.
     pub report_every: Option<Duration>,
+    /// Sink receiving query lifecycle events from the engine and backend;
+    /// `None` runs untraced (the engine/backend get a disabled sink).
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for ServeConfig {
@@ -61,7 +65,15 @@ impl Default for ServeConfig {
             queue_capacity: 4096,
             channel_capacity: 1024,
             report_every: None,
+            trace: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The sink engines and backends should emit into.
+    fn sink(&self) -> Arc<TraceSink> {
+        self.trace.clone().unwrap_or_else(TraceSink::disabled)
     }
 }
 
@@ -83,6 +95,9 @@ pub struct ServeReport {
     pub stats: EngineStats,
     /// Final metrics snapshot (queues, utilisation, latency quantiles).
     pub snapshot: RuntimeSnapshot,
+    /// The live metrics block itself (full latency histogram, per-executor
+    /// gauges) — what the Prometheus exporter renders.
+    pub metrics: Arc<RuntimeMetrics>,
     /// Wall-clock seconds the run took.
     pub wall_secs: f64,
     /// Simulated seconds the replayed trace spanned.
@@ -131,7 +146,8 @@ pub fn run_wall(
         clock,
         config.queue_capacity,
         Arc::clone(metrics),
-    );
+    )
+    .with_trace(config.sink());
 
     // Trace-replay load generator: one thread sleeping to each arrival.
     let arrivals: Vec<SimTime> = workload.queries.iter().map(|q| q.arrival).collect();
@@ -151,19 +167,27 @@ pub fn run_wall(
         })
         .expect("spawn load generator");
 
-    // Optional periodic reporter, reading the shared atomics lock-free.
-    let stop_reporter = Arc::new(AtomicBool::new(false));
+    // Optional periodic reporter, reading the shared atomics lock-free. The
+    // stop flag lives under a condvar so shutdown interrupts the interval
+    // sleep immediately instead of blocking the run for up to a full period.
+    let stop_reporter = Arc::new((Mutex::new(false), Condvar::new()));
     let reporter = config.report_every.map(|every| {
         let metrics = Arc::clone(metrics);
         let stop = Arc::clone(&stop_reporter);
         std::thread::Builder::new()
             .name("schemble-reporter".into())
             .spawn(move || {
-                while !stop.load(Relaxed) {
-                    std::thread::sleep(every);
-                    let now = clock.now_sim();
-                    let snap = metrics.snapshot(now.as_secs_f64());
-                    eprintln!("[serve t={:.1}s] {}", now.as_secs_f64(), snap.brief());
+                let (flag, cv) = &*stop;
+                let mut stopped = flag.lock().expect("reporter flag poisoned");
+                while !*stopped {
+                    let (guard, timeout) =
+                        cv.wait_timeout(stopped, every).expect("reporter flag poisoned");
+                    stopped = guard;
+                    if !*stopped && timeout.timed_out() {
+                        let now = clock.now_sim();
+                        let snap = metrics.snapshot(now.as_secs_f64());
+                        eprintln!("[serve t={:.1}s] {}", now.as_secs_f64(), snap.brief());
+                    }
                 }
             })
             .expect("spawn reporter")
@@ -215,7 +239,11 @@ pub fn run_wall(
     engine.drain(end);
     sync_metrics(engine, metrics);
     let _ = loadgen.join();
-    stop_reporter.store(true, Relaxed);
+    {
+        let (flag, cv) = &*stop_reporter;
+        *flag.lock().expect("reporter flag poisoned") = true;
+        cv.notify_all();
+    }
     if let Some(handle) = reporter {
         let _ = handle.join();
     }
@@ -234,9 +262,10 @@ pub fn run_virtual(
     seed: u64,
     stream: &str,
     metrics: &RuntimeMetrics,
+    trace: Arc<TraceSink>,
 ) -> RunStats {
     let wall_start = Instant::now();
-    let mut backend = SimBackend::new(latencies, seed, stream);
+    let mut backend = SimBackend::new(latencies, seed, stream).with_trace(trace);
     for (i, q) in workload.queries.iter().enumerate() {
         backend.push_arrival(q.arrival, i);
     }
@@ -247,11 +276,18 @@ pub fn run_virtual(
     }
     engine.drain(end);
     sync_metrics(engine, metrics);
-    RunStats {
-        usage: backend.usage(),
-        wall_secs: wall_start.elapsed().as_secs_f64(),
-        sim_secs: end.as_secs_f64(),
+    let usage = backend.usage();
+    // The DES backend bypasses the live gauges; backfill them from its
+    // final usage so snapshots and exporters see real task/busy totals.
+    let mut tasks_total = 0;
+    for (gauges, u) in metrics.executors.iter().zip(&usage) {
+        gauges.busy_micros.store((u.busy_secs * 1e6) as u64, Relaxed);
+        gauges.tasks.store(u.tasks, Relaxed);
+        tasks_total += u.tasks;
     }
+    metrics.counters.tasks_started.store(tasks_total, Relaxed);
+    metrics.counters.tasks_completed.store(tasks_total, Relaxed);
+    RunStats { usage, wall_secs: wall_start.elapsed().as_secs_f64(), sim_secs: end.as_secs_f64() }
 }
 
 fn run_with(
@@ -264,7 +300,9 @@ fn run_with(
     metrics: &Arc<RuntimeMetrics>,
 ) -> RunStats {
     match config.mode {
-        ClockMode::Virtual => run_virtual(engine, latencies, workload, seed, stream, metrics),
+        ClockMode::Virtual => {
+            run_virtual(engine, latencies, workload, seed, stream, metrics, config.sink())
+        }
         ClockMode::Wall { dilation } => {
             run_wall(engine, latencies, workload, seed, stream, config, dilation, metrics)
         }
@@ -281,7 +319,7 @@ pub fn serve_schemble(
 ) -> ServeReport {
     let latencies: Vec<LatencyModel> = (0..ensemble.m()).map(|k| ensemble.latency(k)).collect();
     let metrics = Arc::new(RuntimeMetrics::new(latencies.len()));
-    let mut engine = SchembleEngine::new(ensemble, pipeline, workload);
+    let mut engine = SchembleEngine::new(ensemble, pipeline, workload).with_trace(config.sink());
     let run =
         run_with(&mut engine, latencies, workload, seed, "schemble-latency", config, &metrics);
     let stats = PipelineEngine::stats(&engine);
@@ -290,6 +328,7 @@ pub fn serve_schemble(
         summary: engine.into_summary(run.usage),
         stats,
         snapshot,
+        metrics,
         wall_secs: run.wall_secs,
         sim_secs: run.sim_secs,
     }
@@ -312,7 +351,8 @@ pub fn serve_immediate(
         deployment.hosts.iter().map(|&h| ensemble.latency(h)).collect();
     let metrics = Arc::new(RuntimeMetrics::new(latencies.len()));
     let mut engine =
-        ImmediateEngine::new(ensemble, deployment, policy, assembler, admission, workload);
+        ImmediateEngine::new(ensemble, deployment, policy, assembler, admission, workload)
+            .with_trace(config.sink());
     let run =
         run_with(&mut engine, latencies, workload, seed, "immediate-latency", config, &metrics);
     let stats = PipelineEngine::stats(&engine);
@@ -321,6 +361,7 @@ pub fn serve_immediate(
         summary: engine.into_summary(run.usage),
         stats,
         snapshot,
+        metrics,
         wall_secs: run.wall_secs,
         sim_secs: run.sim_secs,
     }

@@ -1,0 +1,190 @@
+//! The decision audit log: one NDJSON line per submitted query.
+//!
+//! Collapses a run's event stream into per-query decision records —
+//! admission verdict, chosen model subset, task count, outcome, completion
+//! time — with deterministic key order and query ordering, so two runs can
+//! be compared with a plain line diff (`schemble` vs a baseline, DES vs the
+//! serve runtime, before vs after a scheduler change).
+
+use crate::event::{set_members, AdmissionVerdict, TraceEvent};
+use schemble_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// The collapsed lifecycle of one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Query id.
+    pub query: u64,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Absolute deadline.
+    pub deadline: SimTime,
+    /// Admission verdict label (`buffered` / `fast-path` / `selected` /
+    /// `rejected`).
+    pub admission: &'static str,
+    /// Final model set: the assembled set for completed queries, the
+    /// selected set for rejected-after-selection ones, empty otherwise.
+    pub set: u32,
+    /// Tasks that started executing for this query.
+    pub tasks: u32,
+    /// Terminal outcome (`completed` / `rejected` / `expired` / `open`).
+    pub outcome: &'static str,
+    /// Completion instant for completed queries.
+    pub completion: Option<SimTime>,
+}
+
+impl AuditRecord {
+    /// The record as one NDJSON line (no trailing newline), keys in a fixed
+    /// order so equal decisions give byte-equal lines.
+    pub fn to_json_line(&self) -> String {
+        let completion = match self.completion {
+            Some(t) => t.as_micros().to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"query\":{},\"arrival_us\":{},\"deadline_us\":{},\"admission\":\"{}\",\"set\":{:?},\"models\":{},\"tasks\":{},\"outcome\":\"{}\",\"completion_us\":{}}}",
+            self.query,
+            self.arrival.as_micros(),
+            self.deadline.as_micros(),
+            self.admission,
+            set_members(self.set),
+            set_members(self.set).len(),
+            self.tasks,
+            self.outcome,
+            completion,
+        )
+    }
+}
+
+/// Collapses an event stream into per-query records, ordered by query id.
+pub fn audit_records(events: &[TraceEvent]) -> Vec<AuditRecord> {
+    let mut records: BTreeMap<u64, AuditRecord> = BTreeMap::new();
+    for ev in events {
+        match *ev {
+            TraceEvent::Arrival { t, query, deadline } => {
+                records.entry(query).or_insert(AuditRecord {
+                    query,
+                    arrival: t,
+                    deadline,
+                    admission: "buffered",
+                    set: 0,
+                    tasks: 0,
+                    outcome: "open",
+                    completion: None,
+                });
+            }
+            TraceEvent::Admission { query, verdict, .. } => {
+                if let Some(r) = records.get_mut(&query) {
+                    match verdict {
+                        AdmissionVerdict::Buffered => r.admission = "buffered",
+                        AdmissionVerdict::FastPath { .. } => r.admission = "fast-path",
+                        AdmissionVerdict::Selected { set } => {
+                            r.admission = "selected";
+                            r.set = set;
+                        }
+                        AdmissionVerdict::Rejected => {
+                            r.admission = "rejected";
+                            r.outcome = "rejected";
+                        }
+                    }
+                }
+            }
+            TraceEvent::TaskStart { query, .. } => {
+                if let Some(r) = records.get_mut(&query) {
+                    r.tasks += 1;
+                }
+            }
+            TraceEvent::QueryDone { t, query, set } => {
+                if let Some(r) = records.get_mut(&query) {
+                    r.outcome = "completed";
+                    r.set = set;
+                    r.completion = Some(t);
+                }
+            }
+            TraceEvent::QueryExpired { query, .. } => {
+                if let Some(r) = records.get_mut(&query) {
+                    r.outcome = "expired";
+                }
+            }
+            TraceEvent::Plan { .. }
+            | TraceEvent::TaskEnqueue { .. }
+            | TraceEvent::TaskDone { .. } => {}
+        }
+    }
+    records.into_values().collect()
+}
+
+/// The audit log as NDJSON: one line per submitted query, ordered by id.
+pub fn audit_ndjson(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for record in audit_records(events) {
+        out.push_str(&record.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_ndjson;
+    use schemble_sim::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn lifecycle() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Arrival { t: at(0), query: 3, deadline: at(100) },
+            TraceEvent::Admission { t: at(0), query: 3, verdict: AdmissionVerdict::Buffered },
+            TraceEvent::Arrival { t: at(1), query: 1, deadline: at(40) },
+            TraceEvent::Admission { t: at(1), query: 1, verdict: AdmissionVerdict::Rejected },
+            TraceEvent::Plan {
+                t: at(1),
+                buffer: 1,
+                scheduled: 1,
+                work: 4,
+                cost: SimDuration::ZERO,
+            },
+            TraceEvent::TaskStart { t: at(2), query: 3, executor: 0 },
+            TraceEvent::TaskStart { t: at(2), query: 3, executor: 2 },
+            TraceEvent::TaskDone { t: at(9), query: 3, executor: 0 },
+            TraceEvent::TaskDone { t: at(12), query: 3, executor: 2 },
+            TraceEvent::QueryDone { t: at(12), query: 3, set: 0b101 },
+        ]
+    }
+
+    #[test]
+    fn one_record_per_query_in_id_order() {
+        let records = audit_records(&lifecycle());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].query, 1);
+        assert_eq!(records[0].outcome, "rejected");
+        assert_eq!(records[1].query, 3);
+        assert_eq!(records[1].outcome, "completed");
+        assert_eq!(records[1].set, 0b101);
+        assert_eq!(records[1].tasks, 2);
+        assert_eq!(records[1].completion, Some(at(12)));
+    }
+
+    #[test]
+    fn ndjson_is_valid_and_line_count_matches_queries() {
+        let log = audit_ndjson(&lifecycle());
+        validate_ndjson(&log).expect("audit lines must parse");
+        assert_eq!(log.lines().count(), 2);
+        assert!(log.contains("\"set\":[0, 2]"));
+    }
+
+    #[test]
+    fn expiry_without_completion_stays_expired() {
+        let events = vec![
+            TraceEvent::Arrival { t: at(0), query: 9, deadline: at(5) },
+            TraceEvent::QueryExpired { t: at(6), query: 9 },
+        ];
+        let records = audit_records(&events);
+        assert_eq!(records[0].outcome, "expired");
+        assert_eq!(records[0].completion, None);
+        assert!(records[0].to_json_line().ends_with("\"completion_us\":null}"));
+    }
+}

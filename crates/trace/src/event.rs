@@ -1,0 +1,181 @@
+//! The trace event vocabulary: one span-able event per step of a query's
+//! lifecycle, timestamped in **backend time** ([`SimTime`] — virtual time in
+//! the DES, dilated simulated time in the wall-clock runtime), so traces
+//! from both substrates are directly comparable.
+//!
+//! Events are deliberately `Copy` and free of wall-clock measurements: a
+//! virtual-clock serve run and a DES pipeline run over the same seeded
+//! trace produce *identical* event streams (the `trace_export` integration
+//! test pins this). Anything timing-dependent — the scheduler's real
+//! planning time — lives in [`crate::sink::PlanningProfile`] instead.
+
+use schemble_sim::{SimDuration, SimTime};
+
+/// What admission control decided when a query arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// Buffered for planning (the Schemble pipeline's deferred decision).
+    Buffered,
+    /// §VIII fast path: dispatched straight to an idle executor, bypassing
+    /// the predictor and the scheduler.
+    FastPath {
+        /// The executor it ran on.
+        executor: u16,
+    },
+    /// An immediate-selection policy chose this model subset at arrival.
+    Selected {
+        /// Chosen subset as a [`ModelSet`](schemble_models) bit mask.
+        set: u32,
+    },
+    /// Refused at arrival (estimated completion past the deadline).
+    Rejected,
+}
+
+/// One event in a query's lifecycle or the scheduler's own activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A query arrived at the pipeline.
+    Arrival {
+        /// Event time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// The query's absolute deadline.
+        deadline: SimTime,
+    },
+    /// Admission control decided the query's fate at arrival.
+    Admission {
+        /// Event time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// The decision.
+        verdict: AdmissionVerdict,
+    },
+    /// The buffer scheduler produced a plan (one DP/greedy invocation).
+    Plan {
+        /// Event time (plan input instant).
+        t: SimTime,
+        /// Queries in the unstarted buffer the plan covered.
+        buffer: u32,
+        /// How many of them received a non-empty model set.
+        scheduled: u32,
+        /// Abstract work units the scheduler consumed.
+        work: u64,
+        /// Simulated scheduling cost charged before the plan takes effect.
+        cost: SimDuration,
+    },
+    /// A task joined an executor's FIFO backlog (immediate pipelines).
+    TaskEnqueue {
+        /// Event time.
+        t: SimTime,
+        /// Query the task belongs to.
+        query: u64,
+        /// Executor index.
+        executor: u16,
+    },
+    /// A task began executing on an executor.
+    TaskStart {
+        /// Event time.
+        t: SimTime,
+        /// Query the task belongs to.
+        query: u64,
+        /// Executor index.
+        executor: u16,
+    },
+    /// A task finished executing.
+    TaskDone {
+        /// Event time.
+        t: SimTime,
+        /// Query the task belongs to.
+        query: u64,
+        /// Executor index.
+        executor: u16,
+    },
+    /// The query completed with a result assembled over `set`.
+    QueryDone {
+        /// Event time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// The (possibly shrunk) model set the result was assembled from.
+        set: u32,
+    },
+    /// The query was dropped after admission (deadline passed before any
+    /// task started, or end of trace).
+    QueryExpired {
+        /// Event time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp in backend time.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::Arrival { t, .. }
+            | TraceEvent::Admission { t, .. }
+            | TraceEvent::Plan { t, .. }
+            | TraceEvent::TaskEnqueue { t, .. }
+            | TraceEvent::TaskStart { t, .. }
+            | TraceEvent::TaskDone { t, .. }
+            | TraceEvent::QueryDone { t, .. }
+            | TraceEvent::QueryExpired { t, .. } => t,
+        }
+    }
+
+    /// The query the event concerns, if it is query-scoped.
+    pub fn query(&self) -> Option<u64> {
+        match *self {
+            TraceEvent::Arrival { query, .. }
+            | TraceEvent::Admission { query, .. }
+            | TraceEvent::TaskEnqueue { query, .. }
+            | TraceEvent::TaskStart { query, .. }
+            | TraceEvent::TaskDone { query, .. }
+            | TraceEvent::QueryDone { query, .. }
+            | TraceEvent::QueryExpired { query, .. } => Some(query),
+            TraceEvent::Plan { .. } => None,
+        }
+    }
+}
+
+/// Model indices contained in a `ModelSet` bit mask (ascending).
+pub fn set_members(mask: u32) -> Vec<u16> {
+    (0..32).filter(|k| mask & (1 << k) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let t = SimTime::from_millis(5);
+        let events = [
+            TraceEvent::Arrival { t, query: 1, deadline: SimTime::from_millis(9) },
+            TraceEvent::Admission { t, query: 1, verdict: AdmissionVerdict::Buffered },
+            TraceEvent::Plan { t, buffer: 2, scheduled: 1, work: 10, cost: SimDuration::ZERO },
+            TraceEvent::TaskEnqueue { t, query: 1, executor: 0 },
+            TraceEvent::TaskStart { t, query: 1, executor: 0 },
+            TraceEvent::TaskDone { t, query: 1, executor: 0 },
+            TraceEvent::QueryDone { t, query: 1, set: 0b101 },
+            TraceEvent::QueryExpired { t, query: 1 },
+        ];
+        for ev in events {
+            assert_eq!(ev.time(), t);
+            match ev {
+                TraceEvent::Plan { .. } => assert_eq!(ev.query(), None),
+                _ => assert_eq!(ev.query(), Some(1)),
+            }
+        }
+    }
+
+    #[test]
+    fn set_members_decodes_masks() {
+        assert_eq!(set_members(0), Vec::<u16>::new());
+        assert_eq!(set_members(0b101), vec![0, 2]);
+        assert_eq!(set_members(0b110), vec![1, 2]);
+    }
+}

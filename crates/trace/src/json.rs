@@ -1,0 +1,257 @@
+//! A minimal JSON syntax validator (RFC 8259 grammar, no value tree).
+//!
+//! The exporters in this crate hand-build their JSON; this validator is the
+//! independent check that what they emit actually parses — used by the
+//! exporter unit tests, the `trace_export` integration test and the CI
+//! exporter smoke step, without pulling a JSON dependency into the
+//! workspace.
+
+/// Checks that `input` is exactly one valid JSON value (with surrounding
+/// whitespace allowed). Returns the byte offset of the first error.
+pub fn validate(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+/// Validates newline-delimited JSON: every non-empty line is one value.
+pub fn validate_ndjson(input: &str) -> Result<(), String> {
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn fail(pos: usize, what: &str) -> Result<(), String> {
+    Err(format!("{what} at byte {pos}"))
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+        _ => fail(*pos, "expected a JSON value"),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        fail(*pos, "bad literal")
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return fail(*pos, "expected object key");
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return fail(*pos, "expected ':'");
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return fail(*pos, "expected ',' or '}'"),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return fail(*pos, "expected ',' or ']'"),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return fail(*pos, "bad \\u escape");
+                        }
+                        *pos += 5;
+                    }
+                    _ => return fail(*pos, "bad escape"),
+                }
+            }
+            0x00..=0x1f => return fail(*pos, "unescaped control character"),
+            _ => *pos += 1,
+        }
+    }
+    fail(*pos, "unterminated string")
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+        }
+        _ => return fail(start, "bad number"),
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return fail(*pos, "digits must follow '.'");
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return fail(*pos, "digits must follow exponent");
+        }
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_values() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            " { \"a\" : [1, -2.5, 3e4, \"x\\n\", {\"b\": null}] } ",
+            "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0.5}]}",
+            "\"\\u00e9\"",
+            "-0.25",
+        ] {
+            assert!(validate(ok).is_ok(), "rejected valid JSON: {ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{'a':1}",
+            "01",
+            "1.",
+            "nul",
+            "\"abc",
+            "{}extra",
+            "{\"a\":1 \"b\":2}",
+        ] {
+            assert!(validate(bad).is_err(), "accepted invalid JSON: {bad}");
+        }
+    }
+
+    #[test]
+    fn ndjson_checks_each_line() {
+        assert!(validate_ndjson("{\"a\":1}\n{\"b\":2}\n").is_ok());
+        let err = validate_ndjson("{\"a\":1}\n{broken\n").unwrap_err();
+        assert!(err.starts_with("line 2"), "err: {err}");
+    }
+
+    #[test]
+    fn escape_round_trips_through_validator() {
+        let tricky = "a\"b\\c\nd\te\u{1}";
+        let doc = format!("{{\"k\":\"{}\"}}", escape(tricky));
+        assert!(validate(&doc).is_ok(), "doc: {doc}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Prometheus text-exposition exporter.
+//!
+//! Renders the runtime's lock-light metrics ([`RuntimeMetrics`] counters,
+//! per-executor gauges, the latency histogram) and the scheduler's
+//! self-profile ([`PlanningProfile`]) in the Prometheus text format
+//! (version 0.0.4), hand-rolled like the rest of the workspace's exporters.
+//! Histograms emit cumulative `le` buckets at the log-spaced bucket edges
+//! that actually hold observations, plus the mandatory `+Inf`/`_sum`/
+//! `_count` series.
+
+use crate::sink::PlanningProfile;
+use schemble_metrics::{LatencyHistogram, RuntimeMetrics};
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering::Relaxed;
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn histogram(out: &mut String, name: &str, help: &str, hist: &LatencyHistogram) {
+    family(out, name, "histogram", help);
+    let total = hist.count();
+    for (upper, cumulative) in hist.cumulative_buckets() {
+        let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+    let _ = writeln!(out, "{name}_sum {}", hist.sum_secs());
+    let _ = writeln!(out, "{name}_count {total}");
+}
+
+/// Renders `metrics` (and, when given, the scheduler self-profile) as a
+/// Prometheus text exposition. `elapsed_secs` is the run's elapsed backend
+/// time, used for utilisation.
+pub fn prometheus_text(
+    metrics: &RuntimeMetrics,
+    elapsed_secs: f64,
+    planning: Option<&PlanningProfile>,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    let c = &metrics.counters;
+    for (name, help, value) in [
+        (
+            "schemble_queries_submitted_total",
+            "Queries handed to the pipeline.",
+            c.submitted.load(Relaxed),
+        ),
+        (
+            "schemble_queries_completed_total",
+            "Queries completed with a result.",
+            c.completed.load(Relaxed),
+        ),
+        (
+            "schemble_queries_rejected_total",
+            "Queries refused at arrival.",
+            c.rejected.load(Relaxed),
+        ),
+        (
+            "schemble_queries_expired_total",
+            "Queries dropped after admission.",
+            c.expired.load(Relaxed),
+        ),
+        (
+            "schemble_tasks_started_total",
+            "Tasks started on executors.",
+            c.tasks_started.load(Relaxed),
+        ),
+        (
+            "schemble_tasks_completed_total",
+            "Tasks finished by executors.",
+            c.tasks_completed.load(Relaxed),
+        ),
+    ] {
+        family(&mut out, name, "counter", help);
+        let _ = writeln!(out, "{name} {value}");
+    }
+    family(&mut out, "schemble_queries_open", "gauge", "Queries submitted but not yet decided.");
+    let _ = writeln!(out, "schemble_queries_open {}", c.open());
+
+    family(
+        &mut out,
+        "schemble_executor_queue_depth",
+        "gauge",
+        "Tasks waiting in the executor's FIFO backlog.",
+    );
+    for (k, e) in metrics.executors.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "schemble_executor_queue_depth{{executor=\"{k}\"}} {}",
+            e.queue_depth.load(Relaxed)
+        );
+    }
+    family(
+        &mut out,
+        "schemble_executor_busy_seconds_total",
+        "counter",
+        "Cumulative busy time per executor.",
+    );
+    for (k, e) in metrics.executors.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "schemble_executor_busy_seconds_total{{executor=\"{k}\"}} {}",
+            e.busy_micros.load(Relaxed) as f64 / 1e6
+        );
+    }
+    family(&mut out, "schemble_executor_tasks_total", "counter", "Tasks completed per executor.");
+    for (k, e) in metrics.executors.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "schemble_executor_tasks_total{{executor=\"{k}\"}} {}",
+            e.tasks.load(Relaxed)
+        );
+    }
+    family(
+        &mut out,
+        "schemble_executor_utilization",
+        "gauge",
+        "Fraction of elapsed time the executor was busy.",
+    );
+    for (k, e) in metrics.executors.iter().enumerate() {
+        let util = if elapsed_secs > 0.0 {
+            (e.busy_micros.load(Relaxed) as f64 / 1e6 / elapsed_secs).min(1.0)
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "schemble_executor_utilization{{executor=\"{k}\"}} {util}");
+    }
+
+    histogram(
+        &mut out,
+        "schemble_query_latency_seconds",
+        "End-to-end latency of completed queries.",
+        &metrics.latency,
+    );
+
+    if let Some(p) = planning {
+        family(&mut out, "schemble_sched_plans_total", "counter", "Scheduler planning passes.");
+        let _ = writeln!(out, "schemble_sched_plans_total {}", p.plans.load(Relaxed));
+        family(
+            &mut out,
+            "schemble_sched_plan_work_units_total",
+            "counter",
+            "Abstract work units consumed by the scheduler.",
+        );
+        let _ =
+            writeln!(out, "schemble_sched_plan_work_units_total {}", p.work_units.load(Relaxed));
+        family(
+            &mut out,
+            "schemble_sched_plan_wall_seconds_total",
+            "counter",
+            "Wall-clock time spent planning.",
+        );
+        let _ = writeln!(
+            out,
+            "schemble_sched_plan_wall_seconds_total {}",
+            p.wall_nanos.load(Relaxed) as f64 / 1e9
+        );
+        histogram(
+            &mut out,
+            "schemble_sched_plan_seconds",
+            "Wall-clock duration of one scheduler planning pass.",
+            &p.hist,
+        );
+    }
+    out
+}
+
+/// Reconstructs [`RuntimeMetrics`] from a trace's event stream.
+///
+/// The DES pipeline drivers do not maintain live metrics (they have no
+/// observers); this derives the same counters, per-executor busy time and
+/// latency histogram from the trace, so `--metrics-out` works uniformly
+/// across `run`, `serve` and `loadtest`.
+pub fn metrics_from_events(
+    events: &[crate::event::TraceEvent],
+    executors: usize,
+) -> RuntimeMetrics {
+    use crate::event::{AdmissionVerdict, TraceEvent};
+    use std::collections::HashMap;
+
+    let metrics = RuntimeMetrics::new(executors);
+    let c = &metrics.counters;
+    let mut arrivals: HashMap<u64, schemble_sim::SimTime> = HashMap::new();
+    let mut running: HashMap<(u64, u16), schemble_sim::SimTime> = HashMap::new();
+    for ev in events {
+        match *ev {
+            TraceEvent::Arrival { t, query, .. } => {
+                c.submitted.fetch_add(1, Relaxed);
+                arrivals.insert(query, t);
+            }
+            TraceEvent::Admission { verdict: AdmissionVerdict::Rejected, .. } => {
+                c.rejected.fetch_add(1, Relaxed);
+            }
+            TraceEvent::Admission { .. }
+            | TraceEvent::Plan { .. }
+            | TraceEvent::TaskEnqueue { .. } => {}
+            TraceEvent::TaskStart { t, query, executor } => {
+                c.tasks_started.fetch_add(1, Relaxed);
+                running.insert((query, executor), t);
+            }
+            TraceEvent::TaskDone { t, query, executor } => {
+                c.tasks_completed.fetch_add(1, Relaxed);
+                if let Some(g) = metrics.executors.get(executor as usize) {
+                    g.tasks.fetch_add(1, Relaxed);
+                    if let Some(t0) = running.remove(&(query, executor)) {
+                        g.busy_micros.fetch_add((t - t0).as_micros(), Relaxed);
+                    }
+                }
+            }
+            TraceEvent::QueryDone { t, query, .. } => {
+                c.completed.fetch_add(1, Relaxed);
+                if let Some(t0) = arrivals.get(&query) {
+                    metrics.latency.record((t - *t0).as_secs_f64());
+                }
+            }
+            TraceEvent::QueryExpired { .. } => {
+                c.expired.fetch_add(1, Relaxed);
+            }
+        }
+    }
+    metrics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use schemble_sim::{SimDuration, SimTime};
+    use std::time::Duration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn exposition_contains_all_families_and_is_line_shaped() {
+        let metrics = RuntimeMetrics::new(2);
+        metrics.counters.submitted.fetch_add(10, Relaxed);
+        metrics.counters.completed.fetch_add(9, Relaxed);
+        metrics.latency.record(0.05);
+        let planning = PlanningProfile::default();
+        planning.record(40, Duration::from_micros(200));
+        let text = prometheus_text(&metrics, 2.0, Some(&planning));
+        for family in [
+            "schemble_queries_submitted_total 10",
+            "schemble_queries_completed_total 9",
+            "schemble_queries_open 1",
+            "schemble_executor_queue_depth{executor=\"1\"} 0",
+            "schemble_query_latency_seconds_count 1",
+            "schemble_query_latency_seconds_bucket{le=\"+Inf\"} 1",
+            "schemble_sched_plans_total 1",
+            "schemble_sched_plan_seconds_count 1",
+        ] {
+            assert!(text.contains(family), "missing: {family}\n{text}");
+        }
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.rsplitn(2, ' ').count(), 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn metrics_from_events_rebuilds_counters_and_busy_time() {
+        let events = vec![
+            TraceEvent::Arrival { t: at(0), query: 1, deadline: at(100) },
+            TraceEvent::TaskStart { t: at(1), query: 1, executor: 0 },
+            TraceEvent::TaskDone { t: at(21), query: 1, executor: 0 },
+            TraceEvent::QueryDone { t: at(21), query: 1, set: 1 },
+            TraceEvent::Arrival { t: at(2), query: 2, deadline: at(50) },
+            TraceEvent::QueryExpired { t: at(60), query: 2 },
+        ];
+        let m = metrics_from_events(&events, 1);
+        let c = &m.counters;
+        assert_eq!(c.submitted.load(Relaxed), 2);
+        assert_eq!(c.completed.load(Relaxed), 1);
+        assert_eq!(c.expired.load(Relaxed), 1);
+        assert_eq!(c.open(), 0);
+        assert_eq!(m.executors[0].busy_micros.load(Relaxed), 20_000);
+        assert_eq!(m.latency.count(), 1);
+        let _ = SimDuration::ZERO;
+    }
+}

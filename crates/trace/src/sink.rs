@@ -1,0 +1,199 @@
+//! The trace sink: a bounded, lock-light event buffer plus the scheduler's
+//! always-on self-profile.
+//!
+//! Emission is gated by one relaxed atomic load ([`TraceSink::is_enabled`]),
+//! so a disabled sink costs the hot path a single branch. Enabled emission
+//! takes a short mutex on the ring buffer — every emitter in both runtimes
+//! (engine decisions, backend task events) runs on the scheduler thread, so
+//! the lock is effectively uncontended; it exists so observer threads can
+//! snapshot safely. When the buffer is full, *new* events are dropped and
+//! counted ([`TraceSink::dropped`]) rather than evicting history — a
+//! truncated trace with an honest drop count beats a silently rewritten one.
+
+use crate::event::TraceEvent;
+use schemble_metrics::LatencyHistogram;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default ring-buffer capacity (events).
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// The scheduler's self-profile: how long planning actually takes.
+///
+/// Recorded on **every** plan regardless of whether event tracing is
+/// enabled — the paper's Sec. VI scheduling-overhead measurement as a
+/// first-class metric. All fields are relaxed atomics; recording is a
+/// wall-clock measurement and never feeds back into decisions.
+#[derive(Debug, Default)]
+pub struct PlanningProfile {
+    /// Plans produced.
+    pub plans: AtomicU64,
+    /// Total abstract work units consumed across plans.
+    pub work_units: AtomicU64,
+    /// Total wall-clock nanoseconds spent planning.
+    pub wall_nanos: AtomicU64,
+    /// Wall-clock planning-time histogram, in seconds.
+    pub hist: LatencyHistogram,
+}
+
+impl PlanningProfile {
+    /// Records one planning pass: its abstract work and real duration.
+    pub fn record(&self, work: u64, wall: Duration) {
+        self.plans.fetch_add(1, Relaxed);
+        self.work_units.fetch_add(work, Relaxed);
+        self.wall_nanos.fetch_add(wall.as_nanos() as u64, Relaxed);
+        self.hist.record(wall.as_secs_f64());
+    }
+
+    /// Mean wall-clock planning time in seconds, if any plan ran.
+    pub fn mean_secs(&self) -> Option<f64> {
+        let n = self.plans.load(Relaxed);
+        (n > 0).then(|| self.wall_nanos.load(Relaxed) as f64 / 1e9 / n as f64)
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+}
+
+/// The shared event sink engines and backends emit into.
+#[derive(Debug)]
+pub struct TraceSink {
+    enabled: AtomicBool,
+    ring: Mutex<Ring>,
+    dropped: AtomicU64,
+    /// Scheduler self-profiling (always on).
+    pub planning: PlanningProfile,
+}
+
+impl TraceSink {
+    /// An enabled sink bounded at `capacity` events.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            enabled: AtomicBool::new(true),
+            ring: Mutex::new(Ring { events: Vec::new(), capacity: capacity.max(1) }),
+            dropped: AtomicU64::new(0),
+            planning: PlanningProfile::default(),
+        })
+    }
+
+    /// An enabled sink at the default capacity.
+    pub fn enabled() -> Arc<Self> {
+        Self::new(DEFAULT_CAPACITY)
+    }
+
+    /// A disabled sink: emission is a no-op (one atomic load), planning
+    /// self-profiling still records. The default for untraced runs.
+    pub fn disabled() -> Arc<Self> {
+        let sink = Self::new(1);
+        sink.enabled.store(false, Relaxed);
+        sink
+    }
+
+    /// True when event emission is on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Turns event emission on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    /// Records one event (no-op while disabled; counted-drop when full).
+    #[inline]
+    pub fn emit(&self, event: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        if ring.events.len() >= ring.capacity {
+            drop(ring);
+            self.dropped.fetch_add(1, Relaxed);
+            return;
+        }
+        ring.events.push(event);
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring poisoned").events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes every buffered event, leaving the sink empty.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.ring.lock().expect("trace ring poisoned").events)
+    }
+
+    /// A copy of the buffered events (the run can keep going).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.ring.lock().expect("trace ring poisoned").events.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schemble_sim::SimTime;
+
+    fn arrival(q: u64) -> TraceEvent {
+        TraceEvent::Arrival { t: SimTime::from_millis(q), query: q, deadline: SimTime::ZERO }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        sink.emit(arrival(1));
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_new_events_with_a_count() {
+        let sink = TraceSink::new(2);
+        for q in 0..5 {
+            sink.emit(arrival(q));
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        let events = sink.drain();
+        assert_eq!(events, vec![arrival(0), arrival(1)]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn planning_profile_accumulates_even_when_disabled() {
+        let sink = TraceSink::disabled();
+        sink.planning.record(100, Duration::from_micros(250));
+        sink.planning.record(300, Duration::from_micros(750));
+        assert_eq!(sink.planning.plans.load(Relaxed), 2);
+        assert_eq!(sink.planning.work_units.load(Relaxed), 400);
+        let mean = sink.planning.mean_secs().expect("two plans recorded");
+        assert!((mean - 500e-6).abs() < 1e-9, "mean {mean}");
+        assert_eq!(sink.planning.hist.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_preserves_buffer_drain_clears_it() {
+        let sink = TraceSink::enabled();
+        sink.emit(arrival(7));
+        assert_eq!(sink.snapshot().len(), 1);
+        assert_eq!(sink.len(), 1, "snapshot must not consume");
+        assert_eq!(sink.drain().len(), 1);
+        assert!(sink.is_empty());
+    }
+}

@@ -12,13 +12,17 @@
 //! schemble loadtest --trace one-day --method schemble   # replay + DES check
 //! ```
 //!
+//! `run`, `serve` and `loadtest` accept `--trace-out` (Chrome trace-event
+//! JSON, open in Perfetto), `--metrics-out` (Prometheus text exposition)
+//! and `--audit-out` (NDJSON scheduler decision audit log).
+//!
 //! Argument parsing is hand-rolled to keep the dependency set at the
 //! approved offline crates.
 
-use schemble::baselines::{run_baseline, train_des, train_gating, BaselineKind};
+use schemble::baselines::{run_baseline_traced, train_des, train_gating, BaselineKind};
 use schemble::core::artifacts::SchembleArtifacts;
 use schemble::core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
-use schemble::core::pipeline::schemble::{run_schemble, SchembleConfig};
+use schemble::core::pipeline::schemble::{run_schemble_traced, SchembleConfig};
 use schemble::core::pipeline::{
     best_static_deployment, AdmissionMode, Deployment, FixedSubsetPolicy, FullEnsemblePolicy,
     ResultAssembler,
@@ -26,9 +30,14 @@ use schemble::core::pipeline::{
 use schemble::core::predictor::OnlineScorer;
 use schemble::core::scheduler::{DpScheduler, QueueOrder};
 use schemble::data::TaskKind;
-use schemble::metrics::RunSummary;
+use schemble::metrics::{RunSummary, RuntimeMetrics};
 use schemble::serve::{serve_immediate, serve_schemble, ClockMode, ServeConfig, ServeReport};
+use schemble::trace::{
+    audit_ndjson, chrome_trace, metrics_from_events, prometheus_text, TraceEvent, TraceSink,
+};
 use std::process::ExitCode;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -67,6 +76,11 @@ options:
   --csv <PATH>        (run) write per-query records to a CSV file
   (--task defaults to tm, the paper's primary text-matching task)
 
+telemetry (run/serve/loadtest):
+  --trace-out <PATH>    write a Chrome trace-event JSON (open in Perfetto)
+  --metrics-out <PATH>  write a Prometheus text exposition
+  --audit-out <PATH>    write the per-query scheduler audit log (NDJSON)
+
 serve/loadtest options (methods: original|static|des|gating|schemble):
   --dilation <G>      simulated seconds per wall second
                       (serve default 1; loadtest default 20)
@@ -89,6 +103,16 @@ struct Cli {
     virtual_clock: bool,
     report_ms: Option<u64>,
     trace: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    audit_out: Option<String>,
+}
+
+impl Cli {
+    /// True when any telemetry export was requested.
+    fn wants_export(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.audit_out.is_some()
+    }
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -107,6 +131,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         virtual_clock: false,
         report_ms: None,
         trace: None,
+        trace_out: None,
+        metrics_out: None,
+        audit_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -145,6 +172,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     Some(take(&mut i)?.parse().map_err(|_| "bad --report-ms".to_string())?)
             }
             "--trace" => cli.trace = Some(take(&mut i)?.clone()),
+            "--trace-out" => cli.trace_out = Some(take(&mut i)?.clone()),
+            "--metrics-out" => cli.metrics_out = Some(take(&mut i)?.clone()),
+            "--audit-out" => cli.audit_out = Some(take(&mut i)?.clone()),
             "--virtual-clock" => cli.virtual_clock = true,
             "--diurnal" => cli.diurnal = true,
             "--force-all" => cli.force_all = true,
@@ -192,6 +222,7 @@ fn run_one(
     ctx: &mut ExperimentContext,
     method: &str,
     fast_path: bool,
+    sink: &Arc<TraceSink>,
 ) -> Result<RunSummary, String> {
     let workload = ctx.workload();
     let kind = match method {
@@ -206,7 +237,7 @@ fn run_one(
         _ => None,
     };
     if let Some(kind) = kind {
-        return Ok(ctx.run(kind, &workload));
+        return Ok(ctx.run_traced(kind, &workload, Arc::clone(sink)));
     }
     match method {
         "schemble" if fast_path => {
@@ -219,12 +250,18 @@ fn run_one(
             );
             config.admission = ctx.config.admission;
             config.fast_path = true;
-            Ok(run_schemble(&ctx.ensemble, &config, &workload, ctx.config.seed))
+            Ok(run_schemble_traced(
+                &ctx.ensemble,
+                &config,
+                &workload,
+                ctx.config.seed,
+                Arc::clone(sink),
+            ))
         }
-        "schemble" => Ok(ctx.run(PipelineKind::Schemble, &workload)),
+        "schemble" => Ok(ctx.run_traced(PipelineKind::Schemble, &workload, Arc::clone(sink))),
         "des" | "gating" => {
             let kind = if method == "des" { BaselineKind::Des } else { BaselineKind::Gating };
-            Ok(run_baseline(
+            Ok(run_baseline_traced(
                 kind,
                 &ctx.ensemble,
                 &ctx.generator,
@@ -232,14 +269,93 @@ fn run_one(
                 ctx.config.admission,
                 ctx.config.history_n,
                 ctx.config.seed,
+                Arc::clone(sink),
             ))
         }
         other => Err(format!("unknown method '{other}'")),
     }
 }
 
+/// Writes the requested telemetry exports from a finished run's sink.
+///
+/// For serve/loadtest the live [`RuntimeMetrics`] block is passed in; for
+/// DES runs (no live metrics) the counters, gauges and latency histogram
+/// are reconstructed from the trace itself. Backend elapsed time falls
+/// back to the last event's timestamp when the caller has no report.
+fn export_telemetry(
+    cli: &Cli,
+    sink: &TraceSink,
+    label: &str,
+    executors: usize,
+    sim_secs: Option<f64>,
+    metrics: Option<&RuntimeMetrics>,
+) -> Result<(), String> {
+    if !cli.wants_export() {
+        return Ok(());
+    }
+    let events = sink.snapshot();
+    if sink.dropped() > 0 {
+        eprintln!("warning: trace ring dropped {} events; exports are truncated", sink.dropped());
+    }
+    // Metadata thread naming covers every executor that appears in the
+    // trace even when the deployment has more instances than base models.
+    let executors = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::TaskEnqueue { executor, .. }
+            | TraceEvent::TaskStart { executor, .. }
+            | TraceEvent::TaskDone { executor, .. } => Some(*executor as usize + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+        .max(executors);
+    let write = |path: &str, contents: &str| -> Result<(), String> {
+        std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+    };
+    if let Some(path) = &cli.trace_out {
+        write(path, &chrome_trace(&events, executors, label))?;
+        println!("  wrote Chrome trace ({} events) to {path}", events.len());
+    }
+    if let Some(path) = &cli.audit_out {
+        let log = audit_ndjson(&events);
+        println!("  wrote audit log ({} queries) to {path}", log.lines().count());
+        write(path, &log)?;
+    }
+    if let Some(path) = &cli.metrics_out {
+        let elapsed = sim_secs.unwrap_or_else(|| {
+            events.iter().map(|e| e.time()).max().map_or(0.0, |t| t.as_secs_f64())
+        });
+        let derived;
+        let m = match metrics {
+            Some(m) => m,
+            None => {
+                derived = metrics_from_events(&events, executors);
+                &derived
+            }
+        };
+        write(path, &prometheus_text(m, elapsed, Some(&sink.planning)))?;
+        println!("  wrote metrics exposition to {path}");
+    }
+    Ok(())
+}
+
+/// Prints the scheduler's self-profile when at least one plan ran.
+fn print_planning(sink: &TraceSink) {
+    let p = &sink.planning;
+    let n = p.plans.load(Relaxed);
+    let Some(mean) = p.mean_secs() else { return };
+    let p95 = p.hist.quantile(0.95).unwrap_or(mean);
+    println!(
+        "  scheduler: {n} plans, mean {:.1} us, p95 {:.1} us, {} work units planned",
+        mean * 1e6,
+        p95 * 1e6,
+        p.work_units.load(Relaxed)
+    );
+}
+
 /// Builds the runtime configuration from the CLI flags.
-fn serve_config(cli: &Cli, default_dilation: f64) -> ServeConfig {
+fn serve_config(cli: &Cli, default_dilation: f64, sink: &Arc<TraceSink>) -> ServeConfig {
     ServeConfig {
         mode: if cli.virtual_clock {
             ClockMode::Virtual
@@ -247,6 +363,7 @@ fn serve_config(cli: &Cli, default_dilation: f64) -> ServeConfig {
             ClockMode::Wall { dilation: cli.dilation.unwrap_or(default_dilation) }
         },
         report_every: cli.report_ms.map(Duration::from_millis),
+        trace: Some(Arc::clone(sink)),
         ..ServeConfig::default()
     }
 }
@@ -257,11 +374,12 @@ fn serve_one(
     method: &str,
     cli: &Cli,
     default_dilation: f64,
+    sink: &Arc<TraceSink>,
 ) -> Result<ServeReport, String> {
     let workload = ctx.workload();
     let seed = ctx.config.seed;
     let admission = ctx.config.admission;
-    let scfg = serve_config(cli, default_dilation);
+    let scfg = serve_config(cli, default_dilation, sink);
     let m = ctx.ensemble.m();
     match method {
         "schemble" => {
@@ -362,22 +480,33 @@ fn run(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown trace '{other}'")),
         }
     }
+    if cli.wants_export() && !matches!(command.as_str(), "run" | "serve" | "loadtest") {
+        return Err(
+            "--trace-out/--metrics-out/--audit-out require run, serve or loadtest".to_string()
+        );
+    }
+    // Event emission is armed only when an export was requested; the
+    // planning self-profile records either way. Tracing never changes a
+    // scheduling decision (events carry backend time only).
+    let sink = TraceSink::enabled();
+    sink.set_enabled(cli.wants_export());
     let mut ctx = context_for(&cli);
     match command.as_str() {
         "run" => {
             let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
-            let summary = run_one(&mut ctx, &method, cli.fast_path)?;
+            let summary = run_one(&mut ctx, &method, cli.fast_path, &sink)?;
             print_summary(&method, &summary);
+            print_planning(&sink);
             if let Some(path) = &cli.csv {
                 schemble::metrics::write_csv(std::path::Path::new(path), summary.records())
                     .map_err(|e| format!("writing {path}: {e}"))?;
                 println!("wrote {} records to {path}", summary.len());
             }
-            Ok(())
+            export_telemetry(&cli, &sink, &method, ctx.ensemble.m(), None, None)
         }
         "compare" => {
             for method in ["original", "static", "des", "gating", "schemble-ea", "schemble"] {
-                let summary = run_one(&mut ctx, method, cli.fast_path)?;
+                let summary = run_one(&mut ctx, method, cli.fast_path, &TraceSink::disabled())?;
                 print_summary(method, &summary);
             }
             Ok(())
@@ -413,9 +542,17 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "serve" => {
             let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
-            let report = serve_one(&mut ctx, &method, &cli, 1.0)?;
+            let report = serve_one(&mut ctx, &method, &cli, 1.0, &sink)?;
             print_report(&method, &report, cli.virtual_clock);
-            Ok(())
+            print_planning(&sink);
+            export_telemetry(
+                &cli,
+                &sink,
+                &method,
+                report.metrics.executors.len(),
+                Some(report.sim_secs),
+                Some(&report.metrics),
+            )
         }
         "loadtest" => {
             let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
@@ -424,12 +561,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 "loadtest: replaying the {trace} trace ({} queries) through '{method}'",
                 cli.queries
             );
-            let report = serve_one(&mut ctx, &method, &cli, 20.0)?;
+            let report = serve_one(&mut ctx, &method, &cli, 20.0, &sink)?;
             print_report(&method, &report, cli.virtual_clock);
+            print_planning(&sink);
+            export_telemetry(
+                &cli,
+                &sink,
+                &method,
+                report.metrics.executors.len(),
+                Some(report.sim_secs),
+                Some(&report.metrics),
+            )?;
             // Cross-check against the discrete-event simulator on the same
             // seeded trace: under --virtual-clock the counts must coincide
             // exactly; in wall-clock mode small timing drift is expected.
-            let des = run_one(&mut ctx, &method, cli.fast_path)?;
+            // The reference run gets a disabled sink so the exports above
+            // describe only the runtime run.
+            let des = run_one(&mut ctx, &method, cli.fast_path, &TraceSink::disabled())?;
             print_summary("des-reference", &des);
             let missed = |s: &RunSummary| {
                 s.records()

@@ -20,6 +20,8 @@
 //! * [`serve`] — wall-clock multi-threaded serving runtime (worker threads,
 //!   trace-replay load generator, live re-planning scheduler loop).
 //! * [`metrics`] — accuracy / deadline-miss-rate / latency evaluation.
+//! * [`trace`] — query lifecycle tracing, scheduler audit log, and the
+//!   Chrome-trace / Prometheus / NDJSON exporters.
 //!
 //! ## Quickstart
 //!
@@ -41,3 +43,4 @@ pub use schemble_nn as nn;
 pub use schemble_serve as serve;
 pub use schemble_sim as sim;
 pub use schemble_tensor as tensor;
+pub use schemble_trace as trace;

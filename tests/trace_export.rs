@@ -1,0 +1,194 @@
+//! End-to-end tests for the tracing subsystem and its exporters.
+//!
+//! The contract under test: (1) enabling tracing changes no scheduling
+//! decision; (2) a DES run and a virtual-clock serve run on the same
+//! seeded trace emit the *identical* event stream, so their audit logs and
+//! Chrome traces are byte-equal; (3) every query round-trips through the
+//! trace — one audit record per submitted query, every started task span
+//! closed; (4) all three export formats are well-formed.
+
+use schemble::core::experiment::{ExperimentConfig, ExperimentContext, Traffic};
+use schemble::core::pipeline::schemble::{run_schemble, run_schemble_traced, SchembleConfig};
+use schemble::core::predictor::OnlineScorer;
+use schemble::core::scheduler::DpScheduler;
+use schemble::data::TaskKind;
+use schemble::serve::{serve_schemble, ClockMode, ServeConfig};
+use schemble::trace::{
+    audit_ndjson, audit_records, chrome_trace, complete_task_spans, json, metrics_from_events,
+    prometheus_text, TraceEvent, TraceSink,
+};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+fn context(n_queries: usize) -> ExperimentContext {
+    let mut config = ExperimentConfig::paper_default(TaskKind::TextMatching, 42);
+    config.n_queries = n_queries;
+    config.traffic = Traffic::Diurnal { day_secs: n_queries as f64 / 15.0 };
+    ExperimentContext::new(config)
+}
+
+fn schemble_config(ctx: &mut ExperimentContext) -> SchembleConfig {
+    let art = ctx.artifacts().clone();
+    let mut config = SchembleConfig::new(
+        Box::new(DpScheduler::default()),
+        OnlineScorer::Predictor(art.predictor),
+        art.profile,
+    );
+    config.admission = ctx.config.admission;
+    config
+}
+
+#[test]
+fn tracing_changes_no_scheduling_decision() {
+    let mut ctx = context(400);
+    let workload = ctx.workload();
+    let seed = ctx.config.seed;
+
+    let untraced_cfg = schemble_config(&mut ctx);
+    let untraced = run_schemble(&ctx.ensemble, &untraced_cfg, &workload, seed);
+
+    let sink = TraceSink::enabled();
+    let traced_cfg = schemble_config(&mut ctx);
+    let traced =
+        run_schemble_traced(&ctx.ensemble, &traced_cfg, &workload, seed, Arc::clone(&sink));
+
+    assert_eq!(
+        traced.records(),
+        untraced.records(),
+        "an enabled sink must not perturb any per-query decision"
+    );
+    assert!(!sink.is_empty(), "the traced run actually emitted events");
+    assert_eq!(sink.dropped(), 0);
+}
+
+#[test]
+fn des_and_virtual_serve_emit_identical_traces() {
+    let mut ctx = context(400);
+    let workload = ctx.workload();
+    let seed = ctx.config.seed;
+    let m = ctx.ensemble.m();
+
+    let des_sink = TraceSink::enabled();
+    let des_cfg = schemble_config(&mut ctx);
+    let des = run_schemble_traced(&ctx.ensemble, &des_cfg, &workload, seed, Arc::clone(&des_sink));
+
+    let serve_sink = TraceSink::enabled();
+    let serve_cfg = ServeConfig {
+        mode: ClockMode::Virtual,
+        trace: Some(Arc::clone(&serve_sink)),
+        ..ServeConfig::default()
+    };
+    let runtime_cfg = schemble_config(&mut ctx);
+    let report = serve_schemble(&ctx.ensemble, &runtime_cfg, &workload, seed, &serve_cfg);
+    assert_eq!(report.summary.records(), des.records());
+
+    let des_events = des_sink.drain();
+    let serve_events = serve_sink.drain();
+    assert_eq!(
+        des_events, serve_events,
+        "DES and virtual-clock serve must emit the identical event stream"
+    );
+    assert_eq!(
+        audit_ndjson(&des_events),
+        audit_ndjson(&serve_events),
+        "audit decision sequences must match byte-for-byte"
+    );
+    assert_eq!(
+        chrome_trace(&des_events, m, "schemble"),
+        chrome_trace(&serve_events, m, "schemble")
+    );
+}
+
+#[test]
+fn serve_trace_round_trips_every_submitted_query() {
+    let mut ctx = context(400);
+    let workload = ctx.workload();
+    let seed = ctx.config.seed;
+
+    let sink = TraceSink::enabled();
+    let serve_cfg = ServeConfig {
+        mode: ClockMode::Virtual,
+        trace: Some(Arc::clone(&sink)),
+        ..ServeConfig::default()
+    };
+    let cfg = schemble_config(&mut ctx);
+    let report = serve_schemble(&ctx.ensemble, &cfg, &workload, seed, &serve_cfg);
+    let events = sink.drain();
+
+    // One audit record per submitted query, in query order.
+    let records = audit_records(&events);
+    assert_eq!(records.len() as u64, report.stats.submitted, "one audit record per query");
+    for w in records.windows(2) {
+        assert!(w[0].query < w[1].query, "audit records sorted by query id");
+    }
+
+    // Every started task closed its span.
+    let starts = events.iter().filter(|e| matches!(e, TraceEvent::TaskStart { .. })).count() as u64;
+    let spans: u64 = complete_task_spans(&events).values().map(|&n| n as u64).sum();
+    assert_eq!(spans, starts, "every TaskStart has a matching TaskDone");
+    assert_eq!(starts, report.metrics.counters.tasks_started.load(Relaxed));
+
+    // Trace counters reproduce the runtime's live counters exactly.
+    let derived = metrics_from_events(&events, report.metrics.executors.len());
+    for (name, a, b) in [
+        ("submitted", &derived.counters.submitted, &report.metrics.counters.submitted),
+        ("completed", &derived.counters.completed, &report.metrics.counters.completed),
+        ("rejected", &derived.counters.rejected, &report.metrics.counters.rejected),
+        ("expired", &derived.counters.expired, &report.metrics.counters.expired),
+        ("tasks_started", &derived.counters.tasks_started, &report.metrics.counters.tasks_started),
+        (
+            "tasks_completed",
+            &derived.counters.tasks_completed,
+            &report.metrics.counters.tasks_completed,
+        ),
+    ] {
+        assert_eq!(a.load(Relaxed), b.load(Relaxed), "derived {name} diverges from live counter");
+    }
+    assert_eq!(derived.latency.count(), report.metrics.latency.count());
+}
+
+#[test]
+fn exports_are_well_formed() {
+    let mut ctx = context(300);
+    let workload = ctx.workload();
+    let seed = ctx.config.seed;
+    let m = ctx.ensemble.m();
+
+    let sink = TraceSink::enabled();
+    let serve_cfg = ServeConfig {
+        mode: ClockMode::Virtual,
+        trace: Some(Arc::clone(&sink)),
+        ..ServeConfig::default()
+    };
+    let cfg = schemble_config(&mut ctx);
+    let report = serve_schemble(&ctx.ensemble, &cfg, &workload, seed, &serve_cfg);
+    let events = sink.drain();
+
+    let chrome = chrome_trace(&events, m, "schemble");
+    json::validate(&chrome).expect("Chrome trace must be valid JSON");
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"name\":\"scheduler\""));
+
+    let audit = audit_ndjson(&events);
+    json::validate_ndjson(&audit).expect("audit log must be valid NDJSON");
+    assert_eq!(audit.lines().count() as u64, report.stats.submitted);
+
+    let prom = prometheus_text(&report.metrics, report.sim_secs, Some(&sink.planning));
+    for family in [
+        "schemble_queries_submitted_total",
+        "schemble_queries_completed_total",
+        "schemble_tasks_completed_total",
+        "schemble_query_latency_seconds_bucket",
+        "schemble_query_latency_seconds_sum",
+        "schemble_sched_plans_total",
+        "schemble_executor_utilization",
+    ] {
+        assert!(prom.contains(family), "metrics exposition missing {family}");
+    }
+    assert!(
+        prom.contains(&format!("schemble_queries_submitted_total {}", report.stats.submitted)),
+        "submitted counter must carry the run's value"
+    );
+    // Planning self-profile made it into the exposition with >= 1 plan.
+    assert!(sink.planning.plans.load(Relaxed) > 0);
+}
