@@ -1,0 +1,214 @@
+//! `bench_serve` — serving-runtime benchmark with a regression gate.
+//!
+//! Replays a small deterministic workload through the virtual-clock serving
+//! runtime and reports:
+//!
+//! * `p50_latency_ms` / `p99_latency_ms` — end-to-end query latency
+//!   quantiles. Virtual clock + fixed seed make these **exactly**
+//!   reproducible: any drift means a decision change, not noise.
+//! * `plans_per_sec` — scheduler re-planning throughput (plans ÷ wall time
+//!   of the run loop).
+//! * `sched_overhead_us` — mean wall-clock cost of one plan.
+//!
+//! ```text
+//! bench_serve [--out PATH] [--check BASELINE] [--write PATH]
+//! ```
+//!
+//! `--out` (default `BENCH_serve.json`) writes the results as JSON — the CI
+//! bench job uploads it as an artifact. `--check` compares against a
+//! checked-in baseline and exits non-zero on regression: >20% on the
+//! deterministic latency quantiles; 4x on the wall-clock-dependent
+//! throughput/overhead numbers (CI runners vary widely in single-core
+//! speed, so a tight gate there would only produce flakes). `--write`
+//! regenerates the baseline file.
+
+use schemble_core::experiment::{ExperimentConfig, ExperimentContext, Traffic};
+use schemble_core::pipeline::schemble::SchembleConfig;
+use schemble_core::predictor::OnlineScorer;
+use schemble_core::scheduler::DpScheduler;
+use schemble_data::TaskKind;
+use schemble_serve::{serve_schemble, ClockMode, ServeConfig};
+use schemble_trace::TraceSink;
+use std::process::ExitCode;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+struct BenchResult {
+    queries: usize,
+    p50_latency_ms: f64,
+    p99_latency_ms: f64,
+    plans_per_sec: f64,
+    sched_overhead_us: f64,
+    wall_secs: f64,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"queries\": {},\n  \"p50_latency_ms\": {:.4},\n  \"p99_latency_ms\": {:.4},\n  \"plans_per_sec\": {:.1},\n  \"sched_overhead_us\": {:.2},\n  \"wall_secs\": {:.3}\n}}\n",
+            self.queries,
+            self.p50_latency_ms,
+            self.p99_latency_ms,
+            self.plans_per_sec,
+            self.sched_overhead_us,
+            self.wall_secs,
+        )
+    }
+}
+
+/// Pulls `"key": <number>` out of the baseline JSON. The file is produced
+/// by [`BenchResult::to_json`], so a flat scan is all the parsing needed.
+fn json_number(text: &str, key: &str) -> Result<f64, String> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat).ok_or_else(|| format!("baseline is missing \"{key}\""))?;
+    let rest = &text[start + pat.len()..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().map_err(|_| format!("baseline \"{key}\" is not a number"))
+}
+
+fn run_bench() -> BenchResult {
+    let mut config = ExperimentConfig::paper_default(TaskKind::TextMatching, 42);
+    config.n_queries = 600;
+    config.traffic = Traffic::Poisson { rate_per_sec: 35.0 };
+    let mut ctx = ExperimentContext::new(config);
+    let workload = ctx.workload();
+    let art = ctx.artifacts().clone();
+    let mut pipeline = SchembleConfig::new(
+        Box::new(DpScheduler::default()),
+        OnlineScorer::Predictor(art.predictor),
+        art.profile,
+    );
+    pipeline.admission = ctx.config.admission;
+
+    let sink = TraceSink::enabled();
+    // Events off: only the planning self-profile records, so the bench
+    // measures the scheduler, not the trace ring.
+    sink.set_enabled(false);
+    let scfg = ServeConfig {
+        mode: ClockMode::Virtual,
+        trace: Some(Arc::clone(&sink)),
+        ..ServeConfig::default()
+    };
+    let report = serve_schemble(&ctx.ensemble, &pipeline, &workload, ctx.config.seed, &scfg);
+    assert_eq!(report.stats.open(), 0, "bench run left queries open");
+
+    let p = &sink.planning;
+    let plans = p.plans.load(Relaxed);
+    BenchResult {
+        queries: workload.len(),
+        p50_latency_ms: 1e3 * report.metrics.latency.quantile(0.50).unwrap_or(0.0),
+        p99_latency_ms: 1e3 * report.metrics.latency.quantile(0.99).unwrap_or(0.0),
+        plans_per_sec: plans as f64 / report.wall_secs.max(1e-9),
+        sched_overhead_us: 1e6 * p.mean_secs().unwrap_or(0.0),
+        wall_secs: report.wall_secs,
+    }
+}
+
+/// One gate: `label` regressed if the new value is worse than the baseline
+/// by more than `tolerance` (relative). `higher_is_better` flips direction.
+fn gate(
+    label: &str,
+    new: f64,
+    base: f64,
+    tolerance: f64,
+    higher_is_better: bool,
+) -> Result<(), String> {
+    let regressed = if higher_is_better {
+        new < base / (1.0 + tolerance)
+    } else {
+        new > base * (1.0 + tolerance)
+    };
+    let arrow = if higher_is_better { "min" } else { "max" };
+    println!(
+        "  {label:<18} {new:>10.3}  (baseline {base:>10.3}, {arrow} tolerated {:>10.3}) {}",
+        if higher_is_better { base / (1.0 + tolerance) } else { base * (1.0 + tolerance) },
+        if regressed { "REGRESSED" } else { "ok" }
+    );
+    if regressed {
+        return Err(format!("{label} regressed: {new:.3} vs baseline {base:.3}"));
+    }
+    Ok(())
+}
+
+fn check(result: &BenchResult, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    println!("regression check vs {baseline_path}:");
+    let mut failures = Vec::new();
+    for (label, new, key, tol, higher) in [
+        ("p50_latency_ms", result.p50_latency_ms, "p50_latency_ms", 0.20, false),
+        ("p99_latency_ms", result.p99_latency_ms, "p99_latency_ms", 0.20, false),
+        ("plans_per_sec", result.plans_per_sec, "plans_per_sec", 3.0, true),
+        ("sched_overhead_us", result.sched_overhead_us, "sched_overhead_us", 3.0, false),
+    ] {
+        if let Err(e) = gate(label, new, json_number(&text, key)?, tol, higher) {
+            failures.push(e);
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_serve.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut write_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" if i + 1 < args.len() => {
+                i += 1;
+                out = args[i].clone();
+            }
+            "--check" if i + 1 < args.len() => {
+                i += 1;
+                check_path = Some(args[i].clone());
+            }
+            "--write" if i + 1 < args.len() => {
+                i += 1;
+                write_path = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("usage: bench_serve [--out PATH] [--check BASELINE] [--write PATH]");
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let result = run_bench();
+    println!(
+        "bench_serve: {} queries, p50 {:.3} ms, p99 {:.3} ms, {:.0} plans/s, {:.1} us/plan, {:.2}s wall",
+        result.queries,
+        result.p50_latency_ms,
+        result.p99_latency_ms,
+        result.plans_per_sec,
+        result.sched_overhead_us,
+        result.wall_secs,
+    );
+    let json = result.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    if let Some(path) = write_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote baseline {path}");
+    }
+    if let Some(path) = check_path {
+        if let Err(e) = check(&result, &path) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -18,8 +18,12 @@
 
 use rand::rngs::StdRng;
 use schemble_sim::rng::stream_rng;
-use schemble_sim::{EventQueue, LatencyModel, ServerBank, SimTime, TaskId};
+use schemble_sim::{
+    EventQueue, FaultPlan, FaultState, FaultTransition, LatencyModel, ServerBank, SimDuration,
+    SimTime, TaskFate, TaskId,
+};
 use schemble_trace::{TraceEvent, TraceSink};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// An event surfaced by a backend to the engine driving it.
@@ -33,6 +37,26 @@ pub enum BackendEvent {
         executor: usize,
         /// Query id the finished task belonged to.
         query: u64,
+    },
+    /// `executor`'s task for `query` failed (transient fault, timeout kill,
+    /// or executor crash) instead of completing.
+    TaskFailed {
+        /// Executor (server instance) index.
+        executor: usize,
+        /// Query id the failed task belonged to.
+        query: u64,
+    },
+    /// `executor` went down (fault-plan crash window opened or its worker
+    /// died). Any running task and backlog surface as separate
+    /// [`BackendEvent::TaskFailed`] events.
+    ExecutorDown {
+        /// Executor index.
+        executor: usize,
+    },
+    /// A down `executor` recovered and accepts work again.
+    ExecutorUp {
+        /// Executor index.
+        executor: usize,
     },
     /// A requested wake-up fired (plan effective, predictor done, deadline).
     Wake,
@@ -64,8 +88,15 @@ pub trait ExecutionBackend {
     /// Number of executors (server instances).
     fn executors(&self) -> usize;
 
-    /// True when `executor` has no running task.
+    /// True when `executor` has no running task (a down executor is never
+    /// idle — it cannot accept work).
     fn is_idle(&self, executor: usize) -> bool;
+
+    /// True when `executor` is up (not inside a fault-plan crash window and
+    /// its worker alive). Backends without fault support are always up.
+    fn is_up(&self, _executor: usize) -> bool {
+        true
+    }
 
     /// Indices of currently idle executors, ascending.
     fn idle_executors(&self) -> Vec<usize>;
@@ -112,24 +143,73 @@ pub struct SimBackend {
     latencies: Vec<LatencyModel>,
     rng: StdRng,
     trace: Arc<TraceSink>,
+    /// Fault-plan interpreter; `None` keeps the backend byte-identical to
+    /// the pre-fault behaviour (no fault RNG draws, no extra events).
+    faults: Option<FaultState>,
+    /// Up/down transitions from the plan (sorted), for recovery-time lookups.
+    transitions: Vec<FaultTransition>,
+    /// Per-executor timeout derived from the plan's latency quantile.
+    timeouts: Vec<Option<SimDuration>>,
+    /// Whether each executor is currently inside a crash window.
+    down: Vec<bool>,
+    /// Failure flag per *backlogged* task, parallel to each server's FIFO
+    /// backlog (fates are decided at submission, consumed at start).
+    pending_fate: Vec<VecDeque<bool>>,
+    /// Stale completion/failure events of crash-killed tasks, keyed by
+    /// `(executor, query, scheduled_time)`; swallowed when they pop.
+    suppressed: Vec<(usize, u64, SimTime)>,
 }
 
 impl SimBackend {
     /// A backend with one executor per entry of `latencies`, drawing
     /// execution times from the `(seed, stream)` RNG stream.
     pub fn new(latencies: Vec<LatencyModel>, seed: u64, stream: &str) -> Self {
+        let n = latencies.len();
         Self {
-            servers: ServerBank::new(latencies.len()),
+            servers: ServerBank::new(n),
             events: EventQueue::new(),
             latencies,
             rng: stream_rng(seed, stream),
             trace: TraceSink::disabled(),
+            faults: None,
+            transitions: Vec::new(),
+            timeouts: vec![None; n],
+            down: vec![false; n],
+            pending_fate: (0..n).map(|_| VecDeque::new()).collect(),
+            suppressed: Vec::new(),
         }
     }
 
     /// Emits task lifecycle events into `trace` (virtual timestamps).
     pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Arms the backend with a fault plan, seeding the dedicated `"faults"`
+    /// RNG stream from `seed`. The plan's up/down transitions are pushed
+    /// into the event queue *now*, before any arrival, so every backend
+    /// constructed this way observes them in the same total order.
+    pub fn with_faults(mut self, plan: FaultPlan, seed: u64) -> Self {
+        if plan.is_noop() {
+            return self;
+        }
+        let transitions = plan.transitions();
+        let state = FaultState::new(plan, seed);
+        self.timeouts = self.latencies.iter().map(|l| state.timeout_for(l)).collect();
+        for tr in &transitions {
+            if tr.executor >= self.latencies.len() {
+                continue;
+            }
+            let ev = if tr.up {
+                BackendEvent::ExecutorUp { executor: tr.executor }
+            } else {
+                BackendEvent::ExecutorDown { executor: tr.executor }
+            };
+            self.events.push(tr.at, ev);
+        }
+        self.transitions = transitions;
+        self.faults = Some(state);
         self
     }
 
@@ -143,22 +223,119 @@ impl SimBackend {
     /// Completions are applied to the server bank here (including starting
     /// the executor's next backlog task), so by the time the engine sees
     /// [`BackendEvent::TaskDone`] the executor is already idle or re-busy.
+    /// Failures are applied the same way; crash transitions kill the running
+    /// task and drop the backlog, surfacing one [`BackendEvent::TaskFailed`]
+    /// per affected task at the crash instant.
     pub fn pop_event(&mut self) -> Option<(SimTime, BackendEvent)> {
-        let (now, event) = self.events.pop()?;
-        if let BackendEvent::TaskDone { executor, query } = event {
-            self.servers.get_mut(executor).complete(TaskId(query), now);
-            self.trace.emit(TraceEvent::TaskDone { t: now, query, executor: executor as u16 });
-            if let Some(run) = self.servers.get_mut(executor).start_next(now) {
-                self.events
-                    .push(run.completes_at, BackendEvent::TaskDone { executor, query: run.task.0 });
-                self.trace.emit(TraceEvent::TaskStart {
-                    t: now,
-                    query: run.task.0,
-                    executor: executor as u16,
-                });
+        loop {
+            let (now, event) = self.events.pop()?;
+            match event {
+                BackendEvent::TaskDone { executor, query } => {
+                    if self.take_suppressed(executor, query, now) {
+                        continue;
+                    }
+                    self.servers.get_mut(executor).complete(TaskId(query), now);
+                    self.trace.emit(TraceEvent::TaskDone {
+                        t: now,
+                        query,
+                        executor: executor as u16,
+                    });
+                    self.start_next_from_backlog(executor, now);
+                }
+                BackendEvent::TaskFailed { executor, query } => {
+                    if self.take_suppressed(executor, query, now) {
+                        continue;
+                    }
+                    // Scheduled failures (transient/timeout) still occupy the
+                    // server; crash notifications pushed by `ExecutorDown`
+                    // already released it and pass through untouched.
+                    let occupies =
+                        self.servers.get(executor).running().is_some_and(|r| r.task.0 == query);
+                    if occupies {
+                        self.servers.get_mut(executor).fail(TaskId(query), now);
+                        self.trace.emit(TraceEvent::TaskFailed {
+                            t: now,
+                            query,
+                            executor: executor as u16,
+                        });
+                        self.start_next_from_backlog(executor, now);
+                    }
+                }
+                BackendEvent::ExecutorDown { executor } => {
+                    self.down[executor] = true;
+                    self.trace.emit(TraceEvent::ExecutorDown { t: now, executor: executor as u16 });
+                    if let Some(run) = self.servers.get(executor).running() {
+                        // Its completion/failure event is still queued;
+                        // remember to swallow it when it pops.
+                        self.suppressed.push((executor, run.task.0, run.completes_at));
+                    }
+                    let mut casualties = Vec::new();
+                    let server = self.servers.get_mut(executor);
+                    casualties.extend(server.kill(now));
+                    casualties.extend(server.drain_backlog());
+                    self.pending_fate[executor].clear();
+                    for task in casualties {
+                        self.trace.emit(TraceEvent::TaskFailed {
+                            t: now,
+                            query: task.0,
+                            executor: executor as u16,
+                        });
+                        self.events.push(now, BackendEvent::TaskFailed { executor, query: task.0 });
+                    }
+                }
+                BackendEvent::ExecutorUp { executor } => {
+                    self.down[executor] = false;
+                    self.trace.emit(TraceEvent::ExecutorUp { t: now, executor: executor as u16 });
+                }
+                BackendEvent::Arrival(_) | BackendEvent::Wake => {}
             }
+            return Some((now, event));
         }
-        Some((now, event))
+    }
+
+    fn take_suppressed(&mut self, executor: usize, query: u64, at: SimTime) -> bool {
+        match self.suppressed.iter().position(|&(e, q, t)| e == executor && q == query && t == at) {
+            Some(i) => {
+                self.suppressed.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn fate_for(&mut self, executor: usize, now: SimTime, sampled: SimDuration) -> TaskFate {
+        match self.faults.as_mut() {
+            Some(f) => f.task_fate(executor, now, sampled, self.timeouts[executor]),
+            None => TaskFate { duration: sampled, failed: false },
+        }
+    }
+
+    fn start_next_from_backlog(&mut self, executor: usize, now: SimTime) {
+        if self.down[executor] {
+            return;
+        }
+        if let Some(run) = self.servers.get_mut(executor).start_next(now) {
+            let failed = self.pending_fate[executor].pop_front().unwrap_or(false);
+            let ev = if failed {
+                BackendEvent::TaskFailed { executor, query: run.task.0 }
+            } else {
+                BackendEvent::TaskDone { executor, query: run.task.0 }
+            };
+            self.events.push(run.completes_at, ev);
+            self.trace.emit(TraceEvent::TaskStart {
+                t: now,
+                query: run.task.0,
+                executor: executor as u16,
+            });
+        }
+    }
+
+    /// First recovery instant after `now` for a down executor.
+    fn recovery_time(&self, executor: usize, now: SimTime) -> SimTime {
+        self.transitions
+            .iter()
+            .find(|t| t.executor == executor && t.up && t.at > now)
+            .map_or(now, |t| t.at)
     }
 }
 
@@ -168,44 +345,55 @@ impl ExecutionBackend for SimBackend {
     }
 
     fn is_idle(&self, executor: usize) -> bool {
-        self.servers.get(executor).is_idle()
+        !self.down[executor] && self.servers.get(executor).is_idle()
+    }
+
+    fn is_up(&self, executor: usize) -> bool {
+        !self.down[executor]
     }
 
     fn idle_executors(&self) -> Vec<usize> {
-        self.servers.idle_indices()
+        (0..self.executors()).filter(|&k| self.is_idle(k)).collect()
     }
 
     fn any_idle(&self) -> bool {
-        self.servers.any_idle()
+        (0..self.executors()).any(|k| self.is_idle(k))
     }
 
     fn available_at(&self, executor: usize, now: SimTime) -> SimTime {
-        self.servers.get(executor).available_at(now)
-    }
-
-    fn availability(&self, now: SimTime) -> Vec<SimTime> {
-        self.servers.availability(now)
+        let base = self.servers.get(executor).available_at(now);
+        if self.down[executor] {
+            base.max(self.recovery_time(executor, now))
+        } else {
+            base
+        }
     }
 
     fn start_task(&mut self, executor: usize, query: u64, now: SimTime) {
-        let dur = self.latencies[executor].sample(&mut self.rng);
-        let run = self.servers.get_mut(executor).start_immediately(TaskId(query), now, dur);
-        self.events.push(run.completes_at, BackendEvent::TaskDone { executor, query });
+        assert!(!self.down[executor], "start_task on a down executor");
+        let sampled = self.latencies[executor].sample(&mut self.rng);
+        let fate = self.fate_for(executor, now, sampled);
+        let run =
+            self.servers.get_mut(executor).start_immediately(TaskId(query), now, fate.duration);
+        let ev = if fate.failed {
+            BackendEvent::TaskFailed { executor, query }
+        } else {
+            BackendEvent::TaskDone { executor, query }
+        };
+        self.events.push(run.completes_at, ev);
         self.trace.emit(TraceEvent::TaskStart { t: now, query, executor: executor as u16 });
     }
 
     fn enqueue_task(&mut self, executor: usize, query: u64, now: SimTime) {
-        let dur = self.latencies[executor].sample(&mut self.rng);
+        debug_assert!(!self.down[executor], "enqueue onto a down executor");
+        let sampled = self.latencies[executor].sample(&mut self.rng);
+        let fate = self.fate_for(executor, now, sampled);
         let server = self.servers.get_mut(executor);
-        server.enqueue(TaskId(query), dur);
-        if let Some(run) = server.start_next(now) {
-            self.events
-                .push(run.completes_at, BackendEvent::TaskDone { executor, query: run.task.0 });
-            self.trace.emit(TraceEvent::TaskStart {
-                t: now,
-                query: run.task.0,
-                executor: executor as u16,
-            });
+        let was_idle = server.is_idle();
+        server.enqueue(TaskId(query), fate.duration);
+        self.pending_fate[executor].push_back(fate.failed);
+        if was_idle {
+            self.start_next_from_backlog(executor, now);
         } else {
             self.trace.emit(TraceEvent::TaskEnqueue { t: now, query, executor: executor as u16 });
         }
@@ -263,6 +451,60 @@ mod tests {
         assert_eq!(e2, BackendEvent::TaskDone { executor: 0, query: 2 });
         assert_eq!(t2, SimTime::ZERO + SimDuration::from_millis(20));
         assert!(b.pop_event().is_none());
+    }
+
+    #[test]
+    fn crash_kills_running_task_and_drops_backlog() {
+        let plan = FaultPlan::parse("crash 0 0.015 0.040").unwrap();
+        let mut b = SimBackend::new(vec![lat(10.0)], 1, "test").with_faults(plan, 1);
+        b.enqueue_task(0, 1, SimTime::ZERO); // runs 0..10ms... restarts as q2 at 10ms
+        b.enqueue_task(0, 2, SimTime::ZERO); // running at crash time 15ms → killed
+        b.enqueue_task(0, 3, SimTime::ZERO); // backlogged at crash → dropped
+        assert_eq!(b.pop_event().unwrap().1, BackendEvent::TaskDone { executor: 0, query: 1 });
+        let (t, ev) = b.pop_event().unwrap();
+        assert_eq!(ev, BackendEvent::ExecutorDown { executor: 0 });
+        assert_eq!(t, SimTime::from_micros(15_000));
+        assert!(!b.is_up(0));
+        assert!(!b.is_idle(0), "down executor is not idle");
+        // Killed running task and dropped backlog task surface as failures
+        // at the crash instant; the stale completion of q2 is swallowed.
+        assert_eq!(b.pop_event().unwrap().1, BackendEvent::TaskFailed { executor: 0, query: 2 });
+        assert_eq!(b.pop_event().unwrap().1, BackendEvent::TaskFailed { executor: 0, query: 3 });
+        // Down executor advertises its recovery time.
+        assert_eq!(b.available_at(0, t), SimTime::from_micros(40_000));
+        let (t_up, up) = b.pop_event().unwrap();
+        assert_eq!(up, BackendEvent::ExecutorUp { executor: 0 });
+        assert_eq!(t_up, SimTime::from_micros(40_000));
+        assert!(b.is_up(0) && b.is_idle(0));
+        assert!(b.pop_event().is_none(), "stale completion was suppressed");
+        // Partial busy time of the killed task (10..15ms) is charged.
+        assert!((b.usage()[0].busy_secs - 0.015).abs() < 1e-9);
+        assert_eq!(b.usage()[0].tasks, 1, "killed tasks don't count as completed");
+    }
+
+    #[test]
+    fn timeout_surfaces_task_failed_at_the_cap() {
+        // 3x straggler pushes the 10ms task past the q=1.0 timeout (= 10ms
+        // nominal with zero jitter), so it is killed at the cap.
+        let plan = FaultPlan::parse("straggle 0 0 1 3.0\ntimeout-q 1.0").unwrap();
+        let mut b = SimBackend::new(vec![lat(10.0)], 1, "test").with_faults(plan, 1);
+        b.start_task(0, 9, SimTime::ZERO);
+        let (t, ev) = b.pop_event().unwrap();
+        assert_eq!(ev, BackendEvent::TaskFailed { executor: 0, query: 9 });
+        assert_eq!(t, SimTime::from_micros(10_000), "killed at the timeout, not at 30ms");
+        assert!(b.is_idle(0), "failed task releases the executor");
+        assert_eq!(b.usage()[0].tasks, 0);
+    }
+
+    #[test]
+    fn noop_fault_plan_changes_nothing() {
+        let mut plain = SimBackend::new(vec![lat(10.0)], 7, "test");
+        let mut armed =
+            SimBackend::new(vec![lat(10.0)], 7, "test").with_faults(FaultPlan::default(), 7);
+        for b in [&mut plain, &mut armed] {
+            b.start_task(0, 1, SimTime::ZERO);
+        }
+        assert_eq!(plain.pop_event(), armed.pop_event());
     }
 
     #[test]

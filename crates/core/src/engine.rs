@@ -35,24 +35,55 @@ use std::time::Instant;
 /// Live query-outcome counters, maintained incrementally by every engine.
 ///
 /// Conservation invariant (the serve runtime's property tests check it):
-/// `submitted == completed + rejected + expired + open`, with `open`
-/// reaching zero after [`PipelineEngine::drain`].
+/// `submitted == completed + degraded + rejected + expired + open`, with
+/// `open` reaching zero after [`PipelineEngine::drain`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Arrival events handled.
     pub submitted: u64,
     /// Queries completed with an assembled result.
     pub completed: u64,
+    /// Queries answered from a partial ensemble after task failures or a
+    /// deadline cut the planned set short.
+    pub degraded: u64,
     /// Queries refused at arrival by admission control.
     pub rejected: u64,
     /// Queries dropped after admission (deadline or end-of-trace).
     pub expired: u64,
+    /// Task executions that failed (transient fault, timeout or crash).
+    /// Not part of conservation: a failure may be retried.
+    pub tasks_failed: u64,
+    /// Failed tasks that were re-dispatched.
+    pub tasks_retried: u64,
 }
 
 impl EngineStats {
     /// Queries submitted but not yet decided.
     pub fn open(&self) -> u64 {
-        self.submitted - (self.completed + self.rejected + self.expired)
+        self.submitted - (self.completed + self.degraded + self.rejected + self.expired)
+    }
+}
+
+/// Retry and degradation knobs for fault-tolerant runs.
+///
+/// Engines handle [`BackendEvent::TaskFailed`] with
+/// [`FailurePolicy::default`] even when a config carries `None`, so a fault
+/// injected into any run is absorbed rather than fatal. But only an explicit
+/// policy opts into *deadline-aware degradation* (answering with the outputs
+/// in hand the moment the deadline arrives); with `None` and no faults, every
+/// decision is identical to a build without this module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailurePolicy {
+    /// Re-dispatch a failed task at most this many times before its model
+    /// is dropped from the query's set.
+    pub max_retries: u32,
+    /// Base retry delay; retry attempt `a` waits `backoff * 2^(a-1)`.
+    pub backoff: SimDuration,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        Self { max_retries: 2, backoff: SimDuration::from_millis(2) }
     }
 }
 
@@ -102,6 +133,35 @@ fn blank_records(workload: &Workload) -> Vec<QueryRecord> {
         .collect()
 }
 
+/// Per-query failure bookkeeping. Vectors stay empty (no allocation) until
+/// the query's first task failure.
+#[derive(Debug, Default)]
+struct FaultBook {
+    /// Failures seen per executor.
+    attempts: Vec<u8>,
+    /// Pending backoff deadline per executor; gates re-dispatch.
+    retry_at: Vec<Option<SimTime>>,
+    /// The query lost at least one planned model to faults or its deadline.
+    degraded: bool,
+}
+
+impl FaultBook {
+    fn ensure(&mut self, m: usize) {
+        if self.attempts.len() < m {
+            self.attempts.resize(m, 0);
+            self.retry_at.resize(m, None);
+        }
+    }
+
+    fn attempts(&self, k: usize) -> u8 {
+        self.attempts.get(k).copied().unwrap_or(0)
+    }
+
+    fn retry_pending(&self, k: usize) -> Option<SimTime> {
+        self.retry_at.get(k).copied().flatten()
+    }
+}
+
 #[derive(Debug)]
 struct QState {
     deadline: SimTime,
@@ -112,8 +172,17 @@ struct QState {
     utilities: Vec<f64>,
     set: ModelSet,
     started: ModelSet,
+    /// Set once any task starts: the model set is committed and the query
+    /// never re-enters planning, even if failures empty `started` again.
+    frozen: bool,
     outputs: Vec<(usize, Output)>,
     closed: bool,
+    fault: FaultBook,
+}
+
+/// The executor set that produced `outputs`.
+fn produced_set(outputs: &[(usize, Output)]) -> ModelSet {
+    outputs.iter().fold(ModelSet::EMPTY, |s, (k, _)| s.with(*k))
 }
 
 /// The Schemble pipeline (Fig. 3) as a backend-agnostic engine.
@@ -130,6 +199,9 @@ pub struct SchembleEngine<'a> {
     stats: EngineStats,
     completions: Vec<(u64, f64)>,
     trace: Arc<TraceSink>,
+    /// Set once any fault event arrives; enables tolerant bookkeeping (late
+    /// completions, drain-time degradation) even without an explicit policy.
+    faults_seen: bool,
 }
 
 impl<'a> SchembleEngine<'a> {
@@ -145,7 +217,14 @@ impl<'a> SchembleEngine<'a> {
             stats: EngineStats::default(),
             completions: Vec::new(),
             trace: TraceSink::disabled(),
+            faults_seen: false,
         }
+    }
+
+    /// Fault handling is live: either an explicit policy was configured or a
+    /// fault event has already been observed.
+    fn fault_mode(&self) -> bool {
+        self.faults_seen || self.config.failure.is_some()
     }
 
     /// Emits decision events into `trace` (and plan timings into its
@@ -200,8 +279,10 @@ impl<'a> SchembleEngine<'a> {
                     utilities: self.config.profile.utility_vector(0.0),
                     set: ModelSet::singleton(k),
                     started: ModelSet::singleton(k),
+                    frozen: true,
                     outputs: Vec::new(),
                     closed: false,
+                    fault: FaultBook::default(),
                 },
             );
             return;
@@ -223,8 +304,10 @@ impl<'a> SchembleEngine<'a> {
                 utilities,
                 set: ModelSet::EMPTY,
                 started: ModelSet::EMPTY,
+                frozen: false,
                 outputs: Vec::new(),
                 closed: false,
+                fault: FaultBook::default(),
             },
         );
         // The query only becomes dispatchable once its score
@@ -245,7 +328,15 @@ impl<'a> SchembleEngine<'a> {
     ) {
         {
             let q = &self.workload.queries[query as usize];
-            let state = self.open.get_mut(&query).expect("completion for unknown query");
+            let Some(state) = self.open.get_mut(&query) else {
+                // Only deadline-aware degradation closes a query while a
+                // task of its is still running; the late output is dropped.
+                assert!(
+                    self.faults_seen || self.config.failure.is_some(),
+                    "completion for unknown query {query}"
+                );
+                return;
+            };
             state.outputs.push((
                 executor,
                 self.ensemble.models[executor].infer(&q.sample, &self.ensemble.spec),
@@ -257,14 +348,61 @@ impl<'a> SchembleEngine<'a> {
         self.schedule_dispatch(now, backend);
     }
 
+    /// A task execution failed (transient fault, timeout, or executor
+    /// crash). Retries it after exponential backoff while the budget and
+    /// deadline allow; otherwise drops the model from the query's set and
+    /// degrades ("quit when you can": a partial answer on time beats a full
+    /// ensemble late).
+    fn on_task_failed(
+        &mut self,
+        executor: usize,
+        query: u64,
+        now: SimTime,
+        backend: &mut dyn ExecutionBackend,
+    ) {
+        self.faults_seen = true;
+        self.stats.tasks_failed += 1;
+        let policy = self.config.failure.unwrap_or_default();
+        let m = self.ensemble.m();
+        if let Some(state) = self.open.get_mut(&query) {
+            state.fault.ensure(m);
+            state.started = state.started.without(executor);
+            state.fault.attempts[executor] = state.fault.attempts[executor].saturating_add(1);
+            let attempts = u32::from(state.fault.attempts[executor]);
+            let worth_retrying =
+                self.config.admission == AdmissionMode::ForceAll || state.deadline > now;
+            if attempts <= policy.max_retries && worth_retrying {
+                let delay = SimDuration::from_micros(
+                    policy.backoff.as_micros().saturating_mul(1u64 << (attempts - 1).min(16)),
+                );
+                state.fault.retry_at[executor] = Some(now + delay);
+                backend.request_wake(now + delay);
+            } else {
+                state.set = state.set.without(executor);
+                state.fault.retry_at[executor] = None;
+                state.fault.degraded = true;
+                if state.set.is_empty() {
+                    // Every planned model failed permanently: expire.
+                    self.open.remove(&query);
+                    self.records[query as usize].models_used = 0;
+                    self.stats.expired += 1;
+                    self.trace.emit(TraceEvent::QueryExpired { t: now, query });
+                } else {
+                    self.finish_if_complete(query, now);
+                }
+            }
+        }
+        // (A crash may also kill a task of an already-closed query; the
+        // failure is counted above and otherwise ignored.)
+        self.expire(now);
+        self.replan(now, backend);
+        self.schedule_dispatch(now, backend);
+    }
+
     /// Re-plans the unstarted buffer; updates when the new plan takes effect.
     fn replan(&mut self, now: SimTime, backend: &mut dyn ExecutionBackend) {
-        let mut ids: Vec<u64> = self
-            .open
-            .iter()
-            .filter(|(_, s)| s.started.is_empty() && !s.closed)
-            .map(|(&id, _)| id)
-            .collect();
+        let mut ids: Vec<u64> =
+            self.open.iter().filter(|(_, s)| !s.frozen && !s.closed).map(|(&id, _)| id).collect();
         if ids.is_empty() {
             self.plan_ready_at = self.plan_ready_at.max(now);
             return;
@@ -276,7 +414,7 @@ impl<'a> SchembleEngine<'a> {
         // planner overcommits and every plan completes late.
         let mut availability = backend.availability(now);
         for state in self.open.values() {
-            if state.closed || state.started.is_empty() {
+            if state.closed || !state.frozen {
                 continue;
             }
             for k in state.set.iter() {
@@ -349,11 +487,26 @@ impl<'a> SchembleEngine<'a> {
                     || !state.set.contains(k)
                     || state.started.contains(k)
                     || state.ready_at > now
+                    || state.fault.retry_pending(k).is_some_and(|t| t > now)
                 {
                     continue;
                 }
                 backend.start_task(k, *id, now);
                 state.started = state.started.with(k);
+                state.frozen = true;
+                let attempt = state.fault.attempts(k);
+                if attempt > 0 {
+                    if let Some(slot) = state.fault.retry_at.get_mut(k) {
+                        *slot = None;
+                    }
+                    self.stats.tasks_retried += 1;
+                    self.trace.emit(TraceEvent::TaskRetried {
+                        t: now,
+                        query: *id,
+                        executor: k as u16,
+                        attempt,
+                    });
+                }
                 break;
             }
         }
@@ -367,19 +520,29 @@ impl<'a> SchembleEngine<'a> {
             return;
         }
         let q = &self.workload.queries[query as usize];
+        let degraded = state.fault.degraded;
         let mut outputs = std::mem::take(&mut state.outputs);
         outputs.sort_by_key(|(k, _)| *k);
         let result = self.config.assembler.assemble(self.ensemble, &outputs, state.set);
         let (correct, score) = evaluate(self.ensemble, &q.sample, &result);
         self.records[query as usize].completion = Some(now);
-        self.records[query as usize].outcome = QueryOutcome::Completed { correct, score };
+        self.records[query as usize].outcome = if degraded {
+            QueryOutcome::Degraded { correct, score }
+        } else {
+            QueryOutcome::Completed { correct, score }
+        };
         self.records[query as usize].models_used = state.set.len();
         state.closed = true;
         let set = state.set;
         self.open.remove(&query);
-        self.stats.completed += 1;
         self.completions.push((query, (now - q.arrival).as_secs_f64()));
-        self.trace.emit(TraceEvent::QueryDone { t: now, query, set: set.0 });
+        if degraded {
+            self.stats.degraded += 1;
+            self.trace.emit(TraceEvent::DegradedAnswer { t: now, query, set: set.0 });
+        } else {
+            self.stats.completed += 1;
+            self.trace.emit(TraceEvent::QueryDone { t: now, query, set: set.0 });
+        }
     }
 
     /// Deadline housekeeping (Reject mode only; ForceAll keeps everything):
@@ -409,14 +572,25 @@ impl<'a> SchembleEngine<'a> {
         let mut late_started: Vec<u64> = self
             .open
             .iter()
-            .filter(|(_, s)| !s.started.is_empty() && s.deadline < now && s.set != s.started)
+            .filter(|(_, s)| !s.started.is_empty() && s.deadline < now)
             .map(|(&id, _)| id)
             .collect();
         late_started.sort_unstable();
         for id in late_started {
             let state = self.open.get_mut(&id).expect("present");
-            state.set = state.started;
-            self.finish_if_complete(id, now);
+            if self.config.failure.is_some() && !state.outputs.is_empty() {
+                // Deadline-aware degradation: answer *now* from the outputs
+                // in hand instead of waiting for still-running tasks.
+                let produced = produced_set(&state.outputs);
+                if state.set != produced {
+                    state.fault.degraded = true;
+                }
+                state.set = produced;
+                self.finish_if_complete(id, now);
+            } else if state.set != state.started {
+                state.set = state.started;
+                self.finish_if_complete(id, now);
+            }
         }
     }
 
@@ -434,6 +608,18 @@ impl PipelineEngine for SchembleEngine<'_> {
             BackendEvent::Arrival(i) => self.on_arrival(i, now, backend),
             BackendEvent::TaskDone { executor, query } => {
                 self.on_task_done(executor, query, now, backend)
+            }
+            BackendEvent::TaskFailed { executor, query } => {
+                self.on_task_failed(executor, query, now, backend)
+            }
+            BackendEvent::ExecutorDown { .. } | BackendEvent::ExecutorUp { .. } => {
+                // Availability changed: re-plan the buffer against it. (The
+                // backend traces the transition and surfaces any killed task
+                // as its own `TaskFailed`.)
+                self.faults_seen = true;
+                self.expire(now);
+                self.replan(now, backend);
+                self.schedule_dispatch(now, backend);
             }
             BackendEvent::Wake => self.expire(now),
         }
@@ -458,11 +644,14 @@ impl PipelineEngine for SchembleEngine<'_> {
             consider(self.plan_ready_at);
         }
         for state in self.open.values() {
-            if state.started.is_empty() {
+            if !state.frozen {
                 consider(state.ready_at);
             }
             if self.config.admission == AdmissionMode::Reject && !state.closed {
                 consider(state.deadline);
+            }
+            for t in state.fault.retry_at.iter().flatten() {
+                consider(*t);
             }
         }
         next
@@ -478,6 +667,27 @@ impl PipelineEngine for SchembleEngine<'_> {
             self.records[id as usize].models_used = 0;
             self.stats.expired += 1;
             self.trace.emit(TraceEvent::QueryExpired { t: now, query: id });
+        }
+        if self.fault_mode() {
+            // Under faults a query can be wedged with tasks that will never
+            // report (e.g. the runtime stopped waiting on a dead worker).
+            // Close every remainder: partial outputs become a degraded
+            // answer, the rest expire.
+            let mut rest: Vec<u64> = self.open.keys().copied().collect();
+            rest.sort_unstable();
+            for id in rest {
+                let state = self.open.get_mut(&id).expect("present");
+                if state.outputs.is_empty() {
+                    self.open.remove(&id);
+                    self.records[id as usize].models_used = 0;
+                    self.stats.expired += 1;
+                    self.trace.emit(TraceEvent::QueryExpired { t: now, query: id });
+                } else {
+                    state.set = produced_set(&state.outputs);
+                    state.fault.degraded = true;
+                    self.finish_if_complete(id, now);
+                }
+            }
         }
     }
 
@@ -499,6 +709,10 @@ struct Pending {
     set: ModelSet,
     outputs: Vec<(usize, Output)>,
     expected: usize,
+    /// Failure count per base model (sparse; empty until a task fails).
+    attempts: Vec<(usize, u8)>,
+    /// The query lost at least one selected model to faults.
+    degraded: bool,
 }
 
 /// The immediate-selection family (Fig. 2a–d) as a backend-agnostic engine.
@@ -517,6 +731,8 @@ pub struct ImmediateEngine<'a> {
     stats: EngineStats,
     completions: Vec<(u64, f64)>,
     trace: Arc<TraceSink>,
+    failure: Option<FailurePolicy>,
+    faults_seen: bool,
 }
 
 impl<'a> ImmediateEngine<'a> {
@@ -541,12 +757,20 @@ impl<'a> ImmediateEngine<'a> {
             stats: EngineStats::default(),
             completions: Vec::new(),
             trace: TraceSink::disabled(),
+            failure: None,
+            faults_seen: false,
         }
     }
 
     /// Emits decision events into `trace`; never alters a decision.
     pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the retry/degradation policy used when tasks fail.
+    pub fn with_failure(mut self, policy: Option<FailurePolicy>) -> Self {
+        self.failure = policy;
         self
     }
 
@@ -581,16 +805,46 @@ impl<'a> ImmediateEngine<'a> {
         self.trace.emit(TraceEvent::Arrival { t: now, query: query.id, deadline: query.deadline });
         let set = self.policy.select(query, self.ensemble);
         assert!(!set.is_empty(), "policy must select at least one model");
-        // Choose the least-loaded instance per selected model.
-        let chosen: Vec<usize> = set
-            .iter()
-            .map(|k| {
-                self.deployment
-                    .instances_of(k)
-                    .min_by_key(|&inst| backend.available_at(inst, now))
-                    .unwrap_or_else(|| panic!("deployment hosts no instance of model {k}"))
-            })
-            .collect();
+        // Choose the least-loaded *live* instance per selected model; a
+        // model whose every instance is down drops out of the set up front.
+        let mut usable = ModelSet::EMPTY;
+        let mut chosen: Vec<usize> = Vec::with_capacity(set.len());
+        for k in set.iter() {
+            let mut hosted = false;
+            let mut best: Option<usize> = None;
+            for inst in self.deployment.instances_of(k) {
+                hosted = true;
+                if !backend.is_up(inst) {
+                    continue;
+                }
+                let better = match best {
+                    Some(b) => backend.available_at(inst, now) < backend.available_at(b, now),
+                    None => true,
+                };
+                if better {
+                    best = Some(inst);
+                }
+            }
+            assert!(hosted, "deployment hosts no instance of model {k}");
+            if let Some(inst) = best {
+                usable = usable.with(k);
+                chosen.push(inst);
+            }
+        }
+        if usable.is_empty() {
+            // Every selected model is down: refuse the query.
+            self.stats.rejected += 1;
+            self.trace.emit(TraceEvent::Admission {
+                t: now,
+                query: query.id,
+                verdict: AdmissionVerdict::Rejected,
+            });
+            return;
+        }
+        // Serving fewer models than the policy asked for is already a
+        // degraded answer, even before any task runs.
+        let shrunk = usable != set;
+        let set = usable;
         if self.admission == AdmissionMode::Reject {
             let est = chosen
                 .iter()
@@ -616,7 +870,16 @@ impl<'a> ImmediateEngine<'a> {
             verdict: AdmissionVerdict::Selected { set: set.0 },
         });
         self.records[i].models_used = set.len();
-        self.pending.insert(query.id, Pending { set, outputs: Vec::new(), expected: set.len() });
+        self.pending.insert(
+            query.id,
+            Pending {
+                set,
+                outputs: Vec::new(),
+                expected: set.len(),
+                attempts: Vec::new(),
+                degraded: shrunk,
+            },
+        );
         for &inst in &chosen {
             backend.enqueue_task(inst, query.id, now);
         }
@@ -632,15 +895,95 @@ impl<'a> ImmediateEngine<'a> {
             .outputs
             .push((model, self.ensemble.models[model].infer(&q.sample, &self.ensemble.spec)));
         if entry.outputs.len() == entry.expected {
-            let done = self.pending.remove(&query).expect("present");
-            let mut outputs = done.outputs;
-            outputs.sort_by_key(|(k, _)| *k);
-            let result = self.assembler.assemble(self.ensemble, &outputs, done.set);
-            let (correct, score) = evaluate(self.ensemble, &q.sample, &result);
-            self.records[query as usize].completion = Some(now);
+            self.finalize(query, now);
+        }
+    }
+
+    /// A task execution failed. Re-enqueues it on the least-loaded live
+    /// instance of the same model while the retry budget lasts; afterwards
+    /// the model drops out and the query degrades to the remaining outputs.
+    fn on_task_failed(
+        &mut self,
+        executor: usize,
+        query: u64,
+        now: SimTime,
+        backend: &mut dyn ExecutionBackend,
+    ) {
+        self.faults_seen = true;
+        self.stats.tasks_failed += 1;
+        let policy = self.failure.unwrap_or_default();
+        let model = self.deployment.hosts[executor];
+        let mut finalize_now = false;
+        let mut retry: Option<(usize, u8)> = None;
+        {
+            let Some(entry) = self.pending.get_mut(&query) else { return };
+            let attempts = match entry.attempts.iter_mut().find(|(k, _)| *k == model) {
+                Some((_, a)) => {
+                    *a = a.saturating_add(1);
+                    *a
+                }
+                None => {
+                    entry.attempts.push((model, 1));
+                    1
+                }
+            };
+            let target = (u32::from(attempts) <= policy.max_retries)
+                .then(|| {
+                    self.deployment
+                        .instances_of(model)
+                        .filter(|&inst| backend.is_up(inst))
+                        .min_by_key(|&inst| backend.available_at(inst, now))
+                })
+                .flatten();
+            match target {
+                Some(inst) => retry = Some((inst, attempts)),
+                None => {
+                    entry.set = entry.set.without(model);
+                    entry.degraded = true;
+                    entry.expected -= 1;
+                    finalize_now = entry.outputs.len() == entry.expected;
+                }
+            }
+        }
+        if let Some((inst, attempt)) = retry {
+            self.stats.tasks_retried += 1;
+            self.trace.emit(TraceEvent::TaskRetried {
+                t: now,
+                query,
+                executor: inst as u16,
+                attempt,
+            });
+            backend.enqueue_task(inst, query, now);
+        } else if finalize_now {
+            self.finalize(query, now);
+        }
+    }
+
+    /// Closes a pending query: assembles whatever arrived, or expires it
+    /// when every selected model failed permanently.
+    fn finalize(&mut self, query: u64, now: SimTime) {
+        let done = self.pending.remove(&query).expect("present");
+        let q = &self.workload.queries[query as usize];
+        if done.outputs.is_empty() {
+            self.records[query as usize].models_used = 0;
+            self.stats.expired += 1;
+            self.trace.emit(TraceEvent::QueryExpired { t: now, query });
+            return;
+        }
+        let mut outputs = done.outputs;
+        outputs.sort_by_key(|(k, _)| *k);
+        let result = self.assembler.assemble(self.ensemble, &outputs, done.set);
+        let (correct, score) = evaluate(self.ensemble, &q.sample, &result);
+        self.records[query as usize].completion = Some(now);
+        self.records[query as usize].models_used = done.set.len();
+        self.completions.push((query, (now - q.arrival).as_secs_f64()));
+        if done.degraded {
+            self.records[query as usize].outcome = QueryOutcome::Degraded { correct, score };
+            self.stats.degraded += 1;
+            self.trace.emit(TraceEvent::DegradedAnswer { t: now, query, set: done.set.0 });
+        } else {
             self.records[query as usize].outcome = QueryOutcome::Completed { correct, score };
             self.stats.completed += 1;
-            self.completions.push((query, (now - q.arrival).as_secs_f64()));
             self.trace.emit(TraceEvent::QueryDone { t: now, query, set: done.set.0 });
         }
     }
@@ -651,6 +994,14 @@ impl PipelineEngine for ImmediateEngine<'_> {
         match event {
             BackendEvent::Arrival(i) => self.on_arrival(i, now, backend),
             BackendEvent::TaskDone { executor, query } => self.on_task_done(executor, query, now),
+            BackendEvent::TaskFailed { executor, query } => {
+                self.on_task_failed(executor, query, now, backend)
+            }
+            BackendEvent::ExecutorDown { .. } | BackendEvent::ExecutorUp { .. } => {
+                // Selection consults `backend.is_up` live at arrival and on
+                // retry; no standing state to update.
+                self.faults_seen = true;
+            }
             BackendEvent::Wake => {}
         }
     }
@@ -665,8 +1016,24 @@ impl PipelineEngine for ImmediateEngine<'_> {
         None
     }
 
-    fn drain(&mut self, _now: SimTime) {
-        // Submitted tasks always run to completion; nothing can be stuck.
+    fn drain(&mut self, now: SimTime) {
+        // Without faults, submitted tasks always run to completion; nothing
+        // can be stuck. Under faults a query may be wedged waiting on a task
+        // that will never report — close it with what it has.
+        if !(self.faults_seen || self.failure.is_some()) {
+            return;
+        }
+        let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            {
+                let entry = self.pending.get_mut(&id).expect("present");
+                entry.set = produced_set(&entry.outputs);
+                entry.expected = entry.outputs.len();
+                entry.degraded = true;
+            }
+            self.finalize(id, now);
+        }
     }
 
     fn take_records(&mut self) -> Vec<QueryRecord> {

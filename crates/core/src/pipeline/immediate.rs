@@ -92,8 +92,8 @@ impl Deployment {
 /// its deadline. Rejected and never-completed queries are recorded as missed.
 ///
 /// This is a thin driver: all decision logic lives in
-/// [`ImmediateEngine`](crate::engine::ImmediateEngine), executed here over a
-/// [`SimBackend`](crate::backend::SimBackend). The `schemble-serve` runtime
+/// [`ImmediateEngine`], executed here over a
+/// [`SimBackend`]. The `schemble-serve` runtime
 /// drives the identical engine over worker threads.
 pub fn run_immediate(
     ensemble: &Ensemble,

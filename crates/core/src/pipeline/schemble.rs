@@ -12,14 +12,14 @@
 
 use super::{AdmissionMode, ResultAssembler};
 use crate::backend::{ExecutionBackend, SimBackend};
-use crate::engine::{PipelineEngine, SchembleEngine};
+use crate::engine::{FailurePolicy, PipelineEngine, SchembleEngine};
 use crate::predictor::OnlineScorer;
 use crate::profiling::AccuracyProfile;
 use crate::scheduler::Scheduler;
 use schemble_data::Workload;
 use schemble_metrics::RunSummary;
 use schemble_models::Ensemble;
-use schemble_sim::SimDuration;
+use schemble_sim::{FaultPlan, SimDuration};
 use schemble_trace::TraceSink;
 use std::sync::Arc;
 
@@ -49,6 +49,10 @@ pub struct SchembleConfig {
     /// never consults the profile, so at very light load this trades a
     /// little accuracy for latency (the `exp_ablation` driver measures it).
     pub fast_path: bool,
+    /// Retry/degradation policy for fault-tolerant runs. `None` (the
+    /// default) keeps every decision identical to a fault-unaware build;
+    /// see [`FailurePolicy`] for what `Some` opts into.
+    pub failure: Option<FailurePolicy>,
 }
 
 impl SchembleConfig {
@@ -68,6 +72,7 @@ impl SchembleConfig {
             sched_ns_per_unit: 25.0,
             sched_base_overhead: SimDuration::from_micros(50),
             fast_path: false,
+            failure: None,
         }
     }
 }
@@ -76,8 +81,8 @@ impl SchembleConfig {
 /// simulator.
 ///
 /// This is a thin driver: all decision logic lives in
-/// [`SchembleEngine`](crate::engine::SchembleEngine), executed here over a
-/// [`SimBackend`](crate::backend::SimBackend). The `schemble-serve` runtime
+/// [`SchembleEngine`], executed here over a
+/// [`SimBackend`]. The `schemble-serve` runtime
 /// drives the identical engine over worker threads.
 pub fn run_schemble(
     ensemble: &Ensemble,
@@ -99,16 +104,40 @@ pub fn run_schemble_traced(
     seed: u64,
     trace: Arc<TraceSink>,
 ) -> RunSummary {
+    run_schemble_faulted(ensemble, config, workload, seed, trace, None)
+}
+
+/// [`run_schemble_traced`] with a seeded [`FaultPlan`] injected into the
+/// simulated backend.
+///
+/// The `schemble-serve` virtual-clock runtime builds its backend the same
+/// way (faults installed before arrivals), which keeps a faulted DES run and
+/// a faulted serve run byte-identical — the property `tests/fault_properties`
+/// pins. `None` (or a no-op plan) leaves the backend untouched.
+pub fn run_schemble_faulted(
+    ensemble: &Ensemble,
+    config: &SchembleConfig,
+    workload: &Workload,
+    seed: u64,
+    trace: Arc<TraceSink>,
+    faults: Option<&FaultPlan>,
+) -> RunSummary {
     let latencies = (0..ensemble.m()).map(|k| ensemble.latency(k)).collect();
     let mut backend =
         SimBackend::new(latencies, seed, "schemble-latency").with_trace(trace.clone());
+    if let Some(plan) = faults {
+        backend = backend.with_faults(plan.clone(), seed);
+    }
     for (i, q) in workload.queries.iter().enumerate() {
         backend.push_arrival(q.arrival, i);
     }
     let mut engine = SchembleEngine::new(ensemble, config, workload).with_trace(trace);
+    let mut end = schemble_sim::SimTime::ZERO;
     while let Some((now, event)) = backend.pop_event() {
         engine.handle(event, now, &mut backend);
+        end = now;
     }
+    engine.drain(end);
     let usage = backend.usage();
     engine.into_summary(usage)
 }

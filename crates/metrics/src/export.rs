@@ -17,6 +17,9 @@ pub fn record_row(r: &QueryRecord) -> String {
         QueryOutcome::Completed { correct, score } => {
             ("completed", u8::from(correct).to_string(), format!("{score:.6}"))
         }
+        QueryOutcome::Degraded { correct, score } => {
+            ("degraded", u8::from(correct).to_string(), format!("{score:.6}"))
+        }
         QueryOutcome::Missed => ("missed", "0".to_string(), "0".to_string()),
     };
     format!(

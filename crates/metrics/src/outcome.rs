@@ -16,6 +16,16 @@ pub enum QueryOutcome {
         /// Scalar quality in `[0, 1]` (== `correct` except for retrieval).
         score: f64,
     },
+    /// A result was assembled from a *partial* ensemble: task failures or
+    /// the deadline shrank the executed set below the planned one
+    /// (graceful degradation). Scored like a completion — a degraded answer
+    /// delivered on time still counts what it scores.
+    Degraded {
+        /// Agreement with the reference (ensemble) output.
+        correct: bool,
+        /// Scalar quality in `[0, 1]`.
+        score: f64,
+    },
     /// No result by the deadline (queue expiry or admission rejection).
     Missed,
 }
@@ -43,9 +53,9 @@ impl QueryRecord {
         self.completion.map(|c| c.saturating_since(self.arrival).as_secs_f64())
     }
 
-    /// True if the query was answered by its deadline.
+    /// True if the query was answered by its deadline (full or degraded).
     pub fn met_deadline(&self) -> bool {
-        matches!(self.outcome, QueryOutcome::Completed { .. })
+        matches!(self.outcome, QueryOutcome::Completed { .. } | QueryOutcome::Degraded { .. })
             && self.completion.is_some_and(|c| c <= self.deadline)
     }
 }
@@ -124,7 +134,11 @@ impl RunSummary {
         self.records
             .iter()
             .map(|r| match r.outcome {
-                QueryOutcome::Completed { score, .. } if r.met_deadline() => score,
+                QueryOutcome::Completed { score, .. } | QueryOutcome::Degraded { score, .. }
+                    if r.met_deadline() =>
+                {
+                    score
+                }
                 _ => 0.0,
             })
             .sum::<f64>()
@@ -133,14 +147,15 @@ impl RunSummary {
 
     /// Accuracy over completed queries only (Fig. 10b "processed accuracy").
     pub fn processed_accuracy(&self) -> f64 {
-        let completed: Vec<f64> = self
-            .records
-            .iter()
-            .filter_map(|r| match r.outcome {
-                QueryOutcome::Completed { score, .. } => Some(score),
-                QueryOutcome::Missed => None,
-            })
-            .collect();
+        let completed: Vec<f64> =
+            self.records
+                .iter()
+                .filter_map(|r| match r.outcome {
+                    QueryOutcome::Completed { score, .. }
+                    | QueryOutcome::Degraded { score, .. } => Some(score),
+                    QueryOutcome::Missed => None,
+                })
+                .collect();
         if completed.is_empty() {
             return 0.0;
         }
@@ -169,6 +184,11 @@ impl RunSummary {
             return 0.0;
         }
         self.records.iter().map(|r| r.models_used as f64).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Number of queries answered from a partial ensemble.
+    pub fn degraded_count(&self) -> usize {
+        self.records.iter().filter(|r| matches!(r.outcome, QueryOutcome::Degraded { .. })).count()
     }
 
     /// Fraction of queries completed (by deadline or not).
@@ -246,6 +266,23 @@ mod tests {
         b.models_used = 3;
         let s = RunSummary::new(vec![a, b]);
         assert_eq!(s.mean_models_used(), 2.0);
+    }
+
+    #[test]
+    fn degraded_on_time_scores_like_a_completion() {
+        let degraded = QueryRecord {
+            id: 0,
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_millis(100),
+            completion: Some(SimTime::from_millis(40)),
+            outcome: QueryOutcome::Degraded { correct: true, score: 1.0 },
+            models_used: 1,
+        };
+        assert!(degraded.met_deadline());
+        let s = RunSummary::new(vec![degraded, rec(1, 0, 100, None, false)]);
+        assert!((s.accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(s.degraded_count(), 1);
+        assert!((s.processed_accuracy() - 1.0).abs() < 1e-12);
     }
 
     #[test]

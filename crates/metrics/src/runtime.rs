@@ -12,14 +12,17 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 /// Query- and task-level counters shared between the runtime and observers.
 ///
 /// Query conservation invariant (checked by `schemble-serve`'s property
-/// tests): `submitted == completed + rejected + expired + open`, and at
-/// drain `open == 0`.
+/// tests): `submitted == completed + degraded + rejected + expired + open`,
+/// and at drain `open == 0`.
 #[derive(Debug, Default)]
 pub struct RuntimeCounters {
     /// Queries handed to the pipeline (arrival events delivered).
     pub submitted: AtomicU64,
-    /// Queries that finished with an assembled result.
+    /// Queries that finished with a full assembled result.
     pub completed: AtomicU64,
+    /// Queries answered from a partial ensemble after task failures or at
+    /// the deadline (graceful degradation).
+    pub degraded: AtomicU64,
     /// Queries refused at arrival (admission control).
     pub rejected: AtomicU64,
     /// Queries dropped after admission (deadline passed before completion).
@@ -28,6 +31,10 @@ pub struct RuntimeCounters {
     pub tasks_started: AtomicU64,
     /// Tasks finished by executors.
     pub tasks_completed: AtomicU64,
+    /// Tasks that failed (transient fault, timeout kill, executor crash).
+    pub tasks_failed: AtomicU64,
+    /// Failed tasks that were re-dispatched after backoff.
+    pub tasks_retried: AtomicU64,
 }
 
 impl RuntimeCounters {
@@ -39,23 +46,39 @@ impl RuntimeCounters {
     /// Queries submitted but not yet decided.
     pub fn open(&self) -> u64 {
         let submitted = self.submitted.load(Relaxed);
-        let closed =
-            self.completed.load(Relaxed) + self.rejected.load(Relaxed) + self.expired.load(Relaxed);
+        let closed = self.completed.load(Relaxed)
+            + self.degraded.load(Relaxed)
+            + self.rejected.load(Relaxed)
+            + self.expired.load(Relaxed);
         submitted.saturating_sub(closed)
     }
 }
 
-/// Per-executor gauges: queue depth and cumulative busy time.
-#[derive(Debug, Default)]
+/// Per-executor gauges: queue depth, liveness and cumulative busy time.
+#[derive(Debug)]
 pub struct ExecutorGauges {
     /// Tasks waiting in the executor's FIFO backlog.
     pub queue_depth: AtomicU64,
     /// 1 while a task is running, 0 while idle.
     pub running: AtomicU64,
+    /// 1 while the executor is up, 0 while crashed/dead.
+    pub up: AtomicU64,
     /// Cumulative busy time, in simulated microseconds.
     pub busy_micros: AtomicU64,
     /// Tasks completed by this executor.
     pub tasks: AtomicU64,
+}
+
+impl Default for ExecutorGauges {
+    fn default() -> Self {
+        Self {
+            queue_depth: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            up: AtomicU64::new(1),
+            busy_micros: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A fixed-bucket, log-spaced latency histogram with atomic counts.
@@ -215,11 +238,15 @@ impl RuntimeMetrics {
         RuntimeSnapshot {
             submitted: c.submitted.load(Relaxed),
             completed: c.completed.load(Relaxed),
+            degraded: c.degraded.load(Relaxed),
             rejected: c.rejected.load(Relaxed),
             expired: c.expired.load(Relaxed),
             open: c.open(),
             tasks_started: c.tasks_started.load(Relaxed),
             tasks_completed: c.tasks_completed.load(Relaxed),
+            tasks_failed: c.tasks_failed.load(Relaxed),
+            tasks_retried: c.tasks_retried.load(Relaxed),
+            up: self.executors.iter().map(|e| e.up.load(Relaxed) == 1).collect(),
             queue_depths: self
                 .executors
                 .iter()
@@ -249,8 +276,10 @@ impl RuntimeMetrics {
 pub struct RuntimeSnapshot {
     /// Queries handed to the pipeline.
     pub submitted: u64,
-    /// Queries completed with a result.
+    /// Queries completed with a full result.
     pub completed: u64,
+    /// Queries answered from a partial ensemble.
+    pub degraded: u64,
     /// Queries refused at arrival.
     pub rejected: u64,
     /// Queries dropped after admission.
@@ -261,6 +290,12 @@ pub struct RuntimeSnapshot {
     pub tasks_started: u64,
     /// Tasks finished by executors.
     pub tasks_completed: u64,
+    /// Tasks that failed.
+    pub tasks_failed: u64,
+    /// Failed tasks re-dispatched after backoff.
+    pub tasks_retried: u64,
+    /// Whether each executor is up.
+    pub up: Vec<bool>,
     /// Backlog length per executor.
     pub queue_depths: Vec<usize>,
     /// Whether each executor is mid-task.
@@ -279,9 +314,10 @@ impl RuntimeSnapshot {
     /// One-line human-readable form for periodic progress output.
     pub fn brief(&self) -> String {
         format!(
-            "submitted {} | completed {} | rejected {} | expired {} | open {} | queues {:?} | util {}",
+            "submitted {} | completed {} | degraded {} | rejected {} | expired {} | open {} | queues {:?} | util {}",
             self.submitted,
             self.completed,
+            self.degraded,
             self.rejected,
             self.expired,
             self.open,
@@ -312,10 +348,20 @@ mod tests {
     fn counters_conserve_queries() {
         let c = RuntimeCounters::new();
         c.submitted.fetch_add(10, Relaxed);
-        c.completed.fetch_add(6, Relaxed);
+        c.completed.fetch_add(5, Relaxed);
+        c.degraded.fetch_add(1, Relaxed);
         c.rejected.fetch_add(1, Relaxed);
         c.expired.fetch_add(2, Relaxed);
-        assert_eq!(c.open(), 1);
+        assert_eq!(c.open(), 1, "degraded queries are closed, not open");
+    }
+
+    #[test]
+    fn executors_default_to_up() {
+        let m = RuntimeMetrics::new(2);
+        let s = m.snapshot(0.0);
+        assert_eq!(s.up, vec![true, true]);
+        m.executors[1].up.store(0, Relaxed);
+        assert_eq!(m.snapshot(0.0).up, vec![true, false]);
     }
 
     #[test]

@@ -33,7 +33,9 @@ impl SegmentSeries {
             assert!(s < num_segments, "segment {s} out of range");
             counts[s] += 1;
             match r.outcome {
-                QueryOutcome::Completed { score, .. } => score_sum[s] += score,
+                QueryOutcome::Completed { score, .. } | QueryOutcome::Degraded { score, .. } => {
+                    score_sum[s] += score
+                }
                 QueryOutcome::Missed => {}
             }
             if !r.met_deadline() {

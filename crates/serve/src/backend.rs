@@ -9,6 +9,17 @@
 //! split between a server's running slot and its queue; per-executor
 //! backlog length is bounded by `queue_capacity`.
 //!
+//! Faults: [`ThreadedBackend::with_faults`] installs the same seeded
+//! [`FaultPlan`] semantics the simulator honours — each task's fate
+//! (straggler-stretched duration, transient failure, timeout) is drawn from
+//! the dedicated `"faults"` RNG stream at submission, and crash windows
+//! surface as [`BackendEvent::ExecutorDown`]/[`BackendEvent::ExecutorUp`]
+//! via [`ThreadedBackend::take_due_fault_events`]. A worker killed by a
+//! crash keeps sleeping (threads cannot be cancelled); its eventual report
+//! is recorded as a *zombie* and swallowed. Dead worker threads (panics)
+//! are detected by [`ThreadedBackend::reap_dead`] and fold into the same
+//! executor-down path, permanently.
+//!
 //! All methods run on the runtime's scheduler thread; the shared
 //! [`RuntimeMetrics`] atomics exist so observer threads can snapshot state
 //! without locks.
@@ -16,10 +27,10 @@
 use crate::clock::DilatedClock;
 use crate::worker::WorkerPool;
 use rand::rngs::StdRng;
-use schemble_core::backend::{ExecutionBackend, ExecutorUsage};
+use schemble_core::backend::{BackendEvent, ExecutionBackend, ExecutorUsage};
 use schemble_metrics::RuntimeMetrics;
 use schemble_sim::rng::stream_rng;
-use schemble_sim::{LatencyModel, SimDuration, SimTime};
+use schemble_sim::{FaultPlan, FaultState, FaultTransition, LatencyModel, SimDuration, SimTime};
 use schemble_trace::{TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -41,9 +52,10 @@ pub struct ThreadedBackend {
     pool: WorkerPool,
     clock: DilatedClock,
     running: Vec<Option<RunningTask>>,
-    /// FIFO backlog per executor: `(query, sampled duration)`, duration
-    /// drawn at enqueue time like the simulator's `Server::enqueue`.
-    backlog: Vec<VecDeque<(u64, SimDuration)>>,
+    /// FIFO backlog per executor: `(query, sampled duration, doomed)`,
+    /// duration and fate drawn at enqueue time like the simulator's
+    /// `Server::enqueue`.
+    backlog: Vec<VecDeque<(u64, SimDuration, bool)>>,
     queue_capacity: usize,
     /// Pending wake-ups requested by the engine.
     wakes: BinaryHeap<Reverse<SimTime>>,
@@ -51,6 +63,20 @@ pub struct ThreadedBackend {
     tasks: Vec<u64>,
     metrics: Arc<RuntimeMetrics>,
     trace: Arc<TraceSink>,
+    /// Seeded fault-fate sampler; `None` without a plan.
+    faults: Option<FaultState>,
+    /// Crash/recovery schedule, sorted by time; `cursor` marks the next
+    /// transition not yet surfaced.
+    transitions: Vec<FaultTransition>,
+    cursor: usize,
+    /// Per-task timeout derived from the plan's latency quantile.
+    timeouts: Vec<Option<SimDuration>>,
+    down: Vec<bool>,
+    /// Worker thread exited (panic); never recovers.
+    dead: Vec<bool>,
+    /// Queries whose running task was killed while the worker slept: the
+    /// worker's eventual report must be swallowed, in FIFO order.
+    zombies: Vec<VecDeque<u64>>,
 }
 
 impl ThreadedBackend {
@@ -81,6 +107,13 @@ impl ThreadedBackend {
             tasks: vec![0; n],
             metrics: Arc::clone(&metrics),
             trace: TraceSink::disabled(),
+            faults: None,
+            transitions: Vec::new(),
+            cursor: 0,
+            timeouts: vec![None; n],
+            down: vec![false; n],
+            dead: vec![false; n],
+            zombies: (0..n).map(|_| VecDeque::new()).collect(),
         }
     }
 
@@ -90,9 +123,47 @@ impl ThreadedBackend {
         self
     }
 
-    fn launch(&mut self, executor: usize, query: u64, duration: SimDuration, now: SimTime) {
+    /// Installs a seeded fault plan: identical fate-draw discipline to
+    /// [`SimBackend::with_faults`](schemble_core::backend::SimBackend), so a
+    /// wall run and a virtual run under the same plan inject the same
+    /// per-task fates. A no-op plan changes nothing.
+    pub fn with_faults(mut self, plan: FaultPlan, seed: u64) -> Self {
+        if plan.is_noop() {
+            return self;
+        }
+        let state = FaultState::new(plan.clone(), seed);
+        self.timeouts = self.latencies.iter().map(|l| state.timeout_for(l)).collect();
+        self.transitions = plan.transitions();
+        self.faults = Some(state);
+        self
+    }
+
+    /// Access to the worker pool (fault-injection tests poison workers).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    fn fate(&mut self, executor: usize, now: SimTime) -> (SimDuration, bool) {
+        let sampled = self.latencies[executor].sample(&mut self.rng);
+        match &mut self.faults {
+            Some(f) => {
+                let fate = f.task_fate(executor, now, sampled, self.timeouts[executor]);
+                (fate.duration, fate.failed)
+            }
+            None => (sampled, false),
+        }
+    }
+
+    fn launch(
+        &mut self,
+        executor: usize,
+        query: u64,
+        duration: SimDuration,
+        doomed: bool,
+        now: SimTime,
+    ) {
         debug_assert!(self.running[executor].is_none());
-        self.pool.submit(executor, query, self.clock.dilate(duration));
+        self.pool.submit(executor, query, self.clock.dilate(duration), doomed);
         self.running[executor] =
             Some(RunningTask { query, duration, completes_at: now + duration });
         self.metrics.counters.tasks_started.fetch_add(1, Relaxed);
@@ -100,10 +171,28 @@ impl ThreadedBackend {
         self.trace.emit(TraceEvent::TaskStart { t: now, query, executor: executor as u16 });
     }
 
+    fn start_backlog_next(&mut self, executor: usize, now: SimTime) {
+        if self.down[executor] {
+            return;
+        }
+        if let Some((next_query, dur, doomed)) = self.backlog[executor].pop_front() {
+            self.metrics.executors[executor]
+                .queue_depth
+                .store(self.backlog[executor].len() as u64, Relaxed);
+            self.launch(executor, next_query, dur, doomed, now);
+        }
+    }
+
     /// Retires `executor`'s finished task and starts its next backlog task,
     /// if any. Call on receipt of the worker's completion message, before
     /// handing the event to the engine (mirrors `SimBackend::pop_event`).
-    pub fn complete(&mut self, executor: usize, query: u64, now: SimTime) {
+    /// Returns `false` when the report belonged to a task already killed by
+    /// a crash (a zombie) and must not reach the engine.
+    pub fn complete(&mut self, executor: usize, query: u64, now: SimTime) -> bool {
+        if self.zombies[executor].front() == Some(&query) {
+            self.zombies[executor].pop_front();
+            return false;
+        }
         let task = self.running[executor].take().expect("completion from idle executor");
         assert_eq!(task.query, query, "completion for the wrong task");
         self.busy[executor] = self.busy[executor] + task.duration;
@@ -114,10 +203,107 @@ impl ThreadedBackend {
         g.tasks.fetch_add(1, Relaxed);
         self.metrics.counters.tasks_completed.fetch_add(1, Relaxed);
         self.trace.emit(TraceEvent::TaskDone { t: now, query, executor: executor as u16 });
-        if let Some((next_query, dur)) = self.backlog[executor].pop_front() {
-            g.queue_depth.store(self.backlog[executor].len() as u64, Relaxed);
-            self.launch(executor, next_query, dur, now);
+        self.start_backlog_next(executor, now);
+        true
+    }
+
+    /// Retires `executor`'s *failed* task (transient fault or timeout): its
+    /// time is charged to busy accounting but it does not count as a
+    /// completion. Returns `false` for zombie reports, like
+    /// [`Self::complete`].
+    pub fn fail(&mut self, executor: usize, query: u64, now: SimTime) -> bool {
+        if self.zombies[executor].front() == Some(&query) {
+            self.zombies[executor].pop_front();
+            return false;
         }
+        let task = self.running[executor].take().expect("failure from idle executor");
+        assert_eq!(task.query, query, "failure for the wrong task");
+        self.busy[executor] = self.busy[executor] + task.duration;
+        let g = &self.metrics.executors[executor];
+        g.running.store(0, Relaxed);
+        g.busy_micros.fetch_add(task.duration.as_micros(), Relaxed);
+        self.trace.emit(TraceEvent::TaskFailed { t: now, query, executor: executor as u16 });
+        self.start_backlog_next(executor, now);
+        true
+    }
+
+    /// Marks `executor` down: kills its running task (the worker keeps
+    /// sleeping; the report becomes a zombie), drops its backlog, and
+    /// returns the events the engine must observe, `ExecutorDown` first.
+    fn bring_down(&mut self, executor: usize, now: SimTime) -> Vec<BackendEvent> {
+        let mut out = Vec::new();
+        self.down[executor] = true;
+        self.metrics.executors[executor].up.store(0, Relaxed);
+        self.trace.emit(TraceEvent::ExecutorDown { t: now, executor: executor as u16 });
+        out.push(BackendEvent::ExecutorDown { executor });
+        if let Some(task) = self.running[executor].take() {
+            self.zombies[executor].push_back(task.query);
+            // Charge only the time actually spent before the crash.
+            let left = task.completes_at.saturating_since(now);
+            let spent = SimDuration::from_micros(
+                task.duration.as_micros().saturating_sub(left.as_micros()),
+            );
+            self.busy[executor] = self.busy[executor] + spent;
+            let g = &self.metrics.executors[executor];
+            g.running.store(0, Relaxed);
+            g.busy_micros.fetch_add(spent.as_micros(), Relaxed);
+            self.trace.emit(TraceEvent::TaskFailed {
+                t: now,
+                query: task.query,
+                executor: executor as u16,
+            });
+            out.push(BackendEvent::TaskFailed { executor, query: task.query });
+        }
+        let casualties: Vec<u64> = self.backlog[executor].drain(..).map(|(q, _, _)| q).collect();
+        self.metrics.executors[executor].queue_depth.store(0, Relaxed);
+        for query in casualties {
+            self.trace.emit(TraceEvent::TaskFailed { t: now, query, executor: executor as u16 });
+            out.push(BackendEvent::TaskFailed { executor, query });
+        }
+        out
+    }
+
+    /// Surfaces fault-plan transitions due at or before `now` as backend
+    /// events (executor down/up plus the tasks a crash killed). Call at the
+    /// top of the scheduler loop, before waiting on the channel.
+    pub fn take_due_fault_events(&mut self, now: SimTime) -> Vec<BackendEvent> {
+        let mut out = Vec::new();
+        while self.cursor < self.transitions.len() && self.transitions[self.cursor].at <= now {
+            let tr = self.transitions[self.cursor];
+            self.cursor += 1;
+            if tr.executor >= self.latencies.len() {
+                continue;
+            }
+            if tr.up {
+                if self.dead[tr.executor] {
+                    continue; // a dead worker never recovers
+                }
+                self.down[tr.executor] = false;
+                self.metrics.executors[tr.executor].up.store(1, Relaxed);
+                self.trace.emit(TraceEvent::ExecutorUp { t: now, executor: tr.executor as u16 });
+                out.push(BackendEvent::ExecutorUp { executor: tr.executor });
+            } else if !self.down[tr.executor] {
+                out.extend(self.bring_down(tr.executor, now));
+            }
+        }
+        out
+    }
+
+    /// Detects worker threads that died (panicked) and marks their
+    /// executors permanently down, returning the resulting events. Poll
+    /// this from the scheduler loop's timeout path.
+    pub fn reap_dead(&mut self, now: SimTime) -> Vec<BackendEvent> {
+        let mut out = Vec::new();
+        for e in 0..self.latencies.len() {
+            if self.dead[e] || !self.pool.is_finished(e) {
+                continue;
+            }
+            self.dead[e] = true;
+            if !self.down[e] {
+                out.extend(self.bring_down(e, now));
+            }
+        }
+        out
     }
 
     /// True when no executor is running or holding backlog.
@@ -125,9 +311,15 @@ impl ThreadedBackend {
         self.running.iter().all(Option::is_none) && self.backlog.iter().all(VecDeque::is_empty)
     }
 
-    /// Earliest pending wake-up, if any.
+    /// Earliest pending wake-up or fault transition, if any.
     pub fn next_wake(&self) -> Option<SimTime> {
-        self.wakes.peek().map(|Reverse(t)| *t)
+        let wake = self.wakes.peek().map(|Reverse(t)| *t);
+        let fault = self.transitions.get(self.cursor).map(|t| t.at);
+        match (wake, fault) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        }
     }
 
     /// Pops one wake-up due at or before `now`; true if one fired.
@@ -152,11 +344,15 @@ impl ExecutionBackend for ThreadedBackend {
     }
 
     fn is_idle(&self, executor: usize) -> bool {
-        self.running[executor].is_none()
+        !self.down[executor] && self.running[executor].is_none()
+    }
+
+    fn is_up(&self, executor: usize) -> bool {
+        !self.down[executor]
     }
 
     fn idle_executors(&self) -> Vec<usize> {
-        (0..self.running.len()).filter(|&k| self.running[k].is_none()).collect()
+        (0..self.running.len()).filter(|&k| self.is_idle(k)).collect()
     }
 
     fn available_at(&self, executor: usize, now: SimTime) -> SimTime {
@@ -164,22 +360,36 @@ impl ExecutionBackend for ThreadedBackend {
             Some(task) => task.completes_at.max(now),
             None => now,
         };
-        for (_, dur) in &self.backlog[executor] {
+        for (_, dur, _) in &self.backlog[executor] {
             at += *dur;
+        }
+        if self.down[executor] {
+            // A crashed executor frees up at its scheduled recovery; a dead
+            // worker never does (steer the planner far away).
+            let recovery = self.transitions[self.cursor..]
+                .iter()
+                .find(|t| t.executor == executor && t.up && t.at > now)
+                .map(|t| t.at);
+            at = match recovery {
+                Some(r) if !self.dead[executor] => at.max(r),
+                _ => at.max(now + SimDuration::from_micros(3_600_000_000)),
+            };
         }
         at
     }
 
     fn start_task(&mut self, executor: usize, query: u64, now: SimTime) {
         assert!(self.running[executor].is_none(), "start_task on a busy executor");
-        let duration = self.latencies[executor].sample(&mut self.rng);
-        self.launch(executor, query, duration, now);
+        debug_assert!(!self.down[executor], "start_task on a down executor");
+        let (duration, doomed) = self.fate(executor, now);
+        self.launch(executor, query, duration, doomed, now);
     }
 
     fn enqueue_task(&mut self, executor: usize, query: u64, now: SimTime) {
-        let duration = self.latencies[executor].sample(&mut self.rng);
+        debug_assert!(!self.down[executor], "enqueue_task on a down executor");
+        let (duration, doomed) = self.fate(executor, now);
         if self.running[executor].is_none() {
-            self.launch(executor, query, duration, now);
+            self.launch(executor, query, duration, doomed, now);
             return;
         }
         assert!(
@@ -187,7 +397,7 @@ impl ExecutionBackend for ThreadedBackend {
             "executor {executor} backlog exceeded queue capacity {}",
             self.queue_capacity
         );
-        self.backlog[executor].push_back((query, duration));
+        self.backlog[executor].push_back((query, duration, doomed));
         self.metrics.executors[executor]
             .queue_depth
             .store(self.backlog[executor].len() as u64, Relaxed);
@@ -209,6 +419,7 @@ impl ExecutionBackend for ThreadedBackend {
 mod tests {
     use super::*;
     use crate::worker::RuntimeMsg;
+    use schemble_sim::SimTime;
     use std::time::Duration;
 
     fn backend(
@@ -232,7 +443,7 @@ mod tests {
         assert!(!b.is_idle(0));
         let msg = rx.recv_timeout(Duration::from_secs(2)).expect("completion");
         assert_eq!(msg, RuntimeMsg::TaskDone { executor: 0, query: 1 });
-        b.complete(0, 1, now + SimDuration::from_millis(5));
+        assert!(b.complete(0, 1, now + SimDuration::from_millis(5)));
         assert!(b.is_idle(0));
         assert!(b.all_idle());
         assert_eq!(b.usage()[0].tasks, 1);
@@ -252,11 +463,11 @@ mod tests {
         );
         let first = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(first, RuntimeMsg::TaskDone { executor: 0, query: 1 });
-        b.complete(0, 1, now + SimDuration::from_millis(2));
+        assert!(b.complete(0, 1, now + SimDuration::from_millis(2)));
         // complete() must have launched query 2 automatically.
         let second = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(second, RuntimeMsg::TaskDone { executor: 0, query: 2 });
-        b.complete(0, 2, now + SimDuration::from_millis(4));
+        assert!(b.complete(0, 2, now + SimDuration::from_millis(4)));
         assert!(b.all_idle());
         b.shutdown();
     }
@@ -270,6 +481,57 @@ mod tests {
         assert!(!b.take_due_wake(SimTime::from_millis(5)));
         assert!(b.take_due_wake(SimTime::from_millis(10)));
         assert_eq!(b.next_wake(), Some(SimTime::from_millis(30)));
+        b.shutdown();
+    }
+
+    #[test]
+    fn crash_window_downs_executor_and_swallows_zombie() {
+        let (b, rx) = backend(&[5.0], 100.0);
+        let mut plan = FaultPlan::default();
+        plan.crashes.push(schemble_sim::CrashWindow {
+            executor: 0,
+            from: SimTime::from_millis(1),
+            until: SimTime::from_millis(20),
+        });
+        let mut b = b.with_faults(plan, 1);
+        b.start_task(0, 7, SimTime::ZERO);
+        assert_eq!(b.next_wake(), Some(SimTime::from_millis(1)));
+        let events = b.take_due_fault_events(SimTime::from_millis(1));
+        assert_eq!(
+            events,
+            vec![
+                BackendEvent::ExecutorDown { executor: 0 },
+                BackendEvent::TaskFailed { executor: 0, query: 7 },
+            ]
+        );
+        assert!(!b.is_up(0) && !b.is_idle(0));
+        // Down executor advertises its recovery time.
+        assert_eq!(b.available_at(0, SimTime::from_millis(1)), SimTime::from_millis(20));
+        // The worker's late report is a zombie: swallowed, not delivered.
+        let msg = rx.recv_timeout(Duration::from_secs(2)).expect("zombie report");
+        assert_eq!(msg, RuntimeMsg::TaskDone { executor: 0, query: 7 });
+        assert!(!b.complete(0, 7, SimTime::from_millis(5)));
+        let events = b.take_due_fault_events(SimTime::from_millis(20));
+        assert_eq!(events, vec![BackendEvent::ExecutorUp { executor: 0 }]);
+        assert!(b.is_up(0) && b.is_idle(0));
+        b.shutdown();
+    }
+
+    #[test]
+    fn reap_dead_marks_poisoned_worker_down_forever() {
+        let (mut b, _rx) = backend(&[1.0, 1.0], 1000.0);
+        b.pool().poison(0);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !b.pool().is_finished(0) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let events = b.reap_dead(SimTime::from_millis(3));
+        assert_eq!(events, vec![BackendEvent::ExecutorDown { executor: 0 }]);
+        assert!(!b.is_up(0));
+        assert!(b.is_up(1));
+        assert!(b.reap_dead(SimTime::from_millis(4)).is_empty(), "reported once");
+        // Far-future availability steers the planner away for good.
+        assert!(b.available_at(0, SimTime::from_millis(4)) > SimTime::from_secs_f64(60.0));
         b.shutdown();
     }
 }

@@ -16,13 +16,15 @@ use crate::backend::ThreadedBackend;
 use crate::clock::{precise_sleep, DilatedClock};
 use crate::worker::{RuntimeMsg, WorkerPool};
 use schemble_core::backend::{BackendEvent, ExecutionBackend, SimBackend};
-use schemble_core::engine::{EngineStats, ImmediateEngine, PipelineEngine, SchembleEngine};
+use schemble_core::engine::{
+    EngineStats, FailurePolicy, ImmediateEngine, PipelineEngine, SchembleEngine,
+};
 use schemble_core::pipeline::immediate::{Deployment, SelectionPolicy};
 use schemble_core::pipeline::{AdmissionMode, ResultAssembler, SchembleConfig};
 use schemble_data::Workload;
 use schemble_metrics::{RunSummary, RuntimeMetrics, RuntimeSnapshot};
 use schemble_models::Ensemble;
-use schemble_sim::{LatencyModel, SimTime};
+use schemble_sim::{FaultPlan, LatencyModel, SimTime};
 use schemble_trace::TraceSink;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
@@ -56,6 +58,14 @@ pub struct ServeConfig {
     /// Sink receiving query lifecycle events from the engine and backend;
     /// `None` runs untraced (the engine/backend get a disabled sink).
     pub trace: Option<Arc<TraceSink>>,
+    /// Seeded fault schedule injected into the backend (both clock modes);
+    /// `None` (or a no-op plan) leaves backends byte-identical to a
+    /// fault-free run.
+    pub faults: Option<FaultPlan>,
+    /// Retry/degradation policy handed to the engine. Applies to the
+    /// immediate pipelines only — the Schemble pipeline carries its policy
+    /// in [`SchembleConfig::failure`].
+    pub failure: Option<FailurePolicy>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +76,8 @@ impl Default for ServeConfig {
             channel_capacity: 1024,
             report_every: None,
             trace: None,
+            faults: None,
+            failure: None,
         }
     }
 }
@@ -113,6 +125,9 @@ fn sync_metrics(engine: &mut dyn PipelineEngine, metrics: &RuntimeMetrics) {
     c.completed.store(s.completed, Relaxed);
     c.rejected.store(s.rejected, Relaxed);
     c.expired.store(s.expired, Relaxed);
+    c.degraded.store(s.degraded, Relaxed);
+    c.tasks_failed.store(s.tasks_failed, Relaxed);
+    c.tasks_retried.store(s.tasks_retried, Relaxed);
     for (_, latency_secs) in engine.take_completions() {
         metrics.latency.record(latency_secs);
     }
@@ -148,6 +163,9 @@ pub fn run_wall(
         Arc::clone(metrics),
     )
     .with_trace(config.sink());
+    if let Some(plan) = &config.faults {
+        backend = backend.with_faults(plan.clone(), seed);
+    }
 
     // Trace-replay load generator: one thread sleeping to each arrival.
     let arrivals: Vec<SimTime> = workload.queries.iter().map(|q| q.arrival).collect();
@@ -178,10 +196,12 @@ pub fn run_wall(
             .name("schemble-reporter".into())
             .spawn(move || {
                 let (flag, cv) = &*stop;
-                let mut stopped = flag.lock().expect("reporter flag poisoned");
+                // A poisoned flag (panicked peer) must not kill reporting:
+                // recover the guard and carry on.
+                let mut stopped = flag.lock().unwrap_or_else(|e| e.into_inner());
                 while !*stopped {
                     let (guard, timeout) =
-                        cv.wait_timeout(stopped, every).expect("reporter flag poisoned");
+                        cv.wait_timeout(stopped, every).unwrap_or_else(|e| e.into_inner());
                     stopped = guard;
                     if !*stopped && timeout.timed_out() {
                         let now = clock.now_sim();
@@ -194,9 +214,20 @@ pub fn run_wall(
     });
 
     let mut arrivals_done = false;
+    let mut stalled = 0u32;
     loop {
         let now = clock.now_sim();
-        // Engine-requested wake-ups that have come due fire first.
+        // Fault-plan transitions due now (crashes, recoveries, and the
+        // tasks a crash killed) reach the engine before anything else.
+        let fault_events = backend.take_due_fault_events(now);
+        if !fault_events.is_empty() {
+            for event in fault_events {
+                engine.handle(event, now, &mut backend);
+            }
+            sync_metrics(engine, metrics);
+            continue;
+        }
+        // Engine-requested wake-ups that have come due fire next.
         if backend.take_due_wake(now) {
             engine.handle(BackendEvent::Wake, now, &mut backend);
             sync_metrics(engine, metrics);
@@ -219,16 +250,50 @@ pub fn run_wall(
             Ok(RuntimeMsg::Arrive(i)) => {
                 let now = clock.now_sim();
                 engine.handle(BackendEvent::Arrival(i), now, &mut backend);
+                stalled = 0;
             }
             Ok(RuntimeMsg::TaskDone { executor, query }) => {
                 let now = clock.now_sim();
-                backend.complete(executor, query, now);
-                engine.handle(BackendEvent::TaskDone { executor, query }, now, &mut backend);
+                // A false return is a zombie report (task killed by a
+                // crash): the engine already saw its TaskFailed.
+                if backend.complete(executor, query, now) {
+                    engine.handle(BackendEvent::TaskDone { executor, query }, now, &mut backend);
+                }
+                stalled = 0;
+            }
+            Ok(RuntimeMsg::TaskFailed { executor, query }) => {
+                let now = clock.now_sim();
+                if backend.fail(executor, query, now) {
+                    engine.handle(BackendEvent::TaskFailed { executor, query }, now, &mut backend);
+                }
+                stalled = 0;
             }
             Ok(RuntimeMsg::ArrivalsDone) => arrivals_done = true,
             Err(RecvTimeoutError::Timeout) => {
                 let now = clock.now_sim();
+                // Dead (panicked) workers surface here, as executor-down.
+                for event in backend.reap_dead(now) {
+                    engine.handle(event, now, &mut backend);
+                }
                 engine.handle(BackendEvent::Wake, now, &mut backend);
+                // Wedge breaker: open queries but nothing running, no timer
+                // pending anywhere, trace replayed — nothing can make
+                // progress. Three consecutive idle timeouts end the loop;
+                // drain() below closes the stranded queries (degraded or
+                // expired), so they are never silently lost.
+                if arrivals_done
+                    && backend.all_idle()
+                    && backend.next_wake().is_none()
+                    && engine.next_wake_hint(clock.now_sim()).is_none()
+                    && engine.open_count() > 0
+                {
+                    stalled += 1;
+                    if stalled >= 3 {
+                        break;
+                    }
+                } else {
+                    stalled = 0;
+                }
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -241,7 +306,7 @@ pub fn run_wall(
     let _ = loadgen.join();
     {
         let (flag, cv) = &*stop_reporter;
-        *flag.lock().expect("reporter flag poisoned") = true;
+        *flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
         cv.notify_all();
     }
     if let Some(handle) = reporter {
@@ -261,11 +326,14 @@ pub fn run_virtual(
     workload: &Workload,
     seed: u64,
     stream: &str,
+    config: &ServeConfig,
     metrics: &RuntimeMetrics,
-    trace: Arc<TraceSink>,
 ) -> RunStats {
     let wall_start = Instant::now();
-    let mut backend = SimBackend::new(latencies, seed, stream).with_trace(trace);
+    let mut backend = SimBackend::new(latencies, seed, stream).with_trace(config.sink());
+    if let Some(plan) = &config.faults {
+        backend = backend.with_faults(plan.clone(), seed);
+    }
     for (i, q) in workload.queries.iter().enumerate() {
         backend.push_arrival(q.arrival, i);
     }
@@ -280,12 +348,14 @@ pub fn run_virtual(
     // The DES backend bypasses the live gauges; backfill them from its
     // final usage so snapshots and exporters see real task/busy totals.
     let mut tasks_total = 0;
-    for (gauges, u) in metrics.executors.iter().zip(&usage) {
+    for (k, (gauges, u)) in metrics.executors.iter().zip(&usage).enumerate() {
         gauges.busy_micros.store((u.busy_secs * 1e6) as u64, Relaxed);
         gauges.tasks.store(u.tasks, Relaxed);
+        gauges.up.store(backend.is_up(k) as u64, Relaxed);
         tasks_total += u.tasks;
     }
-    metrics.counters.tasks_started.store(tasks_total, Relaxed);
+    // Failed tasks started but never completed.
+    metrics.counters.tasks_started.store(tasks_total + engine.stats().tasks_failed, Relaxed);
     metrics.counters.tasks_completed.store(tasks_total, Relaxed);
     RunStats { usage, wall_secs: wall_start.elapsed().as_secs_f64(), sim_secs: end.as_secs_f64() }
 }
@@ -301,7 +371,7 @@ fn run_with(
 ) -> RunStats {
     match config.mode {
         ClockMode::Virtual => {
-            run_virtual(engine, latencies, workload, seed, stream, metrics, config.sink())
+            run_virtual(engine, latencies, workload, seed, stream, config, metrics)
         }
         ClockMode::Wall { dilation } => {
             run_wall(engine, latencies, workload, seed, stream, config, dilation, metrics)
@@ -352,7 +422,8 @@ pub fn serve_immediate(
     let metrics = Arc::new(RuntimeMetrics::new(latencies.len()));
     let mut engine =
         ImmediateEngine::new(ensemble, deployment, policy, assembler, admission, workload)
-            .with_trace(config.sink());
+            .with_trace(config.sink())
+            .with_failure(config.failure);
     let run =
         run_with(&mut engine, latencies, workload, seed, "immediate-latency", config, &metrics);
     let stats = PipelineEngine::stats(&engine);

@@ -8,6 +8,13 @@
 //! FIFO queue. Completions flow back to the runtime loop over a shared
 //! bounded channel, so a stalled scheduler exerts backpressure instead of
 //! accumulating unbounded buffers.
+//!
+//! Faults: a task submitted with `failed = true` (its fate was drawn from
+//! the run's [`FaultPlan`](schemble_sim::FaultPlan)) still occupies the
+//! worker for its sampled time but reports [`RuntimeMsg::TaskFailed`]
+//! instead of a completion. A worker thread that *dies* (panics) is visible
+//! through [`WorkerPool::is_finished`]; the backend folds that into the
+//! executor-down path.
 
 use crate::clock::precise_sleep;
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -16,13 +23,19 @@ use std::time::Duration;
 
 /// Messages to a worker thread.
 pub enum WorkerMsg {
-    /// Realise one task: sleep `wall`, then report completion.
+    /// Realise one task: sleep `wall`, then report completion or failure.
     Run {
         /// Query the task belongs to.
         query: u64,
         /// Dilated wall-clock execution time.
         wall: Duration,
+        /// The task's predetermined fate: report `TaskFailed` instead of
+        /// `TaskDone` after the sleep.
+        failed: bool,
     },
+    /// Panic the worker thread. Fault-injection instrumentation: lets tests
+    /// prove a dead worker is detected and degraded around, not hung on.
+    Poison,
     /// Exit the worker loop.
     Shutdown,
 }
@@ -34,6 +47,13 @@ pub enum RuntimeMsg {
     Arrive(usize),
     /// `executor` finished its task for `query`.
     TaskDone {
+        /// Executor index.
+        executor: usize,
+        /// Query id.
+        query: u64,
+    },
+    /// `executor`'s task for `query` failed (transient fault or timeout).
+    TaskFailed {
         /// Executor index.
         executor: usize,
         /// Query id.
@@ -55,9 +75,11 @@ impl WorkerPool {
         let mut senders = Vec::with_capacity(executors);
         let mut handles = Vec::with_capacity(executors);
         for executor in 0..executors {
-            // Capacity 2: the running task plus a shutdown message — the
-            // backend only submits to idle executors, so this never blocks.
-            let (tx, rx) = std::sync::mpsc::sync_channel::<WorkerMsg>(2);
+            // Small bound: normally holds just the running task plus a
+            // shutdown message. Crash/recovery cycles can resubmit while the
+            // worker is still sleeping off a killed (zombie) task, so leave
+            // a little headroom before try_send would fail.
+            let (tx, rx) = std::sync::mpsc::sync_channel::<WorkerMsg>(8);
             let done = done_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("schemble-worker-{executor}"))
@@ -79,12 +101,24 @@ impl WorkerPool {
         self.senders.is_empty()
     }
 
+    /// True when `executor`'s thread has exited — after [`Self::shutdown`],
+    /// or because it panicked. The runtime polls this to detect dead
+    /// workers and mark their executors down.
+    pub fn is_finished(&self, executor: usize) -> bool {
+        self.handles[executor].is_finished()
+    }
+
     /// Hands `executor` a task. Panics if the worker's slot is full — the
     /// backend must only submit to idle executors (non-preemptive contract).
-    pub fn submit(&self, executor: usize, query: u64, wall: Duration) {
+    pub fn submit(&self, executor: usize, query: u64, wall: Duration, failed: bool) {
         self.senders[executor]
-            .try_send(WorkerMsg::Run { query, wall })
+            .try_send(WorkerMsg::Run { query, wall, failed })
             .expect("submitted to a busy executor");
+    }
+
+    /// Makes `executor`'s thread panic (fault injection for tests).
+    pub fn poison(&self, executor: usize) {
+        let _ = self.senders[executor].try_send(WorkerMsg::Poison);
     }
 
     /// Stops all workers after their current task and joins them.
@@ -95,6 +129,7 @@ impl WorkerPool {
         }
         drop(self.senders);
         for handle in self.handles {
+            // A panicked worker joins with Err; shutdown proceeds anyway.
             let _ = handle.join();
         }
     }
@@ -103,13 +138,19 @@ impl WorkerPool {
 fn worker_loop(executor: usize, rx: Receiver<WorkerMsg>, done: SyncSender<RuntimeMsg>) {
     while let Ok(msg) = rx.recv() {
         match msg {
-            WorkerMsg::Run { query, wall } => {
+            WorkerMsg::Run { query, wall, failed } => {
                 precise_sleep(wall);
+                let report = if failed {
+                    RuntimeMsg::TaskFailed { executor, query }
+                } else {
+                    RuntimeMsg::TaskDone { executor, query }
+                };
                 // The runtime dropping its receiver means shutdown; exit.
-                if done.send(RuntimeMsg::TaskDone { executor, query }).is_err() {
+                if done.send(report).is_err() {
                     return;
                 }
             }
+            WorkerMsg::Poison => panic!("worker {executor} poisoned (fault injection)"),
             WorkerMsg::Shutdown => return,
         }
     }
@@ -124,8 +165,8 @@ mod tests {
         let (done_tx, done_rx) = std::sync::mpsc::sync_channel(16);
         let pool = WorkerPool::spawn(2, done_tx);
         assert_eq!(pool.len(), 2);
-        pool.submit(0, 7, Duration::from_millis(2));
-        pool.submit(1, 8, Duration::from_millis(1));
+        pool.submit(0, 7, Duration::from_millis(2), false);
+        pool.submit(1, 8, Duration::from_millis(1), false);
         let mut got: Vec<RuntimeMsg> = (0..2).map(|_| done_rx.recv().unwrap()).collect();
         got.sort_by_key(|m| match m {
             RuntimeMsg::TaskDone { executor, .. } => *executor,
@@ -138,6 +179,31 @@ mod tests {
                 RuntimeMsg::TaskDone { executor: 1, query: 8 },
             ]
         );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn doomed_tasks_report_failure() {
+        let (done_tx, done_rx) = std::sync::mpsc::sync_channel(16);
+        let pool = WorkerPool::spawn(1, done_tx);
+        pool.submit(0, 3, Duration::from_millis(1), true);
+        assert_eq!(done_rx.recv().unwrap(), RuntimeMsg::TaskFailed { executor: 0, query: 3 });
+        pool.shutdown();
+    }
+
+    #[test]
+    fn poisoned_worker_is_detected_and_shutdown_survives() {
+        let (done_tx, _done_rx) = std::sync::mpsc::sync_channel(16);
+        let pool = WorkerPool::spawn(2, done_tx);
+        assert!(!pool.is_finished(0));
+        pool.poison(0);
+        // The panic unwinds promptly; poll until the handle reports it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !pool.is_finished(0) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(pool.is_finished(0), "dead worker must be observable");
+        assert!(!pool.is_finished(1), "healthy worker unaffected");
         pool.shutdown();
     }
 

@@ -52,6 +52,18 @@ impl LatencyModel {
     pub fn planned(&self) -> SimDuration {
         self.nominal
     }
+
+    /// The `q`-quantile of the (uniform) execution-time distribution:
+    /// `nominal * (1 - j + 2jq)`. This is what per-task timeouts are derived
+    /// from — a timeout at `quantile(0.99)` kills the slowest ~1% of
+    /// fault-free executions and essentially every straggler.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        debug_assert!((0.0..=1.0).contains(&q), "quantile out of [0,1]");
+        let n = self.nominal.as_micros() as f64;
+        SimDuration::from_micros(
+            (n * (1.0 - self.jitter_frac + 2.0 * self.jitter_frac * q)).round() as u64,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -24,12 +24,14 @@
 //!   and model noise never share state.
 
 pub mod event;
+pub mod fault;
 pub mod latency;
 pub mod rng;
 pub mod server;
 pub mod time;
 
 pub use event::EventQueue;
+pub use fault::{CrashWindow, FaultPlan, FaultState, FaultTransition, StragglerEpisode, TaskFate};
 pub use latency::LatencyModel;
 pub use server::{Server, ServerBank, TaskId};
 pub use time::{SimDuration, SimTime};

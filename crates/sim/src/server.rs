@@ -127,6 +127,27 @@ impl Server {
         self.completed += 1;
     }
 
+    /// Marks the running task *failed*: the server idles, busy time up to
+    /// `now` is charged, but the completed-task counter does not move.
+    ///
+    /// # Panics
+    /// Panics if `task` is not the running task.
+    pub fn fail(&mut self, task: TaskId, now: SimTime) {
+        let run = self.running.take().expect("failure on idle server");
+        assert_eq!(run.task, task, "failure for wrong task");
+        self.busy = self.busy.saturating_add(now.saturating_since(run.started_at));
+        // `completed` intentionally not incremented.
+    }
+
+    /// Kills whatever is running (executor crash): charges the partial busy
+    /// time and returns the killed task, if any. The backlog is untouched —
+    /// callers drop it separately via [`Server::drain_backlog`].
+    pub fn kill(&mut self, now: SimTime) -> Option<TaskId> {
+        let run = self.running.take()?;
+        self.busy = self.busy.saturating_add(now.saturating_since(run.started_at));
+        Some(run.task)
+    }
+
     /// Earliest time a *newly appended* task could start: now if idle with an
     /// empty backlog, otherwise after the running task and every backlog entry.
     pub fn available_at(&self, now: SimTime) -> SimTime {
@@ -288,6 +309,28 @@ mod tests {
         assert!(bank.any_idle());
         let avail = bank.availability(at(2));
         assert_eq!(avail, vec![at(2), at(10), at(2)]);
+    }
+
+    #[test]
+    fn fail_charges_busy_without_counting_completion() {
+        let mut s = Server::new();
+        s.start_immediately(TaskId(4), at(0), ms(10));
+        s.fail(TaskId(4), at(6));
+        assert!(s.is_idle());
+        assert_eq!(s.busy_time(), ms(6));
+        assert_eq!(s.completed_tasks(), 0);
+    }
+
+    #[test]
+    fn kill_takes_running_task_and_charges_partial_time() {
+        let mut s = Server::new();
+        assert_eq!(s.kill(at(1)), None, "idle kill is a no-op");
+        s.enqueue(TaskId(8), ms(5));
+        s.start_next(at(0));
+        assert_eq!(s.kill(at(2)), Some(TaskId(8)));
+        assert!(s.is_idle());
+        assert_eq!(s.busy_time(), ms(2));
+        assert_eq!(s.completed_tasks(), 0);
     }
 
     #[test]

@@ -27,9 +27,12 @@ pub struct AuditRecord {
     pub set: u32,
     /// Tasks that started executing for this query.
     pub tasks: u32,
-    /// Terminal outcome (`completed` / `rejected` / `expired` / `open`).
+    /// Task retries dispatched for this query.
+    pub retries: u32,
+    /// Terminal outcome (`completed` / `degraded` / `rejected` / `expired` /
+    /// `open`).
     pub outcome: &'static str,
-    /// Completion instant for completed queries.
+    /// Completion instant for completed (or degraded) queries.
     pub completion: Option<SimTime>,
 }
 
@@ -42,7 +45,7 @@ impl AuditRecord {
             None => "null".to_string(),
         };
         format!(
-            "{{\"query\":{},\"arrival_us\":{},\"deadline_us\":{},\"admission\":\"{}\",\"set\":{:?},\"models\":{},\"tasks\":{},\"outcome\":\"{}\",\"completion_us\":{}}}",
+            "{{\"query\":{},\"arrival_us\":{},\"deadline_us\":{},\"admission\":\"{}\",\"set\":{:?},\"models\":{},\"tasks\":{},\"retries\":{},\"outcome\":\"{}\",\"completion_us\":{}}}",
             self.query,
             self.arrival.as_micros(),
             self.deadline.as_micros(),
@@ -50,6 +53,7 @@ impl AuditRecord {
             set_members(self.set),
             set_members(self.set).len(),
             self.tasks,
+            self.retries,
             self.outcome,
             completion,
         )
@@ -69,6 +73,7 @@ pub fn audit_records(events: &[TraceEvent]) -> Vec<AuditRecord> {
                     admission: "buffered",
                     set: 0,
                     tasks: 0,
+                    retries: 0,
                     outcome: "open",
                     completion: None,
                 });
@@ -106,9 +111,24 @@ pub fn audit_records(events: &[TraceEvent]) -> Vec<AuditRecord> {
                     r.outcome = "expired";
                 }
             }
+            TraceEvent::TaskRetried { query, .. } => {
+                if let Some(r) = records.get_mut(&query) {
+                    r.retries += 1;
+                }
+            }
+            TraceEvent::DegradedAnswer { t, query, set } => {
+                if let Some(r) = records.get_mut(&query) {
+                    r.outcome = "degraded";
+                    r.set = set;
+                    r.completion = Some(t);
+                }
+            }
             TraceEvent::Plan { .. }
             | TraceEvent::TaskEnqueue { .. }
-            | TraceEvent::TaskDone { .. } => {}
+            | TraceEvent::TaskDone { .. }
+            | TraceEvent::TaskFailed { .. }
+            | TraceEvent::ExecutorDown { .. }
+            | TraceEvent::ExecutorUp { .. } => {}
         }
     }
     records.into_values().collect()
@@ -174,6 +194,30 @@ mod tests {
         validate_ndjson(&log).expect("audit lines must parse");
         assert_eq!(log.lines().count(), 2);
         assert!(log.contains("\"set\":[0, 2]"));
+    }
+
+    #[test]
+    fn degraded_lifecycle_records_retries_and_partial_set() {
+        let events = vec![
+            TraceEvent::Arrival { t: at(0), query: 5, deadline: at(60) },
+            TraceEvent::TaskStart { t: at(1), query: 5, executor: 0 },
+            TraceEvent::TaskStart { t: at(1), query: 5, executor: 1 },
+            TraceEvent::TaskFailed { t: at(8), query: 5, executor: 1 },
+            TraceEvent::TaskRetried { t: at(10), query: 5, executor: 1, attempt: 1 },
+            TraceEvent::TaskStart { t: at(10), query: 5, executor: 1 },
+            TraceEvent::TaskFailed { t: at(15), query: 5, executor: 1 },
+            TraceEvent::TaskDone { t: at(20), query: 5, executor: 0 },
+            TraceEvent::DegradedAnswer { t: at(20), query: 5, set: 0b1 },
+        ];
+        let records = audit_records(&events);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].outcome, "degraded");
+        assert_eq!(records[0].retries, 1);
+        assert_eq!(records[0].set, 0b1);
+        assert_eq!(records[0].completion, Some(at(20)));
+        let line = records[0].to_json_line();
+        assert!(line.contains("\"retries\":1"));
+        assert!(line.contains("\"outcome\":\"degraded\""));
     }
 
     #[test]

@@ -142,6 +142,51 @@ pub fn chrome_trace(events: &[TraceEvent], executors: usize, label: &str) -> Str
             TraceEvent::QueryExpired { query, .. } => {
                 instant(&mut out, "expire", ts, SCHEDULER_TID, &format!("\"query\":{query}"))
             }
+            TraceEvent::TaskFailed { query, executor, .. } => {
+                // A failure closes the open span like a completion would,
+                // but renders with a distinct name so Perfetto colours it.
+                let started = open
+                    .get_mut(executor as usize)
+                    .and_then(Option::take)
+                    .filter(|(q, _)| *q == query);
+                let start_ts = started.map_or(ts, |(_, t0)| t0);
+                span(
+                    &mut out,
+                    &format!("q{query} FAILED"),
+                    start_ts,
+                    ts - start_ts,
+                    executor as u32 + 1,
+                    &format!("\"query\":{query},\"failed\":true"),
+                );
+            }
+            TraceEvent::TaskRetried { query, executor, attempt, .. } => instant(
+                &mut out,
+                &format!("retry q{query}"),
+                ts,
+                executor as u32 + 1,
+                &format!("\"query\":{query},\"attempt\":{attempt}"),
+            ),
+            TraceEvent::ExecutorDown { executor, .. } => instant(
+                &mut out,
+                "executor-down",
+                ts,
+                executor as u32 + 1,
+                &format!("\"executor\":{executor}"),
+            ),
+            TraceEvent::ExecutorUp { executor, .. } => instant(
+                &mut out,
+                "executor-up",
+                ts,
+                executor as u32 + 1,
+                &format!("\"executor\":{executor}"),
+            ),
+            TraceEvent::DegradedAnswer { query, set, .. } => instant(
+                &mut out,
+                "degraded",
+                ts,
+                SCHEDULER_TID,
+                &format!("\"query\":{query},\"set\":{:?}", set_members(set)),
+            ),
         }
     }
     // A task still running when the trace was drained renders as a span to

@@ -24,7 +24,7 @@ pub enum AdmissionVerdict {
     },
     /// An immediate-selection policy chose this model subset at arrival.
     Selected {
-        /// Chosen subset as a [`ModelSet`](schemble_models) bit mask.
+        /// Chosen subset as a `ModelSet` bit mask (see `schemble-models`).
         set: u32,
     },
     /// Refused at arrival (estimated completion past the deadline).
@@ -109,6 +109,53 @@ pub enum TraceEvent {
         /// Query id.
         query: u64,
     },
+    /// A task failed (transient fault, timeout kill, or executor crash)
+    /// instead of completing.
+    TaskFailed {
+        /// Event time.
+        t: SimTime,
+        /// Query the task belongs to.
+        query: u64,
+        /// Executor index.
+        executor: u16,
+    },
+    /// A previously failed task was re-dispatched after backoff.
+    TaskRetried {
+        /// Event time.
+        t: SimTime,
+        /// Query the task belongs to.
+        query: u64,
+        /// Executor index it restarts on.
+        executor: u16,
+        /// Retry attempt number (1 = first retry).
+        attempt: u8,
+    },
+    /// An executor was marked down (fault-plan crash window opened, or its
+    /// worker thread died).
+    ExecutorDown {
+        /// Event time.
+        t: SimTime,
+        /// Executor index.
+        executor: u16,
+    },
+    /// A down executor recovered.
+    ExecutorUp {
+        /// Event time.
+        t: SimTime,
+        /// Executor index.
+        executor: u16,
+    },
+    /// The query was answered from a *partial* ensemble: some of its planned
+    /// tasks failed permanently or its deadline arrived first, and the
+    /// runtime assembled a result from the outputs that did complete.
+    DegradedAnswer {
+        /// Event time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// The model subset the degraded result was assembled from.
+        set: u32,
+    },
 }
 
 impl TraceEvent {
@@ -122,7 +169,12 @@ impl TraceEvent {
             | TraceEvent::TaskStart { t, .. }
             | TraceEvent::TaskDone { t, .. }
             | TraceEvent::QueryDone { t, .. }
-            | TraceEvent::QueryExpired { t, .. } => t,
+            | TraceEvent::QueryExpired { t, .. }
+            | TraceEvent::TaskFailed { t, .. }
+            | TraceEvent::TaskRetried { t, .. }
+            | TraceEvent::ExecutorDown { t, .. }
+            | TraceEvent::ExecutorUp { t, .. }
+            | TraceEvent::DegradedAnswer { t, .. } => t,
         }
     }
 
@@ -135,8 +187,13 @@ impl TraceEvent {
             | TraceEvent::TaskStart { query, .. }
             | TraceEvent::TaskDone { query, .. }
             | TraceEvent::QueryDone { query, .. }
-            | TraceEvent::QueryExpired { query, .. } => Some(query),
-            TraceEvent::Plan { .. } => None,
+            | TraceEvent::QueryExpired { query, .. }
+            | TraceEvent::TaskFailed { query, .. }
+            | TraceEvent::TaskRetried { query, .. }
+            | TraceEvent::DegradedAnswer { query, .. } => Some(query),
+            TraceEvent::Plan { .. }
+            | TraceEvent::ExecutorDown { .. }
+            | TraceEvent::ExecutorUp { .. } => None,
         }
     }
 }
@@ -162,11 +219,18 @@ mod tests {
             TraceEvent::TaskDone { t, query: 1, executor: 0 },
             TraceEvent::QueryDone { t, query: 1, set: 0b101 },
             TraceEvent::QueryExpired { t, query: 1 },
+            TraceEvent::TaskFailed { t, query: 1, executor: 0 },
+            TraceEvent::TaskRetried { t, query: 1, executor: 0, attempt: 1 },
+            TraceEvent::ExecutorDown { t, executor: 0 },
+            TraceEvent::ExecutorUp { t, executor: 0 },
+            TraceEvent::DegradedAnswer { t, query: 1, set: 0b1 },
         ];
         for ev in events {
             assert_eq!(ev.time(), t);
             match ev {
-                TraceEvent::Plan { .. } => assert_eq!(ev.query(), None),
+                TraceEvent::Plan { .. }
+                | TraceEvent::ExecutorDown { .. }
+                | TraceEvent::ExecutorUp { .. } => assert_eq!(ev.query(), None),
                 _ => assert_eq!(ev.query(), Some(1)),
             }
         }

@@ -70,6 +70,21 @@ pub fn prometheus_text(
             "Tasks finished by executors.",
             c.tasks_completed.load(Relaxed),
         ),
+        (
+            "schemble_queries_degraded_total",
+            "Queries answered from a partial ensemble.",
+            c.degraded.load(Relaxed),
+        ),
+        (
+            "schemble_tasks_failed_total",
+            "Tasks that failed (transient fault, timeout, crash).",
+            c.tasks_failed.load(Relaxed),
+        ),
+        (
+            "schemble_tasks_retried_total",
+            "Failed tasks re-dispatched after backoff.",
+            c.tasks_retried.load(Relaxed),
+        ),
     ] {
         family(&mut out, name, "counter", help);
         let _ = writeln!(out, "{name} {value}");
@@ -110,6 +125,15 @@ pub fn prometheus_text(
             "schemble_executor_tasks_total{{executor=\"{k}\"}} {}",
             e.tasks.load(Relaxed)
         );
+    }
+    family(
+        &mut out,
+        "schemble_executor_up",
+        "gauge",
+        "Whether the executor is up (1) or down (0).",
+    );
+    for (k, e) in metrics.executors.iter().enumerate() {
+        let _ = writeln!(out, "schemble_executor_up{{executor=\"{k}\"}} {}", e.up.load(Relaxed));
     }
     family(
         &mut out,
@@ -216,6 +240,33 @@ pub fn metrics_from_events(
             TraceEvent::QueryExpired { .. } => {
                 c.expired.fetch_add(1, Relaxed);
             }
+            TraceEvent::TaskFailed { t, query, executor } => {
+                c.tasks_failed.fetch_add(1, Relaxed);
+                if let Some(g) = metrics.executors.get(executor as usize) {
+                    if let Some(t0) = running.remove(&(query, executor)) {
+                        g.busy_micros.fetch_add((t - t0).as_micros(), Relaxed);
+                    }
+                }
+            }
+            TraceEvent::TaskRetried { .. } => {
+                c.tasks_retried.fetch_add(1, Relaxed);
+            }
+            TraceEvent::ExecutorDown { executor, .. } => {
+                if let Some(g) = metrics.executors.get(executor as usize) {
+                    g.up.store(0, Relaxed);
+                }
+            }
+            TraceEvent::ExecutorUp { executor, .. } => {
+                if let Some(g) = metrics.executors.get(executor as usize) {
+                    g.up.store(1, Relaxed);
+                }
+            }
+            TraceEvent::DegradedAnswer { t, query, .. } => {
+                c.degraded.fetch_add(1, Relaxed);
+                if let Some(t0) = arrivals.get(&query) {
+                    metrics.latency.record((t - *t0).as_secs_f64());
+                }
+            }
         }
     }
     metrics
@@ -245,6 +296,10 @@ mod tests {
             "schemble_queries_submitted_total 10",
             "schemble_queries_completed_total 9",
             "schemble_queries_open 1",
+            "schemble_queries_degraded_total 0",
+            "schemble_tasks_failed_total 0",
+            "schemble_tasks_retried_total 0",
+            "schemble_executor_up{executor=\"0\"} 1",
             "schemble_executor_queue_depth{executor=\"1\"} 0",
             "schemble_query_latency_seconds_count 1",
             "schemble_query_latency_seconds_bucket{le=\"+Inf\"} 1",
@@ -278,5 +333,29 @@ mod tests {
         assert_eq!(m.executors[0].busy_micros.load(Relaxed), 20_000);
         assert_eq!(m.latency.count(), 1);
         let _ = SimDuration::ZERO;
+    }
+
+    #[test]
+    fn fault_events_rebuild_failure_counters() {
+        let events = vec![
+            TraceEvent::Arrival { t: at(0), query: 1, deadline: at(100) },
+            TraceEvent::TaskStart { t: at(1), query: 1, executor: 0 },
+            TraceEvent::TaskFailed { t: at(5), query: 1, executor: 0 },
+            TraceEvent::TaskRetried { t: at(7), query: 1, executor: 0, attempt: 1 },
+            TraceEvent::TaskStart { t: at(7), query: 1, executor: 0 },
+            TraceEvent::TaskDone { t: at(17), query: 1, executor: 0 },
+            TraceEvent::ExecutorDown { t: at(20), executor: 0 },
+            TraceEvent::DegradedAnswer { t: at(21), query: 1, set: 0b1 },
+        ];
+        let m = metrics_from_events(&events, 1);
+        let c = &m.counters;
+        assert_eq!(c.tasks_failed.load(Relaxed), 1);
+        assert_eq!(c.tasks_retried.load(Relaxed), 1);
+        assert_eq!(c.degraded.load(Relaxed), 1);
+        assert_eq!(c.open(), 0, "degraded closes the query");
+        assert_eq!(m.executors[0].up.load(Relaxed), 0);
+        // Failed attempt charges its partial busy time: 4ms + 10ms.
+        assert_eq!(m.executors[0].busy_micros.load(Relaxed), 14_000);
+        assert_eq!(m.latency.count(), 1);
     }
 }

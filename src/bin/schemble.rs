@@ -21,6 +21,7 @@
 
 use schemble::baselines::{run_baseline_traced, train_des, train_gating, BaselineKind};
 use schemble::core::artifacts::SchembleArtifacts;
+use schemble::core::engine::FailurePolicy;
 use schemble::core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
 use schemble::core::pipeline::schemble::{run_schemble_traced, SchembleConfig};
 use schemble::core::pipeline::{
@@ -32,6 +33,7 @@ use schemble::core::scheduler::{DpScheduler, QueueOrder};
 use schemble::data::TaskKind;
 use schemble::metrics::{RunSummary, RuntimeMetrics};
 use schemble::serve::{serve_immediate, serve_schemble, ClockMode, ServeConfig, ServeReport};
+use schemble::sim::FaultPlan;
 use schemble::trace::{
     audit_ndjson, chrome_trace, metrics_from_events, prometheus_text, TraceEvent, TraceSink,
 };
@@ -86,7 +88,13 @@ serve/loadtest options (methods: original|static|des|gating|schemble):
                       (serve default 1; loadtest default 20)
   --virtual-clock     deterministic virtual time: decisions match the DES
   --report-ms <MS>    print a live metrics snapshot every MS wall millis
-  --trace <T>         (loadtest) one-day | poisson   (default one-day)";
+  --trace <T>         (loadtest) one-day | poisson   (default one-day)
+
+fault injection (serve/loadtest):
+  --fault-plan <PATH>   seeded fault schedule (crash/straggle/transient/
+                        timeout-q directives; see DESIGN.md)
+  --task-timeout-q <Q>  kill tasks exceeding this profiled latency quantile
+  --max-retries <N>     re-dispatch a failed task at most N times (default 2)";
 
 struct Cli {
     task: TaskKind,
@@ -106,6 +114,9 @@ struct Cli {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     audit_out: Option<String>,
+    fault_plan: Option<String>,
+    task_timeout_q: Option<f64>,
+    max_retries: Option<u32>,
 }
 
 impl Cli {
@@ -134,6 +145,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         trace_out: None,
         metrics_out: None,
         audit_out: None,
+        fault_plan: None,
+        task_timeout_q: None,
+        max_retries: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -175,6 +189,15 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--trace-out" => cli.trace_out = Some(take(&mut i)?.clone()),
             "--metrics-out" => cli.metrics_out = Some(take(&mut i)?.clone()),
             "--audit-out" => cli.audit_out = Some(take(&mut i)?.clone()),
+            "--fault-plan" => cli.fault_plan = Some(take(&mut i)?.clone()),
+            "--task-timeout-q" => {
+                cli.task_timeout_q =
+                    Some(take(&mut i)?.parse().map_err(|_| "bad --task-timeout-q".to_string())?)
+            }
+            "--max-retries" => {
+                cli.max_retries =
+                    Some(take(&mut i)?.parse().map_err(|_| "bad --max-retries".to_string())?)
+            }
             "--virtual-clock" => cli.virtual_clock = true,
             "--diurnal" => cli.diurnal = true,
             "--force-all" => cli.force_all = true,
@@ -354,9 +377,41 @@ fn print_planning(sink: &TraceSink) {
     );
 }
 
+/// Builds the fault plan and retry policy requested by the CLI flags.
+/// `(None, None)` — the common case — leaves every run fault-free and
+/// decision-identical to a build without fault support.
+fn fault_setup(cli: &Cli) -> Result<(Option<FaultPlan>, Option<FailurePolicy>), String> {
+    let mut plan = match &cli.fault_plan {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(FaultPlan::parse(&text)?)
+        }
+        None => None,
+    };
+    if let Some(q) = cli.task_timeout_q {
+        if !(0.0..=1.0).contains(&q) {
+            return Err("--task-timeout-q must be in [0, 1]".to_string());
+        }
+        plan.get_or_insert_with(FaultPlan::default).timeout_quantile = Some(q);
+    }
+    let failure = (plan.is_some() || cli.max_retries.is_some()).then(|| {
+        let mut policy = FailurePolicy::default();
+        if let Some(n) = cli.max_retries {
+            policy.max_retries = n;
+        }
+        policy
+    });
+    Ok((plan, failure))
+}
+
 /// Builds the runtime configuration from the CLI flags.
-fn serve_config(cli: &Cli, default_dilation: f64, sink: &Arc<TraceSink>) -> ServeConfig {
-    ServeConfig {
+fn serve_config(
+    cli: &Cli,
+    default_dilation: f64,
+    sink: &Arc<TraceSink>,
+) -> Result<ServeConfig, String> {
+    let (faults, failure) = fault_setup(cli)?;
+    Ok(ServeConfig {
         mode: if cli.virtual_clock {
             ClockMode::Virtual
         } else {
@@ -364,8 +419,10 @@ fn serve_config(cli: &Cli, default_dilation: f64, sink: &Arc<TraceSink>) -> Serv
         },
         report_every: cli.report_ms.map(Duration::from_millis),
         trace: Some(Arc::clone(sink)),
+        faults,
+        failure,
         ..ServeConfig::default()
-    }
+    })
 }
 
 /// Runs one method on the schemble-serve runtime.
@@ -379,7 +436,7 @@ fn serve_one(
     let workload = ctx.workload();
     let seed = ctx.config.seed;
     let admission = ctx.config.admission;
-    let scfg = serve_config(cli, default_dilation, sink);
+    let scfg = serve_config(cli, default_dilation, sink)?;
     let m = ctx.ensemble.m();
     match method {
         "schemble" => {
@@ -391,6 +448,7 @@ fn serve_one(
             );
             config.admission = admission;
             config.fast_path = cli.fast_path;
+            config.failure = scfg.failure;
             Ok(serve_schemble(&ctx.ensemble, &config, &workload, seed, &scfg))
         }
         "original" => Ok(serve_immediate(
@@ -448,17 +506,35 @@ fn serve_one(
     }
 }
 
+/// Hard-fails (non-zero exit) when the runtime finished with queries still
+/// open — every admitted query must end completed, degraded, rejected or
+/// expired, faults or not. The CI fault gauntlet relies on this check.
+fn check_not_wedged(report: &ServeReport) -> Result<(), String> {
+    let open = report.stats.open();
+    if open != 0 {
+        return Err(format!("{open} queries left open at shutdown (wedged)"));
+    }
+    Ok(())
+}
+
 fn print_report(method: &str, report: &ServeReport, virtual_clock: bool) {
     print_summary(method, &report.summary);
     let s = &report.stats;
     println!(
-        "  runtime [{}]: {} submitted = {} completed + {} rejected + {} expired",
+        "  runtime [{}]: {} submitted = {} completed + {} degraded + {} rejected + {} expired",
         if virtual_clock { "virtual clock" } else { "wall clock" },
         s.submitted,
         s.completed,
+        s.degraded,
         s.rejected,
         s.expired,
     );
+    if s.tasks_failed > 0 || s.degraded > 0 {
+        println!(
+            "  faults: {} task failures, {} retried, {} degraded answers",
+            s.tasks_failed, s.tasks_retried, s.degraded
+        );
+    }
     println!(
         "  {:.1}s of simulated traffic in {:.2}s wall ({:.1}x); {}",
         report.sim_secs,
@@ -552,7 +628,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 report.metrics.executors.len(),
                 Some(report.sim_secs),
                 Some(&report.metrics),
-            )
+            )?;
+            check_not_wedged(&report)
         }
         "loadtest" => {
             let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
@@ -572,9 +649,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some(report.sim_secs),
                 Some(&report.metrics),
             )?;
-            // Cross-check against the discrete-event simulator on the same
-            // seeded trace: under --virtual-clock the counts must coincide
-            // exactly; in wall-clock mode small timing drift is expected.
+            // Cross-check against the *fault-free* discrete-event simulator
+            // on the same seeded trace: without faults and under
+            // --virtual-clock the counts must coincide exactly; in
+            // wall-clock mode small timing drift is expected; under a fault
+            // plan the gap vs the clean reference IS the measurement.
             // The reference run gets a disabled sink so the exports above
             // describe only the runtime run.
             let des = run_one(&mut ctx, &method, cli.fast_path, &TraceSink::disabled())?;
@@ -588,15 +667,29 @@ fn run(args: &[String]) -> Result<(), String> {
             let (sa, sm) =
                 (report.summary.len() - missed(&report.summary), missed(&report.summary));
             let (da, dm) = (des.len() - missed(&des), missed(&des));
-            let verdict = if (sa, sm) == (da, dm) {
-                "consistent"
-            } else if cli.virtual_clock {
-                "MISMATCH"
+            let (faults, failure) = fault_setup(&cli)?;
+            if faults.is_some() || failure.is_some() {
+                println!(
+                    "  under faults vs clean DES: acc {:+.1} pp, dmr {:+.1} pp, p95 {:+.3}s, \
+                     {} degraded answers",
+                    100.0 * (report.summary.accuracy() - des.accuracy()),
+                    100.0 * (report.summary.deadline_miss_rate() - des.deadline_miss_rate()),
+                    report.summary.latency_stats().p95 - des.latency_stats().p95,
+                    report.stats.degraded,
+                );
             } else {
-                "drift (expected under wall clock)"
-            };
-            println!("  runtime vs DES: accepted {sa} vs {da}, missed {sm} vs {dm} -> {verdict}");
-            Ok(())
+                let verdict = if (sa, sm) == (da, dm) {
+                    "consistent"
+                } else if cli.virtual_clock {
+                    "MISMATCH"
+                } else {
+                    "drift (expected under wall clock)"
+                };
+                println!(
+                    "  runtime vs DES: accepted {sa} vs {da}, missed {sm} vs {dm} -> {verdict}"
+                );
+            }
+            check_not_wedged(&report)
         }
         other => Err(format!("unknown command '{other}'")),
     }

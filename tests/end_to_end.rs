@@ -60,6 +60,9 @@ fn every_query_is_accounted_for_exactly_once() {
                 QueryOutcome::Missed => {
                     assert!(r.completion.is_none(), "missed outcome must not carry a completion");
                 }
+                QueryOutcome::Degraded { .. } => {
+                    unreachable!("no faults injected: nothing may degrade")
+                }
             }
         }
     }
