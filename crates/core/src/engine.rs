@@ -22,10 +22,10 @@ use crate::pipeline::eval::evaluate;
 use crate::pipeline::immediate::{Deployment, SelectionPolicy};
 use crate::pipeline::schemble::SchembleConfig;
 use crate::pipeline::{AdmissionMode, ResultAssembler};
-use crate::scheduler::{BufferedQuery, ScheduleInput};
+use crate::scheduler::{BufferedQuery, SchedScratch, ScheduleInput, SchedulePlan};
 use schemble_data::Workload;
 use schemble_metrics::{ModelUsage, QueryOutcome, QueryRecord, RunSummary};
-use schemble_models::{Ensemble, ModelSet, Output};
+use schemble_models::{Ensemble, ModelSet, Output, Sample};
 use schemble_sim::{SimDuration, SimTime};
 use schemble_trace::{AdmissionVerdict, TraceEvent, TraceSink};
 use std::collections::HashMap;
@@ -202,6 +202,18 @@ pub struct SchembleEngine<'a> {
     /// Set once any fault event arrives; enables tolerant bookkeeping (late
     /// completions, drain-time degradation) even without an explicit policy.
     faults_seen: bool,
+    /// Scheduler working memory, reused across every re-plan of the run —
+    /// steady-state planning allocates nothing (see `scheduler::scratch`).
+    sched_scratch: SchedScratch,
+    /// Reusable plan output buffer, paired with `sched_scratch`.
+    plan_buf: SchedulePlan,
+    /// Predicted discrepancy scores, filled a batch at a time
+    /// ([`SchembleConfig::score_batch`]): one matrix forward over the next
+    /// chunk of arrivals instead of a per-query MLP forward. Scores are
+    /// bit-identical to per-query scoring (pinned by test), so batching
+    /// never changes a decision.
+    score_cache: Vec<f64>,
+    score_ready: Vec<bool>,
 }
 
 impl<'a> SchembleEngine<'a> {
@@ -218,7 +230,29 @@ impl<'a> SchembleEngine<'a> {
             completions: Vec::new(),
             trace: TraceSink::disabled(),
             faults_seen: false,
+            sched_scratch: SchedScratch::new(),
+            plan_buf: SchedulePlan::empty(0),
+            score_cache: vec![0.0; workload.len()],
+            score_ready: vec![false; workload.len()],
         }
+    }
+
+    /// The predicted discrepancy score of workload query `i`, served from
+    /// the batch cache (scoring the next `score_batch` arrivals in one
+    /// matrix forward on a miss). Scoring is pure and deterministic per
+    /// sample, so prefetching ahead of arrival order changes no score.
+    fn predicted_score(&mut self, i: usize) -> f64 {
+        if !self.score_ready[i] {
+            let end = (i + self.config.score_batch.max(1)).min(self.workload.queries.len());
+            let samples: Vec<&Sample> =
+                self.workload.queries[i..end].iter().map(|q| &q.sample).collect();
+            let scores = self.config.scorer.score_batch(&samples, self.ensemble);
+            for (off, s) in scores.into_iter().enumerate() {
+                self.score_cache[i + off] = s;
+                self.score_ready[i + off] = true;
+            }
+        }
+        self.score_cache[i]
     }
 
     /// Fault handling is live: either an explicit policy was configured or a
@@ -292,7 +326,8 @@ impl<'a> SchembleEngine<'a> {
             query: q.id,
             verdict: AdmissionVerdict::Buffered,
         });
-        let score = self.config.scorer.score(&q.sample, self.ensemble).clamp(0.0, 1.0);
+        let score = self.predicted_score(i).clamp(0.0, 1.0);
+        let q = &self.workload.queries[i];
         let utilities = self.config.profile.utility_vector(score);
         self.open.insert(
             q.id,
@@ -442,11 +477,13 @@ impl<'a> SchembleEngine<'a> {
             latencies: self.ensemble.planned_latencies(),
             queries,
         };
+        let config = self.config;
         let plan_t0 = Instant::now();
-        let plan = self.config.scheduler.plan(&input);
-        self.trace.planning.record(plan.work, plan_t0.elapsed());
+        config.scheduler.plan_into(&input, &mut self.sched_scratch, &mut self.plan_buf);
+        self.trace.planning.record(self.plan_buf.work, plan_t0.elapsed());
         for (pos, id) in ids.iter().enumerate() {
-            self.open.get_mut(id).expect("present").set = plan.assignments[pos];
+            let set = self.plan_buf.assignments[pos];
+            self.open.get_mut(id).expect("present").set = set;
         }
         // Forced mode: queries the plan abandoned but that must run get the
         // least-loaded single model.
@@ -463,14 +500,14 @@ impl<'a> SchembleEngine<'a> {
             }
         }
         let cost = SimDuration::from_micros(
-            (self.config.sched_ns_per_unit * plan.work as f64 / 1000.0).round() as u64,
+            (self.config.sched_ns_per_unit * self.plan_buf.work as f64 / 1000.0).round() as u64,
         ) + self.config.sched_base_overhead;
         self.plan_ready_at = now + cost;
         self.trace.emit(TraceEvent::Plan {
             t: now,
             buffer: ids.len() as u32,
-            scheduled: plan.assignments.iter().filter(|s| !s.is_empty()).count() as u32,
-            work: plan.work,
+            scheduled: self.plan_buf.assignments.iter().filter(|s| !s.is_empty()).count() as u32,
+            work: self.plan_buf.work,
             cost,
         });
     }

@@ -53,6 +53,13 @@ pub struct SchembleConfig {
     /// default) keeps every decision identical to a fault-unaware build;
     /// see [`FailurePolicy`] for what `Some` opts into.
     pub failure: Option<FailurePolicy>,
+    /// How many queries the engine scores per predictor forward pass.
+    /// Scoring is pure and per-query deterministic, so prefetching scores
+    /// for the next `score_batch` arrivals in one batched matmul changes no
+    /// decisions (pinned by a test) — it only amortises the per-forward
+    /// overhead. `1` recovers the strictly per-query path; values `< 1` are
+    /// treated as `1`.
+    pub score_batch: usize,
 }
 
 impl SchembleConfig {
@@ -73,6 +80,7 @@ impl SchembleConfig {
             sched_base_overhead: SimDuration::from_micros(50),
             fast_path: false,
             failure: None,
+            score_batch: 32,
         }
     }
 }
@@ -225,6 +233,21 @@ mod tests {
         let a = run_schemble(&ens, &config, &w, 5);
         let b = run_schemble(&ens, &config, &w, 5);
         assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn score_batch_size_does_not_change_decisions() {
+        // The batched score prefetch must be invisible: scoring is pure and
+        // per-query, so any window size yields the same per-query scores and
+        // therefore the same schedule, bit for bit.
+        let (ens, w, mut config) = setup(25.0, 200, 120.0);
+        config.score_batch = 1;
+        let per_query = run_schemble(&ens, &config, &w, 5);
+        for batch in [0, 7, 32, 1000] {
+            config.score_batch = batch;
+            let batched = run_schemble(&ens, &config, &w, 5);
+            assert_eq!(per_query.records(), batched.records(), "score_batch {batch} diverged");
+        }
     }
 }
 

@@ -21,8 +21,20 @@
 //! wall-clock optimisation that produces the same plan; the simulated system
 //! still pays the algorithm's nominal cost, which is what makes `δ = 0.001`
 //! *lose* end-to-end in Fig. 12/21 despite its better plans.
+//!
+//! # Hot path
+//!
+//! [`DpScheduler::plan_into`] is allocation-free in steady state: all working
+//! memory lives in the caller's [`SchedScratch`] (finish times in a flat
+//! `node*m+k` arena, node metadata with *cached* dominance keys, per-query
+//! feasible-subset lists filtered once per plan), and the result is written
+//! into a reusable [`SchedulePlan`]. Every optimisation preserves the plan
+//! bit-for-bit against the naive formulation — the retained reference
+//! implementation under `#[cfg(test)]` and the differential property test
+//! pin this.
 
 use super::input::{ScheduleInput, SchedulePlan};
+use super::scratch::{FeasibleSet, NodeMeta, SchedScratch};
 use super::Scheduler;
 use schemble_models::ModelSet;
 use schemble_sim::SimTime;
@@ -80,29 +92,304 @@ impl DpScheduler {
         assert!(delta > 0.0, "delta must be positive");
         Self { delta, ..Self::default() }
     }
-}
 
-#[derive(Debug, Clone)]
-struct Node {
-    /// Quantized cumulative reward in δ units.
-    u: u64,
-    /// Per-model finish times implied by the choices so far.
-    times: Vec<SimTime>,
-    /// Index of the parent node in the previous layer.
-    parent: usize,
-    /// Subset chosen for the query of this layer.
-    choice: ModelSet,
+    /// The quantization step `plan` actually uses. Struct-literal
+    /// construction bypasses [`DpScheduler::with_delta`]'s assertion, so a
+    /// zero, negative, NaN or infinite δ could otherwise divide rewards to
+    /// infinity and overflow the `work` accounting; such values fall back to
+    /// the default (debug builds assert instead).
+    fn effective_delta(&self) -> f64 {
+        if self.delta.is_finite() && self.delta > 0.0 {
+            self.delta
+        } else {
+            Self::default().delta
+        }
+    }
 }
 
 impl Scheduler for DpScheduler {
-    fn plan(&self, input: &ScheduleInput) -> SchedulePlan {
+    fn plan_into(&self, input: &ScheduleInput, scratch: &mut SchedScratch, out: &mut SchedulePlan) {
+        debug_assert!(
+            self.delta.is_finite() && self.delta > 0.0,
+            "DpScheduler.delta must be positive and finite, got {}",
+            self.delta
+        );
+        let delta = self.effective_delta();
+        let n = input.queries.len();
+        let m = input.m();
+        out.work = 0;
+        out.order.clear();
+        out.assignments.clear();
+        out.assignments.resize(n, ModelSet::EMPTY);
+        if n == 0 {
+            return;
+        }
+        input.edf_order_into(&mut out.order);
+        let planned_len = out.order.len().min(self.max_queries);
+        let planned = &out.order[..planned_len];
+        if planned.is_empty() {
+            return;
+        }
+        let cap = self.max_frontier.max(1);
+        // Layers 0..planned_len hold the pruned frontiers (root at 0); the
+        // final layer is streamed, never materialised.
+        scratch.begin_plan(planned_len);
+
+        // Root: one node at the models' start times.
+        let mut root_total = 0u128;
+        for &a in &input.availability {
+            let t = a.max(input.now);
+            root_total += t.as_micros() as u128;
+            scratch.prev_times.push(t);
+        }
+        scratch.layers[0].push(NodeMeta {
+            u: 0,
+            total: root_total,
+            parent: u32::MAX,
+            choice: ModelSet::EMPTY,
+        });
+
+        // Feasible-subset lists, filtered once per query instead of once per
+        // frontier node: zero quantized reward is skip-equivalent, and a
+        // subset whose *best-case* completion (from the start times — node
+        // times only ever grow) misses the deadline can never be feasible.
+        // Mask order is preserved: candidate generation order decides ties,
+        // so reordering here would change plans.
+        scratch.feas_bounds.push(0);
+        for &qi in planned {
+            let q = &input.queries[qi];
+            for set in ModelSet::all_nonempty(m) {
+                let quantized = (q.utilities[set.0 as usize] / delta).floor() as u64;
+                if quantized == 0 {
+                    continue;
+                }
+                let mut c_min = SimTime::ZERO;
+                let mut add_micros = 0u64;
+                for k in set.iter() {
+                    c_min = c_min.max(scratch.prev_times[k] + input.latencies[k]);
+                    add_micros += input.latencies[k].as_micros();
+                }
+                if c_min > q.deadline {
+                    continue;
+                }
+                scratch.feas.push(FeasibleSet { set, quantized, add_micros });
+            }
+            scratch.feas_bounds.push(scratch.feas.len() as u32);
+        }
+
+        // Best terminal candidate, tracked on the fly over the streamed final
+        // layer. Post-prune frontiers are sorted by (u desc, total asc) with
+        // ties kept in generation order, so the old code's "pick the best of
+        // the pruned last layer" always picked the first-sorted = first-
+        // generated maximum — exactly what this running fold computes.
+        let mut best: Option<NodeMeta> = None;
+        let consider = |best: &mut Option<NodeMeta>, c: NodeMeta| match best {
+            Some(b) if c.u > b.u || (c.u == b.u && c.total < b.total) => *best = Some(c),
+            Some(_) => {}
+            None => *best = Some(c),
+        };
+
+        for (step, &qi) in planned.iter().enumerate() {
+            // `work` models the cost of Alg. 1 as written: a dense table over
+            // (queries × quantized reward levels × subsets). The Pareto-
+            // sparse frontier computes the same plan much faster in
+            // wall-clock, but the *simulated* scheduler is charged the dense
+            // cost — that is what the paper's implementation pays and what
+            // makes δ = 0.001 lose end-to-end (Fig. 12/21).
+            let dense_levels = (((step + 1) as f64) / delta).ceil() as u64;
+            out.work += dense_levels * (1u64 << m);
+            let q = &input.queries[qi];
+            let feas_range =
+                scratch.feas_bounds[step] as usize..scratch.feas_bounds[step + 1] as usize;
+            let prev_len = scratch.layers[step].len();
+            let last_step = step + 1 == planned_len;
+
+            if last_step {
+                // The final layer's only consumer is the best-node scan, so
+                // stream candidates through the fold instead of materialising
+                // and pruning them. An extension whose reward *strictly*
+                // undershoots the current best cannot win (equal reward can
+                // still win on a smaller finish-time total) — skip it before
+                // touching its time row.
+                for pi in 0..prev_len {
+                    let pmeta = scratch.layers[step][pi];
+                    let ptimes = &scratch.prev_times[pi * m..(pi + 1) * m];
+                    scratch.stats.nodes_expanded += 1;
+                    consider(
+                        &mut best,
+                        NodeMeta { parent: pi as u32, choice: ModelSet::EMPTY, ..pmeta },
+                    );
+                    for fi in feas_range.clone() {
+                        let fs = scratch.feas[fi];
+                        if best.as_ref().is_some_and(|b| pmeta.u + fs.quantized < b.u) {
+                            continue;
+                        }
+                        let mut completion = SimTime::ZERO;
+                        for k in fs.set.iter() {
+                            completion = completion.max(ptimes[k] + input.latencies[k]);
+                        }
+                        if completion > q.deadline {
+                            continue;
+                        }
+                        scratch.stats.nodes_expanded += 1;
+                        consider(
+                            &mut best,
+                            NodeMeta {
+                                u: pmeta.u + fs.quantized,
+                                total: pmeta.total + fs.add_micros as u128,
+                                parent: pi as u32,
+                                choice: fs.set,
+                            },
+                        );
+                    }
+                }
+                continue;
+            }
+
+            // Candidate generation: for every frontier node, a skip-copy
+            // (cell copy in Alg. 1) plus one candidate per feasible subset.
+            // Times are copied row-to-row in the arena; `total` is bumped by
+            // the precomputed per-subset increment.
+            scratch.cand.clear();
+            scratch.cand_times.clear();
+            for pi in 0..prev_len {
+                let pmeta = scratch.layers[step][pi];
+                let row = pi * m;
+                scratch.stats.nodes_expanded += 1;
+                scratch.cand.push(NodeMeta { parent: pi as u32, choice: ModelSet::EMPTY, ..pmeta });
+                let (dst, src) = (&mut scratch.cand_times, &scratch.prev_times);
+                dst.extend_from_slice(&src[row..row + m]);
+                for fi in feas_range.clone() {
+                    let fs = scratch.feas[fi];
+                    let ptimes = &scratch.prev_times[row..row + m];
+                    let mut completion = SimTime::ZERO;
+                    for k in fs.set.iter() {
+                        completion = completion.max(ptimes[k] + input.latencies[k]);
+                    }
+                    if completion > q.deadline {
+                        continue;
+                    }
+                    scratch.stats.nodes_expanded += 1;
+                    scratch.cand.push(NodeMeta {
+                        u: pmeta.u + fs.quantized,
+                        total: pmeta.total + fs.add_micros as u128,
+                        parent: pi as u32,
+                        choice: fs.set,
+                    });
+                    let base = scratch.cand_times.len();
+                    let (dst, src) = (&mut scratch.cand_times, &scratch.prev_times);
+                    dst.extend_from_slice(&src[row..row + m]);
+                    for k in fs.set.iter() {
+                        scratch.cand_times[base + k] = ptimes[k] + input.latencies[k];
+                    }
+                }
+            }
+
+            prune_into_next_layer(scratch, step, m, cap);
+        }
+
+        // Backtrack choices through the layers.
+        let best = best.expect("final layer has at least the skip-copies");
+        out.assignments[planned[planned_len - 1]] = best.choice;
+        let mut idx = best.parent as usize;
+        for layer in (1..planned_len).rev() {
+            let node = scratch.layers[layer][idx];
+            out.assignments[planned[layer - 1]] = node.choice;
+            idx = node.parent as usize;
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("DP(δ={})", self.delta)
+    }
+}
+
+/// Pareto pruning of the candidate layer into `layers[step + 1]` (metadata)
+/// and the recompacted `prev_times` arena (time rows), capped at `cap`.
+///
+/// Candidates are visited in (reward descending, cached total-micros
+/// ascending) order so dominators come first, making the scan
+/// O(kept · candidates); a candidate is dropped iff an already-kept node has
+/// `u` ≥ and all times ≤ element-wise. Ties on (u, total) are resolved by
+/// generation order: the sort breaks them on candidate index, so the
+/// earliest-generated of equal nodes is kept and the later ones are dropped
+/// as dominated — the same rule the pre-refactor stable sort implemented
+/// implicitly.
+fn prune_into_next_layer(scratch: &mut SchedScratch, step: usize, m: usize, cap: usize) {
+    let SchedScratch { prev_times, cand_times, cand, layers, perm, stats, .. } = scratch;
+    perm.clear();
+    perm.extend(0..cand.len() as u32);
+    perm.sort_unstable_by(|&a, &b| {
+        let (ca, cb) = (&cand[a as usize], &cand[b as usize]);
+        cb.u.cmp(&ca.u).then(ca.total.cmp(&cb.total)).then(a.cmp(&b))
+    });
+    let (_prev, next) = layers.split_at_mut(step + 1);
+    let kept_meta = &mut next[0];
+    debug_assert!(kept_meta.is_empty(), "begin_plan must have cleared the layer");
+    prev_times.clear();
+    for &ci in perm.iter() {
+        let c = cand[ci as usize];
+        let ctimes = &cand_times[ci as usize * m..(ci as usize + 1) * m];
+        let dominated = kept_meta.iter().enumerate().any(|(kj, k)| {
+            k.u >= c.u && prev_times[kj * m..(kj + 1) * m].iter().zip(ctimes).all(|(a, b)| a <= b)
+        });
+        if dominated {
+            continue;
+        }
+        kept_meta.push(c);
+        prev_times.extend_from_slice(ctimes);
+        if kept_meta.len() >= cap {
+            break;
+        }
+    }
+    stats.nodes_kept += kept_meta.len() as u64;
+}
+
+/// The pre-refactor implementation, retained verbatim as the differential
+/// oracle: `plan_into` must produce byte-identical plans.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Node {
+        u: u64,
+        times: Vec<SimTime>,
+        parent: usize,
+        choice: ModelSet,
+    }
+
+    fn total_micros(times: &[SimTime]) -> u128 {
+        times.iter().map(|t| t.as_micros() as u128).sum()
+    }
+
+    fn prune(nodes: &mut Vec<Node>, cap: usize) {
+        nodes.sort_by(|a, b| {
+            b.u.cmp(&a.u).then_with(|| total_micros(&a.times).cmp(&total_micros(&b.times)))
+        });
+        let mut kept: Vec<Node> = Vec::with_capacity(nodes.len().min(cap));
+        'candidates: for node in nodes.drain(..) {
+            for k in &kept {
+                if k.u >= node.u && k.times.iter().zip(&node.times).all(|(a, b)| a <= b) {
+                    continue 'candidates;
+                }
+            }
+            kept.push(node);
+            if kept.len() >= cap {
+                break;
+            }
+        }
+        *nodes = kept;
+    }
+
+    pub(crate) fn plan(sched: &DpScheduler, input: &ScheduleInput) -> SchedulePlan {
         let n = input.queries.len();
         if n == 0 {
             return SchedulePlan::empty(0);
         }
         let m = input.m();
         let order = input.edf_order();
-        let planned: Vec<usize> = order.iter().copied().take(self.max_queries).collect();
+        let planned: Vec<usize> = order.iter().copied().take(sched.max_queries).collect();
 
         let start_times: Vec<SimTime> =
             input.availability.iter().map(|&a| a.max(input.now)).collect();
@@ -110,22 +397,15 @@ impl Scheduler for DpScheduler {
 
         let mut layers: Vec<Vec<Node>> = Vec::with_capacity(planned.len() + 1);
         layers.push(vec![root]);
-        // `work` models the cost of Alg. 1 as written: a dense table over
-        // (queries × quantized reward levels × subsets). The Pareto-sparse
-        // frontier below computes the same plan much faster in wall-clock,
-        // but the *simulated* scheduler is charged the dense cost — that is
-        // what the paper's implementation pays and what makes δ = 0.001
-        // lose end-to-end (Fig. 12/21).
         let mut work = 0u64;
 
         for (step, &qi) in planned.iter().enumerate() {
-            let dense_levels = (((step + 1) as f64) / self.delta).ceil() as u64;
+            let dense_levels = (((step + 1) as f64) / sched.delta).ceil() as u64;
             work += dense_levels * (1u64 << m);
             let q = &input.queries[qi];
             let prev = layers.last().expect("non-empty layers");
             let mut next: Vec<Node> = Vec::with_capacity(prev.len() * 2);
             for (pi, node) in prev.iter().enumerate() {
-                // Skipping the query is always allowed (cell copy in Alg. 1).
                 next.push(Node {
                     u: node.u,
                     times: node.times.clone(),
@@ -134,8 +414,7 @@ impl Scheduler for DpScheduler {
                 });
                 for set in ModelSet::all_nonempty(m) {
                     let reward = q.utilities[set.0 as usize];
-                    let quantized = (reward / self.delta).floor() as u64;
-                    // Zero-reward execution wastes capacity; skip-equivalent.
+                    let quantized = (reward / sched.delta).floor() as u64;
                     if quantized == 0 {
                         continue;
                     }
@@ -152,11 +431,10 @@ impl Scheduler for DpScheduler {
                     next.push(Node { u: node.u + quantized, times, parent: pi, choice: set });
                 }
             }
-            prune(&mut next, self.max_frontier);
+            prune(&mut next, sched.max_frontier);
             layers.push(next);
         }
 
-        // Best terminal node: max u, ties toward earlier total finish time.
         let last = layers.last().expect("non-empty layers");
         let mut best = 0usize;
         for (i, node) in last.iter().enumerate() {
@@ -168,7 +446,6 @@ impl Scheduler for DpScheduler {
             }
         }
 
-        // Backtrack choices through the layers.
         let mut assignments = vec![ModelSet::EMPTY; n];
         let mut idx = best;
         for layer in (1..layers.len()).rev() {
@@ -179,38 +456,6 @@ impl Scheduler for DpScheduler {
 
         SchedulePlan { assignments, order, work }
     }
-
-    fn name(&self) -> String {
-        format!("DP(δ={})", self.delta)
-    }
-}
-
-fn total_micros(times: &[SimTime]) -> u128 {
-    times.iter().map(|t| t.as_micros() as u128).sum()
-}
-
-/// Pareto pruning: drop any node dominated by another (`u` ≥ and all `times`
-/// ≤, with at least the tie resolved deterministically), then cap the
-/// frontier keeping the highest-reward nodes.
-fn prune(nodes: &mut Vec<Node>, cap: usize) {
-    // Sort by reward descending, then total time ascending — dominators
-    // come first, making the scan below O(kept · total).
-    nodes.sort_by(|a, b| {
-        b.u.cmp(&a.u).then_with(|| total_micros(&a.times).cmp(&total_micros(&b.times)))
-    });
-    let mut kept: Vec<Node> = Vec::with_capacity(nodes.len().min(cap));
-    'candidates: for node in nodes.drain(..) {
-        for k in &kept {
-            if k.u >= node.u && k.times.iter().zip(&node.times).all(|(a, b)| a <= b) {
-                continue 'candidates;
-            }
-        }
-        kept.push(node);
-        if kept.len() >= cap {
-            break;
-        }
-    }
-    *nodes = kept;
 }
 
 #[cfg(test)]
@@ -218,6 +463,7 @@ mod tests {
     use super::*;
     use crate::scheduler::brute::optimal_plan;
     use crate::scheduler::input::BufferedQuery;
+    use proptest::prelude::*;
     use schemble_sim::SimDuration;
 
     fn ms(x: u64) -> SimDuration {
@@ -317,6 +563,122 @@ mod tests {
         };
         let plan = DpScheduler::default().plan(&input);
         assert!(plan.assignments[0].is_empty());
+    }
+
+    #[test]
+    fn matches_reference_on_deterministic_sweep() {
+        // Differential check over a seed sweep covering several shapes and
+        // both paper-range and extreme δ values.
+        for seed in 0..40u64 {
+            for &(n, m) in &[(1usize, 1usize), (3, 2), (5, 3), (8, 4), (6, 5)] {
+                let input = random_instance(seed, n, m);
+                for delta in [0.01, 0.1, 0.001] {
+                    let sched = DpScheduler { delta, ..DpScheduler::default() };
+                    assert_eq!(
+                        sched.plan(&input),
+                        reference::plan(&sched, &input),
+                        "seed {seed} n {n} m {m} δ {delta}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_under_tight_frontier_and_query_caps() {
+        // Caps change which nodes survive; the tie-breaking rules must still
+        // agree exactly.
+        for seed in 0..25u64 {
+            let input = random_instance(seed, 7, 3);
+            for (max_frontier, max_queries) in [(1, 24), (2, 24), (5, 4), (64, 2), (3, 1)] {
+                let sched = DpScheduler { delta: 0.05, max_frontier, max_queries };
+                assert_eq!(
+                    sched.plan(&input),
+                    reference::plan(&sched, &input),
+                    "seed {seed} cap {max_frontier} max_q {max_queries}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// The scratch-based DP is byte-identical to the reference on random
+        /// instances: assignments, order and `work` all match.
+        #[test]
+        fn differential_plan_equality(
+            seed in 0u64..10_000,
+            n in 1usize..=8,
+            m in 1usize..=6,
+            delta_idx in 0usize..4,
+            max_frontier in 1usize..=64,
+        ) {
+            let delta = [0.01, 0.05, 0.001, 0.2][delta_idx];
+            let input = random_instance(seed, n, m);
+            let sched = DpScheduler { delta, max_frontier, max_queries: 24 };
+            let fast = sched.plan(&input);
+            let slow = reference::plan(&sched, &input);
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_leaks_no_state() {
+        // Two consecutive plans through ONE scratch must equal two plans
+        // through fresh scratches, for differently-shaped inputs in both
+        // orders (shrinking and growing n and m across calls).
+        let sched = DpScheduler::default();
+        let inputs: Vec<ScheduleInput> = vec![
+            random_instance(3, 8, 4),
+            random_instance(9, 2, 6),
+            random_instance(1, 5, 1),
+            random_instance(7, 1, 3),
+        ];
+        let mut shared = SchedScratch::new();
+        let mut out = SchedulePlan::empty(0);
+        for (i, a) in inputs.iter().enumerate() {
+            for b in &inputs[i..] {
+                for input in [a, b, a] {
+                    sched.plan_into(input, &mut shared, &mut out);
+                    let mut fresh = SchedScratch::new();
+                    let mut fresh_out = SchedulePlan::empty(0);
+                    sched.plan_into(input, &mut fresh, &mut fresh_out);
+                    assert_eq!(out, fresh_out, "scratch state leaked between plans");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_delta_falls_back_to_default() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let sched = DpScheduler { delta: bad, ..DpScheduler::default() };
+            assert_eq!(sched.effective_delta(), DpScheduler::default().delta, "delta {bad}");
+        }
+        let sched = DpScheduler { delta: 0.25, ..DpScheduler::default() };
+        assert_eq!(sched.effective_delta(), 0.25);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "delta must be positive and finite")]
+    fn invalid_delta_asserts_in_debug_builds() {
+        let sched = DpScheduler { delta: 0.0, ..DpScheduler::default() };
+        let _ = sched.plan(&random_instance(0, 2, 2));
+    }
+
+    #[test]
+    fn steady_state_stats_are_reproducible() {
+        // Same input through a warm scratch yields the same counters — the
+        // property bench_dp's CI gate relies on.
+        let sched = DpScheduler::default();
+        let input = random_instance(11, 6, 3);
+        let mut scratch = SchedScratch::new();
+        let mut out = SchedulePlan::empty(0);
+        sched.plan_into(&input, &mut scratch, &mut out);
+        let first = scratch.stats();
+        assert!(first.nodes_expanded > 0 && first.nodes_kept > 0);
+        sched.plan_into(&input, &mut scratch, &mut out);
+        assert_eq!(scratch.stats(), first);
     }
 
     /// Deterministic pseudo-random small instance generator for tests.

@@ -7,6 +7,7 @@
 //! quickly" — the DP exists to fix this.
 
 use super::input::{ScheduleInput, SchedulePlan};
+use super::scratch::SchedScratch;
 use super::Scheduler;
 use schemble_models::ModelSet;
 use schemble_sim::SimTime;
@@ -35,37 +36,50 @@ impl GreedyScheduler {
         Self { order }
     }
 
+    #[cfg(test)]
     fn visit_order(&self, input: &ScheduleInput) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..input.queries.len()).collect();
-        match self.order {
-            QueueOrder::Edf => idx.sort_by_key(|&i| {
-                (input.queries[i].deadline, input.queries[i].arrival, input.queries[i].id)
-            }),
-            QueueOrder::Fifo => idx.sort_by_key(|&i| {
-                (input.queries[i].arrival, input.queries[i].deadline, input.queries[i].id)
-            }),
-            QueueOrder::Sjf => idx.sort_by(|&a, &b| {
-                input.queries[a]
-                    .score
-                    .partial_cmp(&input.queries[b].score)
-                    .expect("NaN score")
-                    .then_with(|| input.queries[a].id.cmp(&input.queries[b].id))
-            }),
-        }
+        let mut idx = Vec::new();
+        self.visit_order_into(input, &mut idx);
         idx
+    }
+
+    fn visit_order_into(&self, input: &ScheduleInput, out: &mut Vec<usize>) {
+        match self.order {
+            QueueOrder::Edf => input.edf_order_into(out),
+            QueueOrder::Fifo => {
+                out.clear();
+                out.extend(0..input.queries.len());
+                out.sort_by_key(|&i| {
+                    (input.queries[i].arrival, input.queries[i].deadline, input.queries[i].id)
+                });
+            }
+            QueueOrder::Sjf => {
+                out.clear();
+                out.extend(0..input.queries.len());
+                out.sort_by(|&a, &b| {
+                    input.queries[a]
+                        .score
+                        .partial_cmp(&input.queries[b].score)
+                        .expect("NaN score")
+                        .then_with(|| input.queries[a].id.cmp(&input.queries[b].id))
+                });
+            }
+        }
     }
 }
 
 impl Scheduler for GreedyScheduler {
-    fn plan(&self, input: &ScheduleInput) -> SchedulePlan {
+    fn plan_into(&self, input: &ScheduleInput, scratch: &mut SchedScratch, out: &mut SchedulePlan) {
         let n = input.queries.len();
         let m = input.m();
-        let order = self.visit_order(input);
-        let mut avail: Vec<SimTime> =
-            input.availability.iter().map(|&a| a.max(input.now)).collect();
-        let mut assignments = vec![ModelSet::EMPTY; n];
+        self.visit_order_into(input, &mut out.order);
+        scratch.avail.clear();
+        scratch.avail.extend(input.availability.iter().map(|&a| a.max(input.now)));
+        let avail = &mut scratch.avail;
+        out.assignments.clear();
+        out.assignments.resize(n, ModelSet::EMPTY);
         let mut work = 0u64;
-        for &qi in &order {
+        for &qi in &out.order {
             let q = &input.queries[qi];
             let mut best_set = ModelSet::EMPTY;
             let mut best_reward = 0.0f64;
@@ -92,10 +106,10 @@ impl Scheduler for GreedyScheduler {
                 for k in best_set.iter() {
                     avail[k] += input.latencies[k];
                 }
-                assignments[qi] = best_set;
+                out.assignments[qi] = best_set;
             }
         }
-        SchedulePlan { assignments, order, work }
+        out.work = work;
     }
 
     fn name(&self) -> String {

@@ -40,11 +40,26 @@ impl ScheduleInput {
 
     /// Query indices sorted by deadline (EDF), ties by arrival then id.
     pub fn edf_order(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.queries.len()).collect();
-        idx.sort_by_key(|&i| {
-            (self.queries[i].deadline, self.queries[i].arrival, self.queries[i].id)
-        });
+        let mut idx = Vec::new();
+        self.edf_order_into(&mut idx);
         idx
+    }
+
+    /// [`ScheduleInput::edf_order`] into a reusable buffer (hot path: the
+    /// scheduler re-derives the order on every re-plan).
+    ///
+    /// The buffer is usually already deadline-sorted — the engine builds it
+    /// in ascending-id order and deadlines typically grow with arrival (any
+    /// constant-deadline policy guarantees it) — so the common case is
+    /// detected with one linear scan and the sort skipped. When a sort is
+    /// needed it is stable, so the output is identical either way.
+    pub fn edf_order_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..self.queries.len());
+        let key = |q: &BufferedQuery| (q.deadline, q.arrival, q.id);
+        if !self.queries.windows(2).all(|w| key(&w[0]) <= key(&w[1])) {
+            out.sort_by_key(|&i| key(&self.queries[i]));
+        }
     }
 
     /// Simulates a plan under consistent EDF order and returns per-query
@@ -83,7 +98,11 @@ impl ScheduleInput {
 }
 
 /// A scheduler's output.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare the full decision (assignments, order and
+/// `work`) — the granularity at which the DP refactor is differential-tested
+/// against its reference implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchedulePlan {
     /// Model set per query (parallel to `ScheduleInput::queries`;
     /// `ModelSet::EMPTY` = left unscheduled this round).
@@ -147,6 +166,60 @@ mod tests {
     fn edf_order_sorts_by_deadline() {
         let input = two_query_input();
         assert_eq!(input.edf_order(), vec![1, 0]);
+    }
+
+    #[test]
+    fn edf_order_into_reuses_buffer_and_matches_sort() {
+        let mut input = two_query_input();
+        let mut buf = vec![9usize; 64]; // stale content must be overwritten
+        input.edf_order_into(&mut buf);
+        assert_eq!(buf, vec![1, 0]);
+
+        // Already-sorted buffers (the common case the sort-skip detects):
+        // identity order, including deadline ties broken by arrival then id.
+        input.queries.swap(0, 1);
+        input.edf_order_into(&mut buf);
+        assert_eq!(buf, vec![0, 1]);
+        // A deadline tie falls back to (arrival, id): query 1 (arrival 0,
+        // id 0) now precedes query 0 (arrival 1, id 1).
+        input.queries[1].deadline = input.queries[0].deadline;
+        input.edf_order_into(&mut buf);
+        assert_eq!(buf, vec![1, 0]);
+    }
+
+    #[test]
+    fn edf_order_matches_full_sort_on_shuffled_inputs() {
+        // Pseudo-random deadlines/arrivals: the fast path must never fire
+        // incorrectly — compare against an explicit sort.
+        for seed in 0..50u64 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let queries: Vec<BufferedQuery> = (0..12u64)
+                .map(|id| BufferedQuery {
+                    id,
+                    arrival: at(next() % 40),
+                    deadline: at(40 + next() % 5), // frequent ties
+                    utilities: vec![0.0, 1.0],
+                    score: 0.5,
+                })
+                .collect();
+            let input = ScheduleInput {
+                now: at(0),
+                availability: vec![at(0)],
+                latencies: vec![ms(10)],
+                queries,
+            };
+            let mut expected: Vec<usize> = (0..input.queries.len()).collect();
+            expected.sort_by_key(|&i| {
+                (input.queries[i].deadline, input.queries[i].arrival, input.queries[i].id)
+            });
+            assert_eq!(input.edf_order(), expected, "seed {seed}");
+        }
     }
 
     #[test]

@@ -22,15 +22,36 @@ pub mod brute;
 pub mod dp;
 pub mod greedy;
 pub mod input;
+pub mod scratch;
 
 pub use dp::DpScheduler;
 pub use greedy::{GreedyScheduler, QueueOrder};
 pub use input::{BufferedQuery, ScheduleInput, SchedulePlan};
+pub use scratch::{DpStats, SchedScratch};
 
 /// A buffer-scheduling algorithm.
 pub trait Scheduler {
-    /// Produces a plan for the buffered queries.
-    fn plan(&self, input: &ScheduleInput) -> SchedulePlan;
+    /// Produces a plan for the buffered queries, writing it into `out` and
+    /// working out of `scratch`.
+    ///
+    /// This is the hot path: the engine holds one [`SchedScratch`] and one
+    /// [`SchedulePlan`] for the whole run, so a steady-state invocation
+    /// allocates nothing. `out` is fully overwritten — no state carries over
+    /// from its previous contents, and none may carry over through `scratch`
+    /// (schedulers must produce identical plans through a shared and a fresh
+    /// scratch).
+    fn plan_into(&self, input: &ScheduleInput, scratch: &mut SchedScratch, out: &mut SchedulePlan);
+
+    /// Convenience wrapper around [`Scheduler::plan_into`] that allocates
+    /// fresh buffers per call. Fine for experiments and tests; the serving
+    /// hot path uses `plan_into` directly.
+    fn plan(&self, input: &ScheduleInput) -> SchedulePlan {
+        let mut scratch = SchedScratch::new();
+        let mut out = SchedulePlan::empty(0);
+        self.plan_into(input, &mut scratch, &mut out);
+        out
+    }
+
     /// Short label for experiment output.
     fn name(&self) -> String;
 }

@@ -234,6 +234,22 @@ mod tests {
     }
 
     #[test]
+    fn batched_scores_are_bit_identical_to_single() {
+        // The engine's batched score prefetch relies on this being exact
+        // equality, not approximate: matmul rows accumulate independently
+        // (ikj order, row-local skip), so batching changes no bit.
+        let mut rng = StdRng::seed_from_u64(11);
+        let pred =
+            DiscrepancyPredictor::new(PredictorConfig::default_for(5, TaskLoss::Binary), &mut rng);
+        let batch = Matrix::from_fn(17, 5, |_, _| rng.random_range(-4.0..4.0));
+        let batched = pred.predict_scores(&batch);
+        for (r, score) in batched.iter().enumerate() {
+            let single = pred.predict_score(batch.row(r));
+            assert_eq!(single.to_bits(), score.to_bits(), "row {r} diverged");
+        }
+    }
+
+    #[test]
     fn scores_live_in_unit_interval() {
         let mut rng = StdRng::seed_from_u64(1);
         let pred =

@@ -157,6 +157,24 @@ impl SequencePredictor {
         self.dis_head.infer(&Matrix::row_vector(&feat))[(0, 0)]
     }
 
+    /// Batched [`SequencePredictor::predict_score`]: one row per sample.
+    ///
+    /// The LSTM is inherently sequential per sample, but the pooled features
+    /// of the whole batch go through `dis_head` in a single matmul. Each
+    /// output row is bit-identical to the per-sample path (matmul rows are
+    /// independent and elementwise ops commute with batching) — a test pins
+    /// exact `f64` equality.
+    pub fn predict_scores(&self, features: &Matrix) -> Vec<f64> {
+        let n = features.rows();
+        let mut feats = Matrix::zeros(n, 2 * self.config.hidden);
+        for r in 0..n {
+            let outs = self.lstm.infer(&self.to_sequence(features.row(r)));
+            feats.row_mut(r).copy_from_slice(&pooled(&outs));
+        }
+        let out = self.dis_head.infer(&feats);
+        (0..n).map(|r| out[(r, 0)]).collect()
+    }
+
     /// Trainable parameter count.
     pub fn param_count(&self) -> usize {
         self.lstm.param_count() + self.task_head.param_count() + self.dis_head.param_count()
@@ -222,6 +240,20 @@ mod tests {
         let predicted: Vec<f64> = (0..n).map(|r| p.predict_score(features.row(r))).collect();
         let corr = pearson(&predicted, &dis);
         assert!(corr > 0.8, "sequence predictor correlation too low: {corr:.3}");
+    }
+
+    #[test]
+    fn batched_scores_are_bit_identical_to_single() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p =
+            SequencePredictor::new(SeqPredictorConfig::default_for(12, TaskLoss::Binary), &mut rng);
+        use rand::Rng;
+        let batch = Matrix::from_fn(9, 12, |_, _| rng.random_range(-3.0..3.0));
+        let batched = p.predict_scores(&batch);
+        for (r, score) in batched.iter().enumerate() {
+            let single = p.predict_score(batch.row(r));
+            assert_eq!(single.to_bits(), score.to_bits(), "row {r} diverged");
+        }
     }
 
     #[test]
