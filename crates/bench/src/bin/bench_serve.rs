@@ -6,37 +6,59 @@
 //! * `p50_latency_ms` / `p99_latency_ms` — end-to-end query latency
 //!   quantiles. Virtual clock + fixed seed make these **exactly**
 //!   reproducible: any drift means a decision change, not noise.
-//! * `plans_per_sec` — scheduler re-planning throughput (plans ÷ wall time
-//!   of the run loop).
+//! * `queries_per_sec` — serving throughput (queries ÷ wall time of the
+//!   *measured* pass; an untimed warmup pass runs first so cold caches and
+//!   allocator warmup never leak into the rate).
+//! * `plans_per_sec` — scheduler re-planning throughput over the measured
+//!   pass only.
 //! * `sched_overhead_us` — mean wall-clock cost of one plan.
 //!
 //! ```text
-//! bench_serve [--out PATH] [--check BASELINE] [--write PATH]
+//! bench_serve [--shards] [--out PATH] [--check BASELINE] [--write PATH]
 //! ```
 //!
-//! `--out` (default `BENCH_serve.json`) writes the results as JSON — the CI
-//! bench job uploads it as an artifact. `--check` compares against a
-//! checked-in baseline and exits non-zero on regression: >20% on the
-//! deterministic latency quantiles; 4x on the wall-clock-dependent
-//! throughput/overhead numbers (CI runners vary widely in single-core
-//! speed, so a tight gate there would only produce flakes). `--write`
-//! regenerates the baseline file.
+//! `--shards` switches to the shard-scaling sweep: S ∈ {1, 2, 4, 8} engine
+//! shards with offered load scaled proportionally (so per-shard load — and
+//! hence the deterministic latency profile — is constant while total
+//! throughput must grow with the core count). Results land in
+//! `BENCH_serve_shards.json` together with the machine's core count;
+//! `--check` gates the deterministic per-S quality metrics tightly and the
+//! S=4 speedup against 1.6x/1.2 when the runner has the cores to show it.
+//!
+//! `--out` (default `BENCH_serve.json`, or `BENCH_serve_shards.json` with
+//! `--shards`) writes the results as JSON — the CI bench jobs upload it as
+//! an artifact. `--check` compares against a checked-in baseline and exits
+//! non-zero on regression: >20% on the deterministic latency quantiles; 4x
+//! on the wall-clock-dependent throughput/overhead numbers (CI runners vary
+//! widely in single-core speed, so a tight gate there would only produce
+//! flakes). `--write` regenerates the baseline file.
 
 use schemble_core::experiment::{ExperimentConfig, ExperimentContext, Traffic};
 use schemble_core::pipeline::schemble::SchembleConfig;
 use schemble_core::predictor::OnlineScorer;
 use schemble_core::scheduler::DpScheduler;
-use schemble_data::TaskKind;
-use schemble_serve::{serve_schemble, ClockMode, ServeConfig};
+use schemble_data::{TaskKind, Workload};
+use schemble_models::Ensemble;
+use schemble_serve::{serve_schemble, ClockMode, ServeConfig, ServeReport};
 use schemble_trace::TraceSink;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
 
+/// Base offered load at S=1; the shard sweep multiplies both by S.
+const BASE_QUERIES: usize = 600;
+const BASE_RATE: f64 = 35.0;
+/// Shard counts swept by `--shards`.
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Required S=4 speedup on a multi-core runner: the issue's 1.6x floor with
+/// a 20% tolerance (1.6 / 1.2).
+const S4_SPEEDUP_FLOOR: f64 = 1.6 / 1.2;
+
 struct BenchResult {
     queries: usize,
     p50_latency_ms: f64,
     p99_latency_ms: f64,
+    queries_per_sec: f64,
     plans_per_sec: f64,
     sched_overhead_us: f64,
     wall_secs: f64,
@@ -45,10 +67,11 @@ struct BenchResult {
 impl BenchResult {
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"queries\": {},\n  \"p50_latency_ms\": {:.4},\n  \"p99_latency_ms\": {:.4},\n  \"plans_per_sec\": {:.1},\n  \"sched_overhead_us\": {:.2},\n  \"wall_secs\": {:.3}\n}}\n",
+            "{{\n  \"queries\": {},\n  \"p50_latency_ms\": {:.4},\n  \"p99_latency_ms\": {:.4},\n  \"queries_per_sec\": {:.1},\n  \"plans_per_sec\": {:.1},\n  \"sched_overhead_us\": {:.2},\n  \"wall_secs\": {:.3}\n}}\n",
             self.queries,
             self.p50_latency_ms,
             self.p99_latency_ms,
+            self.queries_per_sec,
             self.plans_per_sec,
             self.sched_overhead_us,
             self.wall_secs,
@@ -56,8 +79,49 @@ impl BenchResult {
     }
 }
 
+/// One shard count's measured pass in the scaling sweep.
+struct ShardPoint {
+    shards: usize,
+    queries: usize,
+    queries_per_sec: f64,
+    p99_latency_ms: f64,
+    deadline_miss_rate: f64,
+}
+
+struct ShardSweep {
+    cores: usize,
+    points: Vec<ShardPoint>,
+}
+
+impl ShardSweep {
+    fn speedup(&self, shards: usize) -> f64 {
+        let base = self.points[0].queries_per_sec.max(1e-9);
+        self.points.iter().find(|p| p.shards == shards).map_or(0.0, |p| p.queries_per_sec / base)
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"base_queries\": {BASE_QUERIES},\n"));
+        out.push_str(&format!("  \"base_rate_per_sec\": {BASE_RATE:.1},\n"));
+        for p in &self.points {
+            let s = p.shards;
+            out.push_str(&format!("  \"s{s}_queries\": {},\n", p.queries));
+            out.push_str(&format!("  \"s{s}_queries_per_sec\": {:.1},\n", p.queries_per_sec));
+            out.push_str(&format!("  \"s{s}_p99_latency_ms\": {:.4},\n", p.p99_latency_ms));
+            out.push_str(&format!("  \"s{s}_deadline_miss_rate\": {:.6},\n", p.deadline_miss_rate));
+        }
+        for &s in &SHARD_SWEEP[1..] {
+            out.push_str(&format!("  \"speedup_s{s}\": {:.4},\n", self.speedup(s)));
+        }
+        // Trailing key without a comma keeps the document valid JSON.
+        out.push_str(&format!("  \"shard_counts\": {}\n}}\n", SHARD_SWEEP.len()));
+        out
+    }
+}
+
 /// Pulls `"key": <number>` out of the baseline JSON. The file is produced
-/// by [`BenchResult::to_json`], so a flat scan is all the parsing needed.
+/// by `to_json` above, so a flat scan is all the parsing needed.
 fn json_number(text: &str, key: &str) -> Result<f64, String> {
     let pat = format!("\"{key}\":");
     let start = text.find(&pat).ok_or_else(|| format!("baseline is missing \"{key}\""))?;
@@ -66,10 +130,19 @@ fn json_number(text: &str, key: &str) -> Result<f64, String> {
     rest[..end].trim().parse().map_err(|_| format!("baseline \"{key}\" is not a number"))
 }
 
-fn run_bench() -> BenchResult {
+struct BenchSetup {
+    ensemble: Ensemble,
+    pipeline: SchembleConfig,
+    workload: Workload,
+    seed: u64,
+}
+
+/// Deterministic bench fixture with offered load scaled by `scale` (shard
+/// sweeps keep per-shard load constant by growing the total with S).
+fn setup(scale: usize) -> BenchSetup {
     let mut config = ExperimentConfig::paper_default(TaskKind::TextMatching, 42);
-    config.n_queries = 600;
-    config.traffic = Traffic::Poisson { rate_per_sec: 35.0 };
+    config.n_queries = BASE_QUERIES * scale;
+    config.traffic = Traffic::Poisson { rate_per_sec: BASE_RATE * scale as f64 };
     let mut ctx = ExperimentContext::new(config);
     let workload = ctx.workload();
     let art = ctx.artifacts().clone();
@@ -79,7 +152,13 @@ fn run_bench() -> BenchResult {
         art.profile,
     );
     pipeline.admission = ctx.config.admission;
+    BenchSetup { ensemble: ctx.ensemble, pipeline, workload, seed: ctx.config.seed }
+}
 
+/// One virtual-clock serve pass. Each pass gets a fresh sink so the
+/// planning self-profile covers exactly this pass — warmup plans never
+/// inflate a measured rate.
+fn serve_once(bench: &BenchSetup, shards: usize) -> (ServeReport, Arc<TraceSink>) {
     let sink = TraceSink::enabled();
     // Events off: only the planning self-profile records, so the bench
     // measures the scheduler, not the trace ring.
@@ -87,21 +166,61 @@ fn run_bench() -> BenchResult {
     let scfg = ServeConfig {
         mode: ClockMode::Virtual,
         trace: Some(Arc::clone(&sink)),
+        shards,
         ..ServeConfig::default()
     };
-    let report = serve_schemble(&ctx.ensemble, &pipeline, &workload, ctx.config.seed, &scfg);
+    let report =
+        serve_schemble(&bench.ensemble, &bench.pipeline, &bench.workload, bench.seed, &scfg);
     assert_eq!(report.stats.open(), 0, "bench run left queries open");
+    (report, sink)
+}
+
+fn run_bench() -> BenchResult {
+    let bench = setup(1);
+    // Untimed warmup pass: first-touch page faults, lazy allocations and
+    // branch-predictor training land here, not in the measured window.
+    let _ = serve_once(&bench, 1);
+    let (report, sink) = serve_once(&bench, 1);
 
     let p = &sink.planning;
     let plans = p.plans.load(Relaxed);
     BenchResult {
-        queries: workload.len(),
+        queries: bench.workload.len(),
         p50_latency_ms: 1e3 * report.metrics.latency.quantile(0.50).unwrap_or(0.0),
         p99_latency_ms: 1e3 * report.metrics.latency.quantile(0.99).unwrap_or(0.0),
+        queries_per_sec: bench.workload.len() as f64 / report.wall_secs.max(1e-9),
         plans_per_sec: plans as f64 / report.wall_secs.max(1e-9),
         sched_overhead_us: 1e6 * p.mean_secs().unwrap_or(0.0),
         wall_secs: report.wall_secs,
     }
+}
+
+fn run_shard_sweep() -> ShardSweep {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut points = Vec::with_capacity(SHARD_SWEEP.len());
+    for &shards in &SHARD_SWEEP {
+        let bench = setup(shards);
+        let _ = serve_once(&bench, shards); // warmup, untimed
+        let (report, _) = serve_once(&bench, shards);
+        let point = ShardPoint {
+            shards,
+            queries: bench.workload.len(),
+            queries_per_sec: bench.workload.len() as f64 / report.wall_secs.max(1e-9),
+            p99_latency_ms: 1e3 * report.metrics.latency.quantile(0.99).unwrap_or(0.0),
+            deadline_miss_rate: report.summary.deadline_miss_rate(),
+        };
+        println!(
+            "  S={:<2} {:>5} queries  {:>9.0} q/s  p99 {:>8.3} ms  dmr {:>6.3}%  ({:.3}s wall)",
+            point.shards,
+            point.queries,
+            point.queries_per_sec,
+            point.p99_latency_ms,
+            100.0 * point.deadline_miss_rate,
+            report.wall_secs,
+        );
+        points.push(point);
+    }
+    ShardSweep { cores, points }
 }
 
 /// One gate: `label` regressed if the new value is worse than the baseline
@@ -120,7 +239,7 @@ fn gate(
     };
     let arrow = if higher_is_better { "min" } else { "max" };
     println!(
-        "  {label:<18} {new:>10.3}  (baseline {base:>10.3}, {arrow} tolerated {:>10.3}) {}",
+        "  {label:<22} {new:>10.3}  (baseline {base:>10.3}, {arrow} tolerated {:>10.3}) {}",
         if higher_is_better { base / (1.0 + tolerance) } else { base * (1.0 + tolerance) },
         if regressed { "REGRESSED" } else { "ok" }
     );
@@ -138,6 +257,7 @@ fn check(result: &BenchResult, baseline_path: &str) -> Result<(), String> {
     for (label, new, key, tol, higher) in [
         ("p50_latency_ms", result.p50_latency_ms, "p50_latency_ms", 0.20, false),
         ("p99_latency_ms", result.p99_latency_ms, "p99_latency_ms", 0.20, false),
+        ("queries_per_sec", result.queries_per_sec, "queries_per_sec", 3.0, true),
         ("plans_per_sec", result.plans_per_sec, "plans_per_sec", 3.0, true),
         ("sched_overhead_us", result.sched_overhead_us, "sched_overhead_us", 3.0, false),
     ] {
@@ -152,17 +272,93 @@ fn check(result: &BenchResult, baseline_path: &str) -> Result<(), String> {
     }
 }
 
+fn check_shards(sweep: &ShardSweep, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    println!("shard-scaling check vs {baseline_path} ({} cores):", sweep.cores);
+    let mut failures = Vec::new();
+
+    // Per-S quality metrics are virtual-clock deterministic — any drift is
+    // a decision change. p99 gates at 20%; the miss rate gates absolutely
+    // (baselines can legitimately be 0, where a relative gate degenerates).
+    for p in &sweep.points {
+        let s = p.shards;
+        let p99_key = format!("s{s}_p99_latency_ms");
+        match json_number(&text, &p99_key) {
+            Ok(base) => {
+                if let Err(e) = gate(&p99_key, p.p99_latency_ms, base, 0.20, false) {
+                    failures.push(e);
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+        let dmr_key = format!("s{s}_deadline_miss_rate");
+        match json_number(&text, &dmr_key) {
+            Ok(base) => {
+                let ceiling = base + 0.01;
+                let regressed = p.deadline_miss_rate > ceiling;
+                println!(
+                    "  {dmr_key:<22} {:>10.4}  (baseline {base:>10.4}, max tolerated {ceiling:>10.4}) {}",
+                    p.deadline_miss_rate,
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+                if regressed {
+                    failures.push(format!(
+                        "{dmr_key} regressed: {:.4} vs baseline {base:.4}",
+                        p.deadline_miss_rate
+                    ));
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+
+    // Throughput scaling. A single-core runner cannot show parallel
+    // speedup (shard threads time-slice), so the hard 1.6x/1.2 floor only
+    // applies where the machine has the cores to express it; on one core
+    // the sweep still gates no-regression against its own baseline.
+    let s4 = sweep.speedup(4);
+    if sweep.cores >= 2 {
+        let regressed = s4 < S4_SPEEDUP_FLOOR;
+        println!(
+            "  {:<22} {s4:>10.3}  (floor {S4_SPEEDUP_FLOOR:>10.3}, {} cores) {}",
+            "speedup_s4",
+            sweep.cores,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+        if regressed {
+            failures.push(format!("speedup_s4 regressed: {s4:.3} < floor {S4_SPEEDUP_FLOOR:.3}"));
+        }
+    } else {
+        match json_number(&text, "speedup_s4") {
+            Ok(base) => {
+                if let Err(e) = gate("speedup_s4", s4, base, 0.25, true) {
+                    failures.push(e);
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = "BENCH_serve.json".to_string();
+    let mut out: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut write_path: Option<String> = None;
+    let mut shards_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" if i + 1 < args.len() => {
                 i += 1;
-                out = args[i].clone();
+                out = Some(args[i].clone());
             }
             "--check" if i + 1 < args.len() => {
                 i += 1;
@@ -172,8 +368,11 @@ fn main() -> ExitCode {
                 i += 1;
                 write_path = Some(args[i].clone());
             }
+            "--shards" => shards_mode = true,
             other => {
-                eprintln!("usage: bench_serve [--out PATH] [--check BASELINE] [--write PATH]");
+                eprintln!(
+                    "usage: bench_serve [--shards] [--out PATH] [--check BASELINE] [--write PATH]"
+                );
                 eprintln!("unknown argument '{other}'");
                 return ExitCode::FAILURE;
             }
@@ -181,17 +380,37 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let result = run_bench();
-    println!(
-        "bench_serve: {} queries, p50 {:.3} ms, p99 {:.3} ms, {:.0} plans/s, {:.1} us/plan, {:.2}s wall",
-        result.queries,
-        result.p50_latency_ms,
-        result.p99_latency_ms,
-        result.plans_per_sec,
-        result.sched_overhead_us,
-        result.wall_secs,
-    );
-    let json = result.to_json();
+    let (json, check_result) = if shards_mode {
+        println!("bench_serve --shards: scaling sweep over S in {SHARD_SWEEP:?}");
+        let sweep = run_shard_sweep();
+        println!(
+            "  speedups vs S=1: x{:.2} (S=2), x{:.2} (S=4), x{:.2} (S=8) on {} cores",
+            sweep.speedup(2),
+            sweep.speedup(4),
+            sweep.speedup(8),
+            sweep.cores,
+        );
+        let check_result = check_path.as_deref().map(|p| check_shards(&sweep, p));
+        (sweep.to_json(), check_result)
+    } else {
+        let result = run_bench();
+        println!(
+            "bench_serve: {} queries, p50 {:.3} ms, p99 {:.3} ms, {:.0} q/s, {:.0} plans/s, {:.1} us/plan, {:.2}s wall",
+            result.queries,
+            result.p50_latency_ms,
+            result.p99_latency_ms,
+            result.queries_per_sec,
+            result.plans_per_sec,
+            result.sched_overhead_us,
+            result.wall_secs,
+        );
+        let check_result = check_path.as_deref().map(|p| check(&result, p));
+        (result.to_json(), check_result)
+    };
+
+    let out = out.unwrap_or_else(|| {
+        if shards_mode { "BENCH_serve_shards.json" } else { "BENCH_serve.json" }.to_string()
+    });
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("error: writing {out}: {e}");
         return ExitCode::FAILURE;
@@ -204,11 +423,9 @@ fn main() -> ExitCode {
         }
         println!("wrote baseline {path}");
     }
-    if let Some(path) = check_path {
-        if let Err(e) = check(&result, &path) {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+    if let Some(Err(e)) = check_result {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

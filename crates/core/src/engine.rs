@@ -62,6 +62,18 @@ impl EngineStats {
     pub fn open(&self) -> u64 {
         self.submitted - (self.completed + self.degraded + self.rejected + self.expired)
     }
+
+    /// Adds `other`'s counts to `self`. Addition commutes, so folding any
+    /// number of per-shard stats in any order gives the same global stats.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.degraded += other.degraded;
+        self.rejected += other.rejected;
+        self.expired += other.expired;
+        self.tasks_failed += other.tasks_failed;
+        self.tasks_retried += other.tasks_retried;
+    }
 }
 
 /// Retry and degradation knobs for fault-tolerant runs.

@@ -30,7 +30,12 @@ pub use input::{BufferedQuery, ScheduleInput, SchedulePlan};
 pub use scratch::{DpStats, SchedScratch};
 
 /// A buffer-scheduling algorithm.
-pub trait Scheduler {
+///
+/// `Send + Sync` is a supertrait requirement so one boxed scheduler inside
+/// a `SchembleConfig` can be planned against concurrently from every shard
+/// of a sharded serve run (`plan_into` takes `&self`; all state lives in
+/// the caller's scratch).
+pub trait Scheduler: Send + Sync {
     /// Produces a plan for the buffered queries, writing it into `out` and
     /// working out of `scratch`.
     ///

@@ -68,6 +68,41 @@ impl Workload {
     pub fn samples(&self) -> Vec<&Sample> {
         self.queries.iter().map(|q| &q.sample).collect()
     }
+
+    /// Partitions the workload into `shards` sub-workloads with `assign`
+    /// mapping a global query id to its shard.
+    ///
+    /// Engines require `query.id == index into the workload`, so each
+    /// sub-workload renumbers its queries `0..n_s` (arrival order is
+    /// preserved; sample payloads, arrivals and deadlines are untouched)
+    /// and records the original ids in [`ShardWorkload::global_ids`] so
+    /// per-shard results can be mapped back into the global namespace.
+    pub fn partition(&self, shards: usize, assign: impl Fn(u64) -> usize) -> Vec<ShardWorkload> {
+        let mut parts: Vec<ShardWorkload> = (0..shards.max(1))
+            .map(|_| ShardWorkload {
+                workload: Workload { queries: Vec::new(), duration: self.duration },
+                global_ids: Vec::new(),
+            })
+            .collect();
+        for q in &self.queries {
+            let s = assign(q.id).min(parts.len() - 1);
+            let part = &mut parts[s];
+            let mut local = q.clone();
+            local.id = part.workload.queries.len() as u64;
+            part.global_ids.push(q.id);
+            part.workload.queries.push(local);
+        }
+        parts
+    }
+}
+
+/// One shard's slice of a partitioned [`Workload`].
+#[derive(Debug, Clone)]
+pub struct ShardWorkload {
+    /// The sub-workload, renumbered so `queries[i].id == i`.
+    pub workload: Workload,
+    /// `global_ids[local_id]` is the query's id in the original workload.
+    pub global_ids: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -107,6 +142,36 @@ mod tests {
         let a = workload(50);
         let b = workload(50);
         assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn partition_renumbers_locally_and_remembers_global_ids() {
+        let w = workload(100);
+        let parts = w.partition(3, |id| (id % 3) as usize);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(|p| p.workload.len()).sum::<usize>(), 100);
+        let mut seen: Vec<u64> = Vec::new();
+        for (s, part) in parts.iter().enumerate() {
+            assert_eq!(part.global_ids.len(), part.workload.len());
+            for (i, q) in part.workload.queries.iter().enumerate() {
+                assert_eq!(q.id, i as u64, "local ids must be dense");
+                let global = part.global_ids[i];
+                assert_eq!(global % 3, s as u64);
+                // Payload and timing travel with the query unchanged.
+                let original = &w.queries[global as usize];
+                assert_eq!(q.sample, original.sample);
+                assert_eq!(q.arrival, original.arrival);
+                assert_eq!(q.deadline, original.deadline);
+                seen.push(global);
+            }
+            assert!(
+                part.workload.queries.windows(2).all(|p| p[0].arrival <= p[1].arrival),
+                "arrival order preserved within a shard"
+            );
+            assert_eq!(part.workload.duration, w.duration);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<u64>>(), "a partition, not a sample");
     }
 
     #[test]

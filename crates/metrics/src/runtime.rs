@@ -9,6 +9,16 @@
 use crate::latency::LatencyStats;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
+/// Saturating atomic add: `dst += n`, clamping at `u64::MAX` instead of
+/// wrapping. Merging counters from many shards must never wrap a total.
+fn sat_add(dst: &AtomicU64, n: u64) {
+    if n == 0 {
+        return;
+    }
+    // fetch_update with a pure closure never fails permanently under Relaxed.
+    let _ = dst.fetch_update(Relaxed, Relaxed, |cur| Some(cur.saturating_add(n)));
+}
+
 /// Query- and task-level counters shared between the runtime and observers.
 ///
 /// Query conservation invariant (checked by `schemble-serve`'s property
@@ -41,6 +51,23 @@ impl RuntimeCounters {
     /// A zeroed counter block.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Folds `other`'s counts into `self` (saturating).
+    ///
+    /// Addition is commutative and associative, so merging any number of
+    /// per-shard counter blocks in any order produces the same totals —
+    /// the property cross-shard aggregation relies on.
+    pub fn merge(&self, other: &RuntimeCounters) {
+        sat_add(&self.submitted, other.submitted.load(Relaxed));
+        sat_add(&self.completed, other.completed.load(Relaxed));
+        sat_add(&self.degraded, other.degraded.load(Relaxed));
+        sat_add(&self.rejected, other.rejected.load(Relaxed));
+        sat_add(&self.expired, other.expired.load(Relaxed));
+        sat_add(&self.tasks_started, other.tasks_started.load(Relaxed));
+        sat_add(&self.tasks_completed, other.tasks_completed.load(Relaxed));
+        sat_add(&self.tasks_failed, other.tasks_failed.load(Relaxed));
+        sat_add(&self.tasks_retried, other.tasks_retried.load(Relaxed));
     }
 
     /// Queries submitted but not yet decided.
@@ -77,6 +104,20 @@ impl Default for ExecutorGauges {
             up: AtomicU64::new(1),
             busy_micros: AtomicU64::new(0),
             tasks: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ExecutorGauges {
+    /// A point-in-time copy of the gauge values (used when concatenating
+    /// per-shard gauge blocks into one merged metrics view).
+    pub fn copied(&self) -> ExecutorGauges {
+        ExecutorGauges {
+            queue_depth: AtomicU64::new(self.queue_depth.load(Relaxed)),
+            running: AtomicU64::new(self.running.load(Relaxed)),
+            up: AtomicU64::new(self.up.load(Relaxed)),
+            busy_micros: AtomicU64::new(self.busy_micros.load(Relaxed)),
+            tasks: AtomicU64::new(self.tasks.load(Relaxed)),
         }
     }
 }
@@ -194,6 +235,20 @@ impl LatencyHistogram {
         out
     }
 
+    /// Folds `other`'s observations into `self` (saturating, bucket-wise).
+    ///
+    /// Both histograms share the fixed bucket layout, so the merge is a
+    /// pairwise add; like [`RuntimeCounters::merge`] it is order-insensitive,
+    /// which makes cross-shard histogram aggregation deterministic no matter
+    /// which shard finishes first.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            sat_add(dst, src.load(Relaxed));
+        }
+        sat_add(&self.underflow, other.underflow.load(Relaxed));
+        sat_add(&self.sum_micros, other.sum_micros.load(Relaxed));
+    }
+
     /// Non-empty buckets as `(lower_edge_secs, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
         let mut out = Vec::new();
@@ -229,6 +284,20 @@ impl RuntimeMetrics {
             executors: (0..executors).map(|_| ExecutorGauges::default()).collect(),
             latency: LatencyHistogram::new(),
         }
+    }
+
+    /// Aggregates per-shard metrics blocks into one view: counters and
+    /// latency histograms are merged (order-insensitive), executor gauges
+    /// are concatenated in the order given, so shard `s`'s executor `k`
+    /// lands at global index `s * m + k`.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a RuntimeMetrics>) -> RuntimeMetrics {
+        let mut out = RuntimeMetrics::new(0);
+        for part in parts {
+            out.counters.merge(&part.counters);
+            out.latency.merge(&part.latency);
+            out.executors.extend(part.executors.iter().map(ExecutorGauges::copied));
+        }
+        out
     }
 
     /// Takes a point-in-time snapshot. `elapsed_secs` is the (simulated)
@@ -478,6 +547,106 @@ mod tests {
         reader.join().unwrap();
         assert_eq!(m.counters.open(), 0, "every submitted query was closed");
         assert_eq!(m.counters.submitted.load(Relaxed), (WORKERS as u64) * PER_WORKER);
+    }
+
+    fn seeded_counters(base: u64) -> RuntimeCounters {
+        let c = RuntimeCounters::new();
+        c.submitted.store(base + 9, Relaxed);
+        c.completed.store(base + 4, Relaxed);
+        c.degraded.store(base + 1, Relaxed);
+        c.rejected.store(base + 2, Relaxed);
+        c.expired.store(base + 2, Relaxed);
+        c.tasks_started.store(base * 3, Relaxed);
+        c.tasks_completed.store(base * 2, Relaxed);
+        c.tasks_failed.store(base, Relaxed);
+        c.tasks_retried.store(base / 2, Relaxed);
+        c
+    }
+
+    fn counter_values(c: &RuntimeCounters) -> [u64; 9] {
+        [
+            c.submitted.load(Relaxed),
+            c.completed.load(Relaxed),
+            c.degraded.load(Relaxed),
+            c.rejected.load(Relaxed),
+            c.expired.load(Relaxed),
+            c.tasks_started.load(Relaxed),
+            c.tasks_completed.load(Relaxed),
+            c.tasks_failed.load(Relaxed),
+            c.tasks_retried.load(Relaxed),
+        ]
+    }
+
+    #[test]
+    fn counter_merge_is_order_insensitive_and_saturating() {
+        let parts = [seeded_counters(3), seeded_counters(40), seeded_counters(700)];
+        let forward = RuntimeCounters::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let backward = RuntimeCounters::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(counter_values(&forward), counter_values(&backward));
+        assert_eq!(forward.submitted.load(Relaxed), 9 * 3 + 3 + 40 + 700);
+        assert_eq!(forward.open(), parts.iter().map(|p| p.open()).sum::<u64>());
+
+        // Merging near-full counters clamps instead of wrapping.
+        let full = RuntimeCounters::new();
+        full.submitted.store(u64::MAX - 1, Relaxed);
+        full.merge(&parts[0]);
+        assert_eq!(full.submitted.load(Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_is_order_insensitive() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for _ in 0..50 {
+            a.record(0.010);
+        }
+        a.record(5e-5); // underflow
+        for _ in 0..7 {
+            b.record(1.0);
+        }
+        b.record(0.010);
+
+        let ab = LatencyHistogram::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let ba = LatencyHistogram::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab.count(), a.count() + b.count());
+        assert_eq!(ab.cumulative_buckets(), ba.cumulative_buckets());
+        assert_eq!(ab.nonzero_buckets(), ba.nonzero_buckets());
+        assert!((ab.sum_secs() - (a.sum_secs() + b.sum_secs())).abs() < 1e-9);
+        assert_eq!(ab.quantile(0.5), ba.quantile(0.5));
+    }
+
+    #[test]
+    fn merged_metrics_concatenate_executors_and_sum_counts() {
+        let s0 = RuntimeMetrics::new(2);
+        let s1 = RuntimeMetrics::new(2);
+        s0.counters.submitted.store(5, Relaxed);
+        s0.counters.completed.store(5, Relaxed);
+        s1.counters.submitted.store(3, Relaxed);
+        s1.counters.completed.store(3, Relaxed);
+        s0.latency.record(0.010);
+        s1.latency.record(0.020);
+        s0.executors[1].busy_micros.store(250_000, Relaxed);
+        s1.executors[0].busy_micros.store(750_000, Relaxed);
+        s1.executors[1].up.store(0, Relaxed);
+
+        let merged = RuntimeMetrics::merged([&s0, &s1]);
+        let snap = merged.snapshot(1.0);
+        assert_eq!(snap.submitted, 8);
+        assert_eq!(snap.open, 0);
+        assert_eq!(merged.latency.count(), 2);
+        assert_eq!(snap.up, vec![true, true, true, false]);
+        assert!((snap.utilization[1] - 0.25).abs() < 1e-9);
+        assert!((snap.utilization[2] - 0.75).abs() < 1e-9, "shard 1 executor 0 at index 2");
     }
 
     #[test]

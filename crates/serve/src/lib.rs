@@ -31,6 +31,7 @@
 pub mod backend;
 pub mod clock;
 pub mod runtime;
+pub mod shard;
 pub mod worker;
 
 pub use backend::ThreadedBackend;
@@ -40,3 +41,4 @@ pub use runtime::{
     ServeReport,
 };
 pub use schemble_core::engine::PipelineEngine;
+pub use shard::{serve_schemble_sharded, ShardRouter};

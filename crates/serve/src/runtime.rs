@@ -66,6 +66,15 @@ pub struct ServeConfig {
     /// immediate pipelines only — the Schemble pipeline carries its policy
     /// in [`SchembleConfig::failure`].
     pub failure: Option<FailurePolicy>,
+    /// Engine shards for [`serve_schemble`]. `1` (the default) runs the
+    /// single-engine path unchanged; `S > 1` hash-routes arrivals across
+    /// `S` parallel engines (see [`crate::shard`]), each with its own
+    /// executor replica.
+    pub shards: usize,
+    /// Streaming audit-log writer. Only the sharded path uses it (each
+    /// shard writes its queries' lines as it finishes, line-atomically);
+    /// unsharded runs export audit NDJSON from the trace post-hoc.
+    pub audit: Option<Arc<schemble_trace::AuditWriter>>,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +87,8 @@ impl Default for ServeConfig {
             trace: None,
             faults: None,
             failure: None,
+            shards: 1,
+            audit: None,
         }
     }
 }
@@ -360,7 +371,7 @@ pub fn run_virtual(
     RunStats { usage, wall_secs: wall_start.elapsed().as_secs_f64(), sim_secs: end.as_secs_f64() }
 }
 
-fn run_with(
+pub(crate) fn run_with(
     engine: &mut dyn PipelineEngine,
     latencies: Vec<LatencyModel>,
     workload: &Workload,
@@ -387,6 +398,9 @@ pub fn serve_schemble(
     seed: u64,
     config: &ServeConfig,
 ) -> ServeReport {
+    if config.shards > 1 {
+        return crate::shard::serve_schemble_sharded(ensemble, pipeline, workload, seed, config);
+    }
     let latencies: Vec<LatencyModel> = (0..ensemble.m()).map(|k| ensemble.latency(k)).collect();
     let metrics = Arc::new(RuntimeMetrics::new(latencies.len()));
     let mut engine = SchembleEngine::new(ensemble, pipeline, workload).with_trace(config.sink());

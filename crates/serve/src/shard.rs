@@ -1,0 +1,272 @@
+//! Sharded serving: `S` independent engine shards behind a deterministic
+//! router.
+//!
+//! The Schemble scheduler is per-buffer — the DP plans one query buffer, and
+//! the §VII competitive argument is per-buffer too — so the natural
+//! scale-out unit is a *shard*: a full engine replica (query buffer,
+//! scheduler scratch, scorer, trace sink, runtime counters) plus its own
+//! executor bank, fed a hash-routed slice of the arrival stream. Admission,
+//! scoring and DP planning then run on `S` threads instead of one, which is
+//! where throughput comes from once planning saturates a core.
+//!
+//! Determinism is preserved by construction:
+//!
+//! * **Routing** ([`ShardRouter`]) hashes the query id with the SplitMix64
+//!   finaliser — deterministic and *seed-independent*, so the same workload
+//!   always splits the same way regardless of the run seed.
+//! * **Per-shard RNG streams** derive from `(seed, shard_id)` via
+//!   [`mix`], so no shard shares a random stream with another and `S`
+//!   changes never perturb an unsharded run (`shards <= 1` takes the
+//!   pre-existing single-engine path, byte-identical to before).
+//! * **Aggregation is order-insensitive**: counters and histograms merge by
+//!   commutative addition, per-query records sort by global id, trace
+//!   streams merge on the total order `(time, shard, sequence)`, and audit
+//!   lines are written line-atomically so only their *order* — never their
+//!   content or set — depends on which shard finishes first.
+//!
+//! Shared across shards (immutably): the ensemble, the pipeline config
+//! (schedulers are `Send + Sync` and plan out of caller-owned scratch), and
+//! the fault plan. Owned per shard: the engine and its buffers, the
+//! sub-workload, executors `s*m .. (s+1)*m`, the RNG streams, a trace sink
+//! and a metrics block.
+
+use crate::runtime::{run_with, ClockMode, RunStats, ServeConfig, ServeReport};
+use schemble_core::engine::{EngineStats, PipelineEngine, SchembleEngine};
+use schemble_core::pipeline::SchembleConfig;
+use schemble_data::Workload;
+use schemble_metrics::{ModelUsage, QueryRecord, RunSummary, RuntimeMetrics};
+use schemble_models::Ensemble;
+use schemble_sim::rng::{mix, splitmix64};
+use schemble_sim::LatencyModel;
+use schemble_trace::{audit_records, globalize_events, merge_shard_events, TraceEvent, TraceSink};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Deterministic, seed-independent hash router from query ids to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (clamped to at least one).
+    pub fn new(shards: usize) -> Self {
+        Self { shards: shards.max(1) }
+    }
+
+    /// Number of shards routed across.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard `query_id` is served by. Pure function of the id and the
+    /// shard count — independent of seed, arrival time and thread timing.
+    #[inline]
+    pub fn route(&self, query_id: u64) -> usize {
+        (splitmix64(query_id) % self.shards as u64) as usize
+    }
+}
+
+/// What one shard thread hands back to the merger.
+struct ShardOutcome {
+    stats: EngineStats,
+    records: Vec<QueryRecord>,
+    run: RunStats,
+    events: Vec<TraceEvent>,
+}
+
+/// Serves `workload` through `config.shards` parallel Schemble engine
+/// shards and merges their outputs into one [`ServeReport`] shaped exactly
+/// like an unsharded run's (executor-indexed fields hold `S * m` entries,
+/// shard `s`'s executor `k` at index `s * m + k`).
+pub fn serve_schemble_sharded(
+    ensemble: &Ensemble,
+    pipeline: &SchembleConfig,
+    workload: &Workload,
+    seed: u64,
+    config: &ServeConfig,
+) -> ServeReport {
+    let shards = config.shards.max(1);
+    let m = ensemble.m();
+    let router = ShardRouter::new(shards);
+    let parts = workload.partition(shards, |id| router.route(id));
+
+    let trace_enabled = config.trace.as_ref().is_some_and(|s| s.is_enabled());
+    let sinks: Vec<Arc<TraceSink>> = (0..shards)
+        .map(|_| if trace_enabled { TraceSink::enabled() } else { TraceSink::disabled() })
+        .collect();
+    let shard_metrics: Vec<Arc<RuntimeMetrics>> =
+        (0..shards).map(|_| Arc::new(RuntimeMetrics::new(m))).collect();
+
+    let wall_start = Instant::now();
+    let stop_reporter = Arc::new((Mutex::new(false), Condvar::new()));
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        // One aggregate reporter across all shards (wall mode only), in
+        // place of the per-run reporter the unsharded path uses.
+        let reporter = match (config.mode, config.report_every) {
+            (ClockMode::Wall { dilation }, Some(every)) => {
+                let stop = Arc::clone(&stop_reporter);
+                let shard_metrics = &shard_metrics;
+                Some(scope.spawn(move || {
+                    let start = Instant::now();
+                    let (flag, cv) = &*stop;
+                    let mut stopped = flag.lock().unwrap_or_else(|e| e.into_inner());
+                    while !*stopped {
+                        let (guard, timeout) =
+                            cv.wait_timeout(stopped, every).unwrap_or_else(|e| e.into_inner());
+                        stopped = guard;
+                        if !*stopped && timeout.timed_out() {
+                            let sim = start.elapsed().as_secs_f64() * dilation;
+                            let merged =
+                                RuntimeMetrics::merged(shard_metrics.iter().map(Arc::as_ref));
+                            eprintln!("[serve t={sim:.1}s] {}", merged.snapshot(sim).brief());
+                        }
+                    }
+                }))
+            }
+            _ => None,
+        };
+
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(s, part)| {
+                let sink = Arc::clone(&sinks[s]);
+                let metrics = Arc::clone(&shard_metrics[s]);
+                let audit = config.audit.clone();
+                scope.spawn(move || {
+                    // Everything random in this shard — task latencies,
+                    // fault fates — derives from (seed, shard).
+                    let shard_seed = mix(seed, s as u64);
+                    let latencies: Vec<LatencyModel> =
+                        (0..m).map(|k| ensemble.latency(k)).collect();
+                    let shard_config = ServeConfig {
+                        report_every: None,
+                        trace: Some(Arc::clone(&sink)),
+                        shards: 1,
+                        audit: None,
+                        ..config.clone()
+                    };
+                    let mut engine = SchembleEngine::new(ensemble, pipeline, &part.workload)
+                        .with_trace(Arc::clone(&sink));
+                    let run = run_with(
+                        &mut engine,
+                        latencies,
+                        &part.workload,
+                        shard_seed,
+                        "schemble-latency",
+                        &shard_config,
+                        &metrics,
+                    );
+                    let stats = PipelineEngine::stats(&engine);
+                    let mut records = engine.take_records();
+                    for r in &mut records {
+                        r.id = part.global_ids[r.id as usize];
+                    }
+                    let events = globalize_events(sink.drain(), &part.global_ids, (s * m) as u16);
+                    // Audit lines stream out as each shard finishes: the
+                    // writer guarantees line atomicity, so concurrent shards
+                    // interleave whole lines only.
+                    if let Some(writer) = &audit {
+                        if let Err(e) = writer.write_records(&audit_records(&events)) {
+                            eprintln!("[serve] shard {s}: audit write failed: {e}");
+                        }
+                    }
+                    ShardOutcome { stats, records, run, events }
+                })
+            })
+            .collect();
+        let outcomes: Vec<ShardOutcome> =
+            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect();
+        {
+            let (flag, cv) = &*stop_reporter;
+            *flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            cv.notify_all();
+        }
+        if let Some(h) = reporter {
+            let _ = h.join();
+        }
+        outcomes
+    });
+
+    // --- Order-insensitive merge (outcomes are indexed by shard id; no
+    // step below depends on which shard thread finished first). ---
+    let mut stats = EngineStats::default();
+    let mut records: Vec<QueryRecord> = Vec::with_capacity(workload.len());
+    let mut sim_secs = 0f64;
+    for outcome in &outcomes {
+        stats.merge(&outcome.stats);
+        records.extend(outcome.records.iter().cloned());
+        sim_secs = sim_secs.max(outcome.run.sim_secs);
+    }
+    records.sort_by_key(|r| r.id);
+
+    // Each shard ran a full executor replica, so model `k`'s usage sums
+    // over shards and reports `instances = S`.
+    let models: Vec<ModelUsage> = (0..m)
+        .map(|k| ModelUsage {
+            name: ensemble.models[k].name.clone(),
+            busy_secs: outcomes.iter().map(|o| o.run.usage[k].busy_secs).sum(),
+            tasks: outcomes.iter().map(|o| o.run.usage[k].tasks).sum(),
+            instances: shards,
+        })
+        .collect();
+    let summary = RunSummary::new(records).with_usage(models);
+
+    let metrics = Arc::new(RuntimeMetrics::merged(shard_metrics.iter().map(Arc::as_ref)));
+    if let Some(sink) = &config.trace {
+        for event in merge_shard_events(outcomes.into_iter().map(|o| o.events).collect::<Vec<_>>())
+        {
+            sink.emit(event);
+        }
+        for shard_sink in &sinks {
+            sink.planning.merge(&shard_sink.planning);
+        }
+    }
+
+    let snapshot = metrics.snapshot(sim_secs);
+    ServeReport {
+        summary,
+        stats,
+        snapshot,
+        metrics,
+        wall_secs: wall_start.elapsed().as_secs_f64(),
+        sim_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_shard_state_is_sync() {
+        fn is_sync<T: Sync + ?Sized>() {}
+        // The shard threads borrow these immutably; losing Sync on any of
+        // them (e.g. interior mutability creeping into a scheduler) must
+        // fail here, at the narrowest point, not in the thread::scope call.
+        is_sync::<Ensemble>();
+        is_sync::<SchembleConfig>();
+        is_sync::<ServeConfig>();
+        is_sync::<Workload>();
+    }
+
+    #[test]
+    fn router_is_deterministic_and_covers_all_shards() {
+        let router = ShardRouter::new(4);
+        for id in 0..1000u64 {
+            assert_eq!(router.route(id), router.route(id));
+            assert!(router.route(id) < 4);
+        }
+        let mut counts = [0usize; 4];
+        for id in 0..1000u64 {
+            counts[router.route(id)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!((150..=350).contains(&c), "shard {s} got {c} of 1000 — router is skewed");
+        }
+        // Single shard routes everything to shard 0; zero clamps to one.
+        assert_eq!(ShardRouter::new(1).route(123), 0);
+        assert_eq!(ShardRouter::new(0).shards(), 1);
+    }
+}

@@ -39,8 +39,9 @@ pub fn stream_rng_u64(root: u64, stream: u64) -> StdRng {
     StdRng::seed_from_u64(mix(root, stream))
 }
 
-/// SplitMix64 finaliser.
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 finaliser: a cheap avalanche mix of a 64-bit value. Public
+/// because shard routing uses it as a seed-independent hash of query ids.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

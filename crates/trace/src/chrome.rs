@@ -46,6 +46,15 @@ fn span(out: &mut Vec<String>, name: &str, ts: u64, dur: u64, tid: u32, args: &s
 /// get a named, empty track); `label` names the process in the trace viewer
 /// (pipeline/method name).
 pub fn chrome_trace(events: &[TraceEvent], executors: usize, label: &str) -> String {
+    let tracks: Vec<String> = (0..executors).map(|k| format!("executor-{k}")).collect();
+    chrome_trace_named(events, &tracks, label)
+}
+
+/// [`chrome_trace`] with caller-supplied executor track names — executor
+/// `k` renders on track `k + 1` named `tracks[k]`. Sharded serve runs pass
+/// `shard-<s>/executor-<k>` names so a merged trace keeps its shard labels.
+pub fn chrome_trace_named(events: &[TraceEvent], tracks: &[String], label: &str) -> String {
+    let executors = tracks.len();
     let mut out: Vec<String> = Vec::with_capacity(events.len() + executors + 2);
     push_event(
         &mut out,
@@ -59,12 +68,13 @@ pub fn chrome_trace(events: &[TraceEvent], executors: usize, label: &str) -> Str
         "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"scheduler\"}"
             .to_string(),
     );
-    for k in 0..executors {
+    for (k, track) in tracks.iter().enumerate() {
         push_event(
             &mut out,
             format!(
-                "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"executor-{k}\"}}",
-                k as u32 + 1
+                "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":\"{}\"}}",
+                k as u32 + 1,
+                escape(track)
             ),
         );
     }
@@ -277,6 +287,16 @@ mod tests {
         assert!(doc.contains("\"name\":\"q1\""));
         assert!(doc.contains("\"dur\":10000"), "10ms span in micros");
         assert!(doc.contains("executor-1"), "all executor tracks named");
+    }
+
+    #[test]
+    fn named_tracks_carry_shard_labels() {
+        let tracks = vec!["shard-0/executor-0".to_string(), "shard-1/executor-0".to_string()];
+        let doc = chrome_trace_named(&sample_events(), &tracks, "schemble x4");
+        validate(&doc).expect("named-track trace must parse");
+        assert!(doc.contains("shard-0/executor-0"));
+        assert!(doc.contains("shard-1/executor-0"));
+        assert!(!doc.contains("\"executor-0\""), "default names replaced");
     }
 
     #[test]

@@ -51,6 +51,16 @@ impl PlanningProfile {
         let n = self.plans.load(Relaxed);
         (n > 0).then(|| self.wall_nanos.load(Relaxed) as f64 / 1e9 / n as f64)
     }
+
+    /// Folds `other`'s profile into `self` (order-insensitive): used to
+    /// aggregate the per-shard scheduler self-profiles of a sharded serve
+    /// run into one exportable profile.
+    pub fn merge(&self, other: &PlanningProfile) {
+        self.plans.fetch_add(other.plans.load(Relaxed), Relaxed);
+        self.work_units.fetch_add(other.work_units.load(Relaxed), Relaxed);
+        self.wall_nanos.fetch_add(other.wall_nanos.load(Relaxed), Relaxed);
+        self.hist.merge(&other.hist);
+    }
 }
 
 #[derive(Debug)]

@@ -35,7 +35,8 @@ use schemble::metrics::{RunSummary, RuntimeMetrics};
 use schemble::serve::{serve_immediate, serve_schemble, ClockMode, ServeConfig, ServeReport};
 use schemble::sim::FaultPlan;
 use schemble::trace::{
-    audit_ndjson, chrome_trace, metrics_from_events, prometheus_text, TraceEvent, TraceSink,
+    audit_ndjson, chrome_trace_named, metrics_from_events, prometheus_text, AuditWriter,
+    TraceEvent, TraceSink,
 };
 use std::process::ExitCode;
 use std::sync::atomic::Ordering::Relaxed;
@@ -89,6 +90,8 @@ serve/loadtest options (methods: original|static|des|gating|schemble):
   --virtual-clock     deterministic virtual time: decisions match the DES
   --report-ms <MS>    print a live metrics snapshot every MS wall millis
   --trace <T>         (loadtest) one-day | poisson   (default one-day)
+  --shards <S>        run S parallel engine shards behind a hash router
+                      (schemble method only; 1 = unsharded, the default)
 
 fault injection (serve/loadtest):
   --fault-plan <PATH>   seeded fault schedule (crash/straggle/transient/
@@ -110,6 +113,7 @@ struct Cli {
     dilation: Option<f64>,
     virtual_clock: bool,
     report_ms: Option<u64>,
+    shards: usize,
     trace: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -141,6 +145,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         dilation: None,
         virtual_clock: false,
         report_ms: None,
+        shards: 1,
         trace: None,
         trace_out: None,
         metrics_out: None,
@@ -184,6 +189,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--report-ms" => {
                 cli.report_ms =
                     Some(take(&mut i)?.parse().map_err(|_| "bad --report-ms".to_string())?)
+            }
+            "--shards" => {
+                cli.shards = take(&mut i)?.parse().map_err(|_| "bad --shards".to_string())?;
+                if cli.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
             }
             "--trace" => cli.trace = Some(take(&mut i)?.clone()),
             "--trace-out" => cli.trace_out = Some(take(&mut i)?.clone()),
@@ -337,7 +348,15 @@ fn export_telemetry(
         std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
     };
     if let Some(path) = &cli.trace_out {
-        write(path, &chrome_trace(&events, executors, label))?;
+        // Sharded runs name tracks by shard: global executor s*m+k is
+        // shard s's replica of model k.
+        let tracks: Vec<String> = if cli.shards > 1 && executors % cli.shards == 0 {
+            let m = executors / cli.shards;
+            (0..executors).map(|k| format!("shard-{}/executor-{}", k / m, k % m)).collect()
+        } else {
+            (0..executors).map(|k| format!("executor-{k}")).collect()
+        };
+        write(path, &chrome_trace_named(&events, &tracks, label))?;
         println!("  wrote Chrome trace ({} events) to {path}", events.len());
     }
     if let Some(path) = &cli.audit_out {
@@ -409,6 +428,7 @@ fn serve_config(
     cli: &Cli,
     default_dilation: f64,
     sink: &Arc<TraceSink>,
+    audit: Option<Arc<AuditWriter>>,
 ) -> Result<ServeConfig, String> {
     let (faults, failure) = fault_setup(cli)?;
     Ok(ServeConfig {
@@ -421,8 +441,24 @@ fn serve_config(
         trace: Some(Arc::clone(sink)),
         faults,
         failure,
+        shards: cli.shards,
+        audit,
         ..ServeConfig::default()
     })
+}
+
+/// A streaming line-atomic audit writer for sharded runs: each shard
+/// writes its queries' lines concurrently as it finishes, instead of the
+/// post-hoc single-threaded export unsharded runs use.
+fn shard_audit_writer(cli: &Cli) -> Result<Option<Arc<AuditWriter>>, String> {
+    if cli.shards <= 1 {
+        return Ok(None);
+    }
+    let Some(path) = &cli.audit_out else {
+        return Ok(None);
+    };
+    let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+    Ok(Some(Arc::new(AuditWriter::new(Box::new(std::io::BufWriter::new(file))))))
 }
 
 /// Runs one method on the schemble-serve runtime.
@@ -432,11 +468,18 @@ fn serve_one(
     cli: &Cli,
     default_dilation: f64,
     sink: &Arc<TraceSink>,
+    audit: Option<Arc<AuditWriter>>,
 ) -> Result<ServeReport, String> {
+    if cli.shards > 1 && method != "schemble" {
+        return Err(format!(
+            "--shards requires --method schemble (the immediate '{method}' pipeline keeps \
+             per-query selection state that is not shardable)"
+        ));
+    }
     let workload = ctx.workload();
     let seed = ctx.config.seed;
     let admission = ctx.config.admission;
-    let scfg = serve_config(cli, default_dilation, sink)?;
+    let scfg = serve_config(cli, default_dilation, sink, audit)?;
     let m = ctx.ensemble.m();
     match method {
         "schemble" => {
@@ -506,6 +549,17 @@ fn serve_one(
     }
 }
 
+/// Flushes a streamed (sharded) audit log and drops the post-hoc export
+/// request so the same lines are not written twice by `export_telemetry`.
+fn finish_streamed_audit(cli: &mut Cli, audit: &Option<Arc<AuditWriter>>) -> Result<(), String> {
+    let Some(writer) = audit else { return Ok(()) };
+    writer.flush().map_err(|e| format!("flushing audit log: {e}"))?;
+    if let Some(path) = cli.audit_out.take() {
+        println!("  wrote audit log ({} queries, streamed per shard) to {path}", writer.lines());
+    }
+    Ok(())
+}
+
 /// Hard-fails (non-zero exit) when the runtime finished with queries still
 /// open — every admitted query must end completed, degraded, rejected or
 /// expired, faults or not. The CI fault gauntlet relies on this check.
@@ -560,6 +614,9 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(
             "--trace-out/--metrics-out/--audit-out require run, serve or loadtest".to_string()
         );
+    }
+    if cli.shards > 1 && !matches!(command.as_str(), "serve" | "loadtest") {
+        return Err("--shards requires serve or loadtest".to_string());
     }
     // Event emission is armed only when an export was requested; the
     // planning self-profile records either way. Tracing never changes a
@@ -618,9 +675,11 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "serve" => {
             let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
-            let report = serve_one(&mut ctx, &method, &cli, 1.0, &sink)?;
+            let audit = shard_audit_writer(&cli)?;
+            let report = serve_one(&mut ctx, &method, &cli, 1.0, &sink, audit.clone())?;
             print_report(&method, &report, cli.virtual_clock);
             print_planning(&sink);
+            finish_streamed_audit(&mut cli, &audit)?;
             export_telemetry(
                 &cli,
                 &sink,
@@ -638,9 +697,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 "loadtest: replaying the {trace} trace ({} queries) through '{method}'",
                 cli.queries
             );
-            let report = serve_one(&mut ctx, &method, &cli, 20.0, &sink)?;
+            let audit = shard_audit_writer(&cli)?;
+            let report = serve_one(&mut ctx, &method, &cli, 20.0, &sink, audit.clone())?;
             print_report(&method, &report, cli.virtual_clock);
             print_planning(&sink);
+            finish_streamed_audit(&mut cli, &audit)?;
             export_telemetry(
                 &cli,
                 &sink,
