@@ -14,7 +14,7 @@
 //! * `sched_overhead_us` — mean wall-clock cost of one plan.
 //!
 //! ```text
-//! bench_serve [--shards] [--out PATH] [--check BASELINE] [--write PATH]
+//! bench_serve [--shards|--obs] [--out PATH] [--check BASELINE] [--write PATH]
 //! ```
 //!
 //! `--shards` switches to the shard-scaling sweep: S ∈ {1, 2, 4, 8} engine
@@ -25,8 +25,16 @@
 //! `--check` gates the deterministic per-S quality metrics tightly and the
 //! S=4 speedup against 1.6x/1.2 when the runner has the cores to show it.
 //!
+//! `--obs` switches to the introspection-overhead benchmark: the same
+//! measured pass runs once with all observability off and once with the
+//! full stack on (event emission, a tapped flight recorder, and the
+//! post-run SLO/drift fold). The virtual-clock p99 must agree within 5%
+//! between the two — tracing is decision-neutral, so any drift is a leak
+//! of observability into scheduling — and that self-gate applies on every
+//! run, `--check` or not.
+//!
 //! `--out` (default `BENCH_serve.json`, or `BENCH_serve_shards.json` with
-//! `--shards`) writes the results as JSON — the CI bench jobs upload it as
+//! `--shards`, or `BENCH_obs.json` with `--obs`) writes the results as JSON — the CI bench jobs upload it as
 //! an artifact. `--check` compares against a checked-in baseline and exits
 //! non-zero on regression: >20% on the deterministic latency quantiles; 4x
 //! on the wall-clock-dependent throughput/overhead numbers (CI runners vary
@@ -39,11 +47,13 @@ use schemble_core::predictor::OnlineScorer;
 use schemble_core::scheduler::DpScheduler;
 use schemble_data::{TaskKind, Workload};
 use schemble_models::Ensemble;
+use schemble_obs::{FlightRecorder, ObsConfig, ObsState};
 use schemble_serve::{serve_schemble, ClockMode, ServeConfig, ServeReport};
 use schemble_trace::TraceSink;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Base offered load at S=1; the shard sweep multiplies both by S.
 const BASE_QUERIES: usize = 600;
@@ -120,6 +130,35 @@ impl ShardSweep {
     }
 }
 
+/// The introspection-overhead comparison: one pass dark, one pass with
+/// the full obs stack armed.
+struct ObsResult {
+    queries: usize,
+    p99_obs_off_ms: f64,
+    p99_obs_on_ms: f64,
+    p99_obs_delta_pct: f64,
+    events: usize,
+    obs_fold_ms: f64,
+    wall_off_secs: f64,
+    wall_on_secs: f64,
+}
+
+impl ObsResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"queries\": {},\n  \"p99_obs_off_ms\": {:.4},\n  \"p99_obs_on_ms\": {:.4},\n  \"p99_obs_delta_pct\": {:.4},\n  \"events\": {},\n  \"obs_fold_ms\": {:.3},\n  \"wall_off_secs\": {:.3},\n  \"wall_on_secs\": {:.3}\n}}\n",
+            self.queries,
+            self.p99_obs_off_ms,
+            self.p99_obs_on_ms,
+            self.p99_obs_delta_pct,
+            self.events,
+            self.obs_fold_ms,
+            self.wall_off_secs,
+            self.wall_on_secs,
+        )
+    }
+}
+
 /// Pulls `"key": <number>` out of the baseline JSON. The file is produced
 /// by `to_json` above, so a flat scan is all the parsing needed.
 fn json_number(text: &str, key: &str) -> Result<f64, String> {
@@ -192,6 +231,93 @@ fn run_bench() -> BenchResult {
         plans_per_sec: plans as f64 / report.wall_secs.max(1e-9),
         sched_overhead_us: 1e6 * p.mean_secs().unwrap_or(0.0),
         wall_secs: report.wall_secs,
+    }
+}
+
+/// One virtual-clock serve pass with the whole introspection stack armed:
+/// event emission on, a flight recorder tapped into the sink, and the
+/// post-run SLO/drift fold with both exports rendered.
+fn serve_once_obs(bench: &BenchSetup) -> (ServeReport, usize, f64) {
+    let sink = TraceSink::enabled();
+    let recorder = Arc::new(FlightRecorder::new(4096, Some(u64::MAX)));
+    sink.set_tap(Some(recorder.clone()));
+    let scfg = ServeConfig {
+        mode: ClockMode::Virtual,
+        trace: Some(Arc::clone(&sink)),
+        recorder: Some(recorder),
+        ..ServeConfig::default()
+    };
+    let report =
+        serve_schemble(&bench.ensemble, &bench.pipeline, &bench.workload, bench.seed, &scfg);
+    assert_eq!(report.stats.open(), 0, "bench run left queries open");
+    let events = sink.snapshot();
+    let ocfg = ObsConfig {
+        bins: 4,
+        profiled_latencies_us: (0..bench.ensemble.m())
+            .map(|k| bench.ensemble.latency(k).planned().as_micros())
+            .collect(),
+        ..ObsConfig::default()
+    };
+    let fold_start = Instant::now();
+    let state = ObsState::fold(&ocfg, &events);
+    let exports = state.slo_ndjson().len() + state.prometheus().len();
+    assert!(exports > 0, "the fold produced both exports");
+    let fold_ms = fold_start.elapsed().as_secs_f64() * 1e3;
+    (report, events.len(), fold_ms)
+}
+
+fn run_obs_bench() -> Result<ObsResult, String> {
+    let bench = setup(1);
+    let _ = serve_once(&bench, 1); // warmup, untimed
+    let (off, _) = serve_once(&bench, 1);
+    let (on, events, obs_fold_ms) = serve_once_obs(&bench);
+
+    let p99_off = 1e3 * off.metrics.latency.quantile(0.99).unwrap_or(0.0);
+    let p99_on = 1e3 * on.metrics.latency.quantile(0.99).unwrap_or(0.0);
+    let delta_pct = 100.0 * (p99_on - p99_off).abs() / p99_off.max(1e-9);
+    let result = ObsResult {
+        queries: bench.workload.len(),
+        p99_obs_off_ms: p99_off,
+        p99_obs_on_ms: p99_on,
+        p99_obs_delta_pct: delta_pct,
+        events,
+        obs_fold_ms,
+        wall_off_secs: off.wall_secs,
+        wall_on_secs: on.wall_secs,
+    };
+    // The hard acceptance gate, applied on every run: full observability
+    // must not move the virtual-clock p99 by more than 5%. Decision
+    // neutrality actually makes the two identical; any gap at all means
+    // the obs layer leaked into a scheduling decision.
+    if delta_pct > 5.0 {
+        return Err(format!(
+            "observability perturbed p99: {p99_on:.4} ms with obs vs {p99_off:.4} ms without \
+             ({delta_pct:.2}% > 5%)"
+        ));
+    }
+    Ok(result)
+}
+
+fn check_obs(result: &ObsResult, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    println!("obs regression check vs {baseline_path}:");
+    let mut failures = Vec::new();
+    for (label, new, key, tol, higher) in [
+        // Deterministic under the virtual clock: tight gates.
+        ("p99_obs_off_ms", result.p99_obs_off_ms, "p99_obs_off_ms", 0.20, false),
+        ("p99_obs_on_ms", result.p99_obs_on_ms, "p99_obs_on_ms", 0.20, false),
+        // Wall-clock dependent: loose gate, CI runners vary widely.
+        ("obs_fold_ms", result.obs_fold_ms, "obs_fold_ms", 4.0, false),
+    ] {
+        if let Err(e) = gate(label, new, json_number(&text, key)?, tol, higher) {
+            failures.push(e);
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
     }
 }
 
@@ -353,6 +479,7 @@ fn main() -> ExitCode {
     let mut check_path: Option<String> = None;
     let mut write_path: Option<String> = None;
     let mut shards_mode = false;
+    let mut obs_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -369,9 +496,11 @@ fn main() -> ExitCode {
                 write_path = Some(args[i].clone());
             }
             "--shards" => shards_mode = true,
+            "--obs" => obs_mode = true,
             other => {
                 eprintln!(
-                    "usage: bench_serve [--shards] [--out PATH] [--check BASELINE] [--write PATH]"
+                    "usage: bench_serve [--shards|--obs] [--out PATH] [--check BASELINE] \
+                     [--write PATH]"
                 );
                 eprintln!("unknown argument '{other}'");
                 return ExitCode::FAILURE;
@@ -380,7 +509,29 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let (json, check_result) = if shards_mode {
+    let (json, check_result) = if obs_mode {
+        println!("bench_serve --obs: introspection overhead, obs-off vs full obs stack");
+        let result = match run_obs_bench() {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "  p99 {:.3} ms dark vs {:.3} ms with obs ({:.2}% delta); {} events, fold {:.2} ms, \
+             wall {:.3}s vs {:.3}s",
+            result.p99_obs_off_ms,
+            result.p99_obs_on_ms,
+            result.p99_obs_delta_pct,
+            result.events,
+            result.obs_fold_ms,
+            result.wall_off_secs,
+            result.wall_on_secs,
+        );
+        let check_result = check_path.as_deref().map(|p| check_obs(&result, p));
+        (result.to_json(), check_result)
+    } else if shards_mode {
         println!("bench_serve --shards: scaling sweep over S in {SHARD_SWEEP:?}");
         let sweep = run_shard_sweep();
         println!(
@@ -409,7 +560,14 @@ fn main() -> ExitCode {
     };
 
     let out = out.unwrap_or_else(|| {
-        if shards_mode { "BENCH_serve_shards.json" } else { "BENCH_serve.json" }.to_string()
+        if obs_mode {
+            "BENCH_obs.json"
+        } else if shards_mode {
+            "BENCH_serve_shards.json"
+        } else {
+            "BENCH_serve.json"
+        }
+        .to_string()
     });
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("error: writing {out}: {e}");

@@ -27,7 +27,7 @@ use schemble_data::Workload;
 use schemble_metrics::{ModelUsage, QueryOutcome, QueryRecord, RunSummary};
 use schemble_models::{Ensemble, ModelSet, Output, Sample};
 use schemble_sim::{SimDuration, SimTime};
-use schemble_trace::{AdmissionVerdict, TraceEvent, TraceSink};
+use schemble_trace::{score_fixed_point, AdmissionVerdict, TraceEvent, TraceSink};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -341,6 +341,12 @@ impl<'a> SchembleEngine<'a> {
         let score = self.predicted_score(i).clamp(0.0, 1.0);
         let q = &self.workload.queries[i];
         let utilities = self.config.profile.utility_vector(score);
+        self.trace.emit(TraceEvent::Scored {
+            t: now,
+            query: q.id,
+            bin: self.config.profile.bin_of(score) as u8,
+            score_fp: score_fixed_point(score),
+        });
         self.open.insert(
             q.id,
             QState {
@@ -493,6 +499,11 @@ impl<'a> SchembleEngine<'a> {
         let plan_t0 = Instant::now();
         config.scheduler.plan_into(&input, &mut self.sched_scratch, &mut self.plan_buf);
         self.trace.planning.record(self.plan_buf.work, plan_t0.elapsed());
+        // Explainability bookkeeping is gated on `observing()` so the silent
+        // hot path pays nothing; nothing below feeds back into a decision.
+        let observing = self.trace.observing();
+        let prev_sets: Vec<ModelSet> =
+            if observing { ids.iter().map(|id| self.open[id].set).collect() } else { Vec::new() };
         for (pos, id) in ids.iter().enumerate() {
             let set = self.plan_buf.assignments[pos];
             self.open.get_mut(id).expect("present").set = set;
@@ -522,6 +533,36 @@ impl<'a> SchembleEngine<'a> {
             work: self.plan_buf.work,
             cost,
         });
+        if observing {
+            // One `PlanAssign` per query whose assignment this round changed,
+            // carrying the plan's own completion estimate (or, for ForceAll
+            // fallback singletons the plan left out, an availability-based
+            // one). Emitted in sorted-id order after the `Plan` event so the
+            // stream stays deterministic.
+            let completions = input.completions(&self.plan_buf);
+            let availability = backend.availability(now);
+            for (pos, id) in ids.iter().enumerate() {
+                let set = self.open[id].set;
+                if set == prev_sets[pos] {
+                    continue;
+                }
+                let predicted_finish = completions[pos].unwrap_or_else(|| {
+                    let mut finish = SimTime::ZERO;
+                    for k in set.iter() {
+                        let done = availability[k].max(now) + self.ensemble.latency(k).planned();
+                        finish = finish.max(done);
+                    }
+                    finish
+                });
+                self.trace.emit(TraceEvent::PlanAssign {
+                    t: now,
+                    query: *id,
+                    set: set.0,
+                    predicted_finish,
+                    frontier: self.plan_buf.frontier,
+                });
+            }
+        }
     }
 
     /// Starts tasks on idle executors per the current plan, in EDF order.
@@ -585,6 +626,12 @@ impl<'a> SchembleEngine<'a> {
         let set = state.set;
         self.open.remove(&query);
         self.completions.push((query, (now - q.arrival).as_secs_f64()));
+        self.trace.emit(TraceEvent::Realized {
+            t: now,
+            query,
+            score_fp: score_fixed_point(score),
+            correct,
+        });
         if degraded {
             self.stats.degraded += 1;
             self.trace.emit(TraceEvent::DegradedAnswer { t: now, query, set: set.0 });

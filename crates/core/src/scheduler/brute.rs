@@ -36,7 +36,12 @@ fn search(
     best_utility: &mut f64,
 ) {
     if depth == order.len() {
-        let plan = SchedulePlan { assignments: assignment.clone(), order: order.to_vec(), work: 0 };
+        let plan = SchedulePlan {
+            assignments: assignment.clone(),
+            order: order.to_vec(),
+            work: 0,
+            frontier: 0,
+        };
         if input.plan_is_feasible(&plan) {
             let u = input.plan_utility(&plan);
             if u > *best_utility {

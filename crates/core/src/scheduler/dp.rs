@@ -118,6 +118,7 @@ impl Scheduler for DpScheduler {
         let n = input.queries.len();
         let m = input.m();
         out.work = 0;
+        out.frontier = 0;
         out.order.clear();
         out.assignments.clear();
         out.assignments.resize(n, ModelSet::EMPTY);
@@ -202,6 +203,7 @@ impl Scheduler for DpScheduler {
             let feas_range =
                 scratch.feas_bounds[step] as usize..scratch.feas_bounds[step + 1] as usize;
             let prev_len = scratch.layers[step].len();
+            out.frontier = out.frontier.max(prev_len as u32);
             let last_step = step + 1 == planned_len;
 
             if last_step {
@@ -454,7 +456,7 @@ pub(crate) mod reference {
             idx = node.parent;
         }
 
-        SchedulePlan { assignments, order, work }
+        SchedulePlan { assignments, order, work, frontier: 0 }
     }
 }
 

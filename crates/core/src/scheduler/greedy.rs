@@ -78,6 +78,7 @@ impl Scheduler for GreedyScheduler {
         let avail = &mut scratch.avail;
         out.assignments.clear();
         out.assignments.resize(n, ModelSet::EMPTY);
+        out.frontier = 0;
         let mut work = 0u64;
         for &qi in &out.order {
             let q = &input.queries[qi];

@@ -101,8 +101,9 @@ impl ScheduleInput {
 ///
 /// `PartialEq`/`Eq` compare the full decision (assignments, order and
 /// `work`) — the granularity at which the DP refactor is differential-tested
-/// against its reference implementation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// against its reference implementation. `frontier` is introspection
+/// metadata, not part of the decision, and is deliberately excluded.
+#[derive(Debug, Clone)]
 pub struct SchedulePlan {
     /// Model set per query (parallel to `ScheduleInput::queries`;
     /// `ModelSet::EMPTY` = left unscheduled this round).
@@ -113,12 +114,26 @@ pub struct SchedulePlan {
     /// Abstract work units the scheduler consumed — converted into
     /// scheduling latency by the pipeline's cost model (Exp-4/Fig. 21).
     pub work: u64,
+    /// Peak candidate-frontier width observed while planning (the widest
+    /// pruned Pareto layer for the DP). Diagnostics only — surfaced in
+    /// plan-explainability traces; `0` means the scheduler doesn't track it.
+    pub frontier: u32,
 }
+
+impl PartialEq for SchedulePlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.assignments == other.assignments
+            && self.order == other.order
+            && self.work == other.work
+    }
+}
+
+impl Eq for SchedulePlan {}
 
 impl SchedulePlan {
     /// A plan scheduling nothing.
     pub fn empty(n: usize) -> Self {
-        Self { assignments: vec![ModelSet::EMPTY; n], order: Vec::new(), work: 0 }
+        Self { assignments: vec![ModelSet::EMPTY; n], order: Vec::new(), work: 0, frontier: 0 }
     }
 
     /// Number of queries that received at least one model.
@@ -229,6 +244,7 @@ mod tests {
             assignments: vec![ModelSet::from_indices(&[0, 1]), ModelSet::singleton(0)],
             order: vec![1, 0],
             work: 0,
+            frontier: 0,
         };
         let completions = input.completions(&plan);
         // Query 1 runs first on model 0: 0 + 10 = 10.
@@ -244,6 +260,7 @@ mod tests {
             assignments: vec![ModelSet::singleton(0), ModelSet::singleton(0)],
             order: vec![1, 0],
             work: 0,
+            frontier: 0,
         };
         assert!(input.plan_is_feasible(&feasible));
         assert!((input.plan_utility(&feasible) - 1.0).abs() < 1e-12);
@@ -252,6 +269,7 @@ mod tests {
             assignments: vec![ModelSet::EMPTY, ModelSet::singleton(1)],
             order: vec![1],
             work: 0,
+            frontier: 0,
         };
         // Model 1: avail 5 + 20 = 25 ≤ 50 — feasible.
         assert!(input.plan_is_feasible(&too_late));

@@ -626,6 +626,59 @@ mod tests {
     }
 
     #[test]
+    fn merging_empty_counters_and_histograms_is_identity() {
+        let c = RuntimeCounters::new();
+        c.merge(&RuntimeCounters::new());
+        assert_eq!(counter_values(&c), [0; 9]);
+        assert_eq!(c.open(), 0);
+
+        let h = LatencyHistogram::new();
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_secs(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert!(h.nonzero_buckets().is_empty());
+
+        // Identity also holds asymmetrically: empty ⊕ seeded == seeded.
+        let seeded = seeded_counters(5);
+        let into = RuntimeCounters::new();
+        into.merge(&seeded);
+        assert_eq!(counter_values(&into), counter_values(&seeded));
+    }
+
+    #[test]
+    fn histogram_merge_saturates_instead_of_wrapping() {
+        let a = LatencyHistogram::new();
+        a.sum_micros.store(u64::MAX - 10, Relaxed);
+        a.buckets[0].store(u64::MAX - 1, Relaxed);
+        let b = LatencyHistogram::new();
+        b.sum_micros.store(100, Relaxed);
+        b.buckets[0].store(100, Relaxed);
+        a.merge(&b);
+        assert_eq!(a.sum_micros.load(Relaxed), u64::MAX);
+        assert_eq!(a.buckets[0].load(Relaxed), u64::MAX);
+        // A saturated count still yields a well-defined (clamped) quantile.
+        assert_eq!(a.quantile(1.0), a.quantile(0.0));
+    }
+
+    #[test]
+    fn single_bucket_histograms_merge_to_that_bucket() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for _ in 0..3 {
+            a.record(0.010);
+            b.record(0.010);
+        }
+        let m = LatencyHistogram::new();
+        m.merge(&a);
+        m.merge(&b);
+        assert_eq!(m.count(), 6);
+        assert_eq!(m.nonzero_buckets().len(), 1);
+        assert_eq!(m.quantile(0.0), m.quantile(1.0), "all mass in one bucket");
+        assert_eq!(m.quantile(0.5), a.quantile(0.5));
+    }
+
+    #[test]
     fn merged_metrics_concatenate_executors_and_sum_counts() {
         let s0 = RuntimeMetrics::new(2);
         let s1 = RuntimeMetrics::new(2);

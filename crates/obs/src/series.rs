@@ -1,0 +1,515 @@
+//! Windowed SLO time-series over the trace stream.
+//!
+//! Backend time is divided into fixed-width windows; each window accumulates
+//! integer aggregates (arrival/terminal counters, a log-bucketed latency
+//! histogram, scheduler-overhead sums) inside a fixed-capacity ring keyed by
+//! the *absolute* window index, so a long run holds the most recent
+//! `capacity` windows and evicts the oldest in O(1). All aggregation is
+//! integer arithmetic over event fields — folding the same stream always
+//! yields byte-identical exports, which is what lets the DES and the
+//! virtual-clock serve backend cross-validate their telemetry.
+
+use schemble_sim::{SimDuration, SimTime};
+
+/// Number of latency-histogram buckets (4 per octave over 20 octaves).
+const LAT_BUCKETS: usize = 80;
+/// Lower edge of bucket 0, microseconds.
+const LAT_MIN_US: u64 = 100;
+/// Buckets per factor-of-two.
+const LAT_PER_OCTAVE: f64 = 4.0;
+/// Ring-slot sentinel: no window stored.
+const EMPTY_SLOT: u64 = u64::MAX;
+
+/// A plain-integer log-bucketed latency histogram (microseconds).
+///
+/// The non-atomic sibling of `schemble_metrics::LatencyHistogram`, sized for
+/// per-window use: quantiles are reported as integer bucket upper edges so
+/// every derived number is exactly reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyWindow {
+    buckets: Vec<u64>,
+    underflow: u64,
+    count: u64,
+    sum_us: u64,
+}
+
+impl Default for LatencyWindow {
+    fn default() -> Self {
+        Self { buckets: vec![0; LAT_BUCKETS], underflow: 0, count: 0, sum_us: 0 }
+    }
+}
+
+impl LatencyWindow {
+    /// Lower edge of bucket `i`, microseconds (a pure function of `i`).
+    fn edge_us(i: usize) -> u64 {
+        (LAT_MIN_US as f64 * 2f64.powf(i as f64 / LAT_PER_OCTAVE)).round() as u64
+    }
+
+    fn bucket_of(us: u64) -> Option<usize> {
+        if us < LAT_MIN_US {
+            return None;
+        }
+        let idx = ((us as f64 / LAT_MIN_US as f64).log2() * LAT_PER_OCTAVE) as usize;
+        Some(idx.min(LAT_BUCKETS - 1))
+    }
+
+    /// Records one latency observation, in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        match Self::bucket_of(us) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.underflow += 1,
+        }
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// The `q`-quantile as the *upper edge* (µs) of the bucket holding it —
+    /// an integer, so exports built from it are byte-stable. `None` while
+    /// empty; underflow observations report 0.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(0);
+        }
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(Self::edge_us(i + 1));
+            }
+        }
+        Some(Self::edge_us(LAT_BUCKETS))
+    }
+
+    /// Folds `other` into `self` (bucket-wise, saturating on the sum).
+    pub fn merge_from(&mut self, other: &LatencyWindow) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.underflow += other.underflow;
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+    }
+}
+
+/// Aggregates for one time window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Absolute window index (`t / window_us`).
+    pub index: u64,
+    /// Query arrivals in the window.
+    pub arrivals: u64,
+    /// Queries completed with a full result.
+    pub completed: u64,
+    /// Queries answered from a partial ensemble.
+    pub degraded: u64,
+    /// Queries dropped after admission.
+    pub expired: u64,
+    /// Queries refused at arrival.
+    pub rejected: u64,
+    /// Terminal events landing past the query's deadline (expiry always;
+    /// late completions and degradations too).
+    pub missed: u64,
+    /// Task failures observed.
+    pub failures: u64,
+    /// Task retries dispatched.
+    pub retries: u64,
+    /// Planning passes.
+    pub plans: u64,
+    /// Simulated scheduling cost charged, microseconds.
+    pub sched_cost_us: u64,
+    /// Abstract scheduler work units consumed.
+    pub plan_work: u64,
+    /// End-to-end latency of queries closed in this window.
+    pub latency: LatencyWindow,
+    /// Open queries when the window closed (`None` until a later window
+    /// opens; the export stamps the live value for the newest window).
+    pub open_at_end: Option<u64>,
+}
+
+/// Run-level totals, exempt from ring eviction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloTotals {
+    /// Query arrivals.
+    pub arrivals: u64,
+    /// Full completions.
+    pub completed: u64,
+    /// Degraded answers.
+    pub degraded: u64,
+    /// Post-admission expiries.
+    pub expired: u64,
+    /// Admission rejections.
+    pub rejected: u64,
+    /// Deadline misses (see [`WindowStats::missed`]).
+    pub missed: u64,
+    /// Task failures.
+    pub failures: u64,
+    /// Task retries.
+    pub retries: u64,
+    /// Planning passes.
+    pub plans: u64,
+    /// Scheduling cost, microseconds.
+    pub sched_cost_us: u64,
+    /// Scheduler work units.
+    pub plan_work: u64,
+}
+
+/// The windowed ring: most recent `capacity` windows by absolute index.
+#[derive(Debug, Clone)]
+pub struct SloSeries {
+    window_us: u64,
+    slots: Vec<WindowStats>,
+    /// Highest window index seen (`EMPTY_SLOT` until the first event).
+    max_index: u64,
+    /// Open queries right now (arrivals − terminals − rejections).
+    live_open: u64,
+    /// Run totals.
+    pub totals: SloTotals,
+}
+
+impl SloSeries {
+    /// A series with `window` wide windows and room for `capacity` of them.
+    pub fn new(window: SimDuration, capacity: usize) -> Self {
+        let mut slots = vec![WindowStats::default(); capacity.max(1)];
+        for s in &mut slots {
+            s.index = EMPTY_SLOT;
+        }
+        Self {
+            window_us: window.as_micros().max(1),
+            slots,
+            max_index: EMPTY_SLOT,
+            live_open: 0,
+            totals: SloTotals::default(),
+        }
+    }
+
+    /// Window width, microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    /// Open queries right now.
+    pub fn live_open(&self) -> u64 {
+        self.live_open
+    }
+
+    fn index_of(&self, t: SimTime) -> u64 {
+        t.as_micros() / self.window_us
+    }
+
+    /// Advances the ring to the window holding `t` and returns its slot
+    /// index. Called *before* the event's own gauge updates so the closing
+    /// window is stamped with the queue depth as it stood at the boundary.
+    /// Returns `None` for an event older than the ring's oldest retained
+    /// window — impossible for the sorted streams the fold consumes, but
+    /// tolerated so a malformed input degrades to totals-only accounting.
+    fn touch(&mut self, t: SimTime) -> Option<usize> {
+        let idx = self.index_of(t);
+        let cap = self.slots.len() as u64;
+        if self.max_index == EMPTY_SLOT || idx > self.max_index {
+            // Advancing: the previously-newest window is now closed; stamp
+            // its end-of-window queue depth before any later event mutates
+            // the live gauge.
+            if self.max_index != EMPTY_SLOT {
+                let prev = &mut self.slots[(self.max_index % cap) as usize];
+                if prev.index == self.max_index {
+                    prev.open_at_end = Some(self.live_open);
+                }
+            }
+            self.max_index = idx;
+        } else if idx + cap <= self.max_index {
+            return None; // Older than anything retained.
+        }
+        let slot_idx = (idx % cap) as usize;
+        let slot = &mut self.slots[slot_idx];
+        if slot.index != idx {
+            *slot = WindowStats { index: idx, ..WindowStats::default() };
+        }
+        Some(slot_idx)
+    }
+
+    /// Records a query arrival.
+    pub fn on_arrival(&mut self, t: SimTime) {
+        let slot = self.touch(t);
+        self.totals.arrivals += 1;
+        self.live_open += 1;
+        if let Some(i) = slot {
+            self.slots[i].arrivals += 1;
+        }
+    }
+
+    /// Records an admission rejection.
+    pub fn on_rejected(&mut self, t: SimTime) {
+        let slot = self.touch(t);
+        self.totals.rejected += 1;
+        self.live_open = self.live_open.saturating_sub(1);
+        if let Some(i) = slot {
+            self.slots[i].rejected += 1;
+        }
+    }
+
+    /// Records a full completion; `latency_us` is end-to-end, `missed` marks
+    /// a past-deadline finish.
+    pub fn on_completed(&mut self, t: SimTime, latency_us: u64, missed: bool) {
+        let slot = self.touch(t);
+        self.totals.completed += 1;
+        self.totals.missed += missed as u64;
+        self.live_open = self.live_open.saturating_sub(1);
+        if let Some(i) = slot {
+            let w = &mut self.slots[i];
+            w.completed += 1;
+            w.missed += missed as u64;
+            w.latency.record_us(latency_us);
+        }
+    }
+
+    /// Records a degraded answer.
+    pub fn on_degraded(&mut self, t: SimTime, latency_us: u64, missed: bool) {
+        let slot = self.touch(t);
+        self.totals.degraded += 1;
+        self.totals.missed += missed as u64;
+        self.live_open = self.live_open.saturating_sub(1);
+        if let Some(i) = slot {
+            let w = &mut self.slots[i];
+            w.degraded += 1;
+            w.missed += missed as u64;
+            w.latency.record_us(latency_us);
+        }
+    }
+
+    /// Records a post-admission expiry (always a deadline miss).
+    pub fn on_expired(&mut self, t: SimTime) {
+        let slot = self.touch(t);
+        self.totals.expired += 1;
+        self.totals.missed += 1;
+        self.live_open = self.live_open.saturating_sub(1);
+        if let Some(i) = slot {
+            let w = &mut self.slots[i];
+            w.expired += 1;
+            w.missed += 1;
+        }
+    }
+
+    /// Records one planning pass.
+    pub fn on_plan(&mut self, t: SimTime, cost: SimDuration, work: u64) {
+        let slot = self.touch(t);
+        self.totals.plans += 1;
+        self.totals.sched_cost_us += cost.as_micros();
+        self.totals.plan_work += work;
+        if let Some(i) = slot {
+            let w = &mut self.slots[i];
+            w.plans += 1;
+            w.sched_cost_us += cost.as_micros();
+            w.plan_work += work;
+        }
+    }
+
+    /// Records a task failure.
+    pub fn on_task_failed(&mut self, t: SimTime) {
+        let slot = self.touch(t);
+        self.totals.failures += 1;
+        if let Some(i) = slot {
+            self.slots[i].failures += 1;
+        }
+    }
+
+    /// Records a task retry.
+    pub fn on_task_retried(&mut self, t: SimTime) {
+        let slot = self.touch(t);
+        self.totals.retries += 1;
+        if let Some(i) = slot {
+            self.slots[i].retries += 1;
+        }
+    }
+
+    /// The retained windows in ascending index order, with the newest
+    /// window's queue depth stamped from the live gauge. A slot whose window
+    /// was logically evicted by a far jump (its index now trails the newest
+    /// by at least the capacity) is excluded even if nothing overwrote it.
+    pub fn windows(&self) -> Vec<WindowStats> {
+        let cap = self.slots.len() as u64;
+        let mut out: Vec<WindowStats> = self
+            .slots
+            .iter()
+            .filter(|s| s.index != EMPTY_SLOT && s.index + cap > self.max_index)
+            .cloned()
+            .collect();
+        out.sort_by_key(|w| w.index);
+        if let Some(last) = out.last_mut() {
+            if last.open_at_end.is_none() {
+                last.open_at_end = Some(self.live_open);
+            }
+        }
+        out
+    }
+
+    /// Merges two series (e.g. per-shard folds) window-by-absolute-index:
+    /// counters add, histograms merge, queue depths add (each shard's open
+    /// set is disjoint). Both series must share the window width. The result
+    /// keeps the larger capacity and the most recent windows.
+    pub fn merged(&self, other: &SloSeries) -> SloSeries {
+        assert_eq!(self.window_us, other.window_us, "window widths must match to merge");
+        let mut out =
+            SloSeries::new(SimDuration(self.window_us), self.slots.len().max(other.slots.len()));
+        let mut all = self.windows();
+        all.extend(other.windows());
+        all.sort_by_key(|w| w.index);
+        let cap = out.slots.len() as u64;
+        for w in all {
+            if out.max_index == EMPTY_SLOT || w.index > out.max_index {
+                out.max_index = w.index;
+            }
+            if w.index + cap <= out.max_index {
+                continue;
+            }
+            let slot = &mut out.slots[(w.index % cap) as usize];
+            if slot.index != w.index {
+                *slot = WindowStats { index: w.index, ..WindowStats::default() };
+                slot.open_at_end = Some(0);
+            }
+            slot.arrivals += w.arrivals;
+            slot.completed += w.completed;
+            slot.degraded += w.degraded;
+            slot.expired += w.expired;
+            slot.rejected += w.rejected;
+            slot.missed += w.missed;
+            slot.failures += w.failures;
+            slot.retries += w.retries;
+            slot.plans += w.plans;
+            slot.sched_cost_us += w.sched_cost_us;
+            slot.plan_work += w.plan_work;
+            slot.latency.merge_from(&w.latency);
+            slot.open_at_end = match (slot.open_at_end, w.open_at_end) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+        }
+        let t = &mut out.totals;
+        for src in [&self.totals, &other.totals] {
+            t.arrivals += src.arrivals;
+            t.completed += src.completed;
+            t.degraded += src.degraded;
+            t.expired += src.expired;
+            t.rejected += src.rejected;
+            t.missed += src.missed;
+            t.failures += src.failures;
+            t.retries += src.retries;
+            t.plans += src.plans;
+            t.sched_cost_us += src.sched_cost_us;
+            t.plan_work += src.plan_work;
+        }
+        out.live_open = self.live_open + other.live_open;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn windows_partition_time_and_aggregate_counts() {
+        let mut s = SloSeries::new(SimDuration::from_millis(100), 16);
+        s.on_arrival(at(10));
+        s.on_arrival(at(20));
+        s.on_completed(at(150), 140_000, false);
+        s.on_expired(at(250));
+        let ws = s.windows();
+        assert_eq!(ws.len(), 3);
+        assert_eq!((ws[0].index, ws[0].arrivals), (0, 2));
+        assert_eq!((ws[1].index, ws[1].completed), (1, 1));
+        assert_eq!((ws[2].index, ws[2].expired, ws[2].missed), (2, 1, 1));
+        // Queue depth: 2 open after window 0, 1 after window 1, 0 now.
+        assert_eq!(ws[0].open_at_end, Some(2));
+        assert_eq!(ws[1].open_at_end, Some(1));
+        assert_eq!(ws[2].open_at_end, Some(0));
+        assert_eq!(s.totals.arrivals, 2);
+        assert_eq!(s.totals.missed, 1);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_only_the_newest_windows() {
+        let mut s = SloSeries::new(SimDuration::from_millis(10), 4);
+        for w in 0..10u64 {
+            s.on_arrival(SimTime::from_micros(w * 10_000 + 1));
+            s.on_completed(SimTime::from_micros(w * 10_000 + 2), 500, false);
+        }
+        let ws = s.windows();
+        assert_eq!(ws.len(), 4, "capacity bounds the retained windows");
+        assert_eq!(ws.iter().map(|w| w.index).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        // Totals survive eviction.
+        assert_eq!(s.totals.arrivals, 10);
+        assert_eq!(s.totals.completed, 10);
+        // A fresh arrival far in the future evicts everything else.
+        s.on_arrival(SimTime::from_micros(100 * 10_000));
+        let ws = s.windows();
+        assert_eq!(ws.last().unwrap().index, 100);
+        assert!(ws.iter().all(|w| w.index + 4 > 100));
+    }
+
+    #[test]
+    fn sparse_streams_skip_empty_windows() {
+        let mut s = SloSeries::new(SimDuration::from_millis(10), 8);
+        s.on_arrival(at(5));
+        s.on_completed(at(65), 60_000, true);
+        let ws = s.windows();
+        assert_eq!(ws.iter().map(|w| w.index).collect::<Vec<_>>(), vec![0, 6]);
+        assert_eq!(ws[1].missed, 1);
+    }
+
+    #[test]
+    fn quantiles_are_integer_bucket_edges() {
+        let mut h = LatencyWindow::default();
+        for _ in 0..99 {
+            h.record_us(10_000);
+        }
+        h.record_us(1_000_000);
+        let p50 = h.quantile_us(0.50).unwrap();
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!((8_000..=14_000).contains(&p50), "p50 {p50}");
+        assert!((8_000..=14_000).contains(&p99), "p99 {p99}: 99 of 100 at 10ms");
+        assert_eq!(h.quantile_us(1.0).map(|q| q > 800_000), Some(true));
+        assert_eq!(LatencyWindow::default().quantile_us(0.5), None);
+        let mut tiny = LatencyWindow::default();
+        tiny.record_us(10); // below the first edge
+        assert_eq!(tiny.quantile_us(0.5), Some(0));
+    }
+
+    #[test]
+    fn merging_two_shards_adds_counts_and_depths() {
+        let mut a = SloSeries::new(SimDuration::from_millis(100), 8);
+        let mut b = SloSeries::new(SimDuration::from_millis(100), 8);
+        a.on_arrival(at(10));
+        a.on_completed(at(50), 40_000, false);
+        b.on_arrival(at(20));
+        b.on_arrival(at(120));
+        let m = a.merged(&b);
+        let ws = m.windows();
+        assert_eq!(ws[0].arrivals, 2);
+        assert_eq!(ws[0].completed, 1);
+        assert_eq!(ws[1].arrivals, 1);
+        assert_eq!(m.totals.arrivals, 3);
+        assert_eq!(m.live_open(), 2);
+        // Merge is symmetric.
+        let m2 = b.merged(&a);
+        assert_eq!(m.windows(), m2.windows());
+        assert_eq!(m.totals, m2.totals);
+    }
+}

@@ -75,6 +75,10 @@ pub struct ServeConfig {
     /// shard writes its queries' lines as it finishes, line-atomically);
     /// unsharded runs export audit NDJSON from the trace post-hoc.
     pub audit: Option<Arc<schemble_trace::AuditWriter>>,
+    /// Post-mortem flight recorder. Tapped into the trace sink by the
+    /// caller; the runtime additionally trips it on wedge detection and
+    /// worker panics so the dump records *why* the run went sideways.
+    pub recorder: Option<Arc<schemble_obs::FlightRecorder>>,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +93,7 @@ impl Default for ServeConfig {
             failure: None,
             shards: 1,
             audit: None,
+            recorder: None,
         }
     }
 }
@@ -283,7 +288,13 @@ pub fn run_wall(
             Err(RecvTimeoutError::Timeout) => {
                 let now = clock.now_sim();
                 // Dead (panicked) workers surface here, as executor-down.
-                for event in backend.reap_dead(now) {
+                let dead = backend.reap_dead(now);
+                if !dead.is_empty() {
+                    if let Some(rec) = &config.recorder {
+                        rec.trip(schemble_obs::TripReason::WorkerPanic);
+                    }
+                }
+                for event in dead {
                     engine.handle(event, now, &mut backend);
                 }
                 engine.handle(BackendEvent::Wake, now, &mut backend);
@@ -300,6 +311,9 @@ pub fn run_wall(
                 {
                     stalled += 1;
                     if stalled >= 3 {
+                        if let Some(rec) = &config.recorder {
+                            rec.trip(schemble_obs::TripReason::Wedge);
+                        }
                         break;
                     }
                 } else {

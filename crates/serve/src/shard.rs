@@ -91,7 +91,10 @@ pub fn serve_schemble_sharded(
     let router = ShardRouter::new(shards);
     let parts = workload.partition(shards, |id| router.route(id));
 
-    let trace_enabled = config.trace.as_ref().is_some_and(|s| s.is_enabled());
+    // Shard sinks record whenever the outer sink is enabled *or* tapped
+    // (e.g. by a flight recorder): the merged re-emission below feeds the
+    // outer tap, so a tap-only sink still needs shard-level capture.
+    let trace_enabled = config.trace.as_ref().is_some_and(|s| s.observing());
     let sinks: Vec<Arc<TraceSink>> = (0..shards)
         .map(|_| if trace_enabled { TraceSink::enabled() } else { TraceSink::disabled() })
         .collect();

@@ -37,18 +37,29 @@ pub struct AuditRecord {
     pub outcome: &'static str,
     /// Completion instant for completed (or degraded) queries.
     pub completion: Option<SimTime>,
+    /// Predicted difficulty bin (from the `Scored` event; `None` for
+    /// fast-path / immediate-pipeline queries that skip the predictor).
+    pub bin: Option<u8>,
+    /// Candidate-frontier width of the last planning pass that assigned
+    /// this query's set (`None` without `PlanAssign` events).
+    pub frontier: Option<u32>,
+    /// Predicted completion instant of the last assigned plan.
+    pub predicted_finish: Option<SimTime>,
 }
 
 impl AuditRecord {
     /// The record as one NDJSON line (no trailing newline), keys in a fixed
     /// order so equal decisions give byte-equal lines.
     pub fn to_json_line(&self) -> String {
-        let completion = match self.completion {
-            Some(t) => t.as_micros().to_string(),
-            None => "null".to_string(),
-        };
+        fn or_null(v: Option<String>) -> String {
+            v.unwrap_or_else(|| "null".to_string())
+        }
+        let completion = or_null(self.completion.map(|t| t.as_micros().to_string()));
+        let bin = or_null(self.bin.map(|b| b.to_string()));
+        let frontier = or_null(self.frontier.map(|f| f.to_string()));
+        let predicted = or_null(self.predicted_finish.map(|t| t.as_micros().to_string()));
         format!(
-            "{{\"query\":{},\"arrival_us\":{},\"deadline_us\":{},\"admission\":\"{}\",\"set\":{:?},\"models\":{},\"tasks\":{},\"retries\":{},\"outcome\":\"{}\",\"completion_us\":{}}}",
+            "{{\"query\":{},\"arrival_us\":{},\"deadline_us\":{},\"admission\":\"{}\",\"set\":{:?},\"models\":{},\"tasks\":{},\"retries\":{},\"outcome\":\"{}\",\"completion_us\":{},\"bin\":{},\"frontier\":{},\"predicted_finish_us\":{}}}",
             self.query,
             self.arrival.as_micros(),
             self.deadline.as_micros(),
@@ -59,6 +70,9 @@ impl AuditRecord {
             self.retries,
             self.outcome,
             completion,
+            bin,
+            frontier,
+            predicted,
         )
     }
 }
@@ -79,6 +93,9 @@ pub fn audit_records(events: &[TraceEvent]) -> Vec<AuditRecord> {
                     retries: 0,
                     outcome: "open",
                     completion: None,
+                    bin: None,
+                    frontier: None,
+                    predicted_finish: None,
                 });
             }
             TraceEvent::Admission { query, verdict, .. } => {
@@ -126,12 +143,24 @@ pub fn audit_records(events: &[TraceEvent]) -> Vec<AuditRecord> {
                     r.completion = Some(t);
                 }
             }
+            TraceEvent::Scored { query, bin, .. } => {
+                if let Some(r) = records.get_mut(&query) {
+                    r.bin = Some(bin);
+                }
+            }
+            TraceEvent::PlanAssign { query, frontier, predicted_finish, .. } => {
+                if let Some(r) = records.get_mut(&query) {
+                    r.frontier = Some(frontier);
+                    r.predicted_finish = Some(predicted_finish);
+                }
+            }
             TraceEvent::Plan { .. }
             | TraceEvent::TaskEnqueue { .. }
             | TraceEvent::TaskDone { .. }
             | TraceEvent::TaskFailed { .. }
             | TraceEvent::ExecutorDown { .. }
-            | TraceEvent::ExecutorUp { .. } => {}
+            | TraceEvent::ExecutorUp { .. }
+            | TraceEvent::Realized { .. } => {}
         }
     }
     records.into_values().collect()
@@ -188,6 +217,17 @@ impl AuditWriter {
     /// Flushes the underlying writer.
     pub fn flush(&self) -> io::Result<()> {
         self.inner.lock().expect("audit writer poisoned").flush()
+    }
+}
+
+impl Drop for AuditWriter {
+    /// Flushes buffered lines on drop so a panicking run (or a reaped shard
+    /// thread unwinding the last `Arc`) never loses audit lines that were
+    /// already written. Poison-safe: a writer poisoned by a panicking peer
+    /// still flushes; flush errors are necessarily ignored here.
+    fn drop(&mut self) {
+        let mut w = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.flush();
     }
 }
 
@@ -315,6 +355,9 @@ mod tests {
                             retries: 0,
                             outcome: "completed",
                             completion: Some(at(q + 10)),
+                            bin: Some(4),
+                            frontier: Some(8),
+                            predicted_finish: Some(at(q + 9)),
                         };
                         writer.write_record(&record).unwrap();
                     }
@@ -352,6 +395,97 @@ mod tests {
         let records = audit_records(&events);
         assert_eq!(records[0].outcome, "expired");
         assert_eq!(records[0].completion, None);
-        assert!(records[0].to_json_line().ends_with("\"completion_us\":null}"));
+        let line = records[0].to_json_line();
+        assert!(line.contains("\"completion_us\":null"), "{line}");
+        assert!(line.ends_with("\"bin\":null,\"frontier\":null,\"predicted_finish_us\":null}"));
+    }
+
+    #[test]
+    fn explain_events_enrich_the_record() {
+        let events = vec![
+            TraceEvent::Arrival { t: at(0), query: 2, deadline: at(80) },
+            TraceEvent::Scored { t: at(0), query: 2, bin: 7, score_fp: 730_000 },
+            TraceEvent::PlanAssign {
+                t: at(1),
+                query: 2,
+                set: 0b11,
+                predicted_finish: at(42),
+                frontier: 5,
+            },
+            TraceEvent::TaskStart { t: at(2), query: 2, executor: 0 },
+            TraceEvent::TaskStart { t: at(2), query: 2, executor: 1 },
+            TraceEvent::Realized { t: at(40), query: 2, score_fp: 650_000, correct: true },
+            TraceEvent::QueryDone { t: at(40), query: 2, set: 0b11 },
+        ];
+        let records = audit_records(&events);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].bin, Some(7));
+        assert_eq!(records[0].frontier, Some(5));
+        assert_eq!(records[0].predicted_finish, Some(at(42)));
+        let line = records[0].to_json_line();
+        validate_ndjson(&line).expect("explain fields must serialise to valid JSON");
+        assert!(line.contains("\"bin\":7"));
+        assert!(line.contains("\"frontier\":5"));
+        assert!(line.contains("\"predicted_finish_us\":42000"));
+    }
+
+    #[test]
+    fn dropping_a_writer_mid_run_flushes_buffered_lines() {
+        use std::io::BufWriter;
+        use std::sync::Arc;
+        // Stand-in for the audit file: flushed bytes land in `sunk`; bytes
+        // still sitting in the BufWriter at drop time are lost unless
+        // something flushes. A panicking run drops the writer mid-flight —
+        // the Drop impl must get every already-written line out.
+        #[derive(Clone, Default)]
+        struct Sunk(Arc<Mutex<Vec<u8>>>);
+        impl Write for Sunk {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sunk = Sunk::default();
+        const LINES: u64 = 100;
+        let writer = Arc::new(AuditWriter::new(Box::new(BufWriter::with_capacity(
+            1 << 20, // large enough that nothing auto-flushes mid-run
+            sunk.clone(),
+        ))));
+        let killed = std::thread::spawn({
+            let writer = Arc::clone(&writer);
+            move || {
+                for q in 0..LINES {
+                    let record = AuditRecord {
+                        query: q,
+                        arrival: at(q),
+                        deadline: at(q + 50),
+                        admission: "buffered",
+                        set: 0b1,
+                        tasks: 1,
+                        retries: 0,
+                        outcome: "completed",
+                        completion: Some(at(q + 10)),
+                        bin: None,
+                        frontier: None,
+                        predicted_finish: None,
+                    };
+                    writer.write_record(&record).unwrap();
+                }
+                panic!("simulated mid-run death of the writing thread");
+            }
+        })
+        .join();
+        assert!(killed.is_err(), "the writer thread must have panicked");
+        assert_eq!(writer.lines(), LINES);
+        // The panicked thread's Arc dropped; ours is the last. Dropping it
+        // runs AuditWriter::drop, which must flush the BufWriter.
+        drop(writer);
+        let text = String::from_utf8(sunk.0.lock().unwrap().clone()).unwrap();
+        validate_ndjson(&text).expect("flushed audit output must be valid NDJSON");
+        assert_eq!(text.lines().count() as u64, LINES, "no audit line may be lost");
     }
 }

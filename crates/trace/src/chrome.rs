@@ -197,6 +197,31 @@ pub fn chrome_trace_named(events: &[TraceEvent], tracks: &[String], label: &str)
                 SCHEDULER_TID,
                 &format!("\"query\":{query},\"set\":{:?}", set_members(set)),
             ),
+            TraceEvent::Scored { query, bin, score_fp, .. } => instant(
+                &mut out,
+                "scored",
+                ts,
+                SCHEDULER_TID,
+                &format!("\"query\":{query},\"bin\":{bin},\"score_fp\":{score_fp}"),
+            ),
+            TraceEvent::PlanAssign { query, set, predicted_finish, frontier, .. } => instant(
+                &mut out,
+                "assign",
+                ts,
+                SCHEDULER_TID,
+                &format!(
+                    "\"query\":{query},\"set\":{:?},\"predicted_finish_us\":{},\"frontier\":{frontier}",
+                    set_members(set),
+                    predicted_finish.as_micros()
+                ),
+            ),
+            TraceEvent::Realized { query, score_fp, correct, .. } => instant(
+                &mut out,
+                "realized",
+                ts,
+                SCHEDULER_TID,
+                &format!("\"query\":{query},\"score_fp\":{score_fp},\"correct\":{correct}"),
+            ),
         }
     }
     // A task still running when the trace was drained renders as a span to

@@ -156,6 +156,60 @@ pub enum TraceEvent {
         /// The model subset the degraded result was assembled from.
         set: u32,
     },
+    /// The difficulty predictor scored a buffered query at admission.
+    ///
+    /// Carries the *predicted* difficulty in fixed point so the event stream
+    /// stays integer-exact (and therefore byte-identical) across backends.
+    Scored {
+        /// Event time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// Predicted difficulty bin (`AccuracyProfile::bin_of`).
+        bin: u8,
+        /// Predicted discrepancy score × 10^6, clamped to `[0, 10^6]`.
+        score_fp: u32,
+    },
+    /// A planning pass (re-)assigned this query's model set.
+    ///
+    /// Emitted only when the assignment *changed*, so the stream records the
+    /// plan lineage of each query without repeating unchanged decisions on
+    /// every re-plan. Emitted only while the sink is observing (enabled or
+    /// tapped) — the predicted-finish replay is explain-only work.
+    PlanAssign {
+        /// Event time (the plan's input instant).
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// Newly assigned model set (bit mask; may be empty on revocation).
+        set: u32,
+        /// Predicted completion instant of the assigned set, replayed from
+        /// the plan's own availability model (`ScheduleInput::completions`).
+        predicted_finish: SimTime,
+        /// Candidate-frontier width of the planning pass that produced the
+        /// assignment (`SchedulePlan::frontier`; 0 = untracked scheduler).
+        frontier: u32,
+    },
+    /// The assembled result was evaluated: the *realized* discrepancy.
+    ///
+    /// The drift-detection counterpart of [`TraceEvent::Scored`], emitted
+    /// just before the query's terminal `QueryDone`/`DegradedAnswer`.
+    Realized {
+        /// Event time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// Realized discrepancy score × 10^6, clamped to `[0, 10^6]`.
+        score_fp: u32,
+        /// Whether the assembled answer was correct.
+        correct: bool,
+    },
+}
+
+/// `score` as the fixed-point (× 10^6) representation used by
+/// [`TraceEvent::Scored`] / [`TraceEvent::Realized`].
+pub fn score_fixed_point(score: f64) -> u32 {
+    (score.clamp(0.0, 1.0) * 1e6).round() as u32
 }
 
 impl TraceEvent {
@@ -174,7 +228,10 @@ impl TraceEvent {
             | TraceEvent::TaskRetried { t, .. }
             | TraceEvent::ExecutorDown { t, .. }
             | TraceEvent::ExecutorUp { t, .. }
-            | TraceEvent::DegradedAnswer { t, .. } => t,
+            | TraceEvent::DegradedAnswer { t, .. }
+            | TraceEvent::Scored { t, .. }
+            | TraceEvent::PlanAssign { t, .. }
+            | TraceEvent::Realized { t, .. } => t,
         }
     }
 
@@ -190,7 +247,10 @@ impl TraceEvent {
             | TraceEvent::QueryExpired { query, .. }
             | TraceEvent::TaskFailed { query, .. }
             | TraceEvent::TaskRetried { query, .. }
-            | TraceEvent::DegradedAnswer { query, .. } => Some(query),
+            | TraceEvent::DegradedAnswer { query, .. }
+            | TraceEvent::Scored { query, .. }
+            | TraceEvent::PlanAssign { query, .. }
+            | TraceEvent::Realized { query, .. } => Some(query),
             TraceEvent::Plan { .. }
             | TraceEvent::ExecutorDown { .. }
             | TraceEvent::ExecutorUp { .. } => None,
@@ -224,6 +284,15 @@ mod tests {
             TraceEvent::ExecutorDown { t, executor: 0 },
             TraceEvent::ExecutorUp { t, executor: 0 },
             TraceEvent::DegradedAnswer { t, query: 1, set: 0b1 },
+            TraceEvent::Scored { t, query: 1, bin: 3, score_fp: 312_500 },
+            TraceEvent::PlanAssign {
+                t,
+                query: 1,
+                set: 0b11,
+                predicted_finish: SimTime::from_millis(8),
+                frontier: 4,
+            },
+            TraceEvent::Realized { t, query: 1, score_fp: 250_000, correct: true },
         ];
         for ev in events {
             assert_eq!(ev.time(), t);
@@ -234,6 +303,15 @@ mod tests {
                 _ => assert_eq!(ev.query(), Some(1)),
             }
         }
+    }
+
+    #[test]
+    fn score_fixed_point_clamps_and_rounds() {
+        assert_eq!(score_fixed_point(0.0), 0);
+        assert_eq!(score_fixed_point(1.0), 1_000_000);
+        assert_eq!(score_fixed_point(2.5), 1_000_000);
+        assert_eq!(score_fixed_point(-0.1), 0);
+        assert_eq!(score_fixed_point(0.3125), 312_500);
     }
 
     #[test]

@@ -18,6 +18,34 @@ fn family(out: &mut String, name: &str, kind: &str, help: &str) {
     let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
+/// Escapes a label *value* per the Prometheus text format: backslash,
+/// double-quote and newline must be backslash-escaped inside the quoted
+/// value (a different alphabet from JSON string escaping — `\t` et al. pass
+/// through verbatim).
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One `name{key="value"} value` sample line with the label value escaped.
+pub(crate) fn labeled_sample(
+    out: &mut String,
+    name: &str,
+    label: &str,
+    value: &str,
+    sample: impl std::fmt::Display,
+) {
+    let _ = writeln!(out, "{name}{{{label}=\"{}\"}} {sample}", escape_label(value));
+}
+
 fn histogram(out: &mut String, name: &str, help: &str, hist: &LatencyHistogram) {
     family(out, name, "histogram", help);
     let total = hist.count();
@@ -99,10 +127,12 @@ pub fn prometheus_text(
         "Tasks waiting in the executor's FIFO backlog.",
     );
     for (k, e) in metrics.executors.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "schemble_executor_queue_depth{{executor=\"{k}\"}} {}",
-            e.queue_depth.load(Relaxed)
+        labeled_sample(
+            &mut out,
+            "schemble_executor_queue_depth",
+            "executor",
+            &k.to_string(),
+            e.queue_depth.load(Relaxed),
         );
     }
     family(
@@ -112,18 +142,22 @@ pub fn prometheus_text(
         "Cumulative busy time per executor.",
     );
     for (k, e) in metrics.executors.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "schemble_executor_busy_seconds_total{{executor=\"{k}\"}} {}",
-            e.busy_micros.load(Relaxed) as f64 / 1e6
+        labeled_sample(
+            &mut out,
+            "schemble_executor_busy_seconds_total",
+            "executor",
+            &k.to_string(),
+            e.busy_micros.load(Relaxed) as f64 / 1e6,
         );
     }
     family(&mut out, "schemble_executor_tasks_total", "counter", "Tasks completed per executor.");
     for (k, e) in metrics.executors.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "schemble_executor_tasks_total{{executor=\"{k}\"}} {}",
-            e.tasks.load(Relaxed)
+        labeled_sample(
+            &mut out,
+            "schemble_executor_tasks_total",
+            "executor",
+            &k.to_string(),
+            e.tasks.load(Relaxed),
         );
     }
     family(
@@ -133,7 +167,13 @@ pub fn prometheus_text(
         "Whether the executor is up (1) or down (0).",
     );
     for (k, e) in metrics.executors.iter().enumerate() {
-        let _ = writeln!(out, "schemble_executor_up{{executor=\"{k}\"}} {}", e.up.load(Relaxed));
+        labeled_sample(
+            &mut out,
+            "schemble_executor_up",
+            "executor",
+            &k.to_string(),
+            e.up.load(Relaxed),
+        );
     }
     family(
         &mut out,
@@ -147,7 +187,7 @@ pub fn prometheus_text(
         } else {
             0.0
         };
-        let _ = writeln!(out, "schemble_executor_utilization{{executor=\"{k}\"}} {util}");
+        labeled_sample(&mut out, "schemble_executor_utilization", "executor", &k.to_string(), util);
     }
 
     histogram(
@@ -267,6 +307,10 @@ pub fn metrics_from_events(
                     metrics.latency.record((t - *t0).as_secs_f64());
                 }
             }
+            // Introspection-only events: no runtime counter changes.
+            TraceEvent::Scored { .. }
+            | TraceEvent::PlanAssign { .. }
+            | TraceEvent::Realized { .. } => {}
         }
     }
     metrics
@@ -312,6 +356,19 @@ mod tests {
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.rsplitn(2, ' ').count(), 2, "bad line: {line}");
         }
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_prometheus_rules() {
+        assert_eq!(escape_label("plain-0"), "plain-0");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label("line\nbreak"), "line\\nbreak");
+        // Tabs are legal inside a label value — unlike JSON, no escape.
+        assert_eq!(escape_label("tab\there"), "tab\there");
+        let mut out = String::new();
+        labeled_sample(&mut out, "m", "executor", "we\"ird\\name", 7u64);
+        assert_eq!(out, "m{executor=\"we\\\"ird\\\\name\"} 7\n");
     }
 
     #[test]

@@ -78,6 +78,15 @@ pub fn globalize_event(event: TraceEvent, query_map: &[u64], executor_offset: u1
         TraceEvent::DegradedAnswer { t, query, set } => {
             TraceEvent::DegradedAnswer { t, query: global(query), set }
         }
+        TraceEvent::Scored { t, query, bin, score_fp } => {
+            TraceEvent::Scored { t, query: global(query), bin, score_fp }
+        }
+        TraceEvent::PlanAssign { t, query, set, predicted_finish, frontier } => {
+            TraceEvent::PlanAssign { t, query: global(query), set, predicted_finish, frontier }
+        }
+        TraceEvent::Realized { t, query, score_fp, correct } => {
+            TraceEvent::Realized { t, query: global(query), score_fp, correct }
+        }
     }
 }
 

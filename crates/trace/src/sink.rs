@@ -69,14 +69,38 @@ struct Ring {
     capacity: usize,
 }
 
+/// A secondary, live consumer of the event stream (e.g. the observability
+/// crate's flight recorder). Called synchronously from [`TraceSink::emit`]
+/// on the emitting (scheduler) thread, *before* the enabled check — a tap
+/// sees every event even when the ring buffer is off. Taps must be cheap
+/// and must never feed back into decisions.
+pub trait EventTap: Send + Sync {
+    /// Observes one emitted event.
+    fn on_event(&self, event: TraceEvent);
+}
+
 /// The shared event sink engines and backends emit into.
-#[derive(Debug)]
 pub struct TraceSink {
     enabled: AtomicBool,
     ring: Mutex<Ring>,
     dropped: AtomicU64,
+    /// One relaxed load gates the tap dispatch so untapped emission stays a
+    /// branch, mirroring the `enabled` gate on the ring.
+    has_tap: AtomicBool,
+    tap: Mutex<Option<Arc<dyn EventTap>>>,
     /// Scheduler self-profiling (always on).
     pub planning: PlanningProfile,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("enabled", &self.is_enabled())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .field("tapped", &self.has_tap.load(Relaxed))
+            .finish()
+    }
 }
 
 impl TraceSink {
@@ -86,6 +110,8 @@ impl TraceSink {
             enabled: AtomicBool::new(true),
             ring: Mutex::new(Ring { events: Vec::new(), capacity: capacity.max(1) }),
             dropped: AtomicU64::new(0),
+            has_tap: AtomicBool::new(false),
+            tap: Mutex::new(None),
             planning: PlanningProfile::default(),
         })
     }
@@ -114,9 +140,38 @@ impl TraceSink {
         self.enabled.store(on, Relaxed);
     }
 
+    /// Installs (or removes) the live event tap. Set it before the run
+    /// starts: the emitting thread reads it under the tap lock, so swapping
+    /// mid-run is safe but may briefly block emission.
+    pub fn set_tap(&self, tap: Option<Arc<dyn EventTap>>) {
+        let mut slot = self.tap.lock().expect("trace tap poisoned");
+        self.has_tap.store(tap.is_some(), Relaxed);
+        *slot = tap;
+    }
+
+    /// The installed tap, if any (shards propagate the parent sink's tap).
+    pub fn tap(&self) -> Option<Arc<dyn EventTap>> {
+        self.tap.lock().expect("trace tap poisoned").clone()
+    }
+
+    /// True when somebody consumes emitted events: the ring is enabled or a
+    /// tap is installed. Engines gate *observability-only* computation
+    /// (e.g. predicted-finish replay for `PlanAssign`) on this so untraced
+    /// runs pay nothing; the gate never changes a decision.
+    #[inline]
+    pub fn observing(&self) -> bool {
+        self.is_enabled() || self.has_tap.load(Relaxed)
+    }
+
     /// Records one event (no-op while disabled; counted-drop when full).
+    /// An installed tap sees the event even while the ring is disabled.
     #[inline]
     pub fn emit(&self, event: TraceEvent) {
+        if self.has_tap.load(Relaxed) {
+            if let Some(tap) = &*self.tap.lock().expect("trace tap poisoned") {
+                tap.on_event(event);
+            }
+        }
         if !self.is_enabled() {
             return;
         }
@@ -195,6 +250,29 @@ mod tests {
         let mean = sink.planning.mean_secs().expect("two plans recorded");
         assert!((mean - 500e-6).abs() < 1e-9, "mean {mean}");
         assert_eq!(sink.planning.hist.count(), 2);
+    }
+
+    #[test]
+    fn tap_sees_events_even_while_ring_is_disabled() {
+        struct Counter(AtomicU64);
+        impl EventTap for Counter {
+            fn on_event(&self, _event: TraceEvent) {
+                self.0.fetch_add(1, Relaxed);
+            }
+        }
+        let sink = TraceSink::disabled();
+        assert!(!sink.observing());
+        let tap = Arc::new(Counter(AtomicU64::new(0)));
+        sink.set_tap(Some(tap.clone()));
+        assert!(sink.observing(), "a tap makes the sink observing");
+        sink.emit(arrival(1));
+        sink.emit(arrival(2));
+        assert_eq!(tap.0.load(Relaxed), 2, "tap sees every event");
+        assert!(sink.is_empty(), "disabled ring still records nothing");
+        sink.set_tap(None);
+        sink.emit(arrival(3));
+        assert_eq!(tap.0.load(Relaxed), 2, "removed tap sees nothing");
+        assert!(!sink.observing());
     }
 
     #[test]

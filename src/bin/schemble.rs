@@ -10,11 +10,15 @@
 //! schemble serve   --task tm --method schemble [--dilation G]
 //!                  [--virtual-clock] [--report-ms MS]   # real-time runtime
 //! schemble loadtest --trace one-day --method schemble   # replay + DES check
+//! schemble explain --query 17 [--method schemble]       # one query's plan
 //! ```
 //!
 //! `run`, `serve` and `loadtest` accept `--trace-out` (Chrome trace-event
 //! JSON, open in Perfetto), `--metrics-out` (Prometheus text exposition)
-//! and `--audit-out` (NDJSON scheduler decision audit log).
+//! and `--audit-out` (NDJSON scheduler decision audit log), plus the
+//! introspection exports: `--slo-out` (windowed SLO time-series NDJSON),
+//! `--obs-out` (introspection Prometheus exposition) and
+//! `--flight-recorder` (post-mortem event-ring dump, written on trip).
 //!
 //! Argument parsing is hand-rolled to keep the dependency set at the
 //! approved offline crates.
@@ -32,8 +36,9 @@ use schemble::core::predictor::OnlineScorer;
 use schemble::core::scheduler::{DpScheduler, QueueOrder};
 use schemble::data::TaskKind;
 use schemble::metrics::{RunSummary, RuntimeMetrics};
+use schemble::obs::{explain_query, FlightRecorder, ObsConfig, ObsState};
 use schemble::serve::{serve_immediate, serve_schemble, ClockMode, ServeConfig, ServeReport};
-use schemble::sim::FaultPlan;
+use schemble::sim::{FaultPlan, SimDuration};
 use schemble::trace::{
     audit_ndjson, chrome_trace_named, metrics_from_events, prometheus_text, AuditWriter,
     TraceEvent, TraceSink,
@@ -63,6 +68,7 @@ usage:
   schemble score    [--task <tm|vc|ir>] [options]
   schemble serve    --method <METHOD> [--task <tm|vc|ir>] [serve options]
   schemble loadtest --method <METHOD> [--task <tm|vc|ir>] [serve options]
+  schemble explain  --query <ID> [--method <METHOD>] [--task <tm|vc|ir>]
 
 methods:
   original | static | des | gating | schemble | schemble-ea | schemble-t |
@@ -83,6 +89,19 @@ telemetry (run/serve/loadtest):
   --trace-out <PATH>    write a Chrome trace-event JSON (open in Perfetto)
   --metrics-out <PATH>  write a Prometheus text exposition
   --audit-out <PATH>    write the per-query scheduler audit log (NDJSON)
+
+introspection (run/serve/loadtest):
+  --slo-out <PATH>      write the windowed SLO time-series (NDJSON)
+  --slo-window-ms <MS>  SLO window width in backend millis    (default 1000)
+  --obs-out <PATH>      write the introspection Prometheus exposition
+                        (SLO totals, newest-window gauges, drift counters)
+  --flight-recorder <PATH>  arm a bounded post-mortem recorder; dumps the
+                        event ring to PATH on wedge, worker panic or breach
+  --breach-expired <N>  trip the recorder once N queries have expired
+
+explain:
+  --query <ID>          the query to explain (re-runs the seeded DES and
+                        reconstructs that query's plan lineage)
 
 serve/loadtest options (methods: original|static|des|gating|schemble):
   --dilation <G>      simulated seconds per wall second
@@ -118,6 +137,12 @@ struct Cli {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     audit_out: Option<String>,
+    slo_out: Option<String>,
+    slo_window_ms: u64,
+    obs_out: Option<String>,
+    flight_recorder: Option<String>,
+    breach_expired: Option<u64>,
+    query: Option<u64>,
     fault_plan: Option<String>,
     task_timeout_q: Option<f64>,
     max_retries: Option<u32>,
@@ -126,7 +151,11 @@ struct Cli {
 impl Cli {
     /// True when any telemetry export was requested.
     fn wants_export(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some() || self.audit_out.is_some()
+        self.trace_out.is_some()
+            || self.metrics_out.is_some()
+            || self.audit_out.is_some()
+            || self.slo_out.is_some()
+            || self.obs_out.is_some()
     }
 }
 
@@ -150,6 +179,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         trace_out: None,
         metrics_out: None,
         audit_out: None,
+        slo_out: None,
+        slo_window_ms: 1000,
+        obs_out: None,
+        flight_recorder: None,
+        breach_expired: None,
+        query: None,
         fault_plan: None,
         task_timeout_q: None,
         max_retries: None,
@@ -200,6 +235,23 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--trace-out" => cli.trace_out = Some(take(&mut i)?.clone()),
             "--metrics-out" => cli.metrics_out = Some(take(&mut i)?.clone()),
             "--audit-out" => cli.audit_out = Some(take(&mut i)?.clone()),
+            "--slo-out" => cli.slo_out = Some(take(&mut i)?.clone()),
+            "--slo-window-ms" => {
+                cli.slo_window_ms =
+                    take(&mut i)?.parse().map_err(|_| "bad --slo-window-ms".to_string())?;
+                if cli.slo_window_ms == 0 {
+                    return Err("--slo-window-ms must be at least 1".to_string());
+                }
+            }
+            "--obs-out" => cli.obs_out = Some(take(&mut i)?.clone()),
+            "--flight-recorder" => cli.flight_recorder = Some(take(&mut i)?.clone()),
+            "--breach-expired" => {
+                cli.breach_expired =
+                    Some(take(&mut i)?.parse().map_err(|_| "bad --breach-expired".to_string())?)
+            }
+            "--query" => {
+                cli.query = Some(take(&mut i)?.parse().map_err(|_| "bad --query".to_string())?)
+            }
             "--fault-plan" => cli.fault_plan = Some(take(&mut i)?.clone()),
             "--task-timeout-q" => {
                 cli.task_timeout_q =
@@ -382,6 +434,74 @@ fn export_telemetry(
     Ok(())
 }
 
+/// Writes the introspection exports (`--slo-out` / `--obs-out`): a pure
+/// fold over the finished run's trace snapshot, so a DES `run` and a
+/// `--virtual-clock` serve of the same seed produce byte-identical files.
+fn export_obs(
+    cli: &Cli,
+    ctx: &mut ExperimentContext,
+    method: &str,
+    sink: &TraceSink,
+) -> Result<(), String> {
+    if cli.slo_out.is_none() && cli.obs_out.is_none() {
+        return Ok(());
+    }
+    // The calibration detector needs the difficulty-bin layout, which only
+    // schemble-family pipelines carry; other methods skip that detector.
+    let bins = if method.starts_with("schemble") { ctx.artifacts().profile.bins() } else { 0 };
+    let config = ObsConfig {
+        window: SimDuration::from_millis(cli.slo_window_ms),
+        bins,
+        profiled_latencies_us: ctx
+            .ensemble
+            .planned_latencies()
+            .iter()
+            .map(|d| d.as_micros())
+            .collect(),
+        ..ObsConfig::default()
+    };
+    let state = ObsState::fold(&config, &sink.snapshot());
+    if let Some(path) = &cli.slo_out {
+        let text = state.slo_ndjson();
+        std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote SLO time-series ({} windows) to {path}", text.lines().count());
+    }
+    if let Some(path) = &cli.obs_out {
+        std::fs::write(path, state.prometheus()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote introspection metrics to {path}");
+    }
+    Ok(())
+}
+
+/// Arms the flight recorder (when requested) as a sink tap, so every
+/// emitted event lands in its bounded ring even with all exports off.
+fn arm_recorder(cli: &Cli, sink: &Arc<TraceSink>) -> Option<Arc<FlightRecorder>> {
+    cli.flight_recorder.as_ref()?;
+    let rec = Arc::new(FlightRecorder::new(4096, cli.breach_expired));
+    sink.set_tap(Some(rec.clone()));
+    Some(rec)
+}
+
+/// Dumps the recorder's ring if it tripped. An untripped recorder writes
+/// nothing: the absence of the file is the all-clear.
+fn finish_recorder(cli: &Cli, recorder: &Option<Arc<FlightRecorder>>) -> Result<(), String> {
+    let Some(rec) = recorder else { return Ok(()) };
+    let path = cli.flight_recorder.as_deref().unwrap_or_default();
+    match rec.tripped() {
+        Some(reason) => {
+            let dump = rec.dump_json();
+            std::fs::write(path, &dump).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "  flight recorder tripped ({}): wrote {} events to {path}",
+                reason.as_str(),
+                rec.events().len()
+            );
+        }
+        None => println!("  flight recorder armed, never tripped; nothing written"),
+    }
+    Ok(())
+}
+
 /// Prints the scheduler's self-profile when at least one plan ran.
 fn print_planning(sink: &TraceSink) {
     let p = &sink.planning;
@@ -429,6 +549,7 @@ fn serve_config(
     default_dilation: f64,
     sink: &Arc<TraceSink>,
     audit: Option<Arc<AuditWriter>>,
+    recorder: Option<Arc<FlightRecorder>>,
 ) -> Result<ServeConfig, String> {
     let (faults, failure) = fault_setup(cli)?;
     Ok(ServeConfig {
@@ -443,6 +564,7 @@ fn serve_config(
         failure,
         shards: cli.shards,
         audit,
+        recorder,
         ..ServeConfig::default()
     })
 }
@@ -469,6 +591,7 @@ fn serve_one(
     default_dilation: f64,
     sink: &Arc<TraceSink>,
     audit: Option<Arc<AuditWriter>>,
+    recorder: Option<Arc<FlightRecorder>>,
 ) -> Result<ServeReport, String> {
     if cli.shards > 1 && method != "schemble" {
         return Err(format!(
@@ -479,7 +602,7 @@ fn serve_one(
     let workload = ctx.workload();
     let seed = ctx.config.seed;
     let admission = ctx.config.admission;
-    let scfg = serve_config(cli, default_dilation, sink, audit)?;
+    let scfg = serve_config(cli, default_dilation, sink, audit, recorder)?;
     let m = ctx.ensemble.m();
     match method {
         "schemble" => {
@@ -610,9 +733,11 @@ fn run(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown trace '{other}'")),
         }
     }
-    if cli.wants_export() && !matches!(command.as_str(), "run" | "serve" | "loadtest") {
+    if (cli.wants_export() || cli.flight_recorder.is_some())
+        && !matches!(command.as_str(), "run" | "serve" | "loadtest")
+    {
         return Err(
-            "--trace-out/--metrics-out/--audit-out require run, serve or loadtest".to_string()
+            "telemetry and introspection exports require run, serve or loadtest".to_string()
         );
     }
     if cli.shards > 1 && !matches!(command.as_str(), "serve" | "loadtest") {
@@ -627,6 +752,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "run" => {
             let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
+            let recorder = arm_recorder(&cli, &sink);
             let summary = run_one(&mut ctx, &method, cli.fast_path, &sink)?;
             print_summary(&method, &summary);
             print_planning(&sink);
@@ -635,7 +761,9 @@ fn run(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("writing {path}: {e}"))?;
                 println!("wrote {} records to {path}", summary.len());
             }
-            export_telemetry(&cli, &sink, &method, ctx.ensemble.m(), None, None)
+            export_telemetry(&cli, &sink, &method, ctx.ensemble.m(), None, None)?;
+            export_obs(&cli, &mut ctx, &method, &sink)?;
+            finish_recorder(&cli, &recorder)
         }
         "compare" => {
             for method in ["original", "static", "des", "gating", "schemble-ea", "schemble"] {
@@ -673,10 +801,31 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "explain" => {
+            let id = cli.query.ok_or_else(|| "--query is required".to_string())?;
+            let method = cli.method.clone().unwrap_or_else(|| "schemble".to_string());
+            // The whole stack is deterministic per seed, so re-running the
+            // DES with tracing armed is an exact replay: the timeline below
+            // is the one any earlier run with the same flags lived through.
+            sink.set_enabled(true);
+            run_one(&mut ctx, &method, cli.fast_path, &sink)?;
+            match explain_query(&sink.snapshot(), id) {
+                Some(explain) => {
+                    print!("{}", explain.render());
+                    Ok(())
+                }
+                None => Err(format!(
+                    "query {id} never arrived (the workload has ids 0..{})",
+                    cli.queries
+                )),
+            }
+        }
         "serve" => {
             let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
             let audit = shard_audit_writer(&cli)?;
-            let report = serve_one(&mut ctx, &method, &cli, 1.0, &sink, audit.clone())?;
+            let recorder = arm_recorder(&cli, &sink);
+            let report =
+                serve_one(&mut ctx, &method, &cli, 1.0, &sink, audit.clone(), recorder.clone())?;
             print_report(&method, &report, cli.virtual_clock);
             print_planning(&sink);
             finish_streamed_audit(&mut cli, &audit)?;
@@ -688,6 +837,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some(report.sim_secs),
                 Some(&report.metrics),
             )?;
+            export_obs(&cli, &mut ctx, &method, &sink)?;
+            finish_recorder(&cli, &recorder)?;
             check_not_wedged(&report)
         }
         "loadtest" => {
@@ -698,7 +849,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 cli.queries
             );
             let audit = shard_audit_writer(&cli)?;
-            let report = serve_one(&mut ctx, &method, &cli, 20.0, &sink, audit.clone())?;
+            let recorder = arm_recorder(&cli, &sink);
+            let report =
+                serve_one(&mut ctx, &method, &cli, 20.0, &sink, audit.clone(), recorder.clone())?;
             print_report(&method, &report, cli.virtual_clock);
             print_planning(&sink);
             finish_streamed_audit(&mut cli, &audit)?;
@@ -710,6 +863,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some(report.sim_secs),
                 Some(&report.metrics),
             )?;
+            export_obs(&cli, &mut ctx, &method, &sink)?;
+            finish_recorder(&cli, &recorder)?;
             // Cross-check against the *fault-free* discrete-event simulator
             // on the same seeded trace: without faults and under
             // --virtual-clock the counts must coincide exactly; in

@@ -22,6 +22,8 @@
 //! * [`metrics`] — accuracy / deadline-miss-rate / latency evaluation.
 //! * [`trace`] — query lifecycle tracing, scheduler audit log, and the
 //!   Chrome-trace / Prometheus / NDJSON exporters.
+//! * [`obs`] — live introspection: windowed SLO time-series, per-query plan
+//!   explainability, drift detectors and the post-mortem flight recorder.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use schemble_data as data;
 pub use schemble_metrics as metrics;
 pub use schemble_models as models;
 pub use schemble_nn as nn;
+pub use schemble_obs as obs;
 pub use schemble_serve as serve;
 pub use schemble_sim as sim;
 pub use schemble_tensor as tensor;

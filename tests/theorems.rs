@@ -67,7 +67,8 @@ fn completions_under_order(
     sets: &[ModelSet],
     order: &[usize],
 ) -> Vec<Option<SimTime>> {
-    let plan = SchedulePlan { assignments: sets.to_vec(), order: order.to_vec(), work: 0 };
+    let plan =
+        SchedulePlan { assignments: sets.to_vec(), order: order.to_vec(), work: 0, frontier: 0 };
     input.completions(&plan)
 }
 
@@ -149,7 +150,8 @@ fn theorem1_consistent_order_suffices_for_the_dp() {
                 assignment[i] = ModelSet(s as u32);
             }
             for order in permutations(n) {
-                let plan = SchedulePlan { assignments: assignment.clone(), order, work: 0 };
+                let plan =
+                    SchedulePlan { assignments: assignment.clone(), order, work: 0, frontier: 0 };
                 if input.plan_is_feasible(&plan) {
                     best = best.max(input.plan_utility(&plan));
                 }
