@@ -41,6 +41,7 @@
 //! widely in single-core speed, so a tight gate there would only produce
 //! flakes). `--write` regenerates the baseline file.
 
+use schemble_core::engine::AnytimePolicy;
 use schemble_core::experiment::{ExperimentConfig, ExperimentContext, Traffic};
 use schemble_core::pipeline::schemble::SchembleConfig;
 use schemble_core::predictor::OnlineScorer;
@@ -58,6 +59,9 @@ use std::time::Instant;
 /// Base offered load at S=1; the shard sweep multiplies both by S.
 const BASE_QUERIES: usize = 600;
 const BASE_RATE: f64 = 35.0;
+/// Query count for the anytime accuracy-vs-compute bench; its one-day
+/// diurnal trace keeps the mean rate at 15 q/s like the loadtest.
+const ANYTIME_QUERIES: usize = 1500;
 /// Shard counts swept by `--shards`.
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 /// Required S=4 speedup on a multi-core runner: the issue's 1.6x floor with
@@ -159,6 +163,46 @@ impl ObsResult {
     }
 }
 
+/// The anytime accuracy-vs-compute comparison on the diurnal trace: one
+/// pass with full plans, one with the early-exit policy quitting tasks.
+struct AnytimeResult {
+    queries: usize,
+    acc_full_pct: f64,
+    acc_anytime_pct: f64,
+    /// Accuracy given up by quitting, in percentage points (negative when
+    /// anytime comes out *ahead*, which early completion under load can).
+    acc_delta_pp: f64,
+    tasks_saved: u64,
+    /// Quit tasks as a fraction of everything the anytime run attempted.
+    saved_frac: f64,
+    p99_full_ms: f64,
+    p99_anytime_ms: f64,
+    models_per_query_full: f64,
+    models_per_query_anytime: f64,
+    wall_full_secs: f64,
+    wall_anytime_secs: f64,
+}
+
+impl AnytimeResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"queries\": {},\n  \"acc_full_pct\": {:.4},\n  \"acc_anytime_pct\": {:.4},\n  \"acc_delta_pp\": {:.4},\n  \"tasks_saved\": {},\n  \"saved_frac\": {:.4},\n  \"p99_full_ms\": {:.4},\n  \"p99_anytime_ms\": {:.4},\n  \"models_per_query_full\": {:.4},\n  \"models_per_query_anytime\": {:.4},\n  \"wall_full_secs\": {:.3},\n  \"wall_anytime_secs\": {:.3}\n}}\n",
+            self.queries,
+            self.acc_full_pct,
+            self.acc_anytime_pct,
+            self.acc_delta_pp,
+            self.tasks_saved,
+            self.saved_frac,
+            self.p99_full_ms,
+            self.p99_anytime_ms,
+            self.models_per_query_full,
+            self.models_per_query_anytime,
+            self.wall_full_secs,
+            self.wall_anytime_secs,
+        )
+    }
+}
+
 /// Pulls `"key": <number>` out of the baseline JSON. The file is produced
 /// by `to_json` above, so a flat scan is all the parsing needed.
 fn json_number(text: &str, key: &str) -> Result<f64, String> {
@@ -191,6 +235,27 @@ fn setup(scale: usize) -> BenchSetup {
         art.profile,
     );
     pipeline.admission = ctx.config.admission;
+    BenchSetup { ensemble: ctx.ensemble, pipeline, workload, seed: ctx.config.seed }
+}
+
+/// Fixture for the anytime accuracy-vs-compute comparison: the one-day
+/// diurnal trace (mean 15 q/s, peak ≈ 44 q/s) the loadtest uses, so the
+/// bench measures the policy where it matters — under a load swing, not
+/// flat Poisson. Both passes share the seed; only `anytime` differs.
+fn setup_anytime(anytime: Option<AnytimePolicy>) -> BenchSetup {
+    let mut config = ExperimentConfig::paper_default(TaskKind::TextMatching, 42);
+    config.n_queries = ANYTIME_QUERIES;
+    config.traffic = Traffic::Diurnal { day_secs: ANYTIME_QUERIES as f64 / 15.0 };
+    let mut ctx = ExperimentContext::new(config);
+    let workload = ctx.workload();
+    let art = ctx.artifacts().clone();
+    let mut pipeline = SchembleConfig::new(
+        Box::new(DpScheduler::default()),
+        OnlineScorer::Predictor(art.predictor),
+        art.profile,
+    );
+    pipeline.admission = ctx.config.admission;
+    pipeline.anytime = anytime;
     BenchSetup { ensemble: ctx.ensemble, pipeline, workload, seed: ctx.config.seed }
 }
 
@@ -309,6 +374,74 @@ fn check_obs(result: &ObsResult, baseline_path: &str) -> Result<(), String> {
         ("p99_obs_on_ms", result.p99_obs_on_ms, "p99_obs_on_ms", 0.20, false),
         // Wall-clock dependent: loose gate, CI runners vary widely.
         ("obs_fold_ms", result.obs_fold_ms, "obs_fold_ms", 4.0, false),
+    ] {
+        if let Err(e) = gate(label, new, json_number(&text, key)?, tol, higher) {
+            failures.push(e);
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+fn run_anytime_bench() -> Result<AnytimeResult, String> {
+    let full = setup_anytime(None);
+    let _ = serve_once(&full, 1); // warmup, untimed
+    let (full_report, _) = serve_once(&full, 1);
+    let any = setup_anytime(Some(AnytimePolicy::default()));
+    let (any_report, _) = serve_once(&any, 1);
+
+    let acc_full_pct = 100.0 * full_report.summary.accuracy();
+    let acc_anytime_pct = 100.0 * any_report.summary.accuracy();
+    let tasks_saved = any_report.snapshot.tasks_saved;
+    // Everything the anytime run attempted: tasks that ran to completion
+    // plus tasks it planned and then quit.
+    let attempted = any_report.snapshot.tasks_completed + tasks_saved;
+    let result = AnytimeResult {
+        queries: full.workload.len(),
+        acc_full_pct,
+        acc_anytime_pct,
+        acc_delta_pp: acc_full_pct - acc_anytime_pct,
+        tasks_saved,
+        saved_frac: tasks_saved as f64 / attempted.max(1) as f64,
+        p99_full_ms: 1e3 * full_report.metrics.latency.quantile(0.99).unwrap_or(0.0),
+        p99_anytime_ms: 1e3 * any_report.metrics.latency.quantile(0.99).unwrap_or(0.0),
+        models_per_query_full: full_report.summary.mean_models_used(),
+        models_per_query_anytime: any_report.summary.mean_models_used(),
+        wall_full_secs: full_report.wall_secs,
+        wall_anytime_secs: any_report.wall_secs,
+    };
+    // The hard acceptance gates, applied on every run (not just --check):
+    // early exit must actually save meaningful work, and the saved work
+    // must not cost meaningful accuracy.
+    if result.saved_frac < 0.15 {
+        return Err(format!(
+            "anytime saved too little work: {:.1}% of attempted tasks quit (< 15% floor)",
+            100.0 * result.saved_frac
+        ));
+    }
+    if result.acc_delta_pp > 0.5 {
+        return Err(format!(
+            "anytime gave up too much accuracy: {:.2} pp drop ({:.2}% -> {:.2}%, > 0.5 pp ceiling)",
+            result.acc_delta_pp, acc_full_pct, acc_anytime_pct
+        ));
+    }
+    Ok(result)
+}
+
+fn check_anytime(result: &AnytimeResult, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    println!("anytime regression check vs {baseline_path}:");
+    let mut failures = Vec::new();
+    for (label, new, key, tol, higher) in [
+        // Virtual-clock deterministic: drift here is a decision change.
+        ("p99_full_ms", result.p99_full_ms, "p99_full_ms", 0.20, false),
+        ("p99_anytime_ms", result.p99_anytime_ms, "p99_anytime_ms", 0.20, false),
+        ("saved_frac", result.saved_frac, "saved_frac", 0.25, true),
+        ("acc_anytime_pct", result.acc_anytime_pct, "acc_anytime_pct", 0.01, true),
     ] {
         if let Err(e) = gate(label, new, json_number(&text, key)?, tol, higher) {
             failures.push(e);
@@ -480,6 +613,7 @@ fn main() -> ExitCode {
     let mut write_path: Option<String> = None;
     let mut shards_mode = false;
     let mut obs_mode = false;
+    let mut anytime_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -497,10 +631,11 @@ fn main() -> ExitCode {
             }
             "--shards" => shards_mode = true,
             "--obs" => obs_mode = true,
+            "--anytime" => anytime_mode = true,
             other => {
                 eprintln!(
-                    "usage: bench_serve [--shards|--obs] [--out PATH] [--check BASELINE] \
-                     [--write PATH]"
+                    "usage: bench_serve [--shards|--obs|--anytime] [--out PATH] \
+                     [--check BASELINE] [--write PATH]"
                 );
                 eprintln!("unknown argument '{other}'");
                 return ExitCode::FAILURE;
@@ -509,7 +644,31 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let (json, check_result) = if obs_mode {
+    let (json, check_result) = if anytime_mode {
+        println!("bench_serve --anytime: accuracy vs compute on the diurnal trace");
+        let result = match run_anytime_bench() {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "  acc {:.2}% full vs {:.2}% anytime ({:+.2} pp); {} tasks quit ({:.1}% of \
+             attempted); {:.2} vs {:.2} models/query; p99 {:.3} vs {:.3} ms",
+            result.acc_full_pct,
+            result.acc_anytime_pct,
+            -result.acc_delta_pp,
+            result.tasks_saved,
+            100.0 * result.saved_frac,
+            result.models_per_query_full,
+            result.models_per_query_anytime,
+            result.p99_full_ms,
+            result.p99_anytime_ms,
+        );
+        let check_result = check_path.as_deref().map(|p| check_anytime(&result, p));
+        (result.to_json(), check_result)
+    } else if obs_mode {
         println!("bench_serve --obs: introspection overhead, obs-off vs full obs stack");
         let result = match run_obs_bench() {
             Ok(result) => result,
@@ -560,7 +719,9 @@ fn main() -> ExitCode {
     };
 
     let out = out.unwrap_or_else(|| {
-        if obs_mode {
+        if anytime_mode {
+            "BENCH_anytime.json"
+        } else if obs_mode {
             "BENCH_obs.json"
         } else if shards_mode {
             "BENCH_serve_shards.json"

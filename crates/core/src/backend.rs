@@ -123,6 +123,18 @@ pub trait ExecutionBackend {
     /// pipelines); the executor starts it as soon as it idles.
     fn enqueue_task(&mut self, executor: usize, query: u64, now: SimTime);
 
+    /// Cancels `executor`'s *running* task for `query` (anytime early exit):
+    /// the task stops occupying the executor now, its completion never
+    /// surfaces, and the time spent so far is charged as busy time — exactly
+    /// the accounting a crash kill performs, minus the failure. Returns
+    /// whether a matching running task was cancelled; `false` means the
+    /// executor is running something else (or nothing), e.g. because a crash
+    /// already killed the task, and the caller must leave its bookkeeping to
+    /// the failure path. Backends without cancellation support always refuse.
+    fn cancel_task(&mut self, _executor: usize, _query: u64, _now: SimTime) -> bool {
+        false
+    }
+
     /// Asks the backend to surface [`BackendEvent::Wake`] at `at`.
     fn request_wake(&mut self, at: SimTime);
 
@@ -397,6 +409,26 @@ impl ExecutionBackend for SimBackend {
         } else {
             self.trace.emit(TraceEvent::TaskEnqueue { t: now, query, executor: executor as u16 });
         }
+    }
+
+    fn cancel_task(&mut self, executor: usize, query: u64, now: SimTime) -> bool {
+        let Some((task, completes_at)) =
+            self.servers.get(executor).running().map(|r| (r.task.0, r.completes_at))
+        else {
+            return false;
+        };
+        if task != query {
+            return false;
+        }
+        // The task's completion (or scheduled failure) event is still
+        // queued; swallow it when it pops — same mechanism as a crash kill.
+        self.suppressed.push((executor, task, completes_at));
+        // `kill` charges the partial busy time; unlike `ExecutorDown`, the
+        // casualty is discarded (a quit is not a failure, so no `TaskFailed`
+        // surfaces) and the backlog is left intact.
+        let _ = self.servers.get_mut(executor).kill(now);
+        self.start_next_from_backlog(executor, now);
+        true
     }
 
     fn request_wake(&mut self, at: SimTime) {

@@ -12,7 +12,7 @@
 
 use super::{AdmissionMode, ResultAssembler};
 use crate::backend::{ExecutionBackend, SimBackend};
-use crate::engine::{FailurePolicy, PipelineEngine, SchembleEngine};
+use crate::engine::{AnytimePolicy, FailurePolicy, PipelineEngine, SchembleEngine};
 use crate::predictor::OnlineScorer;
 use crate::profiling::AccuracyProfile;
 use crate::scheduler::Scheduler;
@@ -53,6 +53,11 @@ pub struct SchembleConfig {
     /// default) keeps every decision identical to a fault-unaware build;
     /// see [`FailurePolicy`] for what `Some` opts into.
     pub failure: Option<FailurePolicy>,
+    /// Anytime early-exit policy. `None` (the default) — and equally any
+    /// policy whose threshold disables it — keeps every decision
+    /// byte-identical to an engine without the feature; see
+    /// [`AnytimePolicy`] for the quit rule `Some` opts into.
+    pub anytime: Option<AnytimePolicy>,
     /// How many queries the engine scores per predictor forward pass.
     /// Scoring is pure and per-query deterministic, so prefetching scores
     /// for the next `score_batch` arrivals in one batched matmul changes no
@@ -80,6 +85,7 @@ impl SchembleConfig {
             sched_base_overhead: SimDuration::from_micros(50),
             fast_path: false,
             failure: None,
+            anytime: None,
             score_batch: 32,
         }
     }
@@ -248,6 +254,73 @@ mod tests {
             let batched = run_schemble(&ens, &config, &w, 5);
             assert_eq!(per_query.records(), batched.records(), "score_batch {batch} diverged");
         }
+    }
+}
+
+#[cfg(test)]
+mod anytime_tests {
+    use super::*;
+    use crate::artifacts::SchembleArtifacts;
+    use crate::scheduler::DpScheduler;
+    use schemble_data::{DeadlinePolicy, PoissonTrace, TaskKind, Workload};
+
+    fn setup(rate: f64, n: usize, deadline_ms: f64) -> (Ensemble, Workload, SchembleConfig) {
+        let task = TaskKind::TextMatching;
+        let ens = task.ensemble(1);
+        let art = SchembleArtifacts::build_small(&ens, &task.default_generator(1), 1);
+        let gen = task.default_generator(1);
+        let w = Workload::generate(
+            &gen,
+            &PoissonTrace { rate_per_sec: rate, n },
+            &DeadlinePolicy::constant_millis(deadline_ms),
+            7,
+        );
+        let config = SchembleConfig::new(
+            Box::new(DpScheduler::default()),
+            OnlineScorer::Predictor(art.predictor.clone()),
+            art.profile.clone(),
+        );
+        (ens, w, config)
+    }
+
+    #[test]
+    fn inactive_threshold_changes_no_decision() {
+        // A policy whose threshold can never be crossed must be
+        // indistinguishable from no policy at all, record for record.
+        let (ens, w, mut config) = setup(25.0, 200, 120.0);
+        let base = run_schemble(&ens, &config, &w, 5);
+        config.anytime = Some(AnytimePolicy { confidence_threshold: 2.0 });
+        let inert = run_schemble(&ens, &config, &w, 5);
+        assert_eq!(base.records(), inert.records());
+    }
+
+    #[test]
+    fn active_policy_saves_work_without_wrecking_accuracy() {
+        let (ens, w, mut config) = setup(25.0, 300, 120.0);
+        let full = run_schemble(&ens, &config, &w, 5);
+        config.anytime = Some(AnytimePolicy::default());
+        let anytime = run_schemble(&ens, &config, &w, 5);
+        assert!(
+            anytime.mean_models_used() < full.mean_models_used(),
+            "anytime {} vs full {} models/query — nothing was quit",
+            anytime.mean_models_used(),
+            full.mean_models_used()
+        );
+        assert!(
+            anytime.accuracy() > full.accuracy() - 0.05,
+            "anytime acc {} vs full {}",
+            anytime.accuracy(),
+            full.accuracy()
+        );
+    }
+
+    #[test]
+    fn anytime_runs_are_deterministic() {
+        let (ens, w, mut config) = setup(25.0, 200, 120.0);
+        config.anytime = Some(AnytimePolicy::default());
+        let a = run_schemble(&ens, &config, &w, 5);
+        let b = run_schemble(&ens, &config, &w, 5);
+        assert_eq!(a.records(), b.records());
     }
 }
 

@@ -1,0 +1,134 @@
+//! The quit-aware ("anytime") planner.
+//!
+//! Anytime execution splits into two decisions. *What to plan* stays with
+//! the wrapped scheduler: [`AnytimeScheduler`] delegates [`Scheduler::plan_into`]
+//! unchanged (reusing the caller's [`SchedScratch`]), because the DP's
+//! subset selection is already utility-optimal and the engine runs on an
+//! identity deployment, where each query's task *start* order is fixed by
+//! executor availability rather than by the plan. *What to quit* — and in
+//! which order the still-missing tasks would be worth finishing — is the new
+//! part: [`gain_order_into`] ranks a query's remaining tasks by marginal
+//! profiled utility per unit of planned latency, and the engine's quit rule
+//! keeps only the cheapest prefix of that ranking that crosses the
+//! confidence threshold (see `SchembleEngine::anytime_quit`).
+
+use super::{SchedScratch, ScheduleInput, SchedulePlan, Scheduler};
+use schemble_models::ModelSet;
+use schemble_sim::SimDuration;
+
+/// Ranks `remaining` tasks by expected information gain: greedy marginal
+/// utility per planned latency, starting from the `produced` subset.
+///
+/// `utilities` is the query's profiled utility vector indexed by subset mask
+/// (monotone: supersets never score lower). Each round picks the task whose
+/// addition to the accumulated subset buys the most utility per microsecond
+/// of planned latency; ties break toward the lowest model index, so the
+/// order is deterministic. The result is written into `out` (cleared first)
+/// so steady-state callers can reuse one buffer.
+pub fn gain_order_into(
+    utilities: &[f64],
+    latencies: &[SimDuration],
+    produced: ModelSet,
+    remaining: ModelSet,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    let mut acc = produced;
+    let mut pool: Vec<usize> = remaining.iter().collect();
+    while !pool.is_empty() {
+        let base = utilities[acc.0 as usize];
+        let mut best = 0usize;
+        let mut best_gain = f64::NEG_INFINITY;
+        for (i, &k) in pool.iter().enumerate() {
+            let gain = (utilities[acc.with(k).0 as usize] - base)
+                / (latencies[k].as_micros().max(1) as f64);
+            if gain > best_gain {
+                best_gain = gain;
+                best = i;
+            }
+        }
+        let k = pool.remove(best);
+        acc = acc.with(k);
+        out.push(k);
+    }
+}
+
+/// A [`Scheduler`] wrapper that labels a plan as quit-aware.
+///
+/// Planning is delegated verbatim — byte-identical assignments, work counts
+/// and scratch usage — so wrapping a scheduler never changes a plan. What
+/// the wrapper buys is provenance: `name()` marks run output (experiment
+/// tables, `Plan` trace events consumers) as produced under the anytime
+/// policy, where the engine may cut a planned set short at execution time.
+pub struct AnytimeScheduler {
+    inner: Box<dyn Scheduler>,
+}
+
+impl AnytimeScheduler {
+    /// Wraps `inner`; its plans pass through unchanged.
+    pub fn new(inner: Box<dyn Scheduler>) -> Self {
+        Self { inner }
+    }
+}
+
+impl Scheduler for AnytimeScheduler {
+    fn plan_into(&self, input: &ScheduleInput, scratch: &mut SchedScratch, out: &mut SchedulePlan) {
+        self.inner.plan_into(input, scratch, out);
+    }
+
+    fn name(&self) -> String {
+        format!("anytime({})", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::tight_instance;
+    use super::*;
+    use crate::scheduler::DpScheduler;
+
+    #[test]
+    fn gain_order_ranks_by_marginal_utility_per_latency() {
+        // Masks: [∅, {0}, {1}, {0,1}]. Model 0: +0.6 over 10ms = 0.06/ms;
+        // model 1: +0.7 over 20ms = 0.035/ms — model 0 first.
+        let utilities = vec![0.0, 0.6, 0.7, 1.0];
+        let latencies = vec![SimDuration::from_millis(10), SimDuration::from_millis(20)];
+        let mut order = Vec::new();
+        gain_order_into(&utilities, &latencies, ModelSet::EMPTY, ModelSet::full(2), &mut order);
+        assert_eq!(order, vec![0, 1]);
+        // Starting from {0}, only model 1 remains.
+        gain_order_into(
+            &utilities,
+            &latencies,
+            ModelSet::singleton(0),
+            ModelSet::singleton(1),
+            &mut order,
+        );
+        assert_eq!(order, vec![1]);
+    }
+
+    #[test]
+    fn gain_order_breaks_ties_toward_lowest_index() {
+        // Identical marginal utilities and latencies: ascending index order.
+        let utilities = vec![0.0, 0.5, 0.5, 1.0];
+        let latencies = vec![SimDuration::from_millis(10); 2];
+        let mut order = Vec::new();
+        gain_order_into(&utilities, &latencies, ModelSet::EMPTY, ModelSet::full(2), &mut order);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn wrapper_plans_are_identical_to_inner() {
+        let input = tight_instance();
+        let inner = DpScheduler::default().plan(&input);
+        let wrapped = AnytimeScheduler::new(Box::new(DpScheduler::default())).plan(&input);
+        assert_eq!(inner.assignments, wrapped.assignments);
+        assert_eq!(inner.work, wrapped.work);
+    }
+
+    #[test]
+    fn wrapper_name_carries_inner_name() {
+        let s = AnytimeScheduler::new(Box::new(DpScheduler::default()));
+        assert_eq!(s.name(), format!("anytime({})", DpScheduler::default().name()));
+    }
+}

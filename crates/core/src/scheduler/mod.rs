@@ -18,12 +18,14 @@
 //! * [`brute::optimal_plan`] — exponential exact solver used to validate the
 //!   DP on small instances.
 
+pub mod anytime;
 pub mod brute;
 pub mod dp;
 pub mod greedy;
 pub mod input;
 pub mod scratch;
 
+pub use anytime::{gain_order_into, AnytimeScheduler};
 pub use dp::DpScheduler;
 pub use greedy::{GreedyScheduler, QueueOrder};
 pub use input::{BufferedQuery, ScheduleInput, SchedulePlan};

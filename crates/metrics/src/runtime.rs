@@ -45,6 +45,9 @@ pub struct RuntimeCounters {
     pub tasks_failed: AtomicU64,
     /// Failed tasks that were re-dispatched after backoff.
     pub tasks_retried: AtomicU64,
+    /// Planned tasks quit by the anytime policy before completing (the
+    /// partial ensemble was already confident enough).
+    pub tasks_saved: AtomicU64,
 }
 
 impl RuntimeCounters {
@@ -68,6 +71,7 @@ impl RuntimeCounters {
         sat_add(&self.tasks_completed, other.tasks_completed.load(Relaxed));
         sat_add(&self.tasks_failed, other.tasks_failed.load(Relaxed));
         sat_add(&self.tasks_retried, other.tasks_retried.load(Relaxed));
+        sat_add(&self.tasks_saved, other.tasks_saved.load(Relaxed));
     }
 
     /// Queries submitted but not yet decided.
@@ -315,6 +319,7 @@ impl RuntimeMetrics {
             tasks_completed: c.tasks_completed.load(Relaxed),
             tasks_failed: c.tasks_failed.load(Relaxed),
             tasks_retried: c.tasks_retried.load(Relaxed),
+            tasks_saved: c.tasks_saved.load(Relaxed),
             up: self.executors.iter().map(|e| e.up.load(Relaxed) == 1).collect(),
             queue_depths: self
                 .executors
@@ -363,6 +368,8 @@ pub struct RuntimeSnapshot {
     pub tasks_failed: u64,
     /// Failed tasks re-dispatched after backoff.
     pub tasks_retried: u64,
+    /// Planned tasks quit early by the anytime policy.
+    pub tasks_saved: u64,
     /// Whether each executor is up.
     pub up: Vec<bool>,
     /// Backlog length per executor.
@@ -560,10 +567,11 @@ mod tests {
         c.tasks_completed.store(base * 2, Relaxed);
         c.tasks_failed.store(base, Relaxed);
         c.tasks_retried.store(base / 2, Relaxed);
+        c.tasks_saved.store(base / 3, Relaxed);
         c
     }
 
-    fn counter_values(c: &RuntimeCounters) -> [u64; 9] {
+    fn counter_values(c: &RuntimeCounters) -> [u64; 10] {
         [
             c.submitted.load(Relaxed),
             c.completed.load(Relaxed),
@@ -574,6 +582,7 @@ mod tests {
             c.tasks_completed.load(Relaxed),
             c.tasks_failed.load(Relaxed),
             c.tasks_retried.load(Relaxed),
+            c.tasks_saved.load(Relaxed),
         ]
     }
 
@@ -629,7 +638,7 @@ mod tests {
     fn merging_empty_counters_and_histograms_is_identity() {
         let c = RuntimeCounters::new();
         c.merge(&RuntimeCounters::new());
-        assert_eq!(counter_values(&c), [0; 9]);
+        assert_eq!(counter_values(&c), [0; 10]);
         assert_eq!(c.open(), 0);
 
         let h = LatencyHistogram::new();

@@ -46,6 +46,8 @@ pub enum TaskStepKind {
     Failed,
     /// Task was re-dispatched (`attempt` = retry number).
     Retried(u8),
+    /// Task was quit early by the anytime policy.
+    Quit,
 }
 
 /// How the query ended.
@@ -151,6 +153,7 @@ impl PlanExplain {
                 TaskStepKind::Done => "done".to_string(),
                 TaskStepKind::Failed => "FAILED".to_string(),
                 TaskStepKind::Retried(n) => format!("retry #{n}"),
+                TaskStepKind::Quit => "QUIT (anytime)".to_string(),
             };
             let _ =
                 writeln!(out, "  task @ {:.3} ms: executor {} {what}", ms(task.t), task.executor);
@@ -244,6 +247,11 @@ pub fn explain_query(events: &[TraceEvent], query: u64) -> Option<PlanExplain> {
             TraceEvent::QueryDone { t, set, .. } => e.outcome = Outcome::Completed { t, set },
             TraceEvent::DegradedAnswer { t, set, .. } => e.outcome = Outcome::Degraded { t, set },
             TraceEvent::QueryExpired { t, .. } => e.outcome = Outcome::Expired { t },
+            TraceEvent::TaskQuit { t, executor, .. } => {
+                e.tasks.push(TaskStep { t, executor, kind: TaskStepKind::Quit });
+            }
+            // The per-decision summary adds nothing beyond its TaskQuit events.
+            TraceEvent::WorkSaved { .. } => {}
             TraceEvent::Plan { .. }
             | TraceEvent::ExecutorDown { .. }
             | TraceEvent::ExecutorUp { .. } => {}
@@ -290,6 +298,14 @@ mod tests {
             TraceEvent::Arrival { t: at(5), query: 4, deadline: at(50) },
             TraceEvent::QueryExpired { t: at(50), query: 4 },
         ]
+    }
+
+    #[test]
+    fn unknown_query_yields_none_not_an_empty_timeline() {
+        // The CLI maps `None` to a non-zero exit with a clear error; a
+        // `Some` with an empty timeline would silently exit 0 instead.
+        assert!(explain_query(&story(), 99).is_none());
+        assert!(explain_query(&[], 0).is_none());
     }
 
     #[test]

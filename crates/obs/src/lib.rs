@@ -147,6 +147,14 @@ impl ObsState {
             TraceEvent::Realized { query, score_fp, correct, .. } => {
                 self.drift.on_realized(query, score_fp, correct)
             }
+            // A quit running task never completes, so discard its open start
+            // like a failure would — a quit span must not feed the
+            // latency-drift detector. WorkSaved is a summary of TaskQuit
+            // events and changes no fold state.
+            TraceEvent::TaskQuit { query, executor, .. } => {
+                self.drift.on_task_failed(query, executor)
+            }
+            TraceEvent::WorkSaved { .. } => {}
         }
     }
 

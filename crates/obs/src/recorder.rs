@@ -222,6 +222,12 @@ pub fn event_json(ev: &TraceEvent) -> String {
         TraceEvent::Realized { query, score_fp, correct, .. } => format!(
             "{{\"type\":\"realized\",\"t_us\":{t},\"query\":{query},\"score_fp\":{score_fp},\"correct\":{correct}}}"
         ),
+        TraceEvent::TaskQuit { query, executor, .. } => format!(
+            "{{\"type\":\"task-quit\",\"t_us\":{t},\"query\":{query},\"executor\":{executor}}}"
+        ),
+        TraceEvent::WorkSaved { query, saved, .. } => {
+            format!("{{\"type\":\"work-saved\",\"t_us\":{t},\"query\":{query},\"saved\":{saved}}}")
+        }
     }
 }
 
@@ -301,6 +307,8 @@ mod tests {
                 frontier: 6,
             },
             TraceEvent::Realized { t: at(5), query: 1, score_fp: 431_000, correct: true },
+            TraceEvent::TaskQuit { t: at(5), query: 1, executor: 2 },
+            TraceEvent::WorkSaved { t: at(5), query: 1, saved: 1 },
             TraceEvent::DegradedAnswer { t: at(5), query: 1, set: 0b001 },
             TraceEvent::QueryDone { t: at(5), query: 2, set: 0b111 },
             TraceEvent::QueryExpired { t: at(6), query: 3 },

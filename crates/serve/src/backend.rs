@@ -404,6 +404,27 @@ impl ExecutionBackend for ThreadedBackend {
         self.trace.emit(TraceEvent::TaskEnqueue { t: now, query, executor: executor as u16 });
     }
 
+    fn cancel_task(&mut self, executor: usize, query: u64, now: SimTime) -> bool {
+        if self.running[executor].as_ref().map(|t| t.query) != Some(query) {
+            return false;
+        }
+        let task = self.running[executor].take().expect("matched above");
+        // The worker keeps sleeping (threads cannot be cancelled); its
+        // eventual report must be swallowed, exactly like a crash kill. The
+        // backlog is untouched — unlike `bring_down`, the executor is fine.
+        self.zombies[executor].push_back(task.query);
+        // Charge only the time actually spent before the cancellation.
+        let left = task.completes_at.saturating_since(now);
+        let spent =
+            SimDuration::from_micros(task.duration.as_micros().saturating_sub(left.as_micros()));
+        self.busy[executor] = self.busy[executor] + spent;
+        let g = &self.metrics.executors[executor];
+        g.running.store(0, Relaxed);
+        g.busy_micros.fetch_add(spent.as_micros(), Relaxed);
+        self.start_backlog_next(executor, now);
+        true
+    }
+
     fn request_wake(&mut self, at: SimTime) {
         self.wakes.push(Reverse(at));
     }
@@ -514,6 +535,22 @@ mod tests {
         let events = b.take_due_fault_events(SimTime::from_millis(20));
         assert_eq!(events, vec![BackendEvent::ExecutorUp { executor: 0 }]);
         assert!(b.is_up(0) && b.is_idle(0));
+        b.shutdown();
+    }
+
+    #[test]
+    fn cancel_frees_executor_and_swallows_zombie_report() {
+        let (mut b, rx) = backend(&[5.0], 100.0);
+        b.start_task(0, 3, SimTime::ZERO);
+        assert!(b.cancel_task(0, 3, SimTime::from_millis(2)));
+        assert!(b.is_idle(0), "cancelled executor is free for new work");
+        assert_eq!(b.usage()[0].tasks, 0, "a quit task is not a completion");
+        // A second cancel (or one for a query not running) is refused.
+        assert!(!b.cancel_task(0, 3, SimTime::from_millis(2)));
+        // The worker's late report is a zombie: swallowed, not delivered.
+        let msg = rx.recv_timeout(Duration::from_secs(2)).expect("zombie report");
+        assert_eq!(msg, RuntimeMsg::TaskDone { executor: 0, query: 3 });
+        assert!(!b.complete(0, 3, SimTime::from_millis(5)));
         b.shutdown();
     }
 

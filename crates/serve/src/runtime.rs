@@ -144,6 +144,7 @@ fn sync_metrics(engine: &mut dyn PipelineEngine, metrics: &RuntimeMetrics) {
     c.degraded.store(s.degraded, Relaxed);
     c.tasks_failed.store(s.tasks_failed, Relaxed);
     c.tasks_retried.store(s.tasks_retried, Relaxed);
+    c.tasks_saved.store(s.tasks_saved, Relaxed);
     for (_, latency_secs) in engine.take_completions() {
         metrics.latency.record(latency_secs);
     }

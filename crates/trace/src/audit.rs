@@ -160,7 +160,9 @@ pub fn audit_records(events: &[TraceEvent]) -> Vec<AuditRecord> {
             | TraceEvent::TaskFailed { .. }
             | TraceEvent::ExecutorDown { .. }
             | TraceEvent::ExecutorUp { .. }
-            | TraceEvent::Realized { .. } => {}
+            | TraceEvent::Realized { .. }
+            | TraceEvent::TaskQuit { .. }
+            | TraceEvent::WorkSaved { .. } => {}
         }
     }
     records.into_values().collect()

@@ -222,6 +222,31 @@ pub fn chrome_trace_named(events: &[TraceEvent], tracks: &[String], label: &str)
                 SCHEDULER_TID,
                 &format!("\"query\":{query},\"score_fp\":{score_fp},\"correct\":{correct}"),
             ),
+            TraceEvent::TaskQuit { query, executor, .. } => {
+                // A quit of a running task closes its open span like a
+                // failure would; a quit of an unstarted task has no open
+                // span and renders as a zero-length marker at the decision.
+                let started = open
+                    .get_mut(executor as usize)
+                    .and_then(Option::take)
+                    .filter(|(q, _)| *q == query);
+                let start_ts = started.map_or(ts, |(_, t0)| t0);
+                span(
+                    &mut out,
+                    &format!("q{query} QUIT"),
+                    start_ts,
+                    ts - start_ts,
+                    executor as u32 + 1,
+                    &format!("\"query\":{query},\"quit\":true"),
+                );
+            }
+            TraceEvent::WorkSaved { query, saved, .. } => instant(
+                &mut out,
+                "work-saved",
+                ts,
+                SCHEDULER_TID,
+                &format!("\"query\":{query},\"saved\":{saved}"),
+            ),
         }
     }
     // A task still running when the trace was drained renders as a span to

@@ -204,6 +204,28 @@ pub enum TraceEvent {
         /// Whether the assembled answer was correct.
         correct: bool,
     },
+    /// A planned task was quit by the anytime policy before completing: the
+    /// partial vote was already confident enough (or the deadline margin too
+    /// thin) to justify running it. One event per shed task.
+    TaskQuit {
+        /// Event time.
+        t: SimTime,
+        /// Query the shed task belonged to.
+        query: u64,
+        /// Executor index the task was planned (or running) on.
+        executor: u16,
+    },
+    /// Summary of one anytime early-exit decision: `saved` tasks of `query`
+    /// were shed in this pass. Emitted once after the per-task
+    /// [`TraceEvent::TaskQuit`] events.
+    WorkSaved {
+        /// Event time.
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// Number of planned tasks shed.
+        saved: u32,
+    },
 }
 
 /// `score` as the fixed-point (× 10^6) representation used by
@@ -231,7 +253,9 @@ impl TraceEvent {
             | TraceEvent::DegradedAnswer { t, .. }
             | TraceEvent::Scored { t, .. }
             | TraceEvent::PlanAssign { t, .. }
-            | TraceEvent::Realized { t, .. } => t,
+            | TraceEvent::Realized { t, .. }
+            | TraceEvent::TaskQuit { t, .. }
+            | TraceEvent::WorkSaved { t, .. } => t,
         }
     }
 
@@ -250,7 +274,9 @@ impl TraceEvent {
             | TraceEvent::DegradedAnswer { query, .. }
             | TraceEvent::Scored { query, .. }
             | TraceEvent::PlanAssign { query, .. }
-            | TraceEvent::Realized { query, .. } => Some(query),
+            | TraceEvent::Realized { query, .. }
+            | TraceEvent::TaskQuit { query, .. }
+            | TraceEvent::WorkSaved { query, .. } => Some(query),
             TraceEvent::Plan { .. }
             | TraceEvent::ExecutorDown { .. }
             | TraceEvent::ExecutorUp { .. } => None,
@@ -293,6 +319,8 @@ mod tests {
                 frontier: 4,
             },
             TraceEvent::Realized { t, query: 1, score_fp: 250_000, correct: true },
+            TraceEvent::TaskQuit { t, query: 1, executor: 0 },
+            TraceEvent::WorkSaved { t, query: 1, saved: 2 },
         ];
         for ev in events {
             assert_eq!(ev.time(), t);

@@ -113,6 +113,11 @@ pub fn prometheus_text(
             "Failed tasks re-dispatched after backoff.",
             c.tasks_retried.load(Relaxed),
         ),
+        (
+            "schemble_tasks_saved_total",
+            "Planned tasks quit by the anytime policy before completing.",
+            c.tasks_saved.load(Relaxed),
+        ),
     ] {
         family(&mut out, name, "counter", help);
         let _ = writeln!(out, "{name} {value}");
@@ -291,6 +296,16 @@ pub fn metrics_from_events(
             TraceEvent::TaskRetried { .. } => {
                 c.tasks_retried.fetch_add(1, Relaxed);
             }
+            TraceEvent::TaskQuit { t, query, executor } => {
+                c.tasks_saved.fetch_add(1, Relaxed);
+                // A quit of a *running* task charges the partial busy time,
+                // matching the backends (kill charges time spent so far).
+                if let Some(g) = metrics.executors.get(executor as usize) {
+                    if let Some(t0) = running.remove(&(query, executor)) {
+                        g.busy_micros.fetch_add((t - t0).as_micros(), Relaxed);
+                    }
+                }
+            }
             TraceEvent::ExecutorDown { executor, .. } => {
                 if let Some(g) = metrics.executors.get(executor as usize) {
                     g.up.store(0, Relaxed);
@@ -308,9 +323,12 @@ pub fn metrics_from_events(
                 }
             }
             // Introspection-only events: no runtime counter changes.
+            // WorkSaved is a per-decision summary of TaskQuit events, which
+            // already count above.
             TraceEvent::Scored { .. }
             | TraceEvent::PlanAssign { .. }
-            | TraceEvent::Realized { .. } => {}
+            | TraceEvent::Realized { .. }
+            | TraceEvent::WorkSaved { .. } => {}
         }
     }
     metrics
@@ -343,6 +361,7 @@ mod tests {
             "schemble_queries_degraded_total 0",
             "schemble_tasks_failed_total 0",
             "schemble_tasks_retried_total 0",
+            "schemble_tasks_saved_total 0",
             "schemble_executor_up{executor=\"0\"} 1",
             "schemble_executor_queue_depth{executor=\"1\"} 0",
             "schemble_query_latency_seconds_count 1",

@@ -87,6 +87,12 @@ pub fn globalize_event(event: TraceEvent, query_map: &[u64], executor_offset: u1
         TraceEvent::Realized { t, query, score_fp, correct } => {
             TraceEvent::Realized { t, query: global(query), score_fp, correct }
         }
+        TraceEvent::TaskQuit { t, query, executor } => {
+            TraceEvent::TaskQuit { t, query: global(query), executor: executor + executor_offset }
+        }
+        TraceEvent::WorkSaved { t, query, saved } => {
+            TraceEvent::WorkSaved { t, query: global(query), saved }
+        }
     }
 }
 

@@ -25,7 +25,7 @@
 
 use schemble::baselines::{run_baseline_traced, train_des, train_gating, BaselineKind};
 use schemble::core::artifacts::SchembleArtifacts;
-use schemble::core::engine::FailurePolicy;
+use schemble::core::engine::{AnytimePolicy, FailurePolicy};
 use schemble::core::experiment::{ExperimentConfig, ExperimentContext, PipelineKind, Traffic};
 use schemble::core::pipeline::schemble::{run_schemble_traced, SchembleConfig};
 use schemble::core::pipeline::{
@@ -82,6 +82,13 @@ options:
   --seed <S>          root seed                  (default 42)
   --force-all         disable rejection (Table II mode)
   --fast-path         enable the §VIII fast-path dispatch optimisation
+  --anytime           anytime early exit: quit a query's remaining tasks
+                      once its partial ensemble is already confident
+                      (schemble method only)
+  --confidence-threshold <C>  anytime quit confidence in [0,1]: quit once
+                      the partial result is within 1-C of the full plan's
+                      profiled utility; values above 1 disable quitting
+                      entirely  (default 0.98)
   --csv <PATH>        (run) write per-query records to a CSV file
   (--task defaults to tm, the paper's primary text-matching task)
 
@@ -128,6 +135,8 @@ struct Cli {
     seed: u64,
     force_all: bool,
     fast_path: bool,
+    anytime: bool,
+    confidence_threshold: Option<f64>,
     csv: Option<String>,
     dilation: Option<f64>,
     virtual_clock: bool,
@@ -170,6 +179,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         seed: 42,
         force_all: false,
         fast_path: false,
+        anytime: false,
+        confidence_threshold: None,
         csv: None,
         dilation: None,
         virtual_clock: false,
@@ -261,13 +272,22 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.max_retries =
                     Some(take(&mut i)?.parse().map_err(|_| "bad --max-retries".to_string())?)
             }
+            "--confidence-threshold" => {
+                cli.confidence_threshold = Some(
+                    take(&mut i)?.parse().map_err(|_| "bad --confidence-threshold".to_string())?,
+                )
+            }
             "--virtual-clock" => cli.virtual_clock = true,
             "--diurnal" => cli.diurnal = true,
             "--force-all" => cli.force_all = true,
             "--fast-path" => cli.fast_path = true,
+            "--anytime" => cli.anytime = true,
             other => return Err(format!("unknown option '{other}'")),
         }
         i += 1;
+    }
+    if cli.confidence_threshold.is_some() && !cli.anytime {
+        return Err("--confidence-threshold requires --anytime".to_string());
     }
     Ok(cli)
 }
@@ -304,12 +324,26 @@ fn print_summary(label: &str, s: &RunSummary) {
     );
 }
 
+/// The anytime policy requested by the CLI flags, if any. A bare
+/// `--confidence-threshold` without `--anytime` is rejected in [`parse`].
+fn anytime_policy(cli: &Cli) -> Option<AnytimePolicy> {
+    cli.anytime.then(|| {
+        let mut policy = AnytimePolicy::default();
+        if let Some(t) = cli.confidence_threshold {
+            policy.confidence_threshold = t;
+        }
+        policy
+    })
+}
+
 fn run_one(
     ctx: &mut ExperimentContext,
     method: &str,
-    fast_path: bool,
+    cli: &Cli,
     sink: &Arc<TraceSink>,
 ) -> Result<RunSummary, String> {
+    let fast_path = cli.fast_path;
+    let anytime = anytime_policy(cli);
     let workload = ctx.workload();
     let kind = match method {
         "original" => Some(PipelineKind::Original),
@@ -326,8 +360,8 @@ fn run_one(
         return Ok(ctx.run_traced(kind, &workload, Arc::clone(sink)));
     }
     match method {
-        "schemble" if fast_path => {
-            // Assemble manually so the fast-path flag can be set.
+        "schemble" if fast_path || anytime.is_some() => {
+            // Assemble manually so the fast-path/anytime flags can be set.
             let art = ctx.artifacts().clone();
             let mut config = SchembleConfig::new(
                 Box::new(DpScheduler::default()),
@@ -335,7 +369,8 @@ fn run_one(
                 art.profile,
             );
             config.admission = ctx.config.admission;
-            config.fast_path = true;
+            config.fast_path = fast_path;
+            config.anytime = anytime;
             Ok(run_schemble_traced(
                 &ctx.ensemble,
                 &config,
@@ -614,6 +649,7 @@ fn serve_one(
             );
             config.admission = admission;
             config.fast_path = cli.fast_path;
+            config.anytime = anytime_policy(cli);
             config.failure = scfg.failure;
             Ok(serve_schemble(&ctx.ensemble, &config, &workload, seed, &scfg))
         }
@@ -712,6 +748,9 @@ fn print_report(method: &str, report: &ServeReport, virtual_clock: bool) {
             s.tasks_failed, s.tasks_retried, s.degraded
         );
     }
+    if s.tasks_saved > 0 {
+        println!("  anytime: {} planned tasks quit early (work saved)", s.tasks_saved);
+    }
     println!(
         "  {:.1}s of simulated traffic in {:.2}s wall ({:.1}x); {}",
         report.sim_secs,
@@ -743,6 +782,11 @@ fn run(args: &[String]) -> Result<(), String> {
     if cli.shards > 1 && !matches!(command.as_str(), "serve" | "loadtest") {
         return Err("--shards requires serve or loadtest".to_string());
     }
+    if cli.anytime && cli.method.as_deref().is_some_and(|m| m != "schemble") {
+        return Err("--anytime requires --method schemble (the buffered pipeline \
+                    is the only one that tracks a partial-ensemble vote)"
+            .to_string());
+    }
     // Event emission is armed only when an export was requested; the
     // planning self-profile records either way. Tracing never changes a
     // scheduling decision (events carry backend time only).
@@ -753,7 +797,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => {
             let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
             let recorder = arm_recorder(&cli, &sink);
-            let summary = run_one(&mut ctx, &method, cli.fast_path, &sink)?;
+            let summary = run_one(&mut ctx, &method, &cli, &sink)?;
             print_summary(&method, &summary);
             print_planning(&sink);
             if let Some(path) = &cli.csv {
@@ -767,7 +811,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "compare" => {
             for method in ["original", "static", "des", "gating", "schemble-ea", "schemble"] {
-                let summary = run_one(&mut ctx, method, cli.fast_path, &TraceSink::disabled())?;
+                let summary = run_one(&mut ctx, method, &cli, &TraceSink::disabled())?;
                 print_summary(method, &summary);
             }
             Ok(())
@@ -808,12 +852,20 @@ fn run(args: &[String]) -> Result<(), String> {
             // DES with tracing armed is an exact replay: the timeline below
             // is the one any earlier run with the same flags lived through.
             sink.set_enabled(true);
-            run_one(&mut ctx, &method, cli.fast_path, &sink)?;
+            run_one(&mut ctx, &method, &cli, &sink)?;
             match explain_query(&sink.snapshot(), id) {
                 Some(explain) => {
                     print!("{}", explain.render());
                     Ok(())
                 }
+                // `explain_query` returns `None` (never an empty timeline)
+                // when no event mentions the id, so both miss cases exit
+                // non-zero with a cause instead of printing nothing.
+                None if id < cli.queries as u64 => Err(format!(
+                    "query {id} is in range but absent from the trace \
+                     (the ring dropped {} events; retry with fewer --queries)",
+                    sink.dropped()
+                )),
                 None => Err(format!(
                     "query {id} never arrived (the workload has ids 0..{})",
                     cli.queries
@@ -872,7 +924,7 @@ fn run(args: &[String]) -> Result<(), String> {
             // plan the gap vs the clean reference IS the measurement.
             // The reference run gets a disabled sink so the exports above
             // describe only the runtime run.
-            let des = run_one(&mut ctx, &method, cli.fast_path, &TraceSink::disabled())?;
+            let des = run_one(&mut ctx, &method, &cli, &TraceSink::disabled())?;
             print_summary("des-reference", &des);
             let missed = |s: &RunSummary| {
                 s.records()
