@@ -14,7 +14,7 @@
 //! * `sched_overhead_us` — mean wall-clock cost of one plan.
 //!
 //! ```text
-//! bench_serve [--shards|--obs] [--out PATH] [--check BASELINE] [--write PATH]
+//! bench_serve [--shards|--obs|--anytime|--batch] [--out PATH] [--check BASELINE] [--write PATH]
 //! ```
 //!
 //! `--shards` switches to the shard-scaling sweep: S ∈ {1, 2, 4, 8} engine
@@ -33,8 +33,18 @@
 //! of observability into scheduling — and that self-gate applies on every
 //! run, `--check` or not.
 //!
+//! `--batch` switches to the cross-query batching sweep: batch_max ∈
+//! {1, 4, 16} on a diurnal trace offered well above unbatched capacity.
+//! The reported throughput is *served* load in simulated time
+//! (completed ÷ sim seconds) — virtual-clock deterministic — and the
+//! sweep self-gates on every run: batch_max = 16 must serve ≥ 1.5x the
+//! unbatched reference while moving the deadline-miss rate by at most
+//! +1 pp (in practice batching *improves* it: more capacity means fewer
+//! expiries).
+//!
 //! `--out` (default `BENCH_serve.json`, or `BENCH_serve_shards.json` with
-//! `--shards`, or `BENCH_obs.json` with `--obs`) writes the results as JSON — the CI bench jobs upload it as
+//! `--shards`, or `BENCH_obs.json` with `--obs`, or `BENCH_anytime.json`
+//! with `--anytime`, or `BENCH_batch.json` with `--batch`) writes the results as JSON — the CI bench jobs upload it as
 //! an artifact. `--check` compares against a checked-in baseline and exits
 //! non-zero on regression: >20% on the deterministic latency quantiles; 4x
 //! on the wall-clock-dependent throughput/overhead numbers (CI runners vary
@@ -50,6 +60,7 @@ use schemble_data::{TaskKind, Workload};
 use schemble_models::Ensemble;
 use schemble_obs::{FlightRecorder, ObsConfig, ObsState};
 use schemble_serve::{serve_schemble, ClockMode, ServeConfig, ServeReport};
+use schemble_sim::{BatchConfig, SimDuration};
 use schemble_trace::TraceSink;
 use std::process::ExitCode;
 use std::sync::atomic::Ordering::Relaxed;
@@ -64,6 +75,20 @@ const BASE_RATE: f64 = 35.0;
 const ANYTIME_QUERIES: usize = 1500;
 /// Shard counts swept by `--shards`.
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Batch caps swept by `--batch`; `1` is the unbatched reference point.
+const BATCH_SWEEP: [usize; 3] = [1, 4, 16];
+/// Query count and mean rate for the `--batch` diurnal trace. The mean sits
+/// well above unbatched capacity (the flat bench saturates near 35 q/s and
+/// the diurnal peak is ~2.9x the mean), so the sweep measures batching where
+/// it matters: how much offered load the system can actually retire.
+const BATCH_QUERIES: usize = 1500;
+const BATCH_RATE: f64 = 90.0;
+/// Coalescing window used by every batched point in the sweep.
+const BATCH_WINDOW_MS: u64 = 2;
+/// Required served-throughput gain at batch_max = 16 over unbatched.
+const B16_SPEEDUP_FLOOR: f64 = 1.5;
+/// Batching may not cost more than this much deadline-miss rate.
+const BATCH_DMR_CEILING_PP: f64 = 0.01;
 /// Required S=4 speedup on a multi-core runner: the issue's 1.6x floor with
 /// a 20% tolerance (1.6 / 1.2).
 const S4_SPEEDUP_FLOOR: f64 = 1.6 / 1.2;
@@ -200,6 +225,59 @@ impl AnytimeResult {
             self.wall_full_secs,
             self.wall_anytime_secs,
         )
+    }
+}
+
+/// One batch cap's measured pass in the cross-query batching sweep.
+struct BatchPoint {
+    batch_max: usize,
+    completed: u64,
+    /// Served throughput in *simulated* time: completed / sim_secs. Under
+    /// the virtual clock this is exactly reproducible, so it isolates how
+    /// much more offered load batching lets the executors retire — wall
+    /// speed of the runner never enters.
+    queries_per_sec: f64,
+    deadline_miss_rate: f64,
+    tasks_batched: u64,
+    p99_latency_ms: f64,
+}
+
+struct BatchSweep {
+    points: Vec<BatchPoint>,
+}
+
+impl BatchSweep {
+    fn speedup(&self, batch_max: usize) -> f64 {
+        let base = self.points[0].queries_per_sec.max(1e-9);
+        self.points
+            .iter()
+            .find(|p| p.batch_max == batch_max)
+            .map_or(0.0, |p| p.queries_per_sec / base)
+    }
+
+    fn point(&self, batch_max: usize) -> &BatchPoint {
+        self.points.iter().find(|p| p.batch_max == batch_max).expect("swept point")
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"queries\": {BATCH_QUERIES},\n"));
+        out.push_str(&format!("  \"mean_rate_per_sec\": {BATCH_RATE:.1},\n"));
+        out.push_str(&format!("  \"batch_window_ms\": {BATCH_WINDOW_MS},\n"));
+        for p in &self.points {
+            let b = p.batch_max;
+            out.push_str(&format!("  \"b{b}_completed\": {},\n", p.completed));
+            out.push_str(&format!("  \"b{b}_queries_per_sec\": {:.4},\n", p.queries_per_sec));
+            out.push_str(&format!("  \"b{b}_deadline_miss_rate\": {:.6},\n", p.deadline_miss_rate));
+            out.push_str(&format!("  \"b{b}_tasks_batched\": {},\n", p.tasks_batched));
+            out.push_str(&format!("  \"b{b}_p99_latency_ms\": {:.4},\n", p.p99_latency_ms));
+        }
+        for &b in &BATCH_SWEEP[1..] {
+            out.push_str(&format!("  \"speedup_b{b}\": {:.4},\n", self.speedup(b)));
+        }
+        // Trailing key without a comma keeps the document valid JSON.
+        out.push_str(&format!("  \"batch_counts\": {}\n}}\n", BATCH_SWEEP.len()));
+        out
     }
 }
 
@@ -454,6 +532,145 @@ fn check_anytime(result: &AnytimeResult, baseline_path: &str) -> Result<(), Stri
     }
 }
 
+/// Fixture for the cross-query batching sweep: the same one-day diurnal
+/// shape the anytime bench uses, but offered at a mean rate the unbatched
+/// executors cannot keep up with. Only `batch_max` varies across points;
+/// `batch_max = 1` normalizes to no batching at all (the degradation
+/// guarantee), making point `b1` the exact unbatched reference.
+fn setup_batch(batch_max: usize) -> BenchSetup {
+    let mut config = ExperimentConfig::paper_default(TaskKind::TextMatching, 42);
+    config.n_queries = BATCH_QUERIES;
+    config.traffic = Traffic::Diurnal { day_secs: BATCH_QUERIES as f64 / BATCH_RATE };
+    let mut ctx = ExperimentContext::new(config);
+    let workload = ctx.workload();
+    let art = ctx.artifacts().clone();
+    let mut pipeline = SchembleConfig::new(
+        Box::new(DpScheduler::default()),
+        OnlineScorer::Predictor(art.predictor),
+        art.profile,
+    );
+    pipeline.admission = ctx.config.admission;
+    pipeline.batching =
+        Some(BatchConfig::new(batch_max, SimDuration::from_millis(BATCH_WINDOW_MS)));
+    BenchSetup { ensemble: ctx.ensemble, pipeline, workload, seed: ctx.config.seed }
+}
+
+fn run_batch_sweep() -> Result<BatchSweep, String> {
+    let mut points = Vec::with_capacity(BATCH_SWEEP.len());
+    for &batch_max in &BATCH_SWEEP {
+        let bench = setup_batch(batch_max);
+        let (report, _) = serve_once(&bench, 1);
+        let point = BatchPoint {
+            batch_max,
+            completed: report.stats.completed,
+            queries_per_sec: report.stats.completed as f64 / report.sim_secs.max(1e-9),
+            deadline_miss_rate: report.summary.deadline_miss_rate(),
+            tasks_batched: report.snapshot.tasks_batched,
+            p99_latency_ms: 1e3 * report.metrics.latency.quantile(0.99).unwrap_or(0.0),
+        };
+        println!(
+            "  b={:<2} {:>5} completed  {:>8.1} q/s served  dmr {:>6.3}%  p99 {:>8.3} ms  {:>5} tasks batched",
+            point.batch_max,
+            point.completed,
+            point.queries_per_sec,
+            100.0 * point.deadline_miss_rate,
+            point.p99_latency_ms,
+            point.tasks_batched,
+        );
+        points.push(point);
+    }
+    let sweep = BatchSweep { points };
+
+    // Hard acceptance gates, applied on every run (not just --check). All
+    // three quantities are virtual-clock deterministic.
+    let b1 = sweep.point(1);
+    let b16 = sweep.point(16);
+    if b1.tasks_batched != 0 {
+        return Err(format!(
+            "batch_max = 1 formed {} batched tasks; the reference point must be unbatched",
+            b1.tasks_batched
+        ));
+    }
+    if b16.tasks_batched == 0 {
+        return Err("batch_max = 16 never batched under saturation".into());
+    }
+    let speedup = sweep.speedup(16);
+    if speedup < B16_SPEEDUP_FLOOR {
+        return Err(format!(
+            "batching speedup too small: {speedup:.3}x served throughput at batch_max = 16 \
+             (floor {B16_SPEEDUP_FLOOR:.2}x)"
+        ));
+    }
+    let dmr_delta = b16.deadline_miss_rate - b1.deadline_miss_rate;
+    if dmr_delta > BATCH_DMR_CEILING_PP {
+        return Err(format!(
+            "batching costs deadlines: miss rate {:.4} at batch_max = 16 vs {:.4} unbatched \
+             (+{:.2} pp > +{:.2} pp ceiling)",
+            b16.deadline_miss_rate,
+            b1.deadline_miss_rate,
+            100.0 * dmr_delta,
+            100.0 * BATCH_DMR_CEILING_PP
+        ));
+    }
+    Ok(sweep)
+}
+
+fn check_batch(sweep: &BatchSweep, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    println!("batching check vs {baseline_path}:");
+    let mut failures = Vec::new();
+
+    // Every number in the sweep is virtual-clock deterministic — served
+    // throughput is completed / sim_secs, not a wall rate — so the gates
+    // are tight: any drift is a decision change, not noise.
+    for p in &sweep.points {
+        let b = p.batch_max;
+        let qps_key = format!("b{b}_queries_per_sec");
+        match json_number(&text, &qps_key) {
+            Ok(base) => {
+                if let Err(e) = gate(&qps_key, p.queries_per_sec, base, 0.05, true) {
+                    failures.push(e);
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+        let dmr_key = format!("b{b}_deadline_miss_rate");
+        match json_number(&text, &dmr_key) {
+            Ok(base) => {
+                let ceiling = base + BATCH_DMR_CEILING_PP;
+                let regressed = p.deadline_miss_rate > ceiling;
+                println!(
+                    "  {dmr_key:<22} {:>10.4}  (baseline {base:>10.4}, max tolerated {ceiling:>10.4}) {}",
+                    p.deadline_miss_rate,
+                    if regressed { "REGRESSED" } else { "ok" }
+                );
+                if regressed {
+                    failures.push(format!(
+                        "{dmr_key} regressed: {:.4} vs baseline {base:.4}",
+                        p.deadline_miss_rate
+                    ));
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    match json_number(&text, "speedup_b16") {
+        Ok(base) => {
+            if let Err(e) = gate("speedup_b16", sweep.speedup(16), base, 0.10, true) {
+                failures.push(e);
+            }
+        }
+        Err(e) => failures.push(e),
+    }
+
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 fn run_shard_sweep() -> ShardSweep {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut points = Vec::with_capacity(SHARD_SWEEP.len());
@@ -614,6 +831,7 @@ fn main() -> ExitCode {
     let mut shards_mode = false;
     let mut obs_mode = false;
     let mut anytime_mode = false;
+    let mut batch_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -632,9 +850,10 @@ fn main() -> ExitCode {
             "--shards" => shards_mode = true,
             "--obs" => obs_mode = true,
             "--anytime" => anytime_mode = true,
+            "--batch" => batch_mode = true,
             other => {
                 eprintln!(
-                    "usage: bench_serve [--shards|--obs|--anytime] [--out PATH] \
+                    "usage: bench_serve [--shards|--obs|--anytime|--batch] [--out PATH] \
                      [--check BASELINE] [--write PATH]"
                 );
                 eprintln!("unknown argument '{other}'");
@@ -644,7 +863,26 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let (json, check_result) = if anytime_mode {
+    let (json, check_result) = if batch_mode {
+        println!(
+            "bench_serve --batch: cross-query batching sweep over batch_max in {BATCH_SWEEP:?} \
+             on the saturated diurnal trace"
+        );
+        let sweep = match run_batch_sweep() {
+            Ok(sweep) => sweep,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "  served-throughput speedups vs batch_max=1: x{:.2} (b=4), x{:.2} (b=16)",
+            sweep.speedup(4),
+            sweep.speedup(16),
+        );
+        let check_result = check_path.as_deref().map(|p| check_batch(&sweep, p));
+        (sweep.to_json(), check_result)
+    } else if anytime_mode {
         println!("bench_serve --anytime: accuracy vs compute on the diurnal trace");
         let result = match run_anytime_bench() {
             Ok(result) => result,
@@ -719,7 +957,9 @@ fn main() -> ExitCode {
     };
 
     let out = out.unwrap_or_else(|| {
-        if anytime_mode {
+        if batch_mode {
+            "BENCH_batch.json"
+        } else if anytime_mode {
             "BENCH_anytime.json"
         } else if obs_mode {
             "BENCH_obs.json"

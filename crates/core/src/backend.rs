@@ -19,8 +19,8 @@
 use rand::rngs::StdRng;
 use schemble_sim::rng::stream_rng;
 use schemble_sim::{
-    EventQueue, FaultPlan, FaultState, FaultTransition, LatencyModel, ServerBank, SimDuration,
-    SimTime, TaskFate, TaskId,
+    BatchConfig, EventQueue, FaultPlan, FaultState, FaultTransition, LatencyModel, ServerBank,
+    SimDuration, SimTime, TaskFate, TaskId,
 };
 use schemble_trace::{TraceEvent, TraceSink};
 use std::collections::VecDeque;
@@ -110,9 +110,24 @@ pub trait ExecutionBackend {
     /// backlog at planned (nominal) durations.
     fn available_at(&self, executor: usize, now: SimTime) -> SimTime;
 
-    /// [`Self::available_at`] for every executor.
+    /// [`Self::available_at`] for every executor, written into `out`
+    /// (cleared first). The scratch-reuse twin of [`Self::availability`]:
+    /// callers that plan repeatedly hold one buffer and refill it, so
+    /// steady-state planning allocates nothing even when batching multiplies
+    /// the number of availability queries per plan.
+    fn availability_into(&self, now: SimTime, out: &mut Vec<SimTime>) {
+        out.clear();
+        for k in 0..self.executors() {
+            out.push(self.available_at(k, now));
+        }
+    }
+
+    /// [`Self::available_at`] for every executor (allocating convenience
+    /// wrapper over [`Self::availability_into`]).
     fn availability(&self, now: SimTime) -> Vec<SimTime> {
-        (0..self.executors()).map(|k| self.available_at(k, now)).collect()
+        let mut out = Vec::with_capacity(self.executors());
+        self.availability_into(now, &mut out);
+        out
     }
 
     /// Starts `query` on an idle `executor` immediately (dispatch-on-idle
@@ -126,8 +141,12 @@ pub trait ExecutionBackend {
     /// Cancels `executor`'s *running* task for `query` (anytime early exit):
     /// the task stops occupying the executor now, its completion never
     /// surfaces, and the time spent so far is charged as busy time — exactly
-    /// the accounting a crash kill performs, minus the failure. Returns
-    /// whether a matching running task was cancelled; `false` means the
+    /// the accounting a crash kill performs, minus the failure. On a
+    /// batching backend, a member of a not-yet-launched open batch is simply
+    /// removed (nothing ran, nothing is charged) and the call succeeds; a
+    /// member of an already-launched batch is refused — the whole batch
+    /// shares one forward pass and cannot shed one member mid-flight.
+    /// Returns whether a matching task was cancelled; `false` means the
     /// executor is running something else (or nothing), e.g. because a crash
     /// already killed the task, and the caller must leave its bookkeeping to
     /// the failure path. Backends without cancellation support always refuse.
@@ -135,11 +154,48 @@ pub trait ExecutionBackend {
         false
     }
 
+    /// Adds `query`'s task to `executor`'s open batch, opening one if none
+    /// is pending (cross-query batched execution). The batch launches when
+    /// it reaches the backend's configured `batch_max` — or when its
+    /// batching window expires, whichever is first — and every member then
+    /// executes in one pass whose duration follows the backend's
+    /// [`schemble_sim::BatchCurve`]. Like `start_task`, the member's
+    /// synthetic duration and fault fate are drawn at submission, in call
+    /// order. On a backend without batching (or with it inactive) this *is*
+    /// [`Self::start_task`]: a batch of one, launched immediately.
+    fn submit_batch(&mut self, executor: usize, query: u64, now: SimTime) {
+        self.start_task(executor, query, now);
+    }
+
+    /// Number of tasks in `executor`'s open (not yet launched) batch; `0`
+    /// without batching.
+    fn open_batch_len(&self, _executor: usize) -> usize {
+        0
+    }
+
     /// Asks the backend to surface [`BackendEvent::Wake`] at `at`.
     fn request_wake(&mut self, at: SimTime);
 
     /// Lifetime busy-time/task counters per executor.
     fn usage(&self) -> Vec<ExecutorUsage>;
+}
+
+/// An open (still accepting) batch on one executor: members with their
+/// pre-drawn durations and fault fates, waiting for the batch to fill or
+/// its window to expire.
+struct OpenBatch {
+    /// `(query, sampled duration, doomed)`, in submission order.
+    members: Vec<(u64, SimDuration, bool)>,
+    opened_at: SimTime,
+}
+
+/// A launched batch occupying one executor until `completes_at`.
+struct RunningBatch {
+    /// Members whose completion/failure events are still queued.
+    members: Vec<u64>,
+    completes_at: SimTime,
+    /// Batched service time, charged to busy accounting once at retirement.
+    duration: SimDuration,
 }
 
 /// The discrete-event-simulation backend: a [`ServerBank`] plus an
@@ -170,6 +226,24 @@ pub struct SimBackend {
     /// Stale completion/failure events of crash-killed tasks, keyed by
     /// `(executor, query, scheduled_time)`; swallowed when they pop.
     suppressed: Vec<(usize, u64, SimTime)>,
+    /// Cross-query batching; `None` (or an inactive config) keeps the
+    /// backend byte-identical to an unbatched build.
+    batching: Option<BatchConfig>,
+    /// Open batch per executor (batched execution runs beside the
+    /// [`ServerBank`], which only ever sees unbatched tasks).
+    open_batches: Vec<Option<OpenBatch>>,
+    /// Launched batch per executor.
+    running_batches: Vec<Option<RunningBatch>>,
+    /// Monotonic batch-id source for [`TraceEvent::BatchFormed`].
+    batch_seq: u64,
+    /// Busy time accrued by batched passes, per executor.
+    batch_busy: Vec<SimDuration>,
+    /// Tasks completed through batched passes, per executor.
+    batch_tasks: Vec<u64>,
+    /// Total tasks launched as batch members (counters backfill).
+    tasks_batched: u64,
+    /// Size of every launched batch in launch order (histogram backfill).
+    batch_sizes: Vec<u32>,
 }
 
 impl SimBackend {
@@ -189,6 +263,14 @@ impl SimBackend {
             down: vec![false; n],
             pending_fate: (0..n).map(|_| VecDeque::new()).collect(),
             suppressed: Vec::new(),
+            batching: None,
+            open_batches: (0..n).map(|_| None).collect(),
+            running_batches: (0..n).map(|_| None).collect(),
+            batch_seq: 0,
+            batch_busy: vec![SimDuration::ZERO; n],
+            batch_tasks: vec![0; n],
+            tasks_batched: 0,
+            batch_sizes: Vec::new(),
         }
     }
 
@@ -196,6 +278,28 @@ impl SimBackend {
     pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
         self.trace = trace;
         self
+    }
+
+    /// Enables cross-query batching. An inactive config (`batch_max <= 1`)
+    /// is ignored entirely, keeping the backend byte-identical to an
+    /// unbatched build — the off switch `--batch-max 1` relies on.
+    pub fn with_batching(mut self, config: BatchConfig) -> Self {
+        if config.active() {
+            self.batching = Some(config);
+        }
+        self
+    }
+
+    /// Total tasks launched as batch members so far (feeds the
+    /// `tasks_batched_total` counter in virtual-clock runs).
+    pub fn tasks_batched(&self) -> u64 {
+        self.tasks_batched
+    }
+
+    /// Sizes of every batch launched so far, in launch order (feeds the
+    /// `batch_size` histogram in virtual-clock runs).
+    pub fn batch_sizes(&self) -> &[u32] {
+        &self.batch_sizes
     }
 
     /// Arms the backend with a fault plan, seeding the dedicated `"faults"`
@@ -240,23 +344,41 @@ impl SimBackend {
     /// per affected task at the crash instant.
     pub fn pop_event(&mut self) -> Option<(SimTime, BackendEvent)> {
         loop {
+            // A full batch launches synchronously in `submit_batch`; an
+            // unfilled one launches when its window expires. Launching due
+            // batches *before* popping any event at or past their deadline
+            // means virtual time never slides past a pending launch.
+            if let Some((due, k)) = self.next_due_launch() {
+                if self.events.peek_time().is_none_or(|t| due <= t) {
+                    self.launch_batch(k, due);
+                    continue;
+                }
+            }
             let (now, event) = self.events.pop()?;
             match event {
                 BackendEvent::TaskDone { executor, query } => {
                     if self.take_suppressed(executor, query, now) {
                         continue;
                     }
-                    self.servers.get_mut(executor).complete(TaskId(query), now);
-                    self.trace.emit(TraceEvent::TaskDone {
-                        t: now,
-                        query,
-                        executor: executor as u16,
-                    });
-                    self.start_next_from_backlog(executor, now);
+                    if self.is_batch_member(executor, query) {
+                        self.retire_batch_member(executor, query, now, false);
+                    } else {
+                        self.servers.get_mut(executor).complete(TaskId(query), now);
+                        self.trace.emit(TraceEvent::TaskDone {
+                            t: now,
+                            query,
+                            executor: executor as u16,
+                        });
+                        self.start_next_from_backlog(executor, now);
+                    }
                 }
                 BackendEvent::TaskFailed { executor, query } => {
                     if self.take_suppressed(executor, query, now) {
                         continue;
+                    }
+                    if self.is_batch_member(executor, query) {
+                        self.retire_batch_member(executor, query, now, true);
+                        return Some((now, event));
                     }
                     // Scheduled failures (transient/timeout) still occupy the
                     // server; crash notifications pushed by `ExecutorDown`
@@ -286,6 +408,24 @@ impl SimBackend {
                     casualties.extend(server.kill(now));
                     casualties.extend(server.drain_backlog());
                     self.pending_fate[executor].clear();
+                    // An open batch's members die like backlog casualties
+                    // (nothing ran); a launched batch is killed mid-pass:
+                    // partial batch time is charged and the members' queued
+                    // completions are swallowed when they pop.
+                    if let Some(open) = self.open_batches[executor].take() {
+                        casualties.extend(open.members.iter().map(|&(q, _, _)| TaskId(q)));
+                    }
+                    if let Some(run) = self.running_batches[executor].take() {
+                        let left = run.completes_at.saturating_since(now);
+                        let spent = SimDuration::from_micros(
+                            run.duration.as_micros().saturating_sub(left.as_micros()),
+                        );
+                        self.batch_busy[executor] = self.batch_busy[executor] + spent;
+                        for &query in &run.members {
+                            self.suppressed.push((executor, query, run.completes_at));
+                        }
+                        casualties.extend(run.members.into_iter().map(TaskId));
+                    }
                     for task in casualties {
                         self.trace.emit(TraceEvent::TaskFailed {
                             t: now,
@@ -342,6 +482,83 @@ impl SimBackend {
         }
     }
 
+    /// Earliest open-batch launch deadline `(at, executor)`, if any.
+    /// Executor order breaks ties, deterministically.
+    fn next_due_launch(&self) -> Option<(SimTime, usize)> {
+        let window = self.batching.as_ref()?.window;
+        let mut due: Option<(SimTime, usize)> = None;
+        for (k, slot) in self.open_batches.iter().enumerate() {
+            if let Some(open) = slot {
+                let at = open.opened_at + window;
+                if due.is_none_or(|(t, _)| at < t) {
+                    due = Some((at, k));
+                }
+            }
+        }
+        due
+    }
+
+    /// Launches `executor`'s open batch at `at`: one batched pass covering
+    /// every member, with the service time of the longest member scaled by
+    /// the batch curve. Members' completion/failure events all land at the
+    /// batched finish instant.
+    fn launch_batch(&mut self, executor: usize, at: SimTime) {
+        let Some(open) = self.open_batches[executor].take() else { return };
+        let cfg = self.batching.expect("batching configured");
+        let size = open.members.len();
+        let longest = open.members.iter().map(|&(_, d, _)| d).max().expect("non-empty batch");
+        let duration = cfg.curve.scale(longest, size);
+        let completes_at = at + duration;
+        let batch = self.batch_seq;
+        self.batch_seq += 1;
+        self.tasks_batched += size as u64;
+        self.batch_sizes.push(size as u32);
+        let mut members = Vec::with_capacity(size);
+        for &(query, _, doomed) in &open.members {
+            self.trace.emit(TraceEvent::TaskStart { t: at, query, executor: executor as u16 });
+            let ev = if doomed {
+                BackendEvent::TaskFailed { executor, query }
+            } else {
+                BackendEvent::TaskDone { executor, query }
+            };
+            self.events.push(completes_at, ev);
+            members.push(query);
+        }
+        self.trace.emit(TraceEvent::BatchFormed {
+            t: at,
+            executor: executor as u16,
+            batch,
+            size: size as u32,
+        });
+        self.running_batches[executor] = Some(RunningBatch { members, completes_at, duration });
+    }
+
+    /// Whether `query` is an in-flight member of `executor`'s launched batch.
+    fn is_batch_member(&self, executor: usize, query: u64) -> bool {
+        self.running_batches[executor].as_ref().is_some_and(|r| r.members.contains(&query))
+    }
+
+    /// Retires one member of `executor`'s launched batch; the last member
+    /// out releases the executor and charges the batched pass's busy time.
+    fn retire_batch_member(&mut self, executor: usize, query: u64, now: SimTime, failed: bool) {
+        let run = self.running_batches[executor].as_mut().expect("member checked");
+        let i = run.members.iter().position(|&q| q == query).expect("member checked");
+        run.members.swap_remove(i);
+        let done = run.members.is_empty();
+        let ev = if failed {
+            TraceEvent::TaskFailed { t: now, query, executor: executor as u16 }
+        } else {
+            self.batch_tasks[executor] += 1;
+            TraceEvent::TaskDone { t: now, query, executor: executor as u16 }
+        };
+        self.trace.emit(ev);
+        if done {
+            let duration = run.duration;
+            self.batch_busy[executor] = self.batch_busy[executor] + duration;
+            self.running_batches[executor] = None;
+        }
+    }
+
     /// First recovery instant after `now` for a down executor.
     fn recovery_time(&self, executor: usize, now: SimTime) -> SimTime {
         self.transitions
@@ -357,7 +574,11 @@ impl ExecutionBackend for SimBackend {
     }
 
     fn is_idle(&self, executor: usize) -> bool {
-        !self.down[executor] && self.servers.get(executor).is_idle()
+        // An *open* batch leaves the executor idle — it is still accepting
+        // members; only a launched batch occupies it.
+        !self.down[executor]
+            && self.servers.get(executor).is_idle()
+            && self.running_batches[executor].is_none()
     }
 
     fn is_up(&self, executor: usize) -> bool {
@@ -373,7 +594,24 @@ impl ExecutionBackend for SimBackend {
     }
 
     fn available_at(&self, executor: usize, now: SimTime) -> SimTime {
-        let base = self.servers.get(executor).available_at(now);
+        let mut base = self.servers.get(executor).available_at(now);
+        if let Some(run) = &self.running_batches[executor] {
+            base = base.max(run.completes_at);
+        }
+        if let (Some(cfg), Some(open)) = (&self.batching, &self.open_batches[executor]) {
+            // Quote the *marginal* cost of joining the open batch: it
+            // launches at `opened_at + window` at the latest and would then
+            // run one pass of `s + 1` members, so the instant that makes
+            // `available_at + planned` equal the predicted joined finish is
+            // `launch + (gamma(s + 1) - 1) · planned`. The DP thereby prices
+            // joining an open batch against opening a fresh one elsewhere.
+            let planned = self.latencies[executor].planned();
+            let gamma = cfg.curve.gamma(open.members.len() + 1);
+            let marginal = SimDuration::from_micros(
+                (planned.as_micros() as f64 * (gamma - 1.0)).round() as u64,
+            );
+            base = base.max(open.opened_at + cfg.window + marginal);
+        }
         if self.down[executor] {
             base.max(self.recovery_time(executor, now))
         } else {
@@ -383,6 +621,10 @@ impl ExecutionBackend for SimBackend {
 
     fn start_task(&mut self, executor: usize, query: u64, now: SimTime) {
         assert!(!self.down[executor], "start_task on a down executor");
+        debug_assert!(
+            self.open_batches[executor].is_none() && self.running_batches[executor].is_none(),
+            "start_task alongside a batch on executor {executor}"
+        );
         let sampled = self.latencies[executor].sample(&mut self.rng);
         let fate = self.fate_for(executor, now, sampled);
         let run =
@@ -412,6 +654,23 @@ impl ExecutionBackend for SimBackend {
     }
 
     fn cancel_task(&mut self, executor: usize, query: u64, now: SimTime) -> bool {
+        // A member of a not-yet-launched open batch never ran: remove it
+        // outright, no busy time, no stale events.
+        if let Some(open) = self.open_batches[executor].as_mut() {
+            if let Some(i) = open.members.iter().position(|&(q, _, _)| q == query) {
+                open.members.remove(i);
+                if open.members.is_empty() {
+                    self.open_batches[executor] = None;
+                }
+                return true;
+            }
+        }
+        // A launched batch shares one pass; a single member cannot be shed
+        // mid-flight. Refuse — the caller keeps it and its completion lands
+        // normally.
+        if self.is_batch_member(executor, query) {
+            return false;
+        }
         let Some((task, completes_at)) =
             self.servers.get(executor).running().map(|r| (r.task.0, r.completes_at))
         else {
@@ -431,6 +690,36 @@ impl ExecutionBackend for SimBackend {
         true
     }
 
+    fn submit_batch(&mut self, executor: usize, query: u64, now: SimTime) {
+        let Some(cfg) = self.batching else {
+            self.start_task(executor, query, now);
+            return;
+        };
+        assert!(!self.down[executor], "submit_batch on a down executor");
+        debug_assert!(
+            self.running_batches[executor].is_none() && self.servers.get(executor).is_idle(),
+            "open batches only exist while executor {executor} is idle"
+        );
+        // Same draw discipline as `start_task`: duration then fate, in
+        // submission order, so a fixed seed yields the same per-task numbers
+        // whether or not tasks end up co-batched.
+        let sampled = self.latencies[executor].sample(&mut self.rng);
+        let fate = self.fate_for(executor, now, sampled);
+        // `TaskEnqueue` marks the batch-queue wait; `TaskStart` lands at the
+        // launch instant, so exporters see queue-wait vs service split.
+        self.trace.emit(TraceEvent::TaskEnqueue { t: now, query, executor: executor as u16 });
+        let batch = self.open_batches[executor]
+            .get_or_insert_with(|| OpenBatch { members: Vec::new(), opened_at: now });
+        batch.members.push((query, fate.duration, fate.failed));
+        if batch.members.len() >= cfg.batch_max {
+            self.launch_batch(executor, now);
+        }
+    }
+
+    fn open_batch_len(&self, executor: usize) -> usize {
+        self.open_batches[executor].as_ref().map_or(0, |b| b.members.len())
+    }
+
     fn request_wake(&mut self, at: SimTime) {
         self.events.push(at, BackendEvent::Wake);
     }
@@ -438,8 +727,8 @@ impl ExecutionBackend for SimBackend {
     fn usage(&self) -> Vec<ExecutorUsage> {
         (0..self.latencies.len())
             .map(|k| ExecutorUsage {
-                busy_secs: self.servers.get(k).busy_time().as_secs_f64(),
-                tasks: self.servers.get(k).completed_tasks(),
+                busy_secs: (self.servers.get(k).busy_time() + self.batch_busy[k]).as_secs_f64(),
+                tasks: self.servers.get(k).completed_tasks() + self.batch_tasks[k],
             })
             .collect()
     }
@@ -537,6 +826,108 @@ mod tests {
             b.start_task(0, 1, SimTime::ZERO);
         }
         assert_eq!(plain.pop_event(), armed.pop_event());
+    }
+
+    #[test]
+    fn batch_launches_when_window_expires() {
+        let cfg = BatchConfig::new(4, SimDuration::from_millis(2));
+        let mut b = SimBackend::new(vec![lat(10.0)], 1, "test").with_batching(cfg);
+        b.submit_batch(0, 1, SimTime::ZERO);
+        b.submit_batch(0, 2, SimTime::ZERO);
+        assert_eq!(b.open_batch_len(0), 2);
+        assert!(b.is_idle(0), "an open batch keeps the executor joinable");
+        // Launched at the 2ms window expiry; gamma(2) = 1.15 scales the 10ms
+        // pass to 11.5ms, so both members finish at 13.5ms.
+        let (t1, e1) = b.pop_event().unwrap();
+        assert_eq!(e1, BackendEvent::TaskDone { executor: 0, query: 1 });
+        assert_eq!(t1, SimTime::from_micros(13_500));
+        let (t2, e2) = b.pop_event().unwrap();
+        assert_eq!(e2, BackendEvent::TaskDone { executor: 0, query: 2 });
+        assert_eq!(t2, t1, "batch members finish together");
+        assert!(b.pop_event().is_none());
+        assert_eq!(b.tasks_batched(), 2);
+        assert_eq!(b.usage()[0].tasks, 2);
+        // One shared pass: 11.5ms of busy time, not 20ms.
+        assert!((b.usage()[0].busy_secs - 0.0115).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_batch_launches_immediately() {
+        let cfg = BatchConfig::new(2, SimDuration::from_millis(2));
+        let mut b = SimBackend::new(vec![lat(10.0)], 1, "test").with_batching(cfg);
+        b.submit_batch(0, 1, SimTime::ZERO);
+        assert_eq!(b.open_batch_len(0), 1);
+        b.submit_batch(0, 2, SimTime::ZERO);
+        assert_eq!(b.open_batch_len(0), 0, "reaching batch_max launches synchronously");
+        assert!(!b.is_idle(0), "a launched batch occupies the executor");
+        let (t, _) = b.pop_event().unwrap();
+        assert_eq!(t, SimTime::from_micros(11_500), "no window wait when the batch fills");
+    }
+
+    #[test]
+    fn cancel_removes_open_member_but_refuses_launched_member() {
+        let cfg = BatchConfig::new(4, SimDuration::from_millis(2));
+        let mut b = SimBackend::new(vec![lat(10.0)], 1, "test").with_batching(cfg);
+        b.submit_batch(0, 1, SimTime::ZERO);
+        b.submit_batch(0, 2, SimTime::ZERO);
+        assert!(b.cancel_task(0, 1, SimTime::ZERO), "open members are removable");
+        assert_eq!(b.open_batch_len(0), 1);
+        // The survivor launches alone at the window and costs the plain 10ms.
+        let (t, ev) = b.pop_event().unwrap();
+        assert_eq!(ev, BackendEvent::TaskDone { executor: 0, query: 2 });
+        assert_eq!(t, SimTime::from_micros(12_000));
+        assert!(b.pop_event().is_none(), "cancelled member left no stale events");
+
+        let mut b = SimBackend::new(vec![lat(10.0)], 1, "test")
+            .with_batching(BatchConfig::new(2, SimDuration::from_millis(2)));
+        b.submit_batch(0, 1, SimTime::ZERO);
+        b.submit_batch(0, 2, SimTime::ZERO); // fills → launches
+        assert!(!b.cancel_task(0, 1, SimTime::ZERO), "launched members cannot be shed");
+    }
+
+    #[test]
+    fn crash_kills_open_and_running_batches() {
+        let plan = FaultPlan::parse("crash 0 0.015 0.040").unwrap();
+        let cfg = BatchConfig::new(4, SimDuration::from_millis(2));
+        let mut b =
+            SimBackend::new(vec![lat(20.0)], 1, "test").with_faults(plan, 1).with_batching(cfg);
+        b.submit_batch(0, 1, SimTime::ZERO);
+        b.submit_batch(0, 2, SimTime::ZERO);
+        // The pass launches at 2ms and would run 23ms (gamma(2)·20ms); the
+        // crash at 15ms kills it mid-flight.
+        let (t, ev) = b.pop_event().unwrap();
+        assert_eq!(ev, BackendEvent::ExecutorDown { executor: 0 });
+        assert_eq!(t, SimTime::from_micros(15_000));
+        assert_eq!(b.pop_event().unwrap().1, BackendEvent::TaskFailed { executor: 0, query: 1 });
+        assert_eq!(b.pop_event().unwrap().1, BackendEvent::TaskFailed { executor: 0, query: 2 });
+        assert_eq!(b.pop_event().unwrap().1, BackendEvent::ExecutorUp { executor: 0 });
+        assert!(b.pop_event().is_none(), "stale batch completions were suppressed");
+        // Partial pass time 2..15ms is charged; no member completed.
+        assert!((b.usage()[0].busy_secs - 0.013).abs() < 1e-9);
+        assert_eq!(b.usage()[0].tasks, 0);
+    }
+
+    #[test]
+    fn open_batch_quotes_marginal_join_cost() {
+        let cfg = BatchConfig::new(4, SimDuration::from_millis(2));
+        let mut b = SimBackend::new(vec![lat(10.0)], 1, "test").with_batching(cfg);
+        assert_eq!(b.available_at(0, SimTime::ZERO), SimTime::ZERO);
+        b.submit_batch(0, 1, SimTime::ZERO);
+        // Joining makes a batch of two: launch at 2ms, plus (gamma(2)−1) of
+        // the 10ms planned latency = 1.5ms, so avail = 3.5ms and
+        // avail + planned = 13.5ms — exactly the joined finish instant.
+        assert_eq!(b.available_at(0, SimTime::ZERO), SimTime::from_micros(3_500));
+    }
+
+    #[test]
+    fn inactive_batching_is_plain_start_task() {
+        let cfg = BatchConfig::new(1, SimDuration::from_millis(2));
+        let mut plain = SimBackend::new(vec![lat(10.0)], 7, "test");
+        let mut off = SimBackend::new(vec![lat(10.0)], 7, "test").with_batching(cfg);
+        plain.start_task(0, 1, SimTime::ZERO);
+        off.submit_batch(0, 1, SimTime::ZERO);
+        assert_eq!(plain.pop_event(), off.pop_event());
+        assert_eq!(off.tasks_batched(), 0);
     }
 
     #[test]

@@ -270,6 +270,14 @@ pub struct SchembleEngine<'a> {
     /// never changes a decision.
     score_cache: Vec<f64>,
     score_ready: Vec<bool>,
+    /// Availability scratch, refilled via
+    /// [`ExecutionBackend::availability_into`] each re-plan and recovered
+    /// from the `ScheduleInput` afterwards — planning allocates no fresh
+    /// availability vector even when batching multiplies the queries.
+    avail_buf: Vec<SimTime>,
+    /// Second availability scratch for the raw (unadjusted) lookups the
+    /// ForceAll fallback and explainability paths need.
+    avail_raw: Vec<SimTime>,
 }
 
 impl<'a> SchembleEngine<'a> {
@@ -290,7 +298,14 @@ impl<'a> SchembleEngine<'a> {
             plan_buf: SchedulePlan::empty(0),
             score_cache: vec![0.0; workload.len()],
             score_ready: vec![false; workload.len()],
+            avail_buf: Vec::new(),
+            avail_raw: Vec::new(),
         }
+    }
+
+    /// Whether cross-query batching is on (an inactive config is `None`).
+    fn batching(&self) -> Option<schemble_sim::BatchConfig> {
+        self.config.batching.filter(|b| b.active())
     }
 
     /// The predicted discrepancy score of workload query `i`, served from
@@ -358,7 +373,13 @@ impl<'a> SchembleEngine<'a> {
                 query: q.id,
                 verdict: AdmissionVerdict::FastPath { executor: k as u16 },
             });
-            backend.start_task(k, q.id, now);
+            if self.batching().is_some() {
+                // A batching backend may hold an open batch on an idle
+                // executor; joining it is the fast path's batched analogue.
+                backend.submit_batch(k, q.id, now);
+            } else {
+                backend.start_task(k, q.id, now);
+            }
             self.open.insert(
                 q.id,
                 QState {
@@ -510,7 +531,8 @@ impl<'a> SchembleEngine<'a> {
         // (already-started) queries that have not begun executing yet will
         // occupy their models before anything planned now — without this, the
         // planner overcommits and every plan completes late.
-        let mut availability = backend.availability(now);
+        backend.availability_into(now, &mut self.avail_buf);
+        let mut availability = std::mem::take(&mut self.avail_buf);
         for state in self.open.values() {
             if state.closed || !state.frozen {
                 continue;
@@ -556,12 +578,12 @@ impl<'a> SchembleEngine<'a> {
         // Forced mode: queries the plan abandoned but that must run get the
         // least-loaded single model.
         if self.config.admission == AdmissionMode::ForceAll {
-            let availability = backend.availability(now);
+            backend.availability_into(now, &mut self.avail_raw);
             for id in &ids {
                 let s = self.open.get_mut(id).expect("present");
                 if s.set.is_empty() {
                     let best = (0..self.ensemble.m())
-                        .min_by_key(|&k| availability[k] + self.ensemble.latency(k).planned())
+                        .min_by_key(|&k| self.avail_raw[k] + self.ensemble.latency(k).planned())
                         .expect("non-empty ensemble");
                     s.set = ModelSet::singleton(best);
                 }
@@ -585,7 +607,7 @@ impl<'a> SchembleEngine<'a> {
             // one). Emitted in sorted-id order after the `Plan` event so the
             // stream stays deterministic.
             let completions = input.completions(&self.plan_buf);
-            let availability = backend.availability(now);
+            backend.availability_into(now, &mut self.avail_raw);
             for (pos, id) in ids.iter().enumerate() {
                 let set = self.open[id].set;
                 if set == prev_sets[pos] {
@@ -594,7 +616,7 @@ impl<'a> SchembleEngine<'a> {
                 let predicted_finish = completions[pos].unwrap_or_else(|| {
                     let mut finish = SimTime::ZERO;
                     for k in set.iter() {
-                        let done = availability[k].max(now) + self.ensemble.latency(k).planned();
+                        let done = self.avail_raw[k].max(now) + self.ensemble.latency(k).planned();
                         finish = finish.max(done);
                     }
                     finish
@@ -608,6 +630,9 @@ impl<'a> SchembleEngine<'a> {
                 });
             }
         }
+        // Reclaim the availability vector's capacity for the next re-plan.
+        self.avail_buf = input.availability;
+        self.avail_buf.clear();
     }
 
     /// Starts tasks on idle executors per the current plan, in EDF order.
@@ -615,8 +640,19 @@ impl<'a> SchembleEngine<'a> {
         // EDF order over open queries.
         let mut ids: Vec<u64> = self.open.keys().copied().collect();
         ids.sort_by_key(|id| (self.open[id].deadline, *id));
+        let batching = self.batching();
         for k in backend.idle_executors() {
+            // With batching active an idle executor accepts up to
+            // `batch_max` members (counting an already-open batch); without
+            // it, exactly one task as before.
+            let mut room = match batching {
+                Some(cfg) => cfg.batch_max.saturating_sub(backend.open_batch_len(k)),
+                None => 1,
+            };
             for id in &ids {
+                if room == 0 {
+                    break;
+                }
                 let state = self.open.get_mut(id).expect("present");
                 if state.closed
                     || !state.set.contains(k)
@@ -626,7 +662,24 @@ impl<'a> SchembleEngine<'a> {
                 {
                     continue;
                 }
-                backend.start_task(k, *id, now);
+                if batching.is_some() {
+                    // Joining a non-empty open batch delays launch (window)
+                    // and dilates service (batch curve); only coalesce when
+                    // the quoted joined finish still meets the deadline.
+                    // ForceAll queries run regardless, mirroring admission.
+                    if self.config.admission == AdmissionMode::Reject
+                        && backend.open_batch_len(k) > 0
+                    {
+                        let finish =
+                            backend.available_at(k, now) + self.ensemble.latency(k).planned();
+                        if finish > state.deadline {
+                            continue;
+                        }
+                    }
+                    backend.submit_batch(k, *id, now);
+                } else {
+                    backend.start_task(k, *id, now);
+                }
                 state.started = state.started.with(k);
                 state.frozen = true;
                 let attempt = state.fault.attempts(k);
@@ -642,7 +695,7 @@ impl<'a> SchembleEngine<'a> {
                         attempt,
                     });
                 }
-                break;
+                room -= 1;
             }
         }
     }

@@ -19,7 +19,7 @@ use crate::scheduler::Scheduler;
 use schemble_data::Workload;
 use schemble_metrics::RunSummary;
 use schemble_models::Ensemble;
-use schemble_sim::{FaultPlan, SimDuration};
+use schemble_sim::{BatchConfig, FaultPlan, SimDuration};
 use schemble_trace::TraceSink;
 use std::sync::Arc;
 
@@ -65,6 +65,11 @@ pub struct SchembleConfig {
     /// overhead. `1` recovers the strictly per-query path; values `< 1` are
     /// treated as `1`.
     pub score_batch: usize,
+    /// Cross-query batched execution. `None` (the default) — and equally a
+    /// config with `batch_max <= 1` — keeps every decision byte-identical
+    /// to an unbatched engine; see [`BatchConfig`] for the coalescing rule
+    /// `Some` opts into.
+    pub batching: Option<BatchConfig>,
 }
 
 impl SchembleConfig {
@@ -87,6 +92,7 @@ impl SchembleConfig {
             failure: None,
             anytime: None,
             score_batch: 32,
+            batching: None,
         }
     }
 }
@@ -141,6 +147,9 @@ pub fn run_schemble_faulted(
         SimBackend::new(latencies, seed, "schemble-latency").with_trace(trace.clone());
     if let Some(plan) = faults {
         backend = backend.with_faults(plan.clone(), seed);
+    }
+    if let Some(batching) = config.batching {
+        backend = backend.with_batching(batching);
     }
     for (i, q) in workload.queries.iter().enumerate() {
         backend.push_arrival(q.arrival, i);
@@ -318,6 +327,70 @@ mod anytime_tests {
     fn anytime_runs_are_deterministic() {
         let (ens, w, mut config) = setup(25.0, 200, 120.0);
         config.anytime = Some(AnytimePolicy::default());
+        let a = run_schemble(&ens, &config, &w, 5);
+        let b = run_schemble(&ens, &config, &w, 5);
+        assert_eq!(a.records(), b.records());
+    }
+}
+
+#[cfg(test)]
+mod batching_tests {
+    use super::*;
+    use crate::artifacts::SchembleArtifacts;
+    use crate::scheduler::DpScheduler;
+    use schemble_data::{DeadlinePolicy, PoissonTrace, TaskKind, Workload};
+
+    fn setup(rate: f64, n: usize, deadline_ms: f64) -> (Ensemble, Workload, SchembleConfig) {
+        let task = TaskKind::TextMatching;
+        let ens = task.ensemble(1);
+        let art = SchembleArtifacts::build_small(&ens, &task.default_generator(1), 1);
+        let gen = task.default_generator(1);
+        let w = Workload::generate(
+            &gen,
+            &PoissonTrace { rate_per_sec: rate, n },
+            &DeadlinePolicy::constant_millis(deadline_ms),
+            7,
+        );
+        let config = SchembleConfig::new(
+            Box::new(DpScheduler::default()),
+            OnlineScorer::Predictor(art.predictor.clone()),
+            art.profile.clone(),
+        );
+        (ens, w, config)
+    }
+
+    #[test]
+    fn batch_max_one_changes_no_decision() {
+        // A batch cap of one must be indistinguishable from no batching at
+        // all, record for record — the degradation guarantee the serve-side
+        // property tests extend to bytes of exported state.
+        let (ens, w, mut config) = setup(25.0, 200, 120.0);
+        let base = run_schemble(&ens, &config, &w, 5);
+        config.batching = Some(BatchConfig::new(1, SimDuration::from_millis(2)));
+        let inert = run_schemble(&ens, &config, &w, 5);
+        assert_eq!(base.records(), inert.records());
+    }
+
+    #[test]
+    fn batching_completes_more_under_saturation() {
+        // Deep saturation: the batch curve's sublinear service time lets a
+        // batching backend retire strictly more queries than serial service.
+        let (ens, w, mut config) = setup(70.0, 600, 120.0);
+        let serial = run_schemble(&ens, &config, &w, 3);
+        config.batching = Some(BatchConfig::new(16, SimDuration::from_millis(2)));
+        let batched = run_schemble(&ens, &config, &w, 3);
+        assert!(
+            batched.completion_rate() > serial.completion_rate(),
+            "batched {} vs serial {} completion",
+            batched.completion_rate(),
+            serial.completion_rate()
+        );
+    }
+
+    #[test]
+    fn batched_runs_are_deterministic() {
+        let (ens, w, mut config) = setup(40.0, 300, 120.0);
+        config.batching = Some(BatchConfig::new(8, SimDuration::from_millis(2)));
         let a = run_schemble(&ens, &config, &w, 5);
         let b = run_schemble(&ens, &config, &w, 5);
         assert_eq!(a.records(), b.records());

@@ -48,6 +48,9 @@ pub struct RuntimeCounters {
     /// Planned tasks quit by the anytime policy before completing (the
     /// partial ensemble was already confident enough).
     pub tasks_saved: AtomicU64,
+    /// Tasks launched as members of a cross-query batch (sum of launched
+    /// batch sizes, singleton batches included).
+    pub tasks_batched: AtomicU64,
 }
 
 impl RuntimeCounters {
@@ -72,6 +75,7 @@ impl RuntimeCounters {
         sat_add(&self.tasks_failed, other.tasks_failed.load(Relaxed));
         sat_add(&self.tasks_retried, other.tasks_retried.load(Relaxed));
         sat_add(&self.tasks_saved, other.tasks_saved.load(Relaxed));
+        sat_add(&self.tasks_batched, other.tasks_batched.load(Relaxed));
     }
 
     /// Queries submitted but not yet decided.
@@ -278,6 +282,10 @@ pub struct RuntimeMetrics {
     pub executors: Vec<ExecutorGauges>,
     /// End-to-end latency of completed queries.
     pub latency: LatencyHistogram,
+    /// Size of each launched batch. The histogram machinery is shared with
+    /// latency, so "observations" here are batch sizes (1, 2, …), not
+    /// seconds; the log-spaced buckets resolve sizes up to the low hundreds.
+    pub batch_size: LatencyHistogram,
 }
 
 impl RuntimeMetrics {
@@ -287,6 +295,7 @@ impl RuntimeMetrics {
             counters: RuntimeCounters::new(),
             executors: (0..executors).map(|_| ExecutorGauges::default()).collect(),
             latency: LatencyHistogram::new(),
+            batch_size: LatencyHistogram::new(),
         }
     }
 
@@ -299,6 +308,7 @@ impl RuntimeMetrics {
         for part in parts {
             out.counters.merge(&part.counters);
             out.latency.merge(&part.latency);
+            out.batch_size.merge(&part.batch_size);
             out.executors.extend(part.executors.iter().map(ExecutorGauges::copied));
         }
         out
@@ -320,6 +330,7 @@ impl RuntimeMetrics {
             tasks_failed: c.tasks_failed.load(Relaxed),
             tasks_retried: c.tasks_retried.load(Relaxed),
             tasks_saved: c.tasks_saved.load(Relaxed),
+            tasks_batched: c.tasks_batched.load(Relaxed),
             up: self.executors.iter().map(|e| e.up.load(Relaxed) == 1).collect(),
             queue_depths: self
                 .executors
@@ -370,6 +381,8 @@ pub struct RuntimeSnapshot {
     pub tasks_retried: u64,
     /// Planned tasks quit early by the anytime policy.
     pub tasks_saved: u64,
+    /// Tasks launched as members of a cross-query batch.
+    pub tasks_batched: u64,
     /// Whether each executor is up.
     pub up: Vec<bool>,
     /// Backlog length per executor.
@@ -568,10 +581,11 @@ mod tests {
         c.tasks_failed.store(base, Relaxed);
         c.tasks_retried.store(base / 2, Relaxed);
         c.tasks_saved.store(base / 3, Relaxed);
+        c.tasks_batched.store(base / 4, Relaxed);
         c
     }
 
-    fn counter_values(c: &RuntimeCounters) -> [u64; 10] {
+    fn counter_values(c: &RuntimeCounters) -> [u64; 11] {
         [
             c.submitted.load(Relaxed),
             c.completed.load(Relaxed),
@@ -583,6 +597,7 @@ mod tests {
             c.tasks_failed.load(Relaxed),
             c.tasks_retried.load(Relaxed),
             c.tasks_saved.load(Relaxed),
+            c.tasks_batched.load(Relaxed),
         ]
     }
 
@@ -638,7 +653,7 @@ mod tests {
     fn merging_empty_counters_and_histograms_is_identity() {
         let c = RuntimeCounters::new();
         c.merge(&RuntimeCounters::new());
-        assert_eq!(counter_values(&c), [0; 10]);
+        assert_eq!(counter_values(&c), [0; 11]);
         assert_eq!(c.open(), 0);
 
         let h = LatencyHistogram::new();

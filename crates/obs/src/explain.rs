@@ -50,6 +50,25 @@ pub enum TaskStepKind {
     Quit,
 }
 
+/// This query's membership in one launched cross-query batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchStep {
+    /// Launch instant.
+    pub t: SimTime,
+    /// Executor that ran the batched pass.
+    pub executor: u16,
+    /// Backend-assigned batch id.
+    pub batch: u64,
+    /// Total members in the batch (this query included).
+    pub size: u32,
+    /// The other queries co-batched into the same pass.
+    pub co_queries: Vec<u64>,
+    /// How long this query's task waited in the open batch before the
+    /// launch, µs (the queue-wait half of its latency; the service half is
+    /// the start→done span).
+    pub queue_wait_us: u64,
+}
+
 /// How the query ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
@@ -100,6 +119,8 @@ pub struct PlanExplain {
     pub assigns: Vec<AssignStep>,
     /// Task history, oldest first.
     pub tasks: Vec<TaskStep>,
+    /// Batches this query's tasks were launched in, oldest first.
+    pub batches: Vec<BatchStep>,
     /// Realized discrepancy score ×10⁶ (set on evaluation).
     pub realized_fp: Option<u32>,
     /// Whether the assembled answer was correct.
@@ -158,6 +179,18 @@ impl PlanExplain {
             let _ =
                 writeln!(out, "  task @ {:.3} ms: executor {} {what}", ms(task.t), task.executor);
         }
+        for b in &self.batches {
+            let _ = writeln!(
+                out,
+                "  batch #{} @ {:.3} ms: executor {}, size {}, co-batched with {:?}, queue-wait {:.3} ms",
+                b.batch,
+                ms(b.t),
+                b.executor,
+                b.size,
+                b.co_queries,
+                b.queue_wait_us as f64 / 1000.0
+            );
+        }
         if let Some(fp) = self.realized_fp {
             let _ = writeln!(
                 out,
@@ -194,6 +227,7 @@ pub fn explain_query(events: &[TraceEvent], query: u64) -> Option<PlanExplain> {
         score_fp: None,
         assigns: Vec::new(),
         tasks: Vec::new(),
+        batches: Vec::new(),
         realized_fp: None,
         correct: None,
         outcome: Outcome::Open,
@@ -252,12 +286,60 @@ pub fn explain_query(events: &[TraceEvent], query: u64) -> Option<PlanExplain> {
             }
             // The per-decision summary adds nothing beyond its TaskQuit events.
             TraceEvent::WorkSaved { .. } => {}
+            // Carries no query id; membership is recovered in the second
+            // pass below from the shared (executor, launch-instant) key.
+            TraceEvent::BatchFormed { .. } => {}
             TraceEvent::Plan { .. }
             | TraceEvent::ExecutorDown { .. }
             | TraceEvent::ExecutorUp { .. } => {}
         }
     }
-    seen.then_some(e)
+    if !seen {
+        return None;
+    }
+    // Batch membership: a launch emits every member's TaskStart and then one
+    // BatchFormed, all at the launch instant on the launching executor — so
+    // a BatchFormed sharing (executor, t) with one of this query's starts is
+    // a batch containing it, and the other starts at that key are its
+    // co-members. Queue-wait is measured from the member's TaskEnqueue.
+    let starts: Vec<(SimTime, u16)> = e
+        .tasks
+        .iter()
+        .filter(|s| s.kind == TaskStepKind::Start)
+        .map(|s| (s.t, s.executor))
+        .collect();
+    for ev in events {
+        if let TraceEvent::BatchFormed { t, executor, batch, size } = *ev {
+            if !starts.contains(&(t, executor)) {
+                continue;
+            }
+            let co_queries: Vec<u64> = events
+                .iter()
+                .filter_map(|other| match *other {
+                    TraceEvent::TaskStart { t: t2, query: q2, executor: k2 }
+                        if t2 == t && k2 == executor && q2 != query =>
+                    {
+                        Some(q2)
+                    }
+                    _ => None,
+                })
+                .collect();
+            let queue_wait_us = events
+                .iter()
+                .filter_map(|other| match *other {
+                    TraceEvent::TaskEnqueue { t: t2, query: q2, executor: k2 }
+                        if q2 == query && k2 == executor && t2 <= t =>
+                    {
+                        Some(t2)
+                    }
+                    _ => None,
+                })
+                .max()
+                .map_or(0, |t0| t.saturating_since(t0).as_micros());
+            e.batches.push(BatchStep { t, executor, batch, size, co_queries, queue_wait_us });
+        }
+    }
+    Some(e)
 }
 
 #[cfg(test)]
@@ -340,6 +422,34 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn batch_membership_is_recovered_from_the_shared_launch_instant() {
+        let events = vec![
+            TraceEvent::Arrival { t: at(0), query: 7, deadline: at(100) },
+            TraceEvent::TaskEnqueue { t: at(1), query: 7, executor: 2 },
+            TraceEvent::TaskEnqueue { t: at(2), query: 8, executor: 2 },
+            // Launch at 3ms: both members start, then the batch marker.
+            TraceEvent::TaskStart { t: at(3), query: 7, executor: 2 },
+            TraceEvent::TaskStart { t: at(3), query: 8, executor: 2 },
+            TraceEvent::BatchFormed { t: at(3), executor: 2, batch: 5, size: 2 },
+            // An unrelated batch on another executor must not attach.
+            TraceEvent::TaskStart { t: at(3), query: 9, executor: 0 },
+            TraceEvent::BatchFormed { t: at(3), executor: 0, batch: 6, size: 1 },
+            TraceEvent::TaskDone { t: at(10), query: 7, executor: 2 },
+            TraceEvent::QueryDone { t: at(10), query: 7, set: 0b100 },
+        ];
+        let e = explain_query(&events, 7).expect("query 7 is in the stream");
+        assert_eq!(e.batches.len(), 1);
+        let b = &e.batches[0];
+        assert_eq!((b.batch, b.size, b.executor), (5, 2, 2));
+        assert_eq!(b.co_queries, vec![8]);
+        assert_eq!(b.queue_wait_us, 2_000, "enqueued at 1ms, launched at 3ms");
+        let text = e.render();
+        assert!(text.contains("batch #5"), "render shows membership:\n{text}");
+        assert!(text.contains("co-batched with [8]"), "{text}");
+        assert!(text.contains("queue-wait 2.000 ms"), "{text}");
     }
 
     #[test]

@@ -155,6 +155,9 @@ impl ObsState {
                 self.drift.on_task_failed(query, executor)
             }
             TraceEvent::WorkSaved { .. } => {}
+            // Batch launches change no SLO or drift state: members' own
+            // TaskStart/TaskDone events already carry their timings.
+            TraceEvent::BatchFormed { .. } => {}
         }
     }
 

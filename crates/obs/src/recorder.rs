@@ -228,6 +228,9 @@ pub fn event_json(ev: &TraceEvent) -> String {
         TraceEvent::WorkSaved { query, saved, .. } => {
             format!("{{\"type\":\"work-saved\",\"t_us\":{t},\"query\":{query},\"saved\":{saved}}}")
         }
+        TraceEvent::BatchFormed { executor, batch, size, .. } => format!(
+            "{{\"type\":\"batch-formed\",\"t_us\":{t},\"executor\":{executor},\"batch\":{batch},\"size\":{size}}}"
+        ),
     }
 }
 
@@ -309,6 +312,7 @@ mod tests {
             TraceEvent::Realized { t: at(5), query: 1, score_fp: 431_000, correct: true },
             TraceEvent::TaskQuit { t: at(5), query: 1, executor: 2 },
             TraceEvent::WorkSaved { t: at(5), query: 1, saved: 1 },
+            TraceEvent::BatchFormed { t: at(5), executor: 1, batch: 3, size: 4 },
             TraceEvent::DegradedAnswer { t: at(5), query: 1, set: 0b001 },
             TraceEvent::QueryDone { t: at(5), query: 2, set: 0b111 },
             TraceEvent::QueryExpired { t: at(6), query: 3 },

@@ -30,7 +30,9 @@ use rand::rngs::StdRng;
 use schemble_core::backend::{BackendEvent, ExecutionBackend, ExecutorUsage};
 use schemble_metrics::RuntimeMetrics;
 use schemble_sim::rng::stream_rng;
-use schemble_sim::{FaultPlan, FaultState, FaultTransition, LatencyModel, SimDuration, SimTime};
+use schemble_sim::{
+    BatchConfig, FaultPlan, FaultState, FaultTransition, LatencyModel, SimDuration, SimTime,
+};
 use schemble_trace::{TraceEvent, TraceSink};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -42,6 +44,25 @@ struct RunningTask {
     /// Sampled execution time, charged to busy accounting at completion.
     duration: SimDuration,
     /// `started + duration`: the availability estimate while running.
+    completes_at: SimTime,
+}
+
+/// A not-yet-launched cross-query batch: `(query, sampled duration, doomed)`
+/// members accumulated while the executor idles, launched when full or when
+/// the batching window expires.
+struct OpenBatch {
+    members: Vec<(u64, SimDuration, bool)>,
+    opened_at: SimTime,
+}
+
+/// A launched batch: one worker job (keyed by `rep`) stands in for the whole
+/// pass; member fates are resolved together when its report arrives.
+struct RunningBatch {
+    rep: u64,
+    /// `(query, doomed)` per member.
+    members: Vec<(u64, bool)>,
+    /// Batch-curve-dilated service time of the whole pass.
+    duration: SimDuration,
     completes_at: SimTime,
 }
 
@@ -77,6 +98,13 @@ pub struct ThreadedBackend {
     /// Queries whose running task was killed while the worker slept: the
     /// worker's eventual report must be swallowed, in FIFO order.
     zombies: Vec<VecDeque<u64>>,
+    /// Cross-query batching; `None` keeps every path byte-identical to an
+    /// unbatched backend.
+    batching: Option<BatchConfig>,
+    open_batches: Vec<Option<OpenBatch>>,
+    running_batches: Vec<Option<RunningBatch>>,
+    /// Monotonic batch-id source for [`TraceEvent::BatchFormed`].
+    batch_seq: u64,
 }
 
 impl ThreadedBackend {
@@ -114,7 +142,20 @@ impl ThreadedBackend {
             down: vec![false; n],
             dead: vec![false; n],
             zombies: (0..n).map(|_| VecDeque::new()).collect(),
+            batching: None,
+            open_batches: (0..n).map(|_| None).collect(),
+            running_batches: (0..n).map(|_| None).collect(),
+            batch_seq: 0,
         }
+    }
+
+    /// Enables cross-query batching. An inactive config (`batch_max <= 1`)
+    /// is ignored, keeping the backend byte-identical to an unbatched one.
+    pub fn with_batching(mut self, config: BatchConfig) -> Self {
+        if config.active() {
+            self.batching = Some(config);
+        }
+        self
     }
 
     /// Emits task lifecycle events into `trace` (dilated-sim timestamps).
@@ -254,8 +295,26 @@ impl ThreadedBackend {
             });
             out.push(BackendEvent::TaskFailed { executor, query: task.query });
         }
-        let casualties: Vec<u64> = self.backlog[executor].drain(..).map(|(q, _, _)| q).collect();
+        let mut casualties: Vec<u64> =
+            self.backlog[executor].drain(..).map(|(q, _, _)| q).collect();
         self.metrics.executors[executor].queue_depth.store(0, Relaxed);
+        // Batch members die with the executor: open members never ran; a
+        // launched batch charges the time spent before the crash and its
+        // rep's eventual worker report becomes a zombie.
+        if let Some(open) = self.open_batches[executor].take() {
+            casualties.extend(open.members.iter().map(|&(q, _, _)| q));
+        }
+        if let Some(run) = self.running_batches[executor].take() {
+            self.zombies[executor].push_back(run.rep);
+            let left = run.completes_at.saturating_since(now);
+            let spent =
+                SimDuration::from_micros(run.duration.as_micros().saturating_sub(left.as_micros()));
+            self.busy[executor] = self.busy[executor] + spent;
+            let g = &self.metrics.executors[executor];
+            g.running.store(0, Relaxed);
+            g.busy_micros.fetch_add(spent.as_micros(), Relaxed);
+            casualties.extend(run.members.iter().map(|&(q, _)| q));
+        }
         for query in casualties {
             self.trace.emit(TraceEvent::TaskFailed { t: now, query, executor: executor as u16 });
             out.push(BackendEvent::TaskFailed { executor, query });
@@ -306,20 +365,117 @@ impl ThreadedBackend {
         out
     }
 
-    /// True when no executor is running or holding backlog.
-    pub fn all_idle(&self) -> bool {
-        self.running.iter().all(Option::is_none) && self.backlog.iter().all(VecDeque::is_empty)
+    /// Launches `executor`'s open batch: one worker job covering every
+    /// member, with the service time of the longest member scaled by the
+    /// batch curve. The job is keyed by the first member (`rep`); member
+    /// fates are resolved together when its report arrives.
+    fn launch_batch(&mut self, executor: usize, now: SimTime) {
+        let Some(open) = self.open_batches[executor].take() else { return };
+        let cfg = self.batching.expect("batching configured");
+        let size = open.members.len();
+        let longest = open.members.iter().map(|&(_, d, _)| d).max().expect("non-empty batch");
+        let duration = cfg.curve.scale(longest, size);
+        let rep = open.members[0].0;
+        // The rep job is a pure timer for the batched pass: per-member fates
+        // are applied at retirement, so it always reports `TaskDone`.
+        self.pool.submit(executor, rep, self.clock.dilate(duration), false);
+        let batch = self.batch_seq;
+        self.batch_seq += 1;
+        self.metrics.counters.tasks_started.fetch_add(size as u64, Relaxed);
+        self.metrics.counters.tasks_batched.fetch_add(size as u64, Relaxed);
+        self.metrics.batch_size.record(size as f64);
+        self.metrics.executors[executor].running.store(1, Relaxed);
+        let mut members = Vec::with_capacity(size);
+        for &(query, _, doomed) in &open.members {
+            self.trace.emit(TraceEvent::TaskStart { t: now, query, executor: executor as u16 });
+            members.push((query, doomed));
+        }
+        self.trace.emit(TraceEvent::BatchFormed {
+            t: now,
+            executor: executor as u16,
+            batch,
+            size: size as u32,
+        });
+        self.running_batches[executor] =
+            Some(RunningBatch { rep, members, duration, completes_at: now + duration });
     }
 
-    /// Earliest pending wake-up or fault transition, if any.
+    /// Launches every open batch whose window expired at or before `now`.
+    /// Poll from the scheduler loop's top, before waiting on the channel
+    /// ([`Self::next_wake`] includes the earliest launch deadline).
+    pub fn launch_due_batches(&mut self, now: SimTime) {
+        let Some(cfg) = self.batching else { return };
+        for k in 0..self.latencies.len() {
+            if self.down[k] || self.running_batches[k].is_some() {
+                continue;
+            }
+            let due = match &self.open_batches[k] {
+                Some(open) => open.opened_at + cfg.window <= now,
+                None => false,
+            };
+            if due {
+                self.launch_batch(k, now);
+            }
+        }
+    }
+
+    /// Resolves a worker report that stands in for a whole batched pass: if
+    /// `query` is the rep of `executor`'s running batch, the batch is
+    /// retired (busy charged once, per-member lifecycle traces emitted) and
+    /// its `(query, doomed)` members are returned for the caller to fan out
+    /// to the engine. `None` means the report was an ordinary single task
+    /// (or a zombie) and must take the normal [`Self::complete`] path.
+    pub fn batch_members(
+        &mut self,
+        executor: usize,
+        query: u64,
+        now: SimTime,
+    ) -> Option<Vec<(u64, bool)>> {
+        if self.running_batches[executor].as_ref().map(|b| b.rep) != Some(query) {
+            return None;
+        }
+        let run = self.running_batches[executor].take().expect("matched above");
+        self.busy[executor] = self.busy[executor] + run.duration;
+        let g = &self.metrics.executors[executor];
+        g.running.store(0, Relaxed);
+        g.busy_micros.fetch_add(run.duration.as_micros(), Relaxed);
+        for &(q, doomed) in &run.members {
+            if doomed {
+                self.trace.emit(TraceEvent::TaskFailed {
+                    t: now,
+                    query: q,
+                    executor: executor as u16,
+                });
+            } else {
+                self.tasks[executor] += 1;
+                g.tasks.fetch_add(1, Relaxed);
+                self.metrics.counters.tasks_completed.fetch_add(1, Relaxed);
+                self.trace.emit(TraceEvent::TaskDone {
+                    t: now,
+                    query: q,
+                    executor: executor as u16,
+                });
+            }
+        }
+        Some(run.members)
+    }
+
+    /// True when no executor is running or holding backlog.
+    pub fn all_idle(&self) -> bool {
+        self.running.iter().all(Option::is_none)
+            && self.backlog.iter().all(VecDeque::is_empty)
+            && self.open_batches.iter().all(Option::is_none)
+            && self.running_batches.iter().all(Option::is_none)
+    }
+
+    /// Earliest pending wake-up, fault transition, or batch-window expiry.
     pub fn next_wake(&self) -> Option<SimTime> {
         let wake = self.wakes.peek().map(|Reverse(t)| *t);
         let fault = self.transitions.get(self.cursor).map(|t| t.at);
-        match (wake, fault) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, None) => a,
-            (None, b) => b,
-        }
+        let launch = self.batching.and_then(|cfg| {
+            self.open_batches.iter().flatten().map(|open| open.opened_at + cfg.window).min()
+        });
+        [wake, fault, launch].into_iter().flatten().min()
     }
 
     /// Pops one wake-up due at or before `now`; true if one fired.
@@ -344,7 +500,11 @@ impl ExecutionBackend for ThreadedBackend {
     }
 
     fn is_idle(&self, executor: usize) -> bool {
-        !self.down[executor] && self.running[executor].is_none()
+        // An *open* batch leaves the executor idle — it is still accepting
+        // members; only a launched batch occupies it.
+        !self.down[executor]
+            && self.running[executor].is_none()
+            && self.running_batches[executor].is_none()
     }
 
     fn is_up(&self, executor: usize) -> bool {
@@ -362,6 +522,22 @@ impl ExecutionBackend for ThreadedBackend {
         };
         for (_, dur, _) in &self.backlog[executor] {
             at += *dur;
+        }
+        if let Some(run) = &self.running_batches[executor] {
+            at = at.max(run.completes_at);
+        }
+        if let (Some(cfg), Some(open)) = (&self.batching, &self.open_batches[executor]) {
+            // Quote the *marginal* cost of joining the open batch (same
+            // arithmetic as `SimBackend::available_at`): it launches at
+            // `opened_at + window` at the latest and would then run one pass
+            // of `s + 1` members, so `available_at + planned` equals the
+            // predicted joined finish.
+            let planned = self.latencies[executor].planned();
+            let gamma = cfg.curve.gamma(open.members.len() + 1);
+            let marginal = SimDuration::from_micros(
+                (planned.as_micros() as f64 * (gamma - 1.0)).round() as u64,
+            );
+            at = at.max(open.opened_at + cfg.window + marginal);
         }
         if self.down[executor] {
             // A crashed executor frees up at its scheduled recovery; a dead
@@ -381,8 +557,41 @@ impl ExecutionBackend for ThreadedBackend {
     fn start_task(&mut self, executor: usize, query: u64, now: SimTime) {
         assert!(self.running[executor].is_none(), "start_task on a busy executor");
         debug_assert!(!self.down[executor], "start_task on a down executor");
+        debug_assert!(
+            self.open_batches[executor].is_none() && self.running_batches[executor].is_none(),
+            "start_task alongside a batch on executor {executor}"
+        );
         let (duration, doomed) = self.fate(executor, now);
         self.launch(executor, query, duration, doomed, now);
+    }
+
+    fn submit_batch(&mut self, executor: usize, query: u64, now: SimTime) {
+        let Some(cfg) = self.batching else {
+            self.start_task(executor, query, now);
+            return;
+        };
+        assert!(!self.down[executor], "submit_batch on a down executor");
+        debug_assert!(
+            self.running[executor].is_none() && self.running_batches[executor].is_none(),
+            "open batches only exist while executor {executor} is idle"
+        );
+        // Same draw discipline as `start_task`: duration then fate, in
+        // submission order, so a fixed seed yields the same per-task numbers
+        // whether or not tasks end up co-batched.
+        let (duration, doomed) = self.fate(executor, now);
+        // `TaskEnqueue` marks the batch-queue wait; `TaskStart` lands at the
+        // launch instant, so exporters see queue-wait vs service split.
+        self.trace.emit(TraceEvent::TaskEnqueue { t: now, query, executor: executor as u16 });
+        let batch = self.open_batches[executor]
+            .get_or_insert_with(|| OpenBatch { members: Vec::new(), opened_at: now });
+        batch.members.push((query, duration, doomed));
+        if batch.members.len() >= cfg.batch_max {
+            self.launch_batch(executor, now);
+        }
+    }
+
+    fn open_batch_len(&self, executor: usize) -> usize {
+        self.open_batches[executor].as_ref().map_or(0, |b| b.members.len())
     }
 
     fn enqueue_task(&mut self, executor: usize, query: u64, now: SimTime) {
@@ -405,6 +614,26 @@ impl ExecutionBackend for ThreadedBackend {
     }
 
     fn cancel_task(&mut self, executor: usize, query: u64, now: SimTime) -> bool {
+        // A member of a not-yet-launched open batch never ran: remove it
+        // outright, no busy time, no worker job.
+        if let Some(open) = self.open_batches[executor].as_mut() {
+            if let Some(i) = open.members.iter().position(|&(q, _, _)| q == query) {
+                open.members.remove(i);
+                if open.members.is_empty() {
+                    self.open_batches[executor] = None;
+                }
+                return true;
+            }
+        }
+        // A launched batch shares one worker pass; a single member cannot be
+        // shed mid-flight. Refuse — the caller keeps it and its completion
+        // lands normally.
+        if self.running_batches[executor]
+            .as_ref()
+            .is_some_and(|b| b.members.iter().any(|&(q, _)| q == query))
+        {
+            return false;
+        }
         if self.running[executor].as_ref().map(|t| t.query) != Some(query) {
             return false;
         }
@@ -551,6 +780,95 @@ mod tests {
         let msg = rx.recv_timeout(Duration::from_secs(2)).expect("zombie report");
         assert_eq!(msg, RuntimeMsg::TaskDone { executor: 0, query: 3 });
         assert!(!b.complete(0, 3, SimTime::from_millis(5)));
+        b.shutdown();
+    }
+
+    #[test]
+    fn full_batch_launches_and_resolves_members_from_one_report() {
+        let (b, rx) = backend(&[5.0], 100.0);
+        let mut b = b.with_batching(BatchConfig::new(2, SimDuration::from_millis(2)));
+        let now = SimTime::ZERO;
+        b.submit_batch(0, 1, now);
+        assert_eq!(b.open_batch_len(0), 1);
+        assert!(b.is_idle(0), "an open batch keeps the executor joinable");
+        assert!(!b.all_idle(), "an open batch holds work");
+        b.submit_batch(0, 2, now);
+        // Full: launched as one worker job keyed by the first member.
+        assert_eq!(b.open_batch_len(0), 0);
+        assert!(!b.is_idle(0));
+        let msg = rx.recv_timeout(Duration::from_secs(2)).expect("rep report");
+        assert_eq!(msg, RuntimeMsg::TaskDone { executor: 0, query: 1 });
+        // gamma(2) = 1.15 scales the 5ms pass to 5.75ms.
+        let done = now + SimDuration::from_micros(5_750);
+        assert_eq!(b.batch_members(0, 9, done), None, "not the rep");
+        let members = b.batch_members(0, 1, done).expect("rep resolves the batch");
+        assert_eq!(members, vec![(1, false), (2, false)]);
+        assert!(b.all_idle());
+        assert_eq!(b.usage()[0].tasks, 2, "both members completed");
+        assert!((b.usage()[0].busy_secs - 0.00575).abs() < 1e-9, "busy charged once per pass");
+        b.shutdown();
+    }
+
+    #[test]
+    fn window_expiry_launches_the_open_batch() {
+        let (b, rx) = backend(&[5.0], 100.0);
+        let mut b = b.with_batching(BatchConfig::new(4, SimDuration::from_millis(2)));
+        b.submit_batch(0, 7, SimTime::ZERO);
+        assert_eq!(b.next_wake(), Some(SimTime::from_millis(2)), "launch deadline is a wake");
+        b.launch_due_batches(SimTime::from_millis(1));
+        assert_eq!(b.open_batch_len(0), 1, "window not expired yet");
+        b.launch_due_batches(SimTime::from_millis(2));
+        assert_eq!(b.open_batch_len(0), 0);
+        let msg = rx.recv_timeout(Duration::from_secs(2)).expect("rep report");
+        assert_eq!(msg, RuntimeMsg::TaskDone { executor: 0, query: 7 });
+        // A singleton pass runs at gamma(1) = 1: plain 5ms.
+        let members = b.batch_members(0, 7, SimTime::from_millis(7)).expect("resolved");
+        assert_eq!(members, vec![(7, false)]);
+        assert!(b.all_idle());
+        b.shutdown();
+    }
+
+    #[test]
+    fn cancel_removes_open_member_but_refuses_launched_member() {
+        let (b, _rx) = backend(&[5.0], 100.0);
+        let mut b = b.with_batching(BatchConfig::new(2, SimDuration::from_millis(2)));
+        b.submit_batch(0, 1, SimTime::ZERO);
+        assert!(b.cancel_task(0, 1, SimTime::ZERO), "open member is removable");
+        assert!(b.all_idle(), "cancelled singleton dissolves the batch");
+        b.submit_batch(0, 2, SimTime::ZERO);
+        b.submit_batch(0, 3, SimTime::ZERO); // full → launched
+        assert!(!b.cancel_task(0, 3, SimTime::from_millis(1)), "launched member is committed");
+        b.shutdown();
+    }
+
+    #[test]
+    fn crash_kills_batches_and_swallows_the_rep_report() {
+        let (b, rx) = backend(&[5.0], 100.0);
+        let mut plan = FaultPlan::default();
+        plan.crashes.push(schemble_sim::CrashWindow {
+            executor: 0,
+            from: SimTime::from_millis(1),
+            until: SimTime::from_millis(20),
+        });
+        let b = b.with_faults(plan, 1);
+        let mut b = b.with_batching(BatchConfig::new(2, SimDuration::from_millis(2)));
+        b.submit_batch(0, 4, SimTime::ZERO);
+        b.submit_batch(0, 5, SimTime::ZERO); // full → launched
+        let events = b.take_due_fault_events(SimTime::from_millis(1));
+        assert_eq!(
+            events,
+            vec![
+                BackendEvent::ExecutorDown { executor: 0 },
+                BackendEvent::TaskFailed { executor: 0, query: 4 },
+                BackendEvent::TaskFailed { executor: 0, query: 5 },
+            ]
+        );
+        // The rep's late report is a zombie: no batch left to resolve, and
+        // the ordinary completion path swallows it.
+        let msg = rx.recv_timeout(Duration::from_secs(2)).expect("zombie rep report");
+        assert_eq!(msg, RuntimeMsg::TaskDone { executor: 0, query: 4 });
+        assert_eq!(b.batch_members(0, 4, SimTime::from_millis(6)), None);
+        assert!(!b.complete(0, 4, SimTime::from_millis(6)));
         b.shutdown();
     }
 

@@ -24,7 +24,7 @@ use schemble_core::pipeline::{AdmissionMode, ResultAssembler, SchembleConfig};
 use schemble_data::Workload;
 use schemble_metrics::{RunSummary, RuntimeMetrics, RuntimeSnapshot};
 use schemble_models::Ensemble;
-use schemble_sim::{FaultPlan, LatencyModel, SimTime};
+use schemble_sim::{BatchConfig, FaultPlan, LatencyModel, SimTime};
 use schemble_trace::TraceSink;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
@@ -79,6 +79,11 @@ pub struct ServeConfig {
     /// caller; the runtime additionally trips it on wedge detection and
     /// worker panics so the dump records *why* the run went sideways.
     pub recorder: Option<Arc<schemble_obs::FlightRecorder>>,
+    /// Cross-query batched execution, installed into the backend (both
+    /// clock modes). [`serve_schemble`] fills this from
+    /// [`SchembleConfig::batching`]; `None` — and equally an inactive
+    /// config — keeps the backends byte-identical to an unbatched run.
+    pub batching: Option<BatchConfig>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +99,7 @@ impl Default for ServeConfig {
             shards: 1,
             audit: None,
             recorder: None,
+            batching: None,
         }
     }
 }
@@ -183,6 +189,9 @@ pub fn run_wall(
     if let Some(plan) = &config.faults {
         backend = backend.with_faults(plan.clone(), seed);
     }
+    if let Some(batching) = config.batching {
+        backend = backend.with_batching(batching);
+    }
 
     // Trace-replay load generator: one thread sleeping to each arrival.
     let arrivals: Vec<SimTime> = workload.queries.iter().map(|q| q.arrival).collect();
@@ -250,6 +259,9 @@ pub fn run_wall(
             sync_metrics(engine, metrics);
             continue;
         }
+        // Open batches whose coalescing window expired launch before the
+        // loop sleeps again (their deadline is part of `next_wake`).
+        backend.launch_due_batches(now);
         if arrivals_done && engine.open_count() == 0 && backend.all_idle() {
             break;
         }
@@ -271,9 +283,20 @@ pub fn run_wall(
             }
             Ok(RuntimeMsg::TaskDone { executor, query }) => {
                 let now = clock.now_sim();
-                // A false return is a zombie report (task killed by a
-                // crash): the engine already saw its TaskFailed.
-                if backend.complete(executor, query, now) {
+                // A report standing in for a whole batched pass fans out
+                // into one engine event per member, fates applied.
+                if let Some(members) = backend.batch_members(executor, query, now) {
+                    for (q, failed) in members {
+                        let event = if failed {
+                            BackendEvent::TaskFailed { executor, query: q }
+                        } else {
+                            BackendEvent::TaskDone { executor, query: q }
+                        };
+                        engine.handle(event, now, &mut backend);
+                    }
+                } else if backend.complete(executor, query, now) {
+                    // A false return is a zombie report (task killed by a
+                    // crash): the engine already saw its TaskFailed.
                     engine.handle(BackendEvent::TaskDone { executor, query }, now, &mut backend);
                 }
                 stalled = 0;
@@ -360,6 +383,9 @@ pub fn run_virtual(
     if let Some(plan) = &config.faults {
         backend = backend.with_faults(plan.clone(), seed);
     }
+    if let Some(batching) = config.batching {
+        backend = backend.with_batching(batching);
+    }
     for (i, q) in workload.queries.iter().enumerate() {
         backend.push_arrival(q.arrival, i);
     }
@@ -383,6 +409,10 @@ pub fn run_virtual(
     // Failed tasks started but never completed.
     metrics.counters.tasks_started.store(tasks_total + engine.stats().tasks_failed, Relaxed);
     metrics.counters.tasks_completed.store(tasks_total, Relaxed);
+    metrics.counters.tasks_batched.store(backend.tasks_batched(), Relaxed);
+    for &size in backend.batch_sizes() {
+        metrics.batch_size.record(size as f64);
+    }
     RunStats { usage, wall_secs: wall_start.elapsed().as_secs_f64(), sim_secs: end.as_secs_f64() }
 }
 
@@ -413,6 +443,10 @@ pub fn serve_schemble(
     seed: u64,
     config: &ServeConfig,
 ) -> ServeReport {
+    // The pipeline's batching choice rides into the backend via the serve
+    // config (shards clone it per shard, so the sharded path inherits it).
+    let config =
+        &ServeConfig { batching: pipeline.batching.filter(|b| b.active()), ..config.clone() };
     if config.shards > 1 {
         return crate::shard::serve_schemble_sharded(ensemble, pipeline, workload, seed, config);
     }

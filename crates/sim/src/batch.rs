@@ -1,0 +1,131 @@
+//! Batched-execution latency curves and configuration.
+//!
+//! Production model servers amortise per-invocation overhead by running one
+//! forward pass over a batch of requests. The cost of that pass is well
+//! approximated by an affine curve in the batch size,
+//! `lat(b) = base + b · per_item`, normalised here so a batch of one costs
+//! exactly the model's profiled single-task latency: scaling a sampled
+//! duration by [`BatchCurve::gamma`]`(1) == 1.0` reproduces the unbatched
+//! number bit for bit, which is what keeps `batch_max = 1` runs
+//! byte-identical to a build without batching.
+
+use crate::time::SimDuration;
+
+/// A monotone batch-latency curve, `lat(b) = gamma(b) · lat(1)`.
+///
+/// `gamma(b) = (base_frac + b · per_item_frac) / (base_frac + per_item_frac)`
+/// — the affine curve `base + b · per_item` with the fractions expressing the
+/// fixed-versus-marginal split of the single-task latency. `gamma(1)` is
+/// `1.0` *exactly* for every split, so a batch of one always costs the plain
+/// sampled duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchCurve {
+    /// Fraction of a single task's latency that is fixed per batch
+    /// (weight loads, kernel launch, dispatch overhead).
+    pub base_frac: f64,
+    /// Fraction of a single task's latency paid again per extra member.
+    pub per_item_frac: f64,
+}
+
+impl Default for BatchCurve {
+    /// A GPU-flavoured split: 85% of a single task is batch-fixed cost,
+    /// 15% is per-member — `gamma(16) = 3.25`, i.e. a full batch of 16
+    /// finishes ~4.9× more tasks per unit time than 16 singleton runs.
+    fn default() -> Self {
+        Self { base_frac: 0.85, per_item_frac: 0.15 }
+    }
+}
+
+impl BatchCurve {
+    /// The latency multiplier for a batch of `b` tasks. `gamma(1) == 1.0`
+    /// exactly; monotone non-decreasing in `b` for non-negative fractions.
+    pub fn gamma(&self, b: usize) -> f64 {
+        debug_assert!(b >= 1, "a batch holds at least one task");
+        (self.base_frac + b as f64 * self.per_item_frac) / (self.base_frac + self.per_item_frac)
+    }
+
+    /// Scales a single-task duration to the batched service time of a batch
+    /// of `b`. `b == 1` returns `d` unchanged (no float round-trip).
+    pub fn scale(&self, d: SimDuration, b: usize) -> SimDuration {
+        if b <= 1 {
+            return d;
+        }
+        SimDuration::from_micros((d.as_micros() as f64 * self.gamma(b)).round() as u64)
+    }
+}
+
+/// Cross-query batching knobs for an execution backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchConfig {
+    /// Largest batch an executor forms; reaching it launches immediately.
+    pub batch_max: usize,
+    /// How long an open batch waits for more members before launching
+    /// anyway. Low load therefore degrades to batches of one after at most
+    /// this delay.
+    pub window: SimDuration,
+    /// The executor's batch-latency curve.
+    pub curve: BatchCurve,
+}
+
+impl BatchConfig {
+    /// A config batching up to `batch_max` per executor with the default
+    /// curve and `window`.
+    pub fn new(batch_max: usize, window: SimDuration) -> Self {
+        Self { batch_max, window, curve: BatchCurve::default() }
+    }
+
+    /// Whether this config batches at all. `batch_max <= 1` is the off
+    /// switch: callers treat an inactive config exactly like `None`, which
+    /// is what makes `--batch-max 1` byte-identical to an unbatched build.
+    pub fn active(&self) -> bool {
+        self.batch_max > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_is_one_at_batch_of_one() {
+        for curve in [
+            BatchCurve::default(),
+            BatchCurve { base_frac: 0.5, per_item_frac: 0.5 },
+            BatchCurve { base_frac: 1.0, per_item_frac: 0.0 },
+        ] {
+            assert_eq!(curve.gamma(1), 1.0, "{curve:?}");
+            let d = SimDuration::from_micros(12_345);
+            assert_eq!(curve.scale(d, 1), d);
+        }
+    }
+
+    #[test]
+    fn gamma_is_monotone_and_sublinear() {
+        let curve = BatchCurve::default();
+        let mut prev = curve.gamma(1);
+        for b in 2..=32 {
+            let g = curve.gamma(b);
+            assert!(g > prev, "gamma must grow with batch size");
+            assert!(g < b as f64, "batching must beat running singletons");
+            prev = g;
+        }
+        // The default split amortises well: a full batch of 16 costs 3.25×
+        // one task, i.e. ~4.9× throughput.
+        assert!((curve.gamma(16) - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_rounds_to_whole_micros() {
+        let curve = BatchCurve::default();
+        let d = SimDuration::from_micros(1_000);
+        assert_eq!(curve.scale(d, 2), SimDuration::from_micros(1_150));
+        assert_eq!(curve.scale(d, 16), SimDuration::from_micros(3_250));
+    }
+
+    #[test]
+    fn config_activity_switch() {
+        assert!(!BatchConfig::new(1, SimDuration::from_millis(2)).active());
+        assert!(!BatchConfig::new(0, SimDuration::from_millis(2)).active());
+        assert!(BatchConfig::new(2, SimDuration::from_millis(2)).active());
+    }
+}

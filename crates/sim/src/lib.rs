@@ -23,6 +23,7 @@
 //!   into independent named streams so workload generation, latency jitter
 //!   and model noise never share state.
 
+pub mod batch;
 pub mod event;
 pub mod fault;
 pub mod latency;
@@ -30,6 +31,7 @@ pub mod rng;
 pub mod server;
 pub mod time;
 
+pub use batch::{BatchConfig, BatchCurve};
 pub use event::EventQueue;
 pub use fault::{CrashWindow, FaultPlan, FaultState, FaultTransition, StragglerEpisode, TaskFate};
 pub use latency::LatencyModel;

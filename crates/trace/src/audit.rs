@@ -162,7 +162,8 @@ pub fn audit_records(events: &[TraceEvent]) -> Vec<AuditRecord> {
             | TraceEvent::ExecutorUp { .. }
             | TraceEvent::Realized { .. }
             | TraceEvent::TaskQuit { .. }
-            | TraceEvent::WorkSaved { .. } => {}
+            | TraceEvent::WorkSaved { .. }
+            | TraceEvent::BatchFormed { .. } => {}
         }
     }
     records.into_values().collect()

@@ -247,6 +247,13 @@ pub fn chrome_trace_named(events: &[TraceEvent], tracks: &[String], label: &str)
                 SCHEDULER_TID,
                 &format!("\"query\":{query},\"saved\":{saved}"),
             ),
+            TraceEvent::BatchFormed { executor, batch, size, .. } => instant(
+                &mut out,
+                &format!("batch#{batch} x{size}"),
+                ts,
+                executor as u32 + 1,
+                &format!("\"batch\":{batch},\"size\":{size}"),
+            ),
         }
     }
     // A task still running when the trace was drained renders as a span to

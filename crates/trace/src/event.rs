@@ -226,6 +226,20 @@ pub enum TraceEvent {
         /// Number of planned tasks shed.
         saved: u32,
     },
+    /// An executor launched a batch of `size` coalesced tasks. Emitted at
+    /// the launch instant, after the members' [`TraceEvent::TaskStart`]
+    /// events (which all share this timestamp — that shared instant is how
+    /// exporters recover batch membership).
+    BatchFormed {
+        /// Event time (the batch's launch instant).
+        t: SimTime,
+        /// Executor index.
+        executor: u16,
+        /// Monotonic per-backend batch id.
+        batch: u64,
+        /// Number of member tasks.
+        size: u32,
+    },
 }
 
 /// `score` as the fixed-point (× 10^6) representation used by
@@ -255,7 +269,8 @@ impl TraceEvent {
             | TraceEvent::PlanAssign { t, .. }
             | TraceEvent::Realized { t, .. }
             | TraceEvent::TaskQuit { t, .. }
-            | TraceEvent::WorkSaved { t, .. } => t,
+            | TraceEvent::WorkSaved { t, .. }
+            | TraceEvent::BatchFormed { t, .. } => t,
         }
     }
 
@@ -279,7 +294,8 @@ impl TraceEvent {
             | TraceEvent::WorkSaved { query, .. } => Some(query),
             TraceEvent::Plan { .. }
             | TraceEvent::ExecutorDown { .. }
-            | TraceEvent::ExecutorUp { .. } => None,
+            | TraceEvent::ExecutorUp { .. }
+            | TraceEvent::BatchFormed { .. } => None,
         }
     }
 }
@@ -321,13 +337,15 @@ mod tests {
             TraceEvent::Realized { t, query: 1, score_fp: 250_000, correct: true },
             TraceEvent::TaskQuit { t, query: 1, executor: 0 },
             TraceEvent::WorkSaved { t, query: 1, saved: 2 },
+            TraceEvent::BatchFormed { t, executor: 0, batch: 3, size: 4 },
         ];
         for ev in events {
             assert_eq!(ev.time(), t);
             match ev {
                 TraceEvent::Plan { .. }
                 | TraceEvent::ExecutorDown { .. }
-                | TraceEvent::ExecutorUp { .. } => assert_eq!(ev.query(), None),
+                | TraceEvent::ExecutorUp { .. }
+                | TraceEvent::BatchFormed { .. } => assert_eq!(ev.query(), None),
                 _ => assert_eq!(ev.query(), Some(1)),
             }
         }

@@ -118,6 +118,11 @@ pub fn prometheus_text(
             "Planned tasks quit by the anytime policy before completing.",
             c.tasks_saved.load(Relaxed),
         ),
+        (
+            "schemble_tasks_batched_total",
+            "Tasks launched as members of a cross-query batch.",
+            c.tasks_batched.load(Relaxed),
+        ),
     ] {
         family(&mut out, name, "counter", help);
         let _ = writeln!(out, "{name} {value}");
@@ -200,6 +205,12 @@ pub fn prometheus_text(
         "schemble_query_latency_seconds",
         "End-to-end latency of completed queries.",
         &metrics.latency,
+    );
+    histogram(
+        &mut out,
+        "schemble_batch_size",
+        "Size of each launched cross-query batch (observations are sizes, not seconds).",
+        &metrics.batch_size,
     );
 
     if let Some(p) = planning {
@@ -325,6 +336,10 @@ pub fn metrics_from_events(
             // Introspection-only events: no runtime counter changes.
             // WorkSaved is a per-decision summary of TaskQuit events, which
             // already count above.
+            TraceEvent::BatchFormed { size, .. } => {
+                c.tasks_batched.fetch_add(size as u64, Relaxed);
+                metrics.batch_size.record(size as f64);
+            }
             TraceEvent::Scored { .. }
             | TraceEvent::PlanAssign { .. }
             | TraceEvent::Realized { .. }

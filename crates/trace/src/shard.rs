@@ -93,6 +93,12 @@ pub fn globalize_event(event: TraceEvent, query_map: &[u64], executor_offset: u1
         TraceEvent::WorkSaved { t, query, saved } => {
             TraceEvent::WorkSaved { t, query: global(query), saved }
         }
+        // Batch ids stay shard-local (they are only unique per backend);
+        // exporters key membership on (executor, launch instant), which the
+        // offset keeps globally unambiguous.
+        TraceEvent::BatchFormed { t, executor, batch, size } => {
+            TraceEvent::BatchFormed { t, executor: executor + executor_offset, batch, size }
+        }
     }
 }
 

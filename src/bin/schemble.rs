@@ -38,7 +38,7 @@ use schemble::data::TaskKind;
 use schemble::metrics::{RunSummary, RuntimeMetrics};
 use schemble::obs::{explain_query, FlightRecorder, ObsConfig, ObsState};
 use schemble::serve::{serve_immediate, serve_schemble, ClockMode, ServeConfig, ServeReport};
-use schemble::sim::{FaultPlan, SimDuration};
+use schemble::sim::{BatchConfig, FaultPlan, SimDuration};
 use schemble::trace::{
     audit_ndjson, chrome_trace_named, metrics_from_events, prometheus_text, AuditWriter,
     TraceEvent, TraceSink,
@@ -89,6 +89,11 @@ options:
                       the partial result is within 1-C of the full plan's
                       profiled utility; values above 1 disable quitting
                       entirely  (default 0.98)
+  --batch-max <B>     coalesce up to B compatible tasks of the same model
+                      into one batched pass (schemble method only; 1 =
+                      unbatched, the default — byte-identical to no flag)
+  --batch-window-ms <W>  how long an open batch waits for more members
+                      before launching  (default 2; requires --batch-max)
   --csv <PATH>        (run) write per-query records to a CSV file
   (--task defaults to tm, the paper's primary text-matching task)
 
@@ -137,6 +142,8 @@ struct Cli {
     fast_path: bool,
     anytime: bool,
     confidence_threshold: Option<f64>,
+    batch_max: Option<usize>,
+    batch_window_ms: Option<f64>,
     csv: Option<String>,
     dilation: Option<f64>,
     virtual_clock: bool,
@@ -181,6 +188,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         fast_path: false,
         anytime: false,
         confidence_threshold: None,
+        batch_max: None,
+        batch_window_ms: None,
         csv: None,
         dilation: None,
         virtual_clock: false,
@@ -277,6 +286,21 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     take(&mut i)?.parse().map_err(|_| "bad --confidence-threshold".to_string())?,
                 )
             }
+            "--batch-max" => {
+                let b: usize = take(&mut i)?.parse().map_err(|_| "bad --batch-max".to_string())?;
+                if b == 0 {
+                    return Err("--batch-max must be at least 1".to_string());
+                }
+                cli.batch_max = Some(b);
+            }
+            "--batch-window-ms" => {
+                let w: f64 =
+                    take(&mut i)?.parse().map_err(|_| "bad --batch-window-ms".to_string())?;
+                if !w.is_finite() || w <= 0.0 {
+                    return Err("--batch-window-ms must be positive".to_string());
+                }
+                cli.batch_window_ms = Some(w);
+            }
             "--virtual-clock" => cli.virtual_clock = true,
             "--diurnal" => cli.diurnal = true,
             "--force-all" => cli.force_all = true,
@@ -288,6 +312,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     }
     if cli.confidence_threshold.is_some() && !cli.anytime {
         return Err("--confidence-threshold requires --anytime".to_string());
+    }
+    if cli.batch_window_ms.is_some() && cli.batch_max.is_none() {
+        return Err("--batch-window-ms requires --batch-max".to_string());
     }
     Ok(cli)
 }
@@ -324,6 +351,14 @@ fn print_summary(label: &str, s: &RunSummary) {
     );
 }
 
+/// The batch configuration requested by the CLI flags, if any.
+/// `--batch-max 1` normalises to `None` — byte-identical to no flag.
+fn batch_config(cli: &Cli) -> Option<BatchConfig> {
+    let batch_max = cli.batch_max?;
+    let window = SimDuration::from_millis_f64(cli.batch_window_ms.unwrap_or(2.0));
+    Some(BatchConfig::new(batch_max, window)).filter(|b| b.active())
+}
+
 /// The anytime policy requested by the CLI flags, if any. A bare
 /// `--confidence-threshold` without `--anytime` is rejected in [`parse`].
 fn anytime_policy(cli: &Cli) -> Option<AnytimePolicy> {
@@ -344,6 +379,7 @@ fn run_one(
 ) -> Result<RunSummary, String> {
     let fast_path = cli.fast_path;
     let anytime = anytime_policy(cli);
+    let batching = batch_config(cli);
     let workload = ctx.workload();
     let kind = match method {
         "original" => Some(PipelineKind::Original),
@@ -360,8 +396,9 @@ fn run_one(
         return Ok(ctx.run_traced(kind, &workload, Arc::clone(sink)));
     }
     match method {
-        "schemble" if fast_path || anytime.is_some() => {
-            // Assemble manually so the fast-path/anytime flags can be set.
+        "schemble" if fast_path || anytime.is_some() || batching.is_some() => {
+            // Assemble manually so the fast-path/anytime/batching flags can
+            // be set.
             let art = ctx.artifacts().clone();
             let mut config = SchembleConfig::new(
                 Box::new(DpScheduler::default()),
@@ -371,6 +408,7 @@ fn run_one(
             config.admission = ctx.config.admission;
             config.fast_path = fast_path;
             config.anytime = anytime;
+            config.batching = batching;
             Ok(run_schemble_traced(
                 &ctx.ensemble,
                 &config,
@@ -650,6 +688,7 @@ fn serve_one(
             config.admission = admission;
             config.fast_path = cli.fast_path;
             config.anytime = anytime_policy(cli);
+            config.batching = batch_config(cli);
             config.failure = scfg.failure;
             Ok(serve_schemble(&ctx.ensemble, &config, &workload, seed, &scfg))
         }
@@ -785,6 +824,11 @@ fn run(args: &[String]) -> Result<(), String> {
     if cli.anytime && cli.method.as_deref().is_some_and(|m| m != "schemble") {
         return Err("--anytime requires --method schemble (the buffered pipeline \
                     is the only one that tracks a partial-ensemble vote)"
+            .to_string());
+    }
+    if cli.batch_max.is_some() && cli.method.as_deref().is_some_and(|m| m != "schemble") {
+        return Err("--batch-max requires --method schemble (only the buffered \
+                    pipeline coalesces compatible tasks across queries)"
             .to_string());
     }
     // Event emission is armed only when an export was requested; the
