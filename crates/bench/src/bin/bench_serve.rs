@@ -14,16 +14,28 @@
 //! * `sched_overhead_us` — mean wall-clock cost of one plan.
 //!
 //! ```text
-//! bench_serve [--shards|--obs|--anytime|--batch] [--out PATH] [--check BASELINE] [--write PATH]
+//! bench_serve [--shards|--obs|--anytime|--batch|--steal] [--out PATH] [--check BASELINE] [--write PATH]
 //! ```
 //!
 //! `--shards` switches to the shard-scaling sweep: S ∈ {1, 2, 4, 8} engine
-//! shards with offered load scaled proportionally (so per-shard load — and
-//! hence the deterministic latency profile — is constant while total
-//! throughput must grow with the core count). Results land in
-//! `BENCH_serve_shards.json` together with the machine's core count;
-//! `--check` gates the deterministic per-S quality metrics tightly and the
-//! S=4 speedup against 1.6x/1.2 when the runner has the cores to show it.
+//! shards, run twice — once with offered load scaled proportionally (so
+//! per-shard load — and hence the deterministic latency profile — is
+//! constant while total throughput must grow with the core count), and
+//! once with the S=1 offered load held fixed while shards grow (strong
+//! scaling — the series where the shard plateau shows). Both speedup
+//! series land in `BENCH_serve_shards.json` together with the machine's
+//! core count; `--check` gates the deterministic per-S quality metrics
+//! tightly and the scaled S=4 speedup against 1.6x/1.2 when the runner has
+//! the cores to show it.
+//!
+//! `--steal` switches to the work-stealing comparison: a Zipfian hot-key
+//! trace (θ = 2.0 over 64 keys) at S = 4 whose hash-routed partition
+//! saturates one shard, served once with `steal_epoch` off and once at
+//! 50 ms. Throughput is *served* load in simulated time (completed ÷ sim
+//! seconds) — virtual-clock deterministic — and the comparison self-gates
+//! on every run: stealing must lift served throughput ≥ 1.5x while moving
+//! the deadline-miss rate by at most +1 pp, the off pass must steal
+//! nothing, and the on pass must actually steal.
 //!
 //! `--obs` switches to the introspection-overhead benchmark: the same
 //! measured pass runs once with all observability off and once with the
@@ -44,7 +56,8 @@
 //!
 //! `--out` (default `BENCH_serve.json`, or `BENCH_serve_shards.json` with
 //! `--shards`, or `BENCH_obs.json` with `--obs`, or `BENCH_anytime.json`
-//! with `--anytime`, or `BENCH_batch.json` with `--batch`) writes the results as JSON — the CI bench jobs upload it as
+//! with `--anytime`, or `BENCH_batch.json` with `--batch`, or
+//! `BENCH_steal.json` with `--steal`) writes the results as JSON — the CI bench jobs upload it as
 //! an artifact. `--check` compares against a checked-in baseline and exits
 //! non-zero on regression: >20% on the deterministic latency quantiles; 4x
 //! on the wall-clock-dependent throughput/overhead numbers (CI runners vary
@@ -54,6 +67,7 @@
 use schemble_core::engine::AnytimePolicy;
 use schemble_core::experiment::{ExperimentConfig, ExperimentContext, Traffic};
 use schemble_core::pipeline::schemble::SchembleConfig;
+use schemble_core::pipeline::AdmissionMode;
 use schemble_core::predictor::OnlineScorer;
 use schemble_core::scheduler::DpScheduler;
 use schemble_data::{TaskKind, Workload};
@@ -89,6 +103,22 @@ const BATCH_WINDOW_MS: u64 = 2;
 const B16_SPEEDUP_FLOOR: f64 = 1.5;
 /// Batching may not cost more than this much deadline-miss rate.
 const BATCH_DMR_CEILING_PP: f64 = 0.01;
+/// The `--steal` fixture: a hot-key Zipfian trace at S = 4, offered well
+/// above what the hash router's hottest shard can retire alone. The key
+/// count and skew match the serve-crate property tests; the rate is set so
+/// the hot shard saturates while the ensemble as a whole has headroom —
+/// the regime work stealing exists for.
+const STEAL_SHARDS: usize = 4;
+const STEAL_QUERIES: usize = 1200;
+const STEAL_RATE: f64 = 140.0;
+const STEAL_KEYS: usize = 64;
+const STEAL_THETA: f64 = 2.0;
+const STEAL_EPOCH_MS: u64 = 50;
+const STEAL_DEADLINE_MS: f64 = 150.0;
+/// Required served-throughput gain with stealing on vs off.
+const STEAL_SPEEDUP_FLOOR: f64 = 1.5;
+/// Stealing may not cost more than this much deadline-miss rate.
+const STEAL_DMR_CEILING_PP: f64 = 0.01;
 /// Required S=4 speedup on a multi-core runner: the issue's 1.6x floor with
 /// a 20% tolerance (1.6 / 1.2).
 const S4_SPEEDUP_FLOOR: f64 = 1.6 / 1.2;
@@ -129,13 +159,29 @@ struct ShardPoint {
 
 struct ShardSweep {
     cores: usize,
+    /// Scaled-load series: offered load grows with S (weak scaling), so
+    /// per-shard pressure — and the deterministic quality profile — is
+    /// constant while total throughput must grow with the core count.
     points: Vec<ShardPoint>,
+    /// Fixed-load series: the S=1 offered load is held constant while the
+    /// shard count grows (strong scaling). This is the series that exposes
+    /// the shard-scaling plateau: with total work fixed, adding shards
+    /// only helps until coordination and partition imbalance eat the gain.
+    fixed: Vec<ShardPoint>,
 }
 
 impl ShardSweep {
+    fn speedup_of(points: &[ShardPoint], shards: usize) -> f64 {
+        let base = points[0].queries_per_sec.max(1e-9);
+        points.iter().find(|p| p.shards == shards).map_or(0.0, |p| p.queries_per_sec / base)
+    }
+
     fn speedup(&self, shards: usize) -> f64 {
-        let base = self.points[0].queries_per_sec.max(1e-9);
-        self.points.iter().find(|p| p.shards == shards).map_or(0.0, |p| p.queries_per_sec / base)
+        Self::speedup_of(&self.points, shards)
+    }
+
+    fn fixed_speedup(&self, shards: usize) -> f64 {
+        Self::speedup_of(&self.fixed, shards)
     }
 
     fn to_json(&self) -> String {
@@ -150,8 +196,17 @@ impl ShardSweep {
             out.push_str(&format!("  \"s{s}_p99_latency_ms\": {:.4},\n", p.p99_latency_ms));
             out.push_str(&format!("  \"s{s}_deadline_miss_rate\": {:.6},\n", p.deadline_miss_rate));
         }
+        for p in &self.fixed {
+            let s = p.shards;
+            out.push_str(&format!("  \"f{s}_queries_per_sec\": {:.1},\n", p.queries_per_sec));
+            out.push_str(&format!("  \"f{s}_p99_latency_ms\": {:.4},\n", p.p99_latency_ms));
+            out.push_str(&format!("  \"f{s}_deadline_miss_rate\": {:.6},\n", p.deadline_miss_rate));
+        }
         for &s in &SHARD_SWEEP[1..] {
             out.push_str(&format!("  \"speedup_s{s}\": {:.4},\n", self.speedup(s)));
+        }
+        for &s in &SHARD_SWEEP[1..] {
+            out.push_str(&format!("  \"fixed_speedup_s{s}\": {:.4},\n", self.fixed_speedup(s)));
         }
         // Trailing key without a comma keeps the document valid JSON.
         out.push_str(&format!("  \"shard_counts\": {}\n}}\n", SHARD_SWEEP.len()));
@@ -278,6 +333,49 @@ impl BatchSweep {
         // Trailing key without a comma keeps the document valid JSON.
         out.push_str(&format!("  \"batch_counts\": {}\n}}\n", BATCH_SWEEP.len()));
         out
+    }
+}
+
+/// The work-stealing comparison: the same hot-key trace served at S = 4
+/// with the steal epoch off and on. Both passes are virtual-clock runs, so
+/// every number here is exactly reproducible.
+struct StealResult {
+    queries: usize,
+    shards: usize,
+    zipf_keys: usize,
+    zipf_theta: f64,
+    steal_epoch_ms: u64,
+    off_completed: u64,
+    /// Served throughput in *simulated* time: completed / sim_secs, the
+    /// same served-load metric the batching sweep gates on.
+    off_queries_per_sec: f64,
+    off_deadline_miss_rate: f64,
+    on_completed: u64,
+    on_queries_per_sec: f64,
+    on_deadline_miss_rate: f64,
+    /// Queries that actually changed shards in the stealing-on pass.
+    queries_stolen: u64,
+    speedup: f64,
+}
+
+impl StealResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"queries\": {},\n  \"shards\": {},\n  \"zipf_keys\": {},\n  \"zipf_theta\": {:.2},\n  \"steal_epoch_ms\": {},\n  \"off_completed\": {},\n  \"off_queries_per_sec\": {:.4},\n  \"off_deadline_miss_rate\": {:.6},\n  \"on_completed\": {},\n  \"on_queries_per_sec\": {:.4},\n  \"on_deadline_miss_rate\": {:.6},\n  \"queries_stolen\": {},\n  \"speedup\": {:.4}\n}}\n",
+            self.queries,
+            self.shards,
+            self.zipf_keys,
+            self.zipf_theta,
+            self.steal_epoch_ms,
+            self.off_completed,
+            self.off_queries_per_sec,
+            self.off_deadline_miss_rate,
+            self.on_completed,
+            self.on_queries_per_sec,
+            self.on_deadline_miss_rate,
+            self.queries_stolen,
+            self.speedup,
+        )
     }
 }
 
@@ -674,6 +772,7 @@ fn check_batch(sweep: &BatchSweep, baseline_path: &str) -> Result<(), String> {
 fn run_shard_sweep() -> ShardSweep {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut points = Vec::with_capacity(SHARD_SWEEP.len());
+    println!("  scaled offered load (per-shard pressure constant):");
     for &shards in &SHARD_SWEEP {
         let bench = setup(shards);
         let _ = serve_once(&bench, shards); // warmup, untimed
@@ -696,7 +795,178 @@ fn run_shard_sweep() -> ShardSweep {
         );
         points.push(point);
     }
-    ShardSweep { cores, points }
+    // Fixed total offered load: the S=1 workload, re-served at every shard
+    // count. Total work is constant, so any speedup is pure parallelism —
+    // and the flattening of this series is the scaling plateau itself.
+    let bench = setup(1);
+    let mut fixed = Vec::with_capacity(SHARD_SWEEP.len());
+    println!(
+        "  fixed total offered load ({} queries at {BASE_RATE:.0} q/s):",
+        bench.workload.len()
+    );
+    for &shards in &SHARD_SWEEP {
+        let _ = serve_once(&bench, shards); // warmup, untimed
+        let (report, _) = serve_once(&bench, shards);
+        let point = ShardPoint {
+            shards,
+            queries: bench.workload.len(),
+            queries_per_sec: bench.workload.len() as f64 / report.wall_secs.max(1e-9),
+            p99_latency_ms: 1e3 * report.metrics.latency.quantile(0.99).unwrap_or(0.0),
+            deadline_miss_rate: report.summary.deadline_miss_rate(),
+        };
+        println!(
+            "  S={:<2} {:>5} queries  {:>9.0} q/s  p99 {:>8.3} ms  dmr {:>6.3}%  ({:.3}s wall)",
+            point.shards,
+            point.queries,
+            point.queries_per_sec,
+            point.p99_latency_ms,
+            100.0 * point.deadline_miss_rate,
+            report.wall_secs,
+        );
+        fixed.push(point);
+    }
+    ShardSweep { cores, points, fixed }
+}
+
+/// Fixture for the `--steal` comparison: a Zipfian hot-key trace whose
+/// hash-routed partition overloads one shard while its siblings idle.
+/// Deadlines are generous enough that queries survive a rebalancing hop
+/// but tight enough that a saturated hot shard sheds them as expiries;
+/// ForceAll admission keeps the offered set identical across both passes
+/// so served throughput measures retirement capacity, not gatekeeping.
+fn setup_steal() -> BenchSetup {
+    let mut config = ExperimentConfig::paper_default(TaskKind::TextMatching, 42);
+    config.n_queries = STEAL_QUERIES;
+    config.traffic = Traffic::Poisson { rate_per_sec: STEAL_RATE };
+    let mut config = config.with_deadline_millis(STEAL_DEADLINE_MS);
+    config.admission = AdmissionMode::ForceAll;
+    let mut ctx = ExperimentContext::new(config);
+    let workload = ctx.workload().with_zipf_keys(STEAL_KEYS, STEAL_THETA, ctx.config.seed);
+    let art = ctx.artifacts().clone();
+    let mut pipeline = SchembleConfig::new(
+        Box::new(DpScheduler::default()),
+        OnlineScorer::Predictor(art.predictor),
+        art.profile,
+    );
+    pipeline.admission = ctx.config.admission;
+    BenchSetup { ensemble: ctx.ensemble, pipeline, workload, seed: ctx.config.seed }
+}
+
+/// One virtual-clock sharded pass with an optional steal epoch.
+fn serve_once_steal(bench: &BenchSetup, steal_epoch: Option<SimDuration>) -> ServeReport {
+    let scfg = ServeConfig {
+        mode: ClockMode::Virtual,
+        shards: STEAL_SHARDS,
+        steal_epoch,
+        ..ServeConfig::default()
+    };
+    let report =
+        serve_schemble(&bench.ensemble, &bench.pipeline, &bench.workload, bench.seed, &scfg);
+    assert_eq!(report.stats.open(), 0, "bench run left queries open");
+    report
+}
+
+fn run_steal_bench() -> Result<StealResult, String> {
+    let bench = setup_steal();
+    let off = serve_once_steal(&bench, None);
+    let on = serve_once_steal(&bench, Some(SimDuration::from_millis(STEAL_EPOCH_MS)));
+
+    let off_qps = off.stats.completed as f64 / off.sim_secs.max(1e-9);
+    let on_qps = on.stats.completed as f64 / on.sim_secs.max(1e-9);
+    let result = StealResult {
+        queries: bench.workload.len(),
+        shards: STEAL_SHARDS,
+        zipf_keys: STEAL_KEYS,
+        zipf_theta: STEAL_THETA,
+        steal_epoch_ms: STEAL_EPOCH_MS,
+        off_completed: off.stats.completed,
+        off_queries_per_sec: off_qps,
+        off_deadline_miss_rate: off.summary.deadline_miss_rate(),
+        on_completed: on.stats.completed,
+        on_queries_per_sec: on_qps,
+        on_deadline_miss_rate: on.summary.deadline_miss_rate(),
+        queries_stolen: on.stats.stolen_in,
+        speedup: on_qps / off_qps.max(1e-9),
+    };
+
+    // Hard acceptance gates, applied on every run (not just --check). All
+    // of these are virtual-clock deterministic.
+    if off.stats.stolen_in != 0 {
+        return Err(format!(
+            "steal-off pass stole {} queries; the reference must be untouched",
+            off.stats.stolen_in
+        ));
+    }
+    if result.queries_stolen == 0 {
+        return Err("stealing-on pass never stole under a saturated hot key".into());
+    }
+    if result.speedup < STEAL_SPEEDUP_FLOOR {
+        return Err(format!(
+            "stealing speedup too small: {:.3}x served throughput at S = {STEAL_SHARDS} \
+             (floor {STEAL_SPEEDUP_FLOOR:.2}x)",
+            result.speedup
+        ));
+    }
+    let dmr_delta = result.on_deadline_miss_rate - result.off_deadline_miss_rate;
+    if dmr_delta > STEAL_DMR_CEILING_PP {
+        return Err(format!(
+            "stealing costs deadlines: miss rate {:.4} on vs {:.4} off \
+             (+{:.2} pp > +{:.2} pp ceiling)",
+            result.on_deadline_miss_rate,
+            result.off_deadline_miss_rate,
+            100.0 * dmr_delta,
+            100.0 * STEAL_DMR_CEILING_PP
+        ));
+    }
+    Ok(result)
+}
+
+fn check_steal(result: &StealResult, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    println!("stealing check vs {baseline_path}:");
+    let mut failures = Vec::new();
+    // Virtual-clock deterministic throughout: tight gates, any drift is a
+    // decision change rather than runner noise.
+    for (label, new, key, tol, higher) in [
+        ("off_queries_per_sec", result.off_queries_per_sec, "off_queries_per_sec", 0.05, true),
+        ("on_queries_per_sec", result.on_queries_per_sec, "on_queries_per_sec", 0.05, true),
+        ("speedup", result.speedup, "speedup", 0.10, true),
+        ("queries_stolen", result.queries_stolen as f64, "queries_stolen", 0.25, true),
+    ] {
+        match json_number(&text, key) {
+            Ok(base) => {
+                if let Err(e) = gate(label, new, base, tol, higher) {
+                    failures.push(e);
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    match json_number(&text, "on_deadline_miss_rate") {
+        Ok(base) => {
+            let ceiling = base + STEAL_DMR_CEILING_PP;
+            let regressed = result.on_deadline_miss_rate > ceiling;
+            println!(
+                "  {:<22} {:>10.4}  (baseline {base:>10.4}, max tolerated {ceiling:>10.4}) {}",
+                "on_deadline_miss_rate",
+                result.on_deadline_miss_rate,
+                if regressed { "REGRESSED" } else { "ok" }
+            );
+            if regressed {
+                failures.push(format!(
+                    "on_deadline_miss_rate regressed: {:.4} vs baseline {base:.4}",
+                    result.on_deadline_miss_rate
+                ));
+            }
+        }
+        Err(e) => failures.push(e),
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 /// One gate: `label` regressed if the new value is worse than the baseline
@@ -789,6 +1059,32 @@ fn check_shards(sweep: &ShardSweep, baseline_path: &str) -> Result<(), String> {
         }
     }
 
+    // Fixed-load quality metrics are just as deterministic: the same
+    // workload partitioned S ways must reproduce its latency profile.
+    for p in &sweep.fixed {
+        let s = p.shards;
+        let p99_key = format!("f{s}_p99_latency_ms");
+        match json_number(&text, &p99_key) {
+            Ok(base) => {
+                if let Err(e) = gate(&p99_key, p.p99_latency_ms, base, 0.20, false) {
+                    failures.push(e);
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    // The fixed-load speedup is wall-clock dependent (and flat on a
+    // single-core runner by construction), so it only gates loosely
+    // against its own baseline — its value is the recorded series itself.
+    match json_number(&text, "fixed_speedup_s4") {
+        Ok(base) => {
+            if let Err(e) = gate("fixed_speedup_s4", sweep.fixed_speedup(4), base, 0.50, true) {
+                failures.push(e);
+            }
+        }
+        Err(e) => failures.push(e),
+    }
+
     // Throughput scaling. A single-core runner cannot show parallel
     // speedup (shard threads time-slice), so the hard 1.6x/1.2 floor only
     // applies where the machine has the cores to express it; on one core
@@ -832,6 +1128,7 @@ fn main() -> ExitCode {
     let mut obs_mode = false;
     let mut anytime_mode = false;
     let mut batch_mode = false;
+    let mut steal_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -851,9 +1148,10 @@ fn main() -> ExitCode {
             "--obs" => obs_mode = true,
             "--anytime" => anytime_mode = true,
             "--batch" => batch_mode = true,
+            "--steal" => steal_mode = true,
             other => {
                 eprintln!(
-                    "usage: bench_serve [--shards|--obs|--anytime|--batch] [--out PATH] \
+                    "usage: bench_serve [--shards|--obs|--anytime|--batch|--steal] [--out PATH] \
                      [--check BASELINE] [--write PATH]"
                 );
                 eprintln!("unknown argument '{other}'");
@@ -863,7 +1161,35 @@ fn main() -> ExitCode {
         i += 1;
     }
 
-    let (json, check_result) = if batch_mode {
+    let (json, check_result) = if steal_mode {
+        println!(
+            "bench_serve --steal: hot-key trace (zipf theta {STEAL_THETA:.1} over {STEAL_KEYS} \
+             keys) at S={STEAL_SHARDS}, steal epoch off vs {STEAL_EPOCH_MS} ms"
+        );
+        let result = match run_steal_bench() {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "  off: {:>5} completed  {:>8.1} q/s served  dmr {:>6.3}%",
+            result.off_completed,
+            result.off_queries_per_sec,
+            100.0 * result.off_deadline_miss_rate,
+        );
+        println!(
+            "  on:  {:>5} completed  {:>8.1} q/s served  dmr {:>6.3}%  ({} stolen)",
+            result.on_completed,
+            result.on_queries_per_sec,
+            100.0 * result.on_deadline_miss_rate,
+            result.queries_stolen,
+        );
+        println!("  served-throughput speedup with stealing: x{:.2}", result.speedup);
+        let check_result = check_path.as_deref().map(|p| check_steal(&result, p));
+        (result.to_json(), check_result)
+    } else if batch_mode {
         println!(
             "bench_serve --batch: cross-query batching sweep over batch_max in {BATCH_SWEEP:?} \
              on the saturated diurnal trace"
@@ -932,11 +1258,17 @@ fn main() -> ExitCode {
         println!("bench_serve --shards: scaling sweep over S in {SHARD_SWEEP:?}");
         let sweep = run_shard_sweep();
         println!(
-            "  speedups vs S=1: x{:.2} (S=2), x{:.2} (S=4), x{:.2} (S=8) on {} cores",
+            "  scaled-load speedups vs S=1: x{:.2} (S=2), x{:.2} (S=4), x{:.2} (S=8) on {} cores",
             sweep.speedup(2),
             sweep.speedup(4),
             sweep.speedup(8),
             sweep.cores,
+        );
+        println!(
+            "  fixed-load speedups vs S=1:  x{:.2} (S=2), x{:.2} (S=4), x{:.2} (S=8)",
+            sweep.fixed_speedup(2),
+            sweep.fixed_speedup(4),
+            sweep.fixed_speedup(8),
         );
         let check_result = check_path.as_deref().map(|p| check_shards(&sweep, p));
         (sweep.to_json(), check_result)
@@ -957,7 +1289,9 @@ fn main() -> ExitCode {
     };
 
     let out = out.unwrap_or_else(|| {
-        if batch_mode {
+        if steal_mode {
+            "BENCH_steal.json"
+        } else if batch_mode {
             "BENCH_batch.json"
         } else if anytime_mode {
             "BENCH_anytime.json"

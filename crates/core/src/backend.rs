@@ -334,6 +334,20 @@ impl SimBackend {
         self.events.push(at, BackendEvent::Arrival(index));
     }
 
+    /// The virtual time of the next event this backend would surface,
+    /// without advancing: the earlier of the event queue's head and any
+    /// due batch launch. Drivers that pause at fixed virtual-time
+    /// boundaries (the steal-epoch rendezvous) use this to process every
+    /// event strictly *before* a boundary first, so DES and virtual-clock
+    /// serving cut their epochs at identical instants.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let head = self.events.peek_time();
+        match self.next_due_launch() {
+            Some((due, _)) => Some(head.map_or(due, |t| t.min(due))),
+            None => head,
+        }
+    }
+
     /// Advances to and returns the next event, or `None` once drained.
     ///
     /// Completions are applied to the server bank here (including starting

@@ -24,7 +24,7 @@ use crate::pipeline::schemble::SchembleConfig;
 use crate::pipeline::{AdmissionMode, ResultAssembler};
 use crate::scheduler::anytime::gain_order_into;
 use crate::scheduler::{BufferedQuery, SchedScratch, ScheduleInput, SchedulePlan};
-use schemble_data::Workload;
+use schemble_data::{Query, Workload};
 use schemble_metrics::{ModelUsage, QueryOutcome, QueryRecord, RunSummary};
 use schemble_models::{Aggregator, Ensemble, ModelSet, Output, Sample};
 use schemble_sim::{SimDuration, SimTime};
@@ -36,8 +36,12 @@ use std::time::Instant;
 /// Live query-outcome counters, maintained incrementally by every engine.
 ///
 /// Conservation invariant (the serve runtime's property tests check it):
-/// `submitted == completed + degraded + rejected + expired + open`, with
-/// `open` reaching zero after [`PipelineEngine::drain`].
+/// `submitted + stolen_in == completed + degraded + rejected + expired +
+/// stolen_out + open`, with `open` reaching zero after
+/// [`PipelineEngine::drain`]. Without work stealing both `stolen_*` terms
+/// are zero and this is the familiar `submitted == terminals + open`; with
+/// it, summing per-shard stats cancels the transfer terms (every release is
+/// someone's adoption), so the *global* invariant is unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Arrival events handled.
@@ -60,12 +64,17 @@ pub struct EngineStats {
     /// judged the partial ensemble already confident enough. Not part of
     /// conservation: the query itself still completes.
     pub tasks_saved: u64,
+    /// Queries adopted from another shard engine by work stealing.
+    pub stolen_in: u64,
+    /// Queries released to another shard engine by work stealing.
+    pub stolen_out: u64,
 }
 
 impl EngineStats {
-    /// Queries submitted but not yet decided.
+    /// Queries owned by this engine but not yet decided.
     pub fn open(&self) -> u64 {
-        self.submitted - (self.completed + self.degraded + self.rejected + self.expired)
+        (self.submitted + self.stolen_in)
+            - (self.completed + self.degraded + self.rejected + self.expired + self.stolen_out)
     }
 
     /// Adds `other`'s counts to `self`. Addition commutes, so folding any
@@ -79,7 +88,41 @@ impl EngineStats {
         self.tasks_failed += other.tasks_failed;
         self.tasks_retried += other.tasks_retried;
         self.tasks_saved += other.tasks_saved;
+        self.stolen_in += other.stolen_in;
+        self.stolen_out += other.stolen_out;
     }
+}
+
+/// A query released by one shard engine for adoption by another, carrying
+/// the admission state that must survive the transfer. The thief re-plans
+/// the query but never re-scores it: the discrepancy prediction is a pure
+/// function of the sample, so carrying the score keeps the transfer free
+/// *and* keeps scoring byte-identical to a run without stealing.
+#[derive(Debug, Clone)]
+pub struct StolenQuery {
+    /// The query itself, keeping its *original* arrival time and deadline —
+    /// a transfer buys capacity, never extra slack.
+    pub query: Query,
+    /// Predicted discrepancy score, already clamped to `[0, 1]`.
+    pub score: f64,
+    /// Difficulty bin of `score` under the utility profile.
+    pub bin: u8,
+}
+
+/// Where a stolen query came from; stamped into the thief's
+/// [`TraceEvent::QueryStolen`] so lineage survives into every export.
+#[derive(Debug, Clone, Copy)]
+pub struct StealLineage {
+    /// Steal-epoch index (0-based) at whose boundary the transfer happened.
+    pub epoch: u32,
+    /// Shard the query was released from.
+    pub victim: u16,
+    /// Shard that adopted it.
+    pub thief: u16,
+    /// Victim's eligible-queue depth in the epoch snapshot.
+    pub victim_depth: u32,
+    /// Thief's eligible-queue depth in the epoch snapshot.
+    pub thief_depth: u32,
 }
 
 /// Retry and degradation knobs for fault-tolerant runs.
@@ -172,6 +215,43 @@ pub trait PipelineEngine {
     /// Drains `(query id, latency secs)` pairs of queries completed since
     /// the last call — the runtime feeds these into its latency histogram.
     fn take_completions(&mut self) -> Vec<(u64, f64)>;
+
+    /// This engine's admitted-but-unplanned backlog as
+    /// `(depth, predicted_us)`: how many steal-eligible queries it holds
+    /// (admitted, scored, no task started) and the sum of their predicted
+    /// service demands in integer microseconds. Pure and side-effect free —
+    /// the steal coordinator snapshots every shard with it at each epoch
+    /// boundary. Engines that cannot release work report `(0, 0)`.
+    fn steal_backlog(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// Releases up to `count` steal-eligible queries — latest deadlines
+    /// first, so the victim keeps the work it is most likely to finish in
+    /// time — removing them from this engine entirely. Default: releases
+    /// nothing (paired with the `(0, 0)` backlog above).
+    fn release_for_steal(&mut self, count: usize, now: SimTime) -> Vec<StolenQuery> {
+        let _ = (count, now);
+        Vec::new()
+    }
+
+    /// Adopts a query released by another engine, assigning it a fresh
+    /// local id (returned). The caller re-plans afterwards via
+    /// [`PipelineEngine::on_rebalanced`]. Engines reporting a `(0, 0)`
+    /// backlog are never paired as thieves, so the default is unreachable
+    /// under the coordinator's protocol.
+    fn adopt_stolen(&mut self, stolen: StolenQuery, lineage: StealLineage, now: SimTime) -> u64 {
+        let _ = (stolen, lineage, now);
+        unreachable!("this engine does not participate in work stealing")
+    }
+
+    /// Re-plans after an epoch rebalance changed this engine's buffer
+    /// (released and/or adopted queries). Called at most once per engine
+    /// per epoch, and only when it transferred at least one query — a
+    /// zero-transfer epoch leaves the engine byte-untouched.
+    fn on_rebalanced(&mut self, now: SimTime, backend: &mut dyn ExecutionBackend) {
+        let _ = (now, backend);
+    }
 }
 
 fn blank_records(workload: &Workload) -> Vec<QueryRecord> {
@@ -241,6 +321,14 @@ fn produced_set(outputs: &[(usize, Output)]) -> ModelSet {
     outputs.iter().fold(ModelSet::EMPTY, |s, (k, _)| s.with(*k))
 }
 
+/// The query behind local id `id`: an adopted (stolen) query if one exists,
+/// otherwise the workload query at that index. A free function (not a
+/// method) so callers can keep a disjoint `&mut` borrow of other engine
+/// fields while holding the returned reference.
+fn query_of<'q>(workload: &'q Workload, adopted: &'q HashMap<u64, Query>, id: u64) -> &'q Query {
+    adopted.get(&id).unwrap_or_else(|| &workload.queries[id as usize])
+}
+
 /// The Schemble pipeline (Fig. 3) as a backend-agnostic engine.
 ///
 /// Executor indices must equal base-model indices (identity deployment) —
@@ -250,6 +338,12 @@ pub struct SchembleEngine<'a> {
     config: &'a SchembleConfig,
     workload: &'a Workload,
     open: HashMap<u64, QState>,
+    /// Queries adopted from other shards by work stealing, keyed by the
+    /// fresh local id assigned at adoption (`>= workload.len()`, since the
+    /// borrowed workload itself is immutable). [`query_of`] makes lookups
+    /// transparent, so the rest of the engine never cares where a query
+    /// came from.
+    adopted: HashMap<u64, Query>,
     plan_ready_at: SimTime,
     records: Vec<QueryRecord>,
     stats: EngineStats,
@@ -288,6 +382,7 @@ impl<'a> SchembleEngine<'a> {
             config,
             workload,
             open: HashMap::new(),
+            adopted: HashMap::new(),
             plan_ready_at: SimTime::ZERO,
             records: blank_records(workload),
             stats: EngineStats::default(),
@@ -445,7 +540,7 @@ impl<'a> SchembleEngine<'a> {
         backend: &mut dyn ExecutionBackend,
     ) {
         {
-            let q = &self.workload.queries[query as usize];
+            let q = query_of(self.workload, &self.adopted, query);
             let Some(state) = self.open.get_mut(&query) else {
                 // Only deadline-aware degradation closes a query while a
                 // task of its is still running; the late output is dropped.
@@ -835,7 +930,7 @@ impl<'a> SchembleEngine<'a> {
         if state.set.is_empty() || state.outputs.len() != state.set.len() {
             return;
         }
-        let q = &self.workload.queries[query as usize];
+        let q = query_of(self.workload, &self.adopted, query);
         let degraded = state.fault.degraded;
         let mut outputs = std::mem::take(&mut state.outputs);
         outputs.sort_by_key(|(k, _)| *k);
@@ -920,6 +1015,22 @@ impl<'a> SchembleEngine<'a> {
     fn schedule_dispatch(&mut self, now: SimTime, backend: &mut dyn ExecutionBackend) {
         if self.plan_ready_at > now {
             backend.request_wake(self.plan_ready_at);
+        }
+    }
+
+    /// Predicted service demand of one steal-eligible query in integer
+    /// microseconds: the summed planned latencies of its assigned set, or —
+    /// when no plan has touched it yet — the cheapest single model, the
+    /// least any admitted query will cost. Integer micros keep the epoch
+    /// snapshot (and hence the transfer plan) platform-independent.
+    fn predicted_cost_us(&self, state: &QState) -> u64 {
+        if state.set.is_empty() {
+            (0..self.ensemble.m())
+                .map(|k| self.ensemble.latency(k).planned().as_micros())
+                .min()
+                .unwrap_or(0)
+        } else {
+            state.set.iter().map(|k| self.ensemble.latency(k).planned().as_micros()).sum()
         }
     }
 }
@@ -1023,6 +1134,106 @@ impl PipelineEngine for SchembleEngine<'_> {
 
     fn take_completions(&mut self) -> Vec<(u64, f64)> {
         std::mem::take(&mut self.completions)
+    }
+
+    fn steal_backlog(&self) -> (u64, u64) {
+        let mut depth = 0u64;
+        let mut predicted_us = 0u64;
+        for state in self.open.values() {
+            if state.frozen || state.closed {
+                continue;
+            }
+            depth += 1;
+            predicted_us += self.predicted_cost_us(state);
+        }
+        (depth, predicted_us)
+    }
+
+    fn release_for_steal(&mut self, count: usize, now: SimTime) -> Vec<StolenQuery> {
+        let _ = now;
+        // Latest deadlines go: the victim keeps the queries it is most
+        // likely to still finish in time. Sorted by (deadline, id) so the
+        // choice is a pure function of engine state.
+        let mut ids: Vec<u64> =
+            self.open.iter().filter(|(_, s)| !s.frozen && !s.closed).map(|(&id, _)| id).collect();
+        ids.sort_unstable_by_key(|id| (self.open[id].deadline, *id));
+        let mut out = Vec::with_capacity(count.min(ids.len()));
+        for id in ids.into_iter().rev().take(count) {
+            let state = self.open.remove(&id).expect("present");
+            debug_assert!(
+                state.started.is_empty() && state.outputs.is_empty(),
+                "released query {id} had running work"
+            );
+            let query = match self.adopted.remove(&id) {
+                Some(q) => q,
+                None => self.workload.queries[id as usize].clone(),
+            };
+            // The released record slot stays `Missed` in this engine; the
+            // shard merge drops it in favour of the thief's record.
+            let bin = self.config.profile.bin_of(state.score) as u8;
+            self.stats.stolen_out += 1;
+            out.push(StolenQuery { query, score: state.score, bin });
+        }
+        out
+    }
+
+    fn adopt_stolen(&mut self, stolen: StolenQuery, lineage: StealLineage, now: SimTime) -> u64 {
+        // Fresh local id: the workload is borrowed immutably, so adopted
+        // queries extend the records vector instead.
+        let id = self.records.len() as u64;
+        let mut query = stolen.query;
+        query.id = id;
+        self.records.push(QueryRecord {
+            id,
+            arrival: query.arrival,
+            deadline: query.deadline,
+            completion: None,
+            outcome: QueryOutcome::Missed,
+            models_used: 0,
+        });
+        let utilities = self.config.profile.utility_vector(stolen.score);
+        self.open.insert(
+            id,
+            QState {
+                deadline: query.deadline,
+                arrival: query.arrival,
+                // Already scored on the victim: dispatchable immediately.
+                ready_at: now,
+                score: stolen.score,
+                utilities,
+                set: ModelSet::EMPTY,
+                started: ModelSet::EMPTY,
+                frozen: false,
+                outputs: Vec::new(),
+                closed: false,
+                fault: FaultBook::default(),
+            },
+        );
+        self.stats.stolen_in += 1;
+        self.trace.emit(TraceEvent::QueryStolen {
+            t: now,
+            query: id,
+            epoch: lineage.epoch,
+            victim: lineage.victim,
+            thief: lineage.thief,
+            victim_depth: lineage.victim_depth,
+            thief_depth: lineage.thief_depth,
+            arrival: query.arrival,
+            deadline: query.deadline,
+            bin: stolen.bin,
+            score_fp: score_fixed_point(stolen.score),
+        });
+        self.adopted.insert(id, query);
+        id
+    }
+
+    fn on_rebalanced(&mut self, now: SimTime, backend: &mut dyn ExecutionBackend) {
+        self.expire(now);
+        self.replan(now, backend);
+        self.schedule_dispatch(now, backend);
+        if now >= self.plan_ready_at {
+            self.dispatch(now, backend);
+        }
     }
 }
 

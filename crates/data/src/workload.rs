@@ -10,6 +10,10 @@ use schemble_sim::SimTime;
 pub struct Query {
     /// Query index within the workload (== sample id).
     pub id: u64,
+    /// Routing key: what a shard router hashes to place the query. Defaults
+    /// to `id` (uniform placement); [`Workload::with_zipf_keys`] re-keys the
+    /// stream to model hot-key skew.
+    pub key: u64,
     /// The payload.
     pub sample: Sample,
     /// Arrival time.
@@ -45,6 +49,7 @@ impl Workload {
             .enumerate()
             .map(|(i, (arrival, deadline))| Query {
                 id: i as u64,
+                key: i as u64,
                 sample: generator.sample(i as u64),
                 arrival,
                 deadline,
@@ -69,15 +74,42 @@ impl Workload {
         self.queries.iter().map(|q| &q.sample).collect()
     }
 
+    /// Re-keys the stream with a Zipfian hot-key distribution: each query's
+    /// routing [`Query::key`] is drawn from `keys` distinct keys with
+    /// probability proportional to `1/(rank+1)^theta` (`theta = 0` is
+    /// uniform; larger exponents concentrate mass on key 0). The draw is a
+    /// pure per-id hash through the inverse CDF — no sequential RNG — so
+    /// re-keying the same workload with the same `(keys, theta, seed)`
+    /// yields identical keys regardless of iteration order. Ids, payloads,
+    /// arrivals and deadlines are untouched.
+    pub fn with_zipf_keys(mut self, keys: usize, theta: f64, seed: u64) -> Self {
+        let keys = keys.max(1);
+        let weights: Vec<f64> = (0..keys).map(|k| 1.0 / ((k + 1) as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(keys);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        for q in &mut self.queries {
+            let h = splitmix64(seed ^ splitmix64(q.id));
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            q.key = cdf.partition_point(|&c| c < u).min(keys - 1) as u64;
+        }
+        self
+    }
+
     /// Partitions the workload into `shards` sub-workloads with `assign`
-    /// mapping a global query id to its shard.
+    /// mapping a query to its shard (routers typically hash [`Query::key`]).
     ///
     /// Engines require `query.id == index into the workload`, so each
     /// sub-workload renumbers its queries `0..n_s` (arrival order is
-    /// preserved; sample payloads, arrivals and deadlines are untouched)
-    /// and records the original ids in [`ShardWorkload::global_ids`] so
-    /// per-shard results can be mapped back into the global namespace.
-    pub fn partition(&self, shards: usize, assign: impl Fn(u64) -> usize) -> Vec<ShardWorkload> {
+    /// preserved; sample payloads, routing keys, arrivals and deadlines are
+    /// untouched) and records the original ids in
+    /// [`ShardWorkload::global_ids`] so per-shard results can be mapped back
+    /// into the global namespace.
+    pub fn partition(&self, shards: usize, assign: impl Fn(&Query) -> usize) -> Vec<ShardWorkload> {
         let mut parts: Vec<ShardWorkload> = (0..shards.max(1))
             .map(|_| ShardWorkload {
                 workload: Workload { queries: Vec::new(), duration: self.duration },
@@ -85,7 +117,7 @@ impl Workload {
             })
             .collect();
         for q in &self.queries {
-            let s = assign(q.id).min(parts.len() - 1);
+            let s = assign(q).min(parts.len() - 1);
             let part = &mut parts[s];
             let mut local = q.clone();
             local.id = part.workload.queries.len() as u64;
@@ -94,6 +126,15 @@ impl Workload {
         }
         parts
     }
+}
+
+/// SplitMix64 finalizer: a stateless avalanche hash (same mixer the shard
+/// router uses), here driving the per-id Zipf key draw.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// One shard's slice of a partitioned [`Workload`].
@@ -147,7 +188,7 @@ mod tests {
     #[test]
     fn partition_renumbers_locally_and_remembers_global_ids() {
         let w = workload(100);
-        let parts = w.partition(3, |id| (id % 3) as usize);
+        let parts = w.partition(3, |q| (q.id % 3) as usize);
         assert_eq!(parts.len(), 3);
         assert_eq!(parts.iter().map(|p| p.workload.len()).sum::<usize>(), 100);
         let mut seen: Vec<u64> = Vec::new();
@@ -172,6 +213,83 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..100).collect::<Vec<u64>>(), "a partition, not a sample");
+    }
+
+    #[test]
+    fn partition_tolerates_empty_shards() {
+        // Every id hashes to shard 0: shards 1 and 2 must come back as
+        // valid, empty sub-workloads rather than being dropped or panicking.
+        let w = workload(20);
+        let parts = w.partition(3, |_| 0);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].workload.len(), 20);
+        for part in &parts[1..] {
+            assert!(part.workload.is_empty());
+            assert!(part.global_ids.is_empty());
+            assert_eq!(part.workload.duration, w.duration);
+        }
+    }
+
+    #[test]
+    fn partition_single_query_workload() {
+        let w = workload(1);
+        let parts = w.partition(4, |q| (q.id as usize + 2) % 4);
+        assert_eq!(parts.iter().map(|p| p.workload.len()).sum::<usize>(), 1);
+        let home = parts.iter().position(|p| !p.workload.is_empty()).unwrap();
+        assert_eq!(home, 2);
+        assert_eq!(parts[home].workload.queries[0].id, 0);
+        assert_eq!(parts[home].global_ids, vec![0]);
+    }
+
+    #[test]
+    fn partition_local_global_round_trip() {
+        // Property: for every shard s and local id l,
+        // original[global_ids[l]] == shard query l (modulo the renumbered
+        // id), across several shard counts and assignment functions.
+        let w = workload(67);
+        for shards in [1usize, 2, 3, 5, 8] {
+            for salt in [0u64, 7, 13] {
+                let parts = w.partition(shards, |q| ((q.id ^ salt) % shards as u64) as usize);
+                let mut covered = 0usize;
+                for part in &parts {
+                    for (l, q) in part.workload.queries.iter().enumerate() {
+                        let mut back = q.clone();
+                        back.id = part.global_ids[l];
+                        assert_eq!(back, w.queries[part.global_ids[l] as usize]);
+                        covered += 1;
+                    }
+                }
+                assert_eq!(covered, w.len());
+            }
+        }
+    }
+
+    #[test]
+    fn default_keys_equal_ids_and_zipf_rekeys_deterministically() {
+        let w = workload(50);
+        assert!(w.queries.iter().all(|q| q.key == q.id));
+        let a = w.clone().with_zipf_keys(16, 1.5, 7);
+        let b = w.clone().with_zipf_keys(16, 1.5, 7);
+        assert_eq!(a.queries, b.queries);
+        assert!(a.queries.iter().all(|q| q.key < 16));
+        // Everything except the key is untouched.
+        for (orig, rekeyed) in w.queries.iter().zip(&a.queries) {
+            assert_eq!(orig.id, rekeyed.id);
+            assert_eq!(orig.sample, rekeyed.sample);
+            assert_eq!(orig.arrival, rekeyed.arrival);
+            assert_eq!(orig.deadline, rekeyed.deadline);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass_on_the_hot_key() {
+        let w = workload(400).with_zipf_keys(64, 2.0, 11);
+        let hot = w.queries.iter().filter(|q| q.key == 0).count();
+        // p(key 0) ~ 1/zeta(2.0, 64) ~ 0.62; allow a generous band.
+        assert!(hot > 180, "expected a hot key under theta=2.0, got {hot}/400");
+        let uniform = workload(400).with_zipf_keys(64, 0.0, 11);
+        let hot0 = uniform.queries.iter().filter(|q| q.key == 0).count();
+        assert!(hot0 < 40, "theta=0 must be near-uniform, got {hot0}/400");
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct RuntimeCounters {
     /// Tasks launched as members of a cross-query batch (sum of launched
     /// batch sizes, singleton batches included).
     pub tasks_batched: AtomicU64,
+    /// Queries transferred between shards by work stealing. Counted on the
+    /// thief at adoption; conservation is unaffected because the victim's
+    /// `submitted` and the thief's terminal outcome still pair up globally.
+    pub queries_stolen: AtomicU64,
 }
 
 impl RuntimeCounters {
@@ -76,6 +80,7 @@ impl RuntimeCounters {
         sat_add(&self.tasks_retried, other.tasks_retried.load(Relaxed));
         sat_add(&self.tasks_saved, other.tasks_saved.load(Relaxed));
         sat_add(&self.tasks_batched, other.tasks_batched.load(Relaxed));
+        sat_add(&self.queries_stolen, other.queries_stolen.load(Relaxed));
     }
 
     /// Queries submitted but not yet decided.
@@ -331,6 +336,7 @@ impl RuntimeMetrics {
             tasks_retried: c.tasks_retried.load(Relaxed),
             tasks_saved: c.tasks_saved.load(Relaxed),
             tasks_batched: c.tasks_batched.load(Relaxed),
+            queries_stolen: c.queries_stolen.load(Relaxed),
             up: self.executors.iter().map(|e| e.up.load(Relaxed) == 1).collect(),
             queue_depths: self
                 .executors
@@ -383,6 +389,8 @@ pub struct RuntimeSnapshot {
     pub tasks_saved: u64,
     /// Tasks launched as members of a cross-query batch.
     pub tasks_batched: u64,
+    /// Queries transferred between shards by work stealing.
+    pub queries_stolen: u64,
     /// Whether each executor is up.
     pub up: Vec<bool>,
     /// Backlog length per executor.

@@ -69,6 +69,19 @@ pub struct BatchStep {
     pub queue_wait_us: u64,
 }
 
+/// One inter-shard transfer in a query's steal lineage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealStep {
+    /// The epoch boundary the transfer resolved at.
+    pub t: SimTime,
+    /// Steal epoch index.
+    pub epoch: u32,
+    /// Shard the query left.
+    pub victim: u16,
+    /// Shard that adopted it.
+    pub thief: u16,
+}
+
 /// How the query ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
@@ -121,6 +134,9 @@ pub struct PlanExplain {
     pub tasks: Vec<TaskStep>,
     /// Batches this query's tasks were launched in, oldest first.
     pub batches: Vec<BatchStep>,
+    /// Work-steal lineage: every inter-shard transfer, oldest first (empty
+    /// for the never-stolen common case, which renders unchanged).
+    pub steals: Vec<StealStep>,
     /// Realized discrepancy score ×10⁶ (set on evaluation).
     pub realized_fp: Option<u32>,
     /// Whether the assembled answer was correct.
@@ -130,6 +146,19 @@ pub struct PlanExplain {
 }
 
 impl PlanExplain {
+    /// The shard the query was admitted on: the first steal's victim.
+    /// `None` when the query was never stolen (unsharded runs, or a query
+    /// that stayed home — the trace only records shard identity on
+    /// transfers).
+    pub fn home_shard(&self) -> Option<u16> {
+        self.steals.first().map(|s| s.victim)
+    }
+
+    /// The shard that ultimately served the query: the last steal's thief.
+    pub fn serving_shard(&self) -> Option<u16> {
+        self.steals.last().map(|s| s.thief)
+    }
+
     /// Deadline slack of the last plan, µs: positive means the plan expected
     /// to finish early. `None` until both a deadline and an assignment exist.
     pub fn predicted_slack_us(&self) -> Option<i64> {
@@ -153,6 +182,19 @@ impl PlanExplain {
         if let (Some(bin), Some(fp)) = (self.bin, self.score_fp) {
             let _ =
                 writeln!(out, "  predicted difficulty: bin {bin} (score {:.6})", fp as f64 / 1e6);
+        }
+        if let (Some(home), Some(serving)) = (self.home_shard(), self.serving_shard()) {
+            let _ = writeln!(out, "  home shard {home}, served by shard {serving}");
+            for s in &self.steals {
+                let _ = writeln!(
+                    out,
+                    "  stolen @ {:.3} ms: epoch {}, shard {} -> shard {}",
+                    ms(s.t),
+                    s.epoch,
+                    s.victim,
+                    s.thief
+                );
+            }
         }
         for a in &self.assigns {
             let members = set_members(a.set);
@@ -228,6 +270,7 @@ pub fn explain_query(events: &[TraceEvent], query: u64) -> Option<PlanExplain> {
         assigns: Vec::new(),
         tasks: Vec::new(),
         batches: Vec::new(),
+        steals: Vec::new(),
         realized_fp: None,
         correct: None,
         outcome: Outcome::Open,
@@ -283,6 +326,14 @@ pub fn explain_query(events: &[TraceEvent], query: u64) -> Option<PlanExplain> {
             TraceEvent::QueryExpired { t, .. } => e.outcome = Outcome::Expired { t },
             TraceEvent::TaskQuit { t, executor, .. } => {
                 e.tasks.push(TaskStep { t, executor, kind: TaskStepKind::Quit });
+            }
+            TraceEvent::QueryStolen { t, epoch, victim, thief, arrival, deadline, bin, .. } => {
+                e.steals.push(StealStep { t, epoch, victim, thief });
+                // A thief-side stream may never have seen the victim's
+                // Arrival/Scored; the steal carries the admission state.
+                e.arrival.get_or_insert(arrival);
+                e.deadline.get_or_insert(deadline);
+                e.bin.get_or_insert(bin);
             }
             // The per-decision summary adds nothing beyond its TaskQuit events.
             TraceEvent::WorkSaved { .. } => {}
@@ -450,6 +501,60 @@ mod tests {
         assert!(text.contains("batch #5"), "render shows membership:\n{text}");
         assert!(text.contains("co-batched with [8]"), "{text}");
         assert!(text.contains("queue-wait 2.000 ms"), "{text}");
+    }
+
+    #[test]
+    fn never_stolen_query_renders_unchanged() {
+        // The steal-aware renderer must not add a single byte for a query
+        // with no steal lineage: same fold, same render as a hand-built
+        // explain with the steal fields absent.
+        let e = explain_query(&story(), 3).unwrap();
+        assert!(e.steals.is_empty());
+        assert_eq!(e.home_shard(), None);
+        assert_eq!(e.serving_shard(), None);
+        let text = e.render();
+        assert!(!text.contains("shard"), "no shard lines for a never-stolen query:\n{text}");
+        assert!(!text.contains("stolen"), "{text}");
+        let mut stripped = e.clone();
+        stripped.steals = Vec::new();
+        assert_eq!(stripped.render(), text);
+    }
+
+    #[test]
+    fn steal_lineage_shows_home_and_serving_shard() {
+        let mut events = story();
+        events.insert(
+            4,
+            TraceEvent::QueryStolen {
+                t: at(1),
+                query: 3,
+                epoch: 1,
+                victim: 2,
+                thief: 0,
+                victim_depth: 7,
+                thief_depth: 1,
+                arrival: at(0),
+                deadline: at(100),
+                bin: 2,
+                score_fp: 612_500,
+            },
+        );
+        let e = explain_query(&events, 3).unwrap();
+        assert_eq!(e.steals.len(), 1);
+        assert_eq!(e.home_shard(), Some(2));
+        assert_eq!(e.serving_shard(), Some(0));
+        let text = e.render();
+        assert!(text.contains("home shard 2, served by shard 0"), "{text}");
+        assert!(text.contains("stolen @ 1.000 ms: epoch 1, shard 2 -> shard 0"), "{text}");
+
+        // Thief-only stream (no Arrival): the steal seeds the admission
+        // state so the timeline still has an arrival and deadline.
+        let thief_stream =
+            vec![events[4], TraceEvent::QueryDone { t: at(70), query: 3, set: 0b01 }];
+        let t = explain_query(&thief_stream, 3).unwrap();
+        assert_eq!(t.arrival, Some(at(0)));
+        assert_eq!(t.deadline, Some(at(100)));
+        assert_eq!(t.bin, Some(2));
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use series::{LatencyWindow, SloSeries, SloTotals, WindowStats};
 
 use schemble_sim::{SimDuration, SimTime};
 use schemble_trace::{AdmissionVerdict, TraceEvent};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Configuration for an [`ObsState`] fold.
 #[derive(Debug, Clone)]
@@ -78,6 +78,10 @@ pub struct ObsState {
     /// The drift detectors.
     pub drift: DriftState,
     open: HashMap<u64, OpenQuery>,
+    /// Last steal-eligible queue depth each shard published at a steal
+    /// epoch (keyed by shard id; populated only by `QueryStolen` events, so
+    /// runs without stealing carry — and export — nothing here).
+    shard_backlog: BTreeMap<u16, u64>,
 }
 
 impl ObsState {
@@ -87,6 +91,7 @@ impl ObsState {
             series: SloSeries::new(config.window, config.capacity),
             drift: DriftState::new(config.bins, config.profiled_latencies_us.clone()),
             open: HashMap::new(),
+            shard_backlog: BTreeMap::new(),
         }
     }
 
@@ -158,6 +163,13 @@ impl ObsState {
             // Batch launches change no SLO or drift state: members' own
             // TaskStart/TaskDone events already carry their timings.
             TraceEvent::BatchFormed { .. } => {}
+            // A steal moves the query between shards without closing it:
+            // count it and remember the depths both sides published.
+            TraceEvent::QueryStolen { t, victim, thief, victim_depth, thief_depth, .. } => {
+                self.series.on_stolen(t);
+                self.shard_backlog.insert(victim, victim_depth as u64);
+                self.shard_backlog.insert(thief, thief_depth as u64);
+            }
         }
     }
 
@@ -173,14 +185,20 @@ impl ObsState {
     /// byte-identical.
     pub fn slo_ndjson(&self) -> String {
         let window_us = self.series.window_us();
+        // The `stolen` key is emitted only when the run actually stole work
+        // (uniformly, on every line), so exports from runs without
+        // `--steal-epoch-ms` keep their exact historical bytes.
+        let with_steals = self.series.totals.stolen > 0;
         let mut out = String::new();
         for w in self.series.windows() {
+            let stolen =
+                if with_steals { format!(",\"stolen\":{}", w.stolen) } else { String::new() };
             out.push_str(&format!(
                 "{{\"window\":{},\"start_us\":{},\"arrivals\":{},\"completed\":{},\
                  \"degraded\":{},\"expired\":{},\"rejected\":{},\"missed\":{},\
                  \"failures\":{},\"retries\":{},\"plans\":{},\"sched_cost_us\":{},\
                  \"plan_work\":{},\"p50_us\":{},\"p99_us\":{},\"latency_count\":{},\
-                 \"latency_sum_us\":{},\"queue_depth\":{}}}\n",
+                 \"latency_sum_us\":{},\"queue_depth\":{}{stolen}}}\n",
                 w.index,
                 w.index * window_us,
                 w.arrivals,
@@ -227,6 +245,15 @@ impl ObsState {
             t.sched_cost_us,
         );
         counter("schemble_obs_plan_work_total", "Scheduler work units consumed.", t.plan_work);
+        // Steal telemetry appears only when the run stole work, keeping
+        // no-steal expositions byte-identical to historical output.
+        if t.stolen > 0 {
+            counter(
+                "schemble_obs_queries_stolen_total",
+                "Queries transferred between shards by work stealing.",
+                t.stolen,
+            );
+        }
         let d = &self.drift;
         counter("schemble_obs_drift_pairs_total", "Predicted/realized bin pairs.", d.pairs);
         counter("schemble_obs_drift_agree_total", "Pairs with matching bins.", d.agree);
@@ -267,6 +294,14 @@ impl ObsState {
                 "Newest window's scheduling cost, microseconds.",
                 w.sched_cost_us,
             );
+        }
+        if !self.shard_backlog.is_empty() {
+            out.push_str(
+                "# HELP schemble_obs_shard_backlog Steal-eligible queue depth each shard last published at a steal epoch.\n# TYPE schemble_obs_shard_backlog gauge\n",
+            );
+            for (shard, depth) in &self.shard_backlog {
+                out.push_str(&format!("schemble_obs_shard_backlog{{shard=\"{shard}\"}} {depth}\n"));
+            }
         }
         if !d.executors.is_empty() {
             for (metric, help, get) in [
@@ -367,6 +402,46 @@ mod tests {
         assert_eq!(ndjson, b.slo_ndjson(), "same stream, same bytes");
         assert_eq!(ndjson.lines().count(), 2, "windows 0 and 1 are occupied");
         assert!(ndjson.lines().next().unwrap().contains("\"sched_cost_us\":250"));
+    }
+
+    #[test]
+    fn steal_events_surface_in_both_exports_and_stay_absent_without_them() {
+        // Without steals: neither export mentions stealing at all.
+        let plain = ObsState::fold(&config(), &stream());
+        assert!(!plain.slo_ndjson().contains("stolen"));
+        assert!(!plain.prometheus().contains("stolen"));
+        assert!(!plain.prometheus().contains("shard_backlog"));
+
+        // With a steal mid-stream: the query still closes exactly once, the
+        // per-window counter and shard backlog gauges appear.
+        let mut events = stream();
+        events.insert(
+            5,
+            TraceEvent::QueryStolen {
+                t: at(2),
+                query: 0,
+                epoch: 1,
+                victim: 0,
+                thief: 1,
+                victim_depth: 4,
+                thief_depth: 1,
+                arrival: at(0),
+                deadline: at(100),
+                bin: 0,
+                score_fp: 100_000,
+            },
+        );
+        let s = ObsState::fold(&config(), &events);
+        assert_eq!(s.series.totals.stolen, 1);
+        assert_eq!(s.series.totals.completed, 1);
+        assert_eq!(s.series.live_open(), 0, "a steal must not open or close a query");
+        let ndjson = s.slo_ndjson();
+        validate_ndjson(&ndjson).expect("well-formed NDJSON");
+        assert!(ndjson.lines().next().unwrap().contains("\"stolen\":1"));
+        let prom = s.prometheus();
+        assert!(prom.contains("schemble_obs_queries_stolen_total 1"));
+        assert!(prom.contains("schemble_obs_shard_backlog{shard=\"0\"} 4"));
+        assert!(prom.contains("schemble_obs_shard_backlog{shard=\"1\"} 1"));
     }
 
     #[test]

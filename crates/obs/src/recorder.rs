@@ -231,6 +231,9 @@ pub fn event_json(ev: &TraceEvent) -> String {
         TraceEvent::BatchFormed { executor, batch, size, .. } => format!(
             "{{\"type\":\"batch-formed\",\"t_us\":{t},\"executor\":{executor},\"batch\":{batch},\"size\":{size}}}"
         ),
+        TraceEvent::QueryStolen { query, epoch, victim, thief, .. } => format!(
+            "{{\"type\":\"query-stolen\",\"t_us\":{t},\"query\":{query},\"epoch\":{epoch},\"victim\":{victim},\"thief\":{thief}}}"
+        ),
     }
 }
 

@@ -133,6 +133,8 @@ pub struct WindowStats {
     pub sched_cost_us: u64,
     /// Abstract scheduler work units consumed.
     pub plan_work: u64,
+    /// Queries adopted by a thief shard via work stealing.
+    pub stolen: u64,
     /// End-to-end latency of queries closed in this window.
     pub latency: LatencyWindow,
     /// Open queries when the window closed (`None` until a later window
@@ -165,6 +167,8 @@ pub struct SloTotals {
     pub sched_cost_us: u64,
     /// Scheduler work units.
     pub plan_work: u64,
+    /// Queries transferred between shards by work stealing.
+    pub stolen: u64,
 }
 
 /// The windowed ring: most recent `capacity` windows by absolute index.
@@ -335,6 +339,16 @@ impl SloSeries {
         }
     }
 
+    /// Records a work-steal adoption. The query stays open (stealing moves
+    /// it between shards without closing it), so only the counters move.
+    pub fn on_stolen(&mut self, t: SimTime) {
+        let slot = self.touch(t);
+        self.totals.stolen += 1;
+        if let Some(i) = slot {
+            self.slots[i].stolen += 1;
+        }
+    }
+
     /// The retained windows in ascending index order, with the newest
     /// window's queue depth stamped from the live gauge. A slot whose window
     /// was logically evicted by a far jump (its index now trails the newest
@@ -391,6 +405,7 @@ impl SloSeries {
             slot.plans += w.plans;
             slot.sched_cost_us += w.sched_cost_us;
             slot.plan_work += w.plan_work;
+            slot.stolen += w.stolen;
             slot.latency.merge_from(&w.latency);
             slot.open_at_end = match (slot.open_at_end, w.open_at_end) {
                 (Some(a), Some(b)) => Some(a + b),
@@ -410,6 +425,7 @@ impl SloSeries {
             t.plans += src.plans;
             t.sched_cost_us += src.sched_cost_us;
             t.plan_work += src.plan_work;
+            t.stolen += src.stolen;
         }
         out.live_open = self.live_open + other.live_open;
         out

@@ -32,6 +32,7 @@ pub mod backend;
 pub mod clock;
 pub mod runtime;
 pub mod shard;
+pub mod steal;
 pub mod worker;
 
 pub use backend::ThreadedBackend;
@@ -42,3 +43,4 @@ pub use runtime::{
 };
 pub use schemble_core::engine::PipelineEngine;
 pub use shard::{serve_schemble_sharded, ShardRouter};
+pub use steal::{transfer_plan, LoadSnapshot, StealCoordinator, StealHandle, Transfer};

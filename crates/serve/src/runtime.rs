@@ -14,6 +14,7 @@
 
 use crate::backend::ThreadedBackend;
 use crate::clock::{precise_sleep, DilatedClock};
+use crate::steal::{execute_steal_round, LoadSnapshot, Rendezvous, StealHandle};
 use crate::worker::{RuntimeMsg, WorkerPool};
 use schemble_core::backend::{BackendEvent, ExecutionBackend, SimBackend};
 use schemble_core::engine::{
@@ -84,6 +85,11 @@ pub struct ServeConfig {
     /// [`SchembleConfig::batching`]; `None` — and equally an inactive
     /// config — keeps the backends byte-identical to an unbatched run.
     pub batching: Option<BatchConfig>,
+    /// Inter-shard work stealing: shard engines pause at every virtual-time
+    /// boundary of this length and rebalance admitted-but-unplanned queries
+    /// (see [`crate::steal`]). Only the sharded Schemble path uses it;
+    /// `None` (the default) is byte-identical to a build without stealing.
+    pub steal_epoch: Option<schemble_sim::SimDuration>,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +106,7 @@ impl Default for ServeConfig {
             audit: None,
             recorder: None,
             batching: None,
+            steal_epoch: None,
         }
     }
 }
@@ -151,6 +158,9 @@ fn sync_metrics(engine: &mut dyn PipelineEngine, metrics: &RuntimeMetrics) {
     c.tasks_failed.store(s.tasks_failed, Relaxed);
     c.tasks_retried.store(s.tasks_retried, Relaxed);
     c.tasks_saved.store(s.tasks_saved, Relaxed);
+    // Thief-side counting: per-shard sums of `stolen_in` merge into the
+    // global transfer total (each transfer has exactly one adoption).
+    c.queries_stolen.store(s.stolen_in, Relaxed);
     for (_, latency_secs) in engine.take_completions() {
         metrics.latency.record(latency_secs);
     }
@@ -171,6 +181,7 @@ pub fn run_wall(
     config: &ServeConfig,
     dilation: f64,
     metrics: &Arc<RuntimeMetrics>,
+    mut steal: Option<&mut StealHandle>,
 ) -> RunStats {
     let wall_start = Instant::now();
     let clock = DilatedClock::start(dilation);
@@ -239,10 +250,92 @@ pub fn run_wall(
             .expect("spawn reporter")
     });
 
+    // Applies one runtime message to the engine. Shared between the main
+    // recv loop and the pre-rendezvous drain so both paths treat batch
+    // fan-out and zombie reports identically.
+    fn deliver(
+        msg: RuntimeMsg,
+        now: SimTime,
+        engine: &mut dyn PipelineEngine,
+        backend: &mut ThreadedBackend,
+        arrivals_done: &mut bool,
+        stalled: &mut u32,
+    ) {
+        match msg {
+            RuntimeMsg::Arrive(i) => {
+                engine.handle(BackendEvent::Arrival(i), now, backend);
+                *stalled = 0;
+            }
+            RuntimeMsg::TaskDone { executor, query } => {
+                // A report standing in for a whole batched pass fans out
+                // into one engine event per member, fates applied.
+                if let Some(members) = backend.batch_members(executor, query, now) {
+                    for (q, failed) in members {
+                        let event = if failed {
+                            BackendEvent::TaskFailed { executor, query: q }
+                        } else {
+                            BackendEvent::TaskDone { executor, query: q }
+                        };
+                        engine.handle(event, now, backend);
+                    }
+                } else if backend.complete(executor, query, now) {
+                    // A false return is a zombie report (task killed by a
+                    // crash): the engine already saw its TaskFailed.
+                    engine.handle(BackendEvent::TaskDone { executor, query }, now, backend);
+                }
+                *stalled = 0;
+            }
+            RuntimeMsg::TaskFailed { executor, query } => {
+                if backend.fail(executor, query, now) {
+                    engine.handle(BackendEvent::TaskFailed { executor, query }, now, backend);
+                }
+                *stalled = 0;
+            }
+            RuntimeMsg::ArrivalsDone => *arrivals_done = true,
+        }
+    }
+
     let mut arrivals_done = false;
     let mut stalled = 0u32;
+    let mut steal_stopped = steal.is_none();
     loop {
         let now = clock.now_sim();
+        // Epoch rendezvous: once wall time passes a steal boundary, pause
+        // and rebalance with the peer shards.
+        if !steal_stopped {
+            let handle = steal.as_deref_mut().expect("steal handle present until stopped");
+            let boundary = handle.next_boundary();
+            if now >= boundary {
+                // A rendezvous round can outlast the wall time between
+                // epoch boundaries (small epochs, high dilation). Drain
+                // everything already due before blocking on the barrier —
+                // back-to-back rounds would otherwise starve the message
+                // channel, wedging the loadgen against its bounded buffer
+                // so arrivals (and the run) never finish.
+                while let Ok(msg) = rx.try_recv() {
+                    let now = clock.now_sim();
+                    deliver(msg, now, &mut *engine, &mut backend, &mut arrivals_done, &mut stalled);
+                }
+                let now = clock.now_sim();
+                for event in backend.take_due_fault_events(now) {
+                    engine.handle(event, now, &mut backend);
+                }
+                if backend.take_due_wake(now) {
+                    engine.handle(BackendEvent::Wake, now, &mut backend);
+                }
+                backend.launch_due_batches(now);
+                let done = arrivals_done && engine.open_count() == 0 && backend.all_idle();
+                let (depth, backlog_us) = engine.steal_backlog();
+                match handle.rendezvous(LoadSnapshot { depth, backlog_us, done }) {
+                    Rendezvous::Stop => steal_stopped = true,
+                    Rendezvous::Round(plan) => {
+                        execute_steal_round(engine, &mut backend, handle, &plan, now);
+                    }
+                }
+                sync_metrics(engine, metrics);
+                continue;
+            }
+        }
         // Fault-plan transitions due now (crashes, recoveries, and the
         // tasks a crash killed) reach the engine before anything else.
         let fault_events = backend.take_due_fault_events(now);
@@ -262,7 +355,9 @@ pub fn run_wall(
         // Open batches whose coalescing window expired launch before the
         // loop sleeps again (their deadline is part of `next_wake`).
         backend.launch_due_batches(now);
-        if arrivals_done && engine.open_count() == 0 && backend.all_idle() {
+        // With stealing live, a drained shard keeps rendezvousing (it may
+        // yet adopt work) until the coordinator declares a global stop.
+        if arrivals_done && engine.open_count() == 0 && backend.all_idle() && steal_stopped {
             break;
         }
         // Sleep until the next arrival/completion, or the next timer the
@@ -271,44 +366,19 @@ pub fn run_wall(
         if let Some(hint) = engine.next_wake_hint(now) {
             next = Some(next.map_or(hint, |n| n.min(hint)));
         }
+        if !steal_stopped {
+            let boundary = steal.as_ref().expect("steal handle present").next_boundary();
+            next = Some(next.map_or(boundary, |n| n.min(boundary)));
+        }
         let timeout = match next {
             Some(t) => clock.wall_until(t),
             None => Duration::from_millis(20),
         };
         match rx.recv_timeout(timeout) {
-            Ok(RuntimeMsg::Arrive(i)) => {
+            Ok(msg) => {
                 let now = clock.now_sim();
-                engine.handle(BackendEvent::Arrival(i), now, &mut backend);
-                stalled = 0;
+                deliver(msg, now, &mut *engine, &mut backend, &mut arrivals_done, &mut stalled);
             }
-            Ok(RuntimeMsg::TaskDone { executor, query }) => {
-                let now = clock.now_sim();
-                // A report standing in for a whole batched pass fans out
-                // into one engine event per member, fates applied.
-                if let Some(members) = backend.batch_members(executor, query, now) {
-                    for (q, failed) in members {
-                        let event = if failed {
-                            BackendEvent::TaskFailed { executor, query: q }
-                        } else {
-                            BackendEvent::TaskDone { executor, query: q }
-                        };
-                        engine.handle(event, now, &mut backend);
-                    }
-                } else if backend.complete(executor, query, now) {
-                    // A false return is a zombie report (task killed by a
-                    // crash): the engine already saw its TaskFailed.
-                    engine.handle(BackendEvent::TaskDone { executor, query }, now, &mut backend);
-                }
-                stalled = 0;
-            }
-            Ok(RuntimeMsg::TaskFailed { executor, query }) => {
-                let now = clock.now_sim();
-                if backend.fail(executor, query, now) {
-                    engine.handle(BackendEvent::TaskFailed { executor, query }, now, &mut backend);
-                }
-                stalled = 0;
-            }
-            Ok(RuntimeMsg::ArrivalsDone) => arrivals_done = true,
             Err(RecvTimeoutError::Timeout) => {
                 let now = clock.now_sim();
                 // Dead (panicked) workers surface here, as executor-down.
@@ -349,6 +419,11 @@ pub fn run_wall(
         sync_metrics(engine, metrics);
     }
 
+    // An early exit (wedge breaker, disconnect) leaves the rendezvous for
+    // good so the peer shards' barriers recompute without this one.
+    if let Some(handle) = steal {
+        handle.detach();
+    }
     let end = clock.now_sim();
     engine.drain(end);
     sync_metrics(engine, metrics);
@@ -369,6 +444,13 @@ pub fn run_wall(
 /// Drives `engine` deterministically over the DES [`SimBackend`] — the same
 /// loop `run_schemble`/`run_immediate` use, so decisions (admissions,
 /// model sets, completion times) match those pipelines exactly.
+///
+/// With a [`StealHandle`], the loop additionally pauses at every epoch
+/// boundary: events strictly before the boundary are processed first, then
+/// the shard rendezvouses (boundary-time events run after), so every shard
+/// cuts its epochs at identical virtual instants — the property that makes
+/// sharded runs with stealing byte-identical across DES and wall drivers.
+#[allow(clippy::too_many_arguments)]
 pub fn run_virtual(
     engine: &mut dyn PipelineEngine,
     latencies: Vec<LatencyModel>,
@@ -377,6 +459,7 @@ pub fn run_virtual(
     stream: &str,
     config: &ServeConfig,
     metrics: &RuntimeMetrics,
+    steal: Option<&mut StealHandle>,
 ) -> RunStats {
     let wall_start = Instant::now();
     let mut backend = SimBackend::new(latencies, seed, stream).with_trace(config.sink());
@@ -390,6 +473,34 @@ pub fn run_virtual(
         backend.push_arrival(q.arrival, i);
     }
     let mut end = SimTime::ZERO;
+    if let Some(handle) = steal {
+        loop {
+            let boundary = handle.next_boundary();
+            while backend.peek_time().is_some_and(|t| t < boundary) {
+                let (now, event) = backend.pop_event().expect("peeked event");
+                engine.handle(event, now, &mut backend);
+                end = now;
+            }
+            let done = backend.peek_time().is_none() && engine.open_count() == 0;
+            let (depth, backlog_us) = engine.steal_backlog();
+            match handle.rendezvous(LoadSnapshot { depth, backlog_us, done }) {
+                Rendezvous::Stop => break,
+                Rendezvous::Round(plan) => {
+                    // One `pop_event` call can silently consume several
+                    // fault-suppressed events, carrying the DES clock past
+                    // the boundary before returning a deliverable one — so
+                    // the round executes at the engine's real progressed
+                    // time, never behind it (a wake scheduled before the
+                    // queue's clock is a DES logic error).
+                    let round_now = end.max(boundary);
+                    if execute_steal_round(engine, &mut backend, handle, &plan, round_now) {
+                        end = round_now;
+                    }
+                }
+            }
+        }
+        handle.detach();
+    }
     while let Some((now, event)) = backend.pop_event() {
         engine.handle(event, now, &mut backend);
         end = now;
@@ -416,6 +527,7 @@ pub fn run_virtual(
     RunStats { usage, wall_secs: wall_start.elapsed().as_secs_f64(), sim_secs: end.as_secs_f64() }
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_with(
     engine: &mut dyn PipelineEngine,
     latencies: Vec<LatencyModel>,
@@ -424,13 +536,14 @@ pub(crate) fn run_with(
     stream: &str,
     config: &ServeConfig,
     metrics: &Arc<RuntimeMetrics>,
+    steal: Option<&mut StealHandle>,
 ) -> RunStats {
     match config.mode {
         ClockMode::Virtual => {
-            run_virtual(engine, latencies, workload, seed, stream, config, metrics)
+            run_virtual(engine, latencies, workload, seed, stream, config, metrics, steal)
         }
         ClockMode::Wall { dilation } => {
-            run_wall(engine, latencies, workload, seed, stream, config, dilation, metrics)
+            run_wall(engine, latencies, workload, seed, stream, config, dilation, metrics, steal)
         }
     }
 }
@@ -453,8 +566,16 @@ pub fn serve_schemble(
     let latencies: Vec<LatencyModel> = (0..ensemble.m()).map(|k| ensemble.latency(k)).collect();
     let metrics = Arc::new(RuntimeMetrics::new(latencies.len()));
     let mut engine = SchembleEngine::new(ensemble, pipeline, workload).with_trace(config.sink());
-    let run =
-        run_with(&mut engine, latencies, workload, seed, "schemble-latency", config, &metrics);
+    let run = run_with(
+        &mut engine,
+        latencies,
+        workload,
+        seed,
+        "schemble-latency",
+        config,
+        &metrics,
+        None,
+    );
     let stats = PipelineEngine::stats(&engine);
     let snapshot = metrics.snapshot(run.sim_secs);
     ServeReport {
@@ -487,8 +608,16 @@ pub fn serve_immediate(
         ImmediateEngine::new(ensemble, deployment, policy, assembler, admission, workload)
             .with_trace(config.sink())
             .with_failure(config.failure);
-    let run =
-        run_with(&mut engine, latencies, workload, seed, "immediate-latency", config, &metrics);
+    let run = run_with(
+        &mut engine,
+        latencies,
+        workload,
+        seed,
+        "immediate-latency",
+        config,
+        &metrics,
+        None,
+    );
     let stats = PipelineEngine::stats(&engine);
     let snapshot = metrics.snapshot(run.sim_secs);
     ServeReport {

@@ -31,6 +31,7 @@
 //! and a metrics block.
 
 use crate::runtime::{run_with, ClockMode, RunStats, ServeConfig, ServeReport};
+use crate::steal::StealCoordinator;
 use schemble_core::engine::{EngineStats, PipelineEngine, SchembleEngine};
 use schemble_core::pipeline::SchembleConfig;
 use schemble_data::Workload;
@@ -39,10 +40,16 @@ use schemble_models::Ensemble;
 use schemble_sim::rng::{mix, splitmix64};
 use schemble_sim::LatencyModel;
 use schemble_trace::{audit_records, globalize_events, merge_shard_events, TraceEvent, TraceSink};
+use std::collections::HashSet;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// Deterministic, seed-independent hash router from query ids to shards.
+/// Deterministic, seed-independent hash router from routing keys to shards.
+///
+/// Routes on [`Query::key`](schemble_data::Query), which defaults to the
+/// query id — so uniform workloads split evenly, while a skewed key
+/// distribution (hot keys, Zipfian tenants) concentrates load on the hot
+/// key's *home shard*, the imbalance work stealing exists to fix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardRouter {
     shards: usize,
@@ -59,11 +66,12 @@ impl ShardRouter {
         self.shards
     }
 
-    /// The shard `query_id` is served by. Pure function of the id and the
-    /// shard count — independent of seed, arrival time and thread timing.
+    /// The shard serving routing key `key`. Pure function of the key and
+    /// the shard count — independent of seed, arrival time and thread
+    /// timing.
     #[inline]
-    pub fn route(&self, query_id: u64) -> usize {
-        (splitmix64(query_id) % self.shards as u64) as usize
+    pub fn route(&self, key: u64) -> usize {
+        (splitmix64(key) % self.shards as u64) as usize
     }
 }
 
@@ -89,7 +97,12 @@ pub fn serve_schemble_sharded(
     let shards = config.shards.max(1);
     let m = ensemble.m();
     let router = ShardRouter::new(shards);
-    let parts = workload.partition(shards, |id| router.route(id));
+    let parts = workload.partition(shards, |q| router.route(q.key));
+    // Epoch-boundary work stealing, opt-in via `steal_epoch`. The
+    // coordinator is the only mutable state shards share, and every
+    // decision it mediates is a pure function of epoch snapshots — see
+    // `crate::steal` for the determinism argument.
+    let coordinator = config.steal_epoch.map(|epoch| StealCoordinator::new(shards, epoch));
 
     // Shard sinks record whenever the outer sink is enabled *or* tapped
     // (e.g. by a flight recorder): the merged re-emission below feeds the
@@ -137,6 +150,7 @@ pub fn serve_schemble_sharded(
                 let sink = Arc::clone(&sinks[s]);
                 let metrics = Arc::clone(&shard_metrics[s]);
                 let audit = config.audit.clone();
+                let coordinator = coordinator.clone();
                 scope.spawn(move || {
                     // Everything random in this shard — task latencies,
                     // fault fates — derives from (seed, shard).
@@ -152,6 +166,8 @@ pub fn serve_schemble_sharded(
                     };
                     let mut engine = SchembleEngine::new(ensemble, pipeline, &part.workload)
                         .with_trace(Arc::clone(&sink));
+                    let mut steal =
+                        coordinator.map(|c| c.handle(s as u16, part.global_ids.clone()));
                     let run = run_with(
                         &mut engine,
                         latencies,
@@ -160,18 +176,39 @@ pub fn serve_schemble_sharded(
                         "schemble-latency",
                         &shard_config,
                         &metrics,
+                        steal.as_mut(),
                     );
                     let stats = PipelineEngine::stats(&engine);
+                    // Stealing extends the id map (adopted queries) and
+                    // marks released slots stale; without it, both reduce
+                    // to the partition's own map.
+                    let (global_ids, released_slots, lost) = match steal {
+                        Some(handle) => handle.into_maps(),
+                        None => (part.global_ids.clone(), Vec::new(), HashSet::new()),
+                    };
+                    let released_slots: HashSet<u64> = released_slots.into_iter().collect();
                     let mut records = engine.take_records();
+                    // A released query's blank record slot stays behind on
+                    // the victim; its current owner's record is the live
+                    // one. Filter by *local* slot before translating ids —
+                    // a query stolen back gets a fresh slot, and that one
+                    // must survive even though an older slot of the same
+                    // global id went stale.
+                    records.retain(|r| !released_slots.contains(&r.id));
                     for r in &mut records {
-                        r.id = part.global_ids[r.id as usize];
+                        r.id = global_ids[r.id as usize];
                     }
-                    let events = globalize_events(sink.drain(), &part.global_ids, (s * m) as u16);
+                    let events = globalize_events(sink.drain(), &global_ids, (s * m) as u16);
                     // Audit lines stream out as each shard finishes: the
                     // writer guarantees line atomicity, so concurrent shards
-                    // interleave whole lines only.
+                    // interleave whole lines only. Queries this shard
+                    // released and never got back fold into stale audit
+                    // fragments (arrival, no terminal) — the final owner
+                    // writes the real line, so drop them here.
                     if let Some(writer) = &audit {
-                        if let Err(e) = writer.write_records(&audit_records(&events)) {
+                        let mut lines = audit_records(&events);
+                        lines.retain(|r| !lost.contains(&r.query));
+                        if let Err(e) = writer.write_records(&lines) {
                             eprintln!("[serve] shard {s}: audit write failed: {e}");
                         }
                     }

@@ -1,0 +1,539 @@
+//! Deterministic inter-shard work stealing at virtual-time epoch boundaries.
+//!
+//! Hash routing splits the arrival stream across shard engines by key; a
+//! skewed key distribution then overloads one shard while the rest idle,
+//! and shard scaling plateaus at the hot shard's capacity. This module
+//! rebalances *admitted but unplanned* queries across shards without giving
+//! up the sharded path's byte-for-byte determinism:
+//!
+//! * **Epoch rendezvous.** All shard threads pause at every virtual-time
+//!   boundary `(r + 1) * epoch` and publish a [`LoadSnapshot`] — eligible
+//!   queue depth and predicted backlog in integer microseconds. The
+//!   barriers make the rendezvous a *synchronous* protocol: no shard's
+//!   engine advances while a transfer is being decided, so the decision
+//!   inputs cannot race with execution.
+//! * **Pure transfer plan.** The victim/thief pairing and transfer counts
+//!   are computed by [`transfer_plan`] — a pure function of the snapshot
+//!   vector and the round index, with integer arithmetic and a
+//!   round-rotated tie-break. No thread timing, RNG state or map iteration
+//!   order feeds into it, which is what keeps DES and virtual-clock runs
+//!   byte-identical, and `--steal-epoch-ms` off byte-identical to a build
+//!   without this module.
+//! * **Deterministic exchange.** Victims deposit released queries into
+//!   per-thief inboxes between two barriers; each thief sorts its inbox by
+//!   `(victim, global id)` before adopting, so adoption order — and hence
+//!   the thief's local-id assignment — is independent of which victim
+//!   thread ran first.
+//!
+//! A shard that finishes its trace keeps rendezvousing with an empty
+//! snapshot (it may yet become a thief); the coordinator stops the protocol
+//! once every shard is done and the plan is empty. A shard that *exits*
+//! early (wall-clock wedge breaker, channel disconnect) detaches instead,
+//! and the barriers recompute around it — a steal racing a crash window
+//! therefore resolves deterministically: either the rendezvous completes
+//! with the shard, or the shard is detached for the whole round.
+
+use schemble_core::backend::ExecutionBackend;
+use schemble_core::engine::{PipelineEngine, StealLineage, StolenQuery};
+use schemble_sim::{SimDuration, SimTime};
+use std::collections::HashSet;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One shard's published load at an epoch boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadSnapshot {
+    /// Steal-eligible queries (admitted, scored, nothing started).
+    pub depth: u64,
+    /// Predicted service demand of those queries, integer microseconds.
+    pub backlog_us: u64,
+    /// The shard has replayed its whole trace and holds no open queries.
+    pub done: bool,
+}
+
+/// One planned transfer: `count` queries move from `victim` to `thief`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// Shard releasing queries.
+    pub victim: u16,
+    /// Shard adopting them.
+    pub thief: u16,
+    /// Queries to move.
+    pub count: u32,
+    /// Victim's snapshot depth (stamped into lineage).
+    pub victim_depth: u32,
+    /// Thief's snapshot depth (stamped into lineage).
+    pub thief_depth: u32,
+}
+
+/// Computes the round's transfer plan from the snapshot vector.
+///
+/// Pure function: integer arithmetic only, ties broken by the round-rotated
+/// key `(shard + round) % shards`, so every shard computes the identical
+/// plan and no platform or timing artifact can perturb it. Greedy: while
+/// the gap between the most- and least-loaded shards exceeds the victim's
+/// average per-query cost, move one (average-cost) query; iterations are
+/// capped by the total depth so the loop always terminates.
+pub fn transfer_plan(snapshots: &[LoadSnapshot], round: u64) -> Vec<Transfer> {
+    let s = snapshots.len();
+    if s < 2 {
+        return Vec::new();
+    }
+    let mut depth: Vec<u64> = snapshots.iter().map(|x| x.depth).collect();
+    let mut backlog: Vec<u64> = snapshots.iter().map(|x| x.backlog_us).collect();
+    // moves[v * s + t] = queries moved from v to t.
+    let mut moves = vec![0u32; s * s];
+    let cap: u64 = depth.iter().sum();
+    for _ in 0..cap {
+        let key = |i: usize| (backlog[i], (i as u64 + round) % s as u64);
+        let Some(v) = (0..s).filter(|&i| depth[i] > 0).max_by_key(|&i| key(i)) else { break };
+        let Some(t) = (0..s).filter(|&i| i != v).min_by_key(|&i| key(i)) else { break };
+        let gap = backlog[v].saturating_sub(backlog[t]);
+        let avg = backlog[v] / depth[v];
+        if gap <= avg || avg == 0 {
+            break;
+        }
+        depth[v] -= 1;
+        backlog[v] -= avg;
+        depth[t] += 1;
+        backlog[t] += avg;
+        moves[v * s + t] += 1;
+    }
+    let mut plan = Vec::new();
+    for v in 0..s {
+        for t in 0..s {
+            let count = moves[v * s + t];
+            if count > 0 {
+                plan.push(Transfer {
+                    victim: v as u16,
+                    thief: t as u16,
+                    count,
+                    victim_depth: snapshots[v].depth.min(u32::MAX as u64) as u32,
+                    thief_depth: snapshots[t].depth.min(u32::MAX as u64) as u32,
+                });
+            }
+        }
+    }
+    plan
+}
+
+/// What a rendezvous resolved to.
+#[derive(Debug)]
+pub enum Rendezvous {
+    /// Execute this round: release per the plan, deposit, then exchange.
+    Round(Vec<Transfer>),
+    /// Every shard is done and nothing is left to move: stop rendezvousing.
+    Stop,
+}
+
+struct CoordState {
+    /// Current round (epoch index); advanced by the last shard to exchange.
+    round: u64,
+    /// Which shards have published this round.
+    arrived: Vec<bool>,
+    /// Which shards have called exchange this round.
+    exchanged: Vec<bool>,
+    /// Shards that exited their run loop early and left the protocol.
+    detached: Vec<bool>,
+    snapshots: Vec<LoadSnapshot>,
+    plan: Vec<Transfer>,
+    plan_ready: bool,
+    /// Per-thief inboxes of in-flight transfers.
+    inboxes: Vec<Vec<(StolenQuery, StealLineage)>>,
+    /// Consecutive rounds where every shard was done yet the plan still
+    /// moved queries — the livelock breaker for work nothing can run.
+    all_done_rounds: u32,
+    stopped: bool,
+}
+
+/// Shared rendezvous state for `shards` shard threads. Create once, then
+/// hand each shard thread a [`StealHandle`] via [`StealCoordinator::handle`].
+pub struct StealCoordinator {
+    epoch: SimDuration,
+    shards: usize,
+    state: Mutex<CoordState>,
+    cv: Condvar,
+}
+
+impl StealCoordinator {
+    /// A coordinator for `shards` shards pausing every `epoch`.
+    pub fn new(shards: usize, epoch: SimDuration) -> Arc<Self> {
+        Arc::new(Self {
+            epoch,
+            shards,
+            state: Mutex::new(CoordState {
+                round: 0,
+                arrived: vec![false; shards],
+                exchanged: vec![false; shards],
+                detached: vec![false; shards],
+                snapshots: vec![LoadSnapshot::default(); shards],
+                plan: Vec::new(),
+                plan_ready: false,
+                inboxes: (0..shards).map(|_| Vec::new()).collect(),
+                all_done_rounds: 0,
+                stopped: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The epoch length.
+    pub fn epoch(&self) -> SimDuration {
+        self.epoch
+    }
+
+    /// The handle shard `shard`'s thread drives the protocol through.
+    /// `global_ids` is the shard's local-to-global id map (adopted queries
+    /// extend it; released ones are recorded against it).
+    pub fn handle(self: &Arc<Self>, shard: u16, global_ids: Vec<u64>) -> StealHandle {
+        StealHandle {
+            coord: Arc::clone(self),
+            shard: shard as usize,
+            round: 0,
+            global_ids,
+            released_slots: Vec::new(),
+            lost: HashSet::new(),
+        }
+    }
+
+    /// If every non-detached shard has published, close the publish phase:
+    /// compute the plan, or stop the protocol when nothing is left to do.
+    fn try_finish_publish(&self, st: &mut CoordState) {
+        if st.stopped || st.plan_ready {
+            return;
+        }
+        let all_in = st.arrived.iter().zip(&st.detached).all(|(&a, &d)| a || d);
+        if !all_in {
+            return;
+        }
+        let plan = transfer_plan(&st.snapshots, st.round);
+        let all_done = st.snapshots.iter().zip(&st.detached).all(|(s, &d)| s.done || d);
+        if all_done {
+            if plan.is_empty() || st.all_done_rounds >= self.shards as u32 {
+                // Nothing to move — or the remaining queries have already
+                // been offered to every shard (rotated tie-break) and
+                // nothing could run them: stop instead of bouncing them
+                // between wedged shards forever.
+                st.stopped = true;
+                self.cv.notify_all();
+                return;
+            }
+            st.all_done_rounds += 1;
+        } else {
+            st.all_done_rounds = 0;
+        }
+        st.plan = plan;
+        st.plan_ready = true;
+        self.cv.notify_all();
+    }
+
+    /// If every non-detached shard has exchanged, advance to the next round.
+    fn try_finish_exchange(&self, st: &mut CoordState) {
+        if st.stopped || !st.plan_ready {
+            return;
+        }
+        let all_in = st.exchanged.iter().zip(&st.detached).all(|(&e, &d)| e || d);
+        if !all_in {
+            return;
+        }
+        st.round += 1;
+        st.arrived.iter_mut().for_each(|a| *a = false);
+        st.exchanged.iter_mut().for_each(|e| *e = false);
+        st.plan = Vec::new();
+        st.plan_ready = false;
+        self.cv.notify_all();
+    }
+}
+
+/// One shard thread's view of the rendezvous protocol. Drives three calls
+/// per round — [`rendezvous`](StealHandle::rendezvous), zero or more
+/// [`deposit`](StealHandle::deposit)s, then
+/// [`exchange`](StealHandle::exchange) — or [`detach`](StealHandle::detach)
+/// to leave for good.
+pub struct StealHandle {
+    coord: Arc<StealCoordinator>,
+    shard: usize,
+    round: u64,
+    /// Local query id -> global query id; adopted queries push onto it.
+    global_ids: Vec<u64>,
+    /// Local record slots this shard released — each slot went stale the
+    /// moment its query left (a re-adoption gets a *fresh* slot, so stale
+    /// slots never come back to life).
+    released_slots: Vec<u64>,
+    /// Global ids this shard released and never re-adopted — its audit
+    /// fold for them is a stale fragment (the final owner has the full
+    /// story). Release inserts, adoption removes, so ping-pong transfers
+    /// settle on the true final owner.
+    lost: HashSet<u64>,
+}
+
+impl StealHandle {
+    /// This handle's shard id.
+    pub fn shard(&self) -> u16 {
+        self.shard as u16
+    }
+
+    /// The next epoch boundary this shard must rendezvous at.
+    pub fn next_boundary(&self) -> SimTime {
+        SimTime::from_micros(self.coord.epoch.as_micros() * (self.round + 1))
+    }
+
+    /// The (extended) local-to-global id map, the stale local record
+    /// slots, and the global ids this shard no longer owns.
+    pub fn into_maps(mut self) -> (Vec<u64>, Vec<u64>, HashSet<u64>) {
+        (
+            std::mem::take(&mut self.global_ids),
+            std::mem::take(&mut self.released_slots),
+            std::mem::take(&mut self.lost),
+        )
+    }
+
+    /// Publishes this shard's snapshot for the current round and blocks
+    /// until the plan is ready (or the protocol stopped).
+    pub fn rendezvous(&mut self, snapshot: LoadSnapshot) -> Rendezvous {
+        let coord = Arc::clone(&self.coord);
+        let mut st = coord.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.stopped {
+            return Rendezvous::Stop;
+        }
+        debug_assert_eq!(st.round, self.round, "shard rendezvoused out of round");
+        st.snapshots[self.shard] = snapshot;
+        st.arrived[self.shard] = true;
+        coord.try_finish_publish(&mut st);
+        while !st.stopped && !st.plan_ready {
+            st = coord.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.stopped {
+            return Rendezvous::Stop;
+        }
+        Rendezvous::Round(st.plan.clone())
+    }
+
+    /// Deposits released queries for `transfer.thief`'s inbox, stamping
+    /// each with this round's lineage. Call between
+    /// [`rendezvous`](StealHandle::rendezvous) and
+    /// [`exchange`](StealHandle::exchange), only for transfers whose victim
+    /// is this shard.
+    pub fn deposit(&self, transfer: &Transfer, queries: Vec<StolenQuery>) {
+        debug_assert_eq!(transfer.victim, self.shard as u16);
+        let lineage = StealLineage {
+            epoch: self.round.min(u32::MAX as u64) as u32,
+            victim: transfer.victim,
+            thief: transfer.thief,
+            victim_depth: transfer.victim_depth,
+            thief_depth: transfer.thief_depth,
+        };
+        let coord = &self.coord;
+        let mut st = coord.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.inboxes[transfer.thief as usize].extend(queries.into_iter().map(|q| (q, lineage)));
+    }
+
+    /// Marks this shard's deposits complete, waits for every shard's, and
+    /// collects this shard's inbox — sorted by `(victim, global id)` so
+    /// adoption order never depends on victim thread timing. Advances the
+    /// handle to the next round.
+    pub fn exchange(&mut self) -> Vec<(StolenQuery, StealLineage)> {
+        let coord = Arc::clone(&self.coord);
+        let mut st = coord.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.exchanged[self.shard] = true;
+        coord.try_finish_exchange(&mut st);
+        while !st.stopped && st.round == self.round {
+            st = coord.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let mut mine = std::mem::take(&mut st.inboxes[self.shard]);
+        drop(st);
+        self.round += 1;
+        mine.sort_by_key(|(q, lin)| (lin.victim, q.query.id));
+        mine
+    }
+
+    /// Leaves the protocol permanently (early exit: wedge breaker, channel
+    /// disconnect, or normal end after a [`Rendezvous::Stop`], where it is
+    /// a no-op). The barriers recompute without this shard, so the others
+    /// never block on it again.
+    pub fn detach(&mut self) {
+        let coord = Arc::clone(&self.coord);
+        let mut st = coord.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.stopped || st.detached[self.shard] {
+            return;
+        }
+        st.detached[self.shard] = true;
+        st.snapshots[self.shard] = LoadSnapshot { depth: 0, backlog_us: 0, done: true };
+        coord.try_finish_publish(&mut st);
+        coord.try_finish_exchange(&mut st);
+        coord.cv.notify_all();
+    }
+}
+
+impl Drop for StealHandle {
+    /// A shard thread that unwinds mid-protocol (panic, bug) must not
+    /// leave its peers blocked at a barrier forever: dropping the handle
+    /// detaches, so the panic surfaces at `join` instead of deadlocking.
+    fn drop(&mut self) {
+        self.detach();
+    }
+}
+
+/// Executes one rendezvoused round for this shard: releases and deposits
+/// what the plan demands, exchanges, adopts, and — only if this shard
+/// actually transferred something — re-plans via
+/// [`PipelineEngine::on_rebalanced`]. Returns whether anything moved here
+/// (a zero-transfer round leaves the engine byte-untouched).
+pub fn execute_steal_round(
+    engine: &mut dyn PipelineEngine,
+    backend: &mut dyn ExecutionBackend,
+    handle: &mut StealHandle,
+    plan: &[Transfer],
+    now: SimTime,
+) -> bool {
+    let me = handle.shard();
+    let mut released_any = false;
+    for transfer in plan.iter().filter(|t| t.victim == me) {
+        let mut queries = engine.release_for_steal(transfer.count as usize, now);
+        debug_assert_eq!(
+            queries.len(),
+            transfer.count as usize,
+            "snapshot promised more eligible queries than release found"
+        );
+        for q in &mut queries {
+            // Cross the shard boundary under the *global* id; the thief
+            // re-localises at adoption.
+            let global = handle.global_ids[q.query.id as usize];
+            handle.released_slots.push(q.query.id);
+            handle.lost.insert(global);
+            q.query.id = global;
+        }
+        released_any = true;
+        handle.deposit(transfer, queries);
+    }
+    let adopted = handle.exchange();
+    let adopted_any = !adopted.is_empty();
+    for (stolen, lineage) in adopted {
+        let global = stolen.query.id;
+        let local = engine.adopt_stolen(stolen, lineage, now);
+        debug_assert_eq!(local as usize, handle.global_ids.len());
+        handle.global_ids.push(global);
+        handle.lost.remove(&global);
+    }
+    if released_any || adopted_any {
+        engine.on_rebalanced(now, backend);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(depth: u64, backlog_us: u64) -> LoadSnapshot {
+        LoadSnapshot { depth, backlog_us, done: false }
+    }
+
+    #[test]
+    fn balanced_load_plans_no_transfers() {
+        let snaps = [snap(3, 300), snap(3, 300), snap(3, 300)];
+        assert!(transfer_plan(&snaps, 0).is_empty());
+        // A gap within one average query cost is left alone too.
+        let close = [snap(3, 300), snap(3, 250)];
+        assert!(transfer_plan(&close, 0).is_empty());
+    }
+
+    #[test]
+    fn skewed_load_moves_queries_toward_the_idle_shard() {
+        let snaps = [snap(8, 8_000), snap(0, 0)];
+        let plan = transfer_plan(&snaps, 0);
+        assert_eq!(plan.len(), 1);
+        let t = plan[0];
+        assert_eq!((t.victim, t.thief), (0, 1));
+        // Greedy equalisation: moves stop once the gap closes to within one
+        // average cost — about half the queue.
+        assert!((3..=4).contains(&t.count), "moved {} of 8", t.count);
+        assert_eq!((t.victim_depth, t.thief_depth), (8, 0));
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_snapshots_and_round() {
+        let snaps = [snap(10, 5_000), snap(2, 400), snap(0, 0), snap(5, 2_500)];
+        for round in [0u64, 1, 7] {
+            assert_eq!(transfer_plan(&snaps, round), transfer_plan(&snaps, round));
+        }
+        // The rotated tie-break resolves exact ties differently across
+        // rounds without ever consulting anything but (snapshots, round):
+        // exactly one query moves here, and the two idle shards tie for it.
+        let tied = [snap(2, 1_200), snap(0, 0), snap(0, 0)];
+        let r0 = transfer_plan(&tied, 0);
+        let r1 = transfer_plan(&tied, 1);
+        assert_eq!(r0.iter().map(|t| t.count).sum::<u32>(), 1);
+        assert_eq!(r1.iter().map(|t| t.count).sum::<u32>(), 1);
+        assert_ne!(r0[0].thief, r1[0].thief, "rotation should re-order tied thieves");
+    }
+
+    #[test]
+    fn plan_never_moves_more_than_the_victim_holds() {
+        let snaps = [snap(2, 1_000_000), snap(0, 0), snap(0, 0)];
+        let plan = transfer_plan(&snaps, 3);
+        let from0: u32 = plan.iter().filter(|t| t.victim == 0).map(|t| t.count).sum();
+        assert!(from0 <= 2, "victim held 2, plan moved {from0}");
+        assert!(plan.iter().all(|t| t.victim != t.thief));
+        // Single shard: nothing to pair with.
+        assert!(transfer_plan(&[snap(9, 9_000)], 0).is_empty());
+    }
+
+    #[test]
+    fn coordinator_runs_rounds_then_stops_when_all_done() {
+        let coord = StealCoordinator::new(2, SimDuration::from_millis(10));
+        let a = coord.handle(0, vec![0, 2, 4]);
+        let b = coord.handle(1, vec![1, 3]);
+        let run = |mut h: StealHandle, loaded: bool| {
+            std::thread::spawn(move || {
+                assert_eq!(h.next_boundary(), SimTime::from_millis(10));
+                // Round 0: one side overloaded — a transfer must be planned.
+                let snapshot = if loaded {
+                    snap(4, 4_000)
+                } else {
+                    LoadSnapshot { depth: 0, backlog_us: 0, done: true }
+                };
+                let plan = match h.rendezvous(snapshot) {
+                    Rendezvous::Round(p) => p,
+                    Rendezvous::Stop => panic!("stopped with work pending"),
+                };
+                assert_eq!(plan.len(), 1);
+                assert_eq!(plan[0].victim, 0);
+                assert_eq!(plan[0].thief, 1);
+                // No actual engine here: deposit nothing, just exchange.
+                let inbox = h.exchange();
+                assert!(inbox.is_empty());
+                assert_eq!(h.next_boundary(), SimTime::from_millis(20));
+                // Round 1: everyone done and empty — protocol stops.
+                let done = LoadSnapshot { depth: 0, backlog_us: 0, done: true };
+                assert!(matches!(h.rendezvous(done), Rendezvous::Stop));
+                // Detach after stop is a harmless no-op.
+                h.detach();
+            })
+        };
+        let ta = run(a, true);
+        let tb = run(b, false);
+        ta.join().unwrap();
+        tb.join().unwrap();
+    }
+
+    #[test]
+    fn detach_releases_a_waiting_peer() {
+        let coord = StealCoordinator::new(2, SimDuration::from_millis(5));
+        let mut a = coord.handle(0, Vec::new());
+        let b = coord.handle(1, Vec::new());
+        let tb = std::thread::spawn(move || {
+            let mut b = b;
+            // Peer is alone once `a` detaches: all-done with an empty plan
+            // stops the protocol rather than waiting for the detached shard.
+            matches!(
+                b.rendezvous(LoadSnapshot { depth: 0, backlog_us: 0, done: true }),
+                Rendezvous::Stop
+            )
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        a.detach();
+        assert!(tb.join().unwrap(), "peer should observe Stop after detach");
+    }
+}

@@ -138,7 +138,7 @@ proptest! {
 fn router_partition_matches_workload_split() {
     let fx = fixture(3, 200, 40.0, 150.0, false);
     let router = ShardRouter::new(3);
-    let parts = fx.workload.partition(3, |id| router.route(id));
+    let parts = fx.workload.partition(3, |q| router.route(q.key));
     let mut seen: Vec<u64> = Vec::new();
     for part in &parts {
         seen.extend(&part.global_ids);

@@ -13,6 +13,18 @@ use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Mutex;
 
+/// Work-steal lineage of a transferred query: which epoch moved it and
+/// between which shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditSteal {
+    /// Steal epoch index the transfer resolved at.
+    pub epoch: u32,
+    /// Home shard the query was admitted on.
+    pub victim: u16,
+    /// Shard that adopted and served the query.
+    pub thief: u16,
+}
+
 /// The collapsed lifecycle of one query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditRecord {
@@ -45,6 +57,10 @@ pub struct AuditRecord {
     pub frontier: Option<u32>,
     /// Predicted completion instant of the last assigned plan.
     pub predicted_finish: Option<SimTime>,
+    /// Steal lineage for queries transferred between shards (`None` for the
+    /// common never-stolen case, which keeps its exact historical line
+    /// bytes — the `stolen` key only appears on transferred queries).
+    pub stolen: Option<AuditSteal>,
 }
 
 impl AuditRecord {
@@ -58,8 +74,15 @@ impl AuditRecord {
         let bin = or_null(self.bin.map(|b| b.to_string()));
         let frontier = or_null(self.frontier.map(|f| f.to_string()));
         let predicted = or_null(self.predicted_finish.map(|t| t.as_micros().to_string()));
+        let stolen = match self.stolen {
+            Some(s) => format!(
+                ",\"stolen\":{{\"epoch\":{},\"victim\":{},\"thief\":{}}}",
+                s.epoch, s.victim, s.thief
+            ),
+            None => String::new(),
+        };
         format!(
-            "{{\"query\":{},\"arrival_us\":{},\"deadline_us\":{},\"admission\":\"{}\",\"set\":{:?},\"models\":{},\"tasks\":{},\"retries\":{},\"outcome\":\"{}\",\"completion_us\":{},\"bin\":{},\"frontier\":{},\"predicted_finish_us\":{}}}",
+            "{{\"query\":{},\"arrival_us\":{},\"deadline_us\":{},\"admission\":\"{}\",\"set\":{:?},\"models\":{},\"tasks\":{},\"retries\":{},\"outcome\":\"{}\",\"completion_us\":{},\"bin\":{},\"frontier\":{},\"predicted_finish_us\":{}{stolen}}}",
             self.query,
             self.arrival.as_micros(),
             self.deadline.as_micros(),
@@ -96,7 +119,34 @@ pub fn audit_records(events: &[TraceEvent]) -> Vec<AuditRecord> {
                     bin: None,
                     frontier: None,
                     predicted_finish: None,
+                    stolen: None,
                 });
+            }
+            // The thief's stream never saw the victim-side Arrival, so a
+            // steal both *creates* the record (streamed per-shard audits)
+            // and *annotates* it (merged streams, where the victim's
+            // Arrival already ran and the entry exists under the same
+            // global id).
+            TraceEvent::QueryStolen {
+                query, epoch, victim, thief, arrival, deadline, bin, ..
+            } => {
+                let r = records.entry(query).or_insert(AuditRecord {
+                    query,
+                    arrival,
+                    deadline,
+                    admission: "buffered",
+                    set: 0,
+                    tasks: 0,
+                    retries: 0,
+                    outcome: "open",
+                    completion: None,
+                    bin: None,
+                    frontier: None,
+                    predicted_finish: None,
+                    stolen: None,
+                });
+                r.bin = Some(bin);
+                r.stolen = Some(AuditSteal { epoch, victim, thief });
             }
             TraceEvent::Admission { query, verdict, .. } => {
                 if let Some(r) = records.get_mut(&query) {
@@ -361,6 +411,7 @@ mod tests {
                             bin: Some(4),
                             frontier: Some(8),
                             predicted_finish: Some(at(q + 9)),
+                            stolen: None,
                         };
                         writer.write_record(&record).unwrap();
                     }
@@ -433,6 +484,51 @@ mod tests {
     }
 
     #[test]
+    fn steal_creates_or_annotates_the_record_and_plain_lines_are_unchanged() {
+        let stolen_ev = TraceEvent::QueryStolen {
+            t: at(10),
+            query: 4,
+            epoch: 2,
+            victim: 0,
+            thief: 1,
+            victim_depth: 6,
+            thief_depth: 1,
+            arrival: at(3),
+            deadline: at(90),
+            bin: 5,
+            score_fp: 400_000,
+        };
+        // Thief-side stream: no Arrival, the steal must create the record.
+        let thief_only = vec![stolen_ev, TraceEvent::QueryDone { t: at(30), query: 4, set: 0b1 }];
+        let records = audit_records(&thief_only);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].arrival, at(3));
+        assert_eq!(records[0].deadline, at(90));
+        assert_eq!(records[0].bin, Some(5));
+        assert_eq!(records[0].outcome, "completed");
+        assert_eq!(records[0].stolen, Some(AuditSteal { epoch: 2, victim: 0, thief: 1 }));
+        let line = records[0].to_json_line();
+        validate_ndjson(&line).expect("steal lineage must serialise to valid JSON");
+        assert!(line.contains("\"stolen\":{\"epoch\":2,\"victim\":0,\"thief\":1}"), "{line}");
+
+        // Merged stream: the victim's Arrival already made the entry; the
+        // steal only annotates it (exactly one line, not two).
+        let merged = vec![
+            TraceEvent::Arrival { t: at(3), query: 4, deadline: at(90) },
+            stolen_ev,
+            TraceEvent::QueryDone { t: at(30), query: 4, set: 0b1 },
+        ];
+        let merged_records = audit_records(&merged);
+        assert_eq!(merged_records, records);
+
+        // A never-stolen query's line carries no "stolen" key at all.
+        let plain = audit_records(&lifecycle());
+        for r in &plain {
+            assert!(!r.to_json_line().contains("stolen"));
+        }
+    }
+
+    #[test]
     fn dropping_a_writer_mid_run_flushes_buffered_lines() {
         use std::io::BufWriter;
         use std::sync::Arc;
@@ -475,6 +571,7 @@ mod tests {
                         bin: None,
                         frontier: None,
                         predicted_finish: None,
+                        stolen: None,
                     };
                     writer.write_record(&record).unwrap();
                 }

@@ -254,6 +254,13 @@ pub fn chrome_trace_named(events: &[TraceEvent], tracks: &[String], label: &str)
                 executor as u32 + 1,
                 &format!("\"batch\":{batch},\"size\":{size}"),
             ),
+            TraceEvent::QueryStolen { query, epoch, victim, thief, .. } => instant(
+                &mut out,
+                &format!("steal q{query} s{victim}->s{thief}"),
+                ts,
+                SCHEDULER_TID,
+                &format!("\"query\":{query},\"epoch\":{epoch},\"victim\":{victim},\"thief\":{thief}"),
+            ),
         }
     }
     // A task still running when the trace was drained renders as a span to

@@ -240,6 +240,35 @@ pub enum TraceEvent {
         /// Number of member tasks.
         size: u32,
     },
+    /// A queued query was transferred between shard engines at a work-steal
+    /// epoch boundary. Emitted once, by the **thief**, at the instant it
+    /// adopts the query; carries enough of the query's admission state
+    /// (arrival, deadline, difficulty bin, score) for downstream exporters
+    /// to seed the thief-side record without replaying the victim's stream.
+    QueryStolen {
+        /// Event time (the epoch boundary the transfer resolved at).
+        t: SimTime,
+        /// Query id.
+        query: u64,
+        /// Steal epoch index (`boundary / epoch length`).
+        epoch: u32,
+        /// Shard the query was admitted on (its home shard).
+        victim: u16,
+        /// Shard that adopted and will serve the query.
+        thief: u16,
+        /// Steal-eligible queue depth the victim published this epoch.
+        victim_depth: u32,
+        /// Steal-eligible queue depth the thief published this epoch.
+        thief_depth: u32,
+        /// The query's original arrival time (travels with the transfer).
+        arrival: SimTime,
+        /// The query's absolute deadline (unchanged by the transfer).
+        deadline: SimTime,
+        /// Predicted difficulty bin carried from the victim's admission.
+        bin: u8,
+        /// Predicted discrepancy score × 10^6 carried from admission.
+        score_fp: u32,
+    },
 }
 
 /// `score` as the fixed-point (× 10^6) representation used by
@@ -270,7 +299,8 @@ impl TraceEvent {
             | TraceEvent::Realized { t, .. }
             | TraceEvent::TaskQuit { t, .. }
             | TraceEvent::WorkSaved { t, .. }
-            | TraceEvent::BatchFormed { t, .. } => t,
+            | TraceEvent::BatchFormed { t, .. }
+            | TraceEvent::QueryStolen { t, .. } => t,
         }
     }
 
@@ -291,7 +321,8 @@ impl TraceEvent {
             | TraceEvent::PlanAssign { query, .. }
             | TraceEvent::Realized { query, .. }
             | TraceEvent::TaskQuit { query, .. }
-            | TraceEvent::WorkSaved { query, .. } => Some(query),
+            | TraceEvent::WorkSaved { query, .. }
+            | TraceEvent::QueryStolen { query, .. } => Some(query),
             TraceEvent::Plan { .. }
             | TraceEvent::ExecutorDown { .. }
             | TraceEvent::ExecutorUp { .. }
@@ -338,6 +369,19 @@ mod tests {
             TraceEvent::TaskQuit { t, query: 1, executor: 0 },
             TraceEvent::WorkSaved { t, query: 1, saved: 2 },
             TraceEvent::BatchFormed { t, executor: 0, batch: 3, size: 4 },
+            TraceEvent::QueryStolen {
+                t,
+                query: 1,
+                epoch: 2,
+                victim: 0,
+                thief: 1,
+                victim_depth: 5,
+                thief_depth: 0,
+                arrival: SimTime::from_millis(4),
+                deadline: SimTime::from_millis(9),
+                bin: 3,
+                score_fp: 312_500,
+            },
         ];
         for ev in events {
             assert_eq!(ev.time(), t);

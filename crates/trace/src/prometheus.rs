@@ -127,6 +127,19 @@ pub fn prometheus_text(
         family(&mut out, name, "counter", help);
         let _ = writeln!(out, "{name} {value}");
     }
+    // Emitted only when the run actually stole work, so expositions from
+    // runs without `--steal-epoch-ms` stay byte-identical to historical
+    // output.
+    let stolen = c.queries_stolen.load(Relaxed);
+    if stolen > 0 {
+        family(
+            &mut out,
+            "schemble_queries_stolen_total",
+            "counter",
+            "Queries transferred between shards by work stealing.",
+        );
+        let _ = writeln!(out, "schemble_queries_stolen_total {stolen}");
+    }
     family(&mut out, "schemble_queries_open", "gauge", "Queries submitted but not yet decided.");
     let _ = writeln!(out, "schemble_queries_open {}", c.open());
 
@@ -339,6 +352,13 @@ pub fn metrics_from_events(
             TraceEvent::BatchFormed { size, .. } => {
                 c.tasks_batched.fetch_add(size as u64, Relaxed);
                 metrics.batch_size.record(size as f64);
+            }
+            TraceEvent::QueryStolen { query, arrival, .. } => {
+                c.queries_stolen.fetch_add(1, Relaxed);
+                // In a merged stream the victim-side Arrival already
+                // registered the arrival instant; a thief-only stream sees
+                // it here first.
+                arrivals.entry(query).or_insert(arrival);
             }
             TraceEvent::Scored { .. }
             | TraceEvent::PlanAssign { .. }

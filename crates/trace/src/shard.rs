@@ -99,6 +99,33 @@ pub fn globalize_event(event: TraceEvent, query_map: &[u64], executor_offset: u1
         TraceEvent::BatchFormed { t, executor, batch, size } => {
             TraceEvent::BatchFormed { t, executor: executor + executor_offset, batch, size }
         }
+        // Victim/thief are *shard* ids, already global; only the query id
+        // (thief-local, appended to the thief's map at adoption) rewrites.
+        TraceEvent::QueryStolen {
+            t,
+            query,
+            epoch,
+            victim,
+            thief,
+            victim_depth,
+            thief_depth,
+            arrival,
+            deadline,
+            bin,
+            score_fp,
+        } => TraceEvent::QueryStolen {
+            t,
+            query: global(query),
+            epoch,
+            victim,
+            thief,
+            victim_depth,
+            thief_depth,
+            arrival,
+            deadline,
+            bin,
+            score_fp,
+        },
     }
 }
 

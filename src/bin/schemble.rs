@@ -122,7 +122,16 @@ serve/loadtest options (methods: original|static|des|gating|schemble):
   --report-ms <MS>    print a live metrics snapshot every MS wall millis
   --trace <T>         (loadtest) one-day | poisson   (default one-day)
   --shards <S>        run S parallel engine shards behind a hash router
-                      (schemble method only; 1 = unsharded, the default)
+                      (schemble method only; 1 = unsharded, the default;
+                      also accepted by run/explain, which then replay the
+                      sharded engines on the deterministic virtual clock)
+  --steal-epoch-ms <MS>  rebalance shard backlogs at every MS of virtual
+                      time: overloaded shards hand eligible queued queries
+                      to idle peers via a deterministic rendezvous
+                      (requires --shards > 1; off by default)
+  --skew <THETA>      re-key the workload with a Zipf(THETA) draw over 64
+                      hot keys so the hash router concentrates load on few
+                      shards (0 = uniform; try 2.0 to see stealing work)
 
 fault injection (serve/loadtest):
   --fault-plan <PATH>   seeded fault schedule (crash/straggle/transient/
@@ -149,6 +158,8 @@ struct Cli {
     virtual_clock: bool,
     report_ms: Option<u64>,
     shards: usize,
+    steal_epoch_ms: Option<f64>,
+    skew: Option<f64>,
     trace: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -195,6 +206,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         virtual_clock: false,
         report_ms: None,
         shards: 1,
+        steal_epoch_ms: None,
+        skew: None,
         trace: None,
         trace_out: None,
         metrics_out: None,
@@ -250,6 +263,21 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 if cli.shards == 0 {
                     return Err("--shards must be at least 1".to_string());
                 }
+            }
+            "--steal-epoch-ms" => {
+                let ms: f64 =
+                    take(&mut i)?.parse().map_err(|_| "bad --steal-epoch-ms".to_string())?;
+                if !ms.is_finite() || ms <= 0.0 {
+                    return Err("--steal-epoch-ms must be positive".to_string());
+                }
+                cli.steal_epoch_ms = Some(ms);
+            }
+            "--skew" => {
+                let theta: f64 = take(&mut i)?.parse().map_err(|_| "bad --skew".to_string())?;
+                if !theta.is_finite() || theta < 0.0 {
+                    return Err("--skew must be a non-negative Zipf exponent".to_string());
+                }
+                cli.skew = Some(theta);
             }
             "--trace" => cli.trace = Some(take(&mut i)?.clone()),
             "--trace-out" => cli.trace_out = Some(take(&mut i)?.clone()),
@@ -315,6 +343,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     }
     if cli.batch_window_ms.is_some() && cli.batch_max.is_none() {
         return Err("--batch-window-ms requires --batch-max".to_string());
+    }
+    if cli.steal_epoch_ms.is_some() && cli.shards <= 1 {
+        return Err(
+            "--steal-epoch-ms requires --shards > 1 (stealing rebalances between shard engines)"
+                .to_string(),
+        );
     }
     Ok(cli)
 }
@@ -636,6 +670,7 @@ fn serve_config(
         faults,
         failure,
         shards: cli.shards,
+        steal_epoch: cli.steal_epoch_ms.map(SimDuration::from_millis_f64),
         audit,
         recorder,
         ..ServeConfig::default()
@@ -672,7 +707,13 @@ fn serve_one(
              per-query selection state that is not shardable)"
         ));
     }
-    let workload = ctx.workload();
+    let mut workload = ctx.workload();
+    if let Some(theta) = cli.skew {
+        // Hot-key skew: the hash router then concentrates load on few
+        // shards, the regime --steal-epoch-ms exists for. 64 keys is
+        // plenty for any realistic shard count.
+        workload = workload.with_zipf_keys(64, theta, ctx.config.seed);
+    }
     let seed = ctx.config.seed;
     let admission = ctx.config.admission;
     let scfg = serve_config(cli, default_dilation, sink, audit, recorder)?;
@@ -818,8 +859,8 @@ fn run(args: &[String]) -> Result<(), String> {
             "telemetry and introspection exports require run, serve or loadtest".to_string()
         );
     }
-    if cli.shards > 1 && !matches!(command.as_str(), "serve" | "loadtest") {
-        return Err("--shards requires serve or loadtest".to_string());
+    if cli.shards > 1 && !matches!(command.as_str(), "run" | "serve" | "loadtest" | "explain") {
+        return Err("--shards requires run, serve, loadtest or explain".to_string());
     }
     if cli.anytime && cli.method.as_deref().is_some_and(|m| m != "schemble") {
         return Err("--anytime requires --method schemble (the buffered pipeline \
@@ -840,6 +881,48 @@ fn run(args: &[String]) -> Result<(), String> {
     match command.as_str() {
         "run" => {
             let method = cli.method.clone().ok_or_else(|| "--method is required".to_string())?;
+            if cli.shards > 1 {
+                // The single-engine DES driver cannot host shard engines;
+                // a sharded `run` replays them on the virtual-clock serving
+                // runtime, which is byte-identical to the DES — so
+                // `run --shards` and `serve --virtual-clock --shards`
+                // produce the same exports (the CI steal gauntlet compares
+                // them with `cmp`).
+                cli.virtual_clock = true;
+                let audit = shard_audit_writer(&cli)?;
+                let recorder = arm_recorder(&cli, &sink);
+                let report = serve_one(
+                    &mut ctx,
+                    &method,
+                    &cli,
+                    1.0,
+                    &sink,
+                    audit.clone(),
+                    recorder.clone(),
+                )?;
+                print_report(&method, &report, true);
+                print_planning(&sink);
+                if let Some(path) = &cli.csv {
+                    schemble::metrics::write_csv(
+                        std::path::Path::new(path),
+                        report.summary.records(),
+                    )
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                    println!("wrote {} records to {path}", report.summary.len());
+                }
+                finish_streamed_audit(&mut cli, &audit)?;
+                export_telemetry(
+                    &cli,
+                    &sink,
+                    &method,
+                    report.metrics.executors.len(),
+                    Some(report.sim_secs),
+                    Some(&report.metrics),
+                )?;
+                export_obs(&cli, &mut ctx, &method, &sink)?;
+                finish_recorder(&cli, &recorder)?;
+                return check_not_wedged(&report);
+            }
             let recorder = arm_recorder(&cli, &sink);
             let summary = run_one(&mut ctx, &method, &cli, &sink)?;
             print_summary(&method, &summary);
@@ -895,8 +978,15 @@ fn run(args: &[String]) -> Result<(), String> {
             // The whole stack is deterministic per seed, so re-running the
             // DES with tracing armed is an exact replay: the timeline below
             // is the one any earlier run with the same flags lived through.
+            // Sharded flags replay through the (equally deterministic)
+            // virtual-clock shard engines so steal lineage is explainable.
             sink.set_enabled(true);
-            run_one(&mut ctx, &method, &cli, &sink)?;
+            if cli.shards > 1 {
+                cli.virtual_clock = true;
+                serve_one(&mut ctx, &method, &cli, 1.0, &sink, None, None)?;
+            } else {
+                run_one(&mut ctx, &method, &cli, &sink)?;
+            }
             match explain_query(&sink.snapshot(), id) {
                 Some(explain) => {
                     print!("{}", explain.render());
